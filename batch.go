@@ -1,0 +1,166 @@
+package parsearch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"parsearch/internal/disk"
+	"parsearch/internal/knn"
+)
+
+// BatchStats reports the cost of processing a whole query batch — the
+// throughput view the paper names as future work ("declustering
+// techniques which optimize the throughput instead of the search time
+// for a single query"). Under concurrent load the *total* work per disk
+// matters, not the per-query bottleneck.
+type BatchStats struct {
+	// Queries is the batch size.
+	Queries int
+	// PagesPerDisk is the total number of pages each disk read for the
+	// whole batch.
+	PagesPerDisk []int
+	// TotalPages is the batch's total page count.
+	TotalPages int
+	// MakespanSeconds is the simulated time until the last disk
+	// finished its share of the batch.
+	MakespanSeconds float64
+	// QueriesPerSecond is Queries / MakespanSeconds.
+	QueriesPerSecond float64
+	// Utilization is the mean disk busy-fraction over the makespan
+	// (1.0 = perfectly balanced).
+	Utilization float64
+}
+
+// ServiceDemands computes, for every query, the service time in seconds
+// each disk would spend answering a k-NN query — the input for capacity
+// planning and queueing simulation (see internal/sim and the
+// ext-queueing experiment). demands[i][d] is query i's demand on disk d.
+func (ix *Index) ServiceDemands(queries [][]float64, k int) ([][]float64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if k < 1 {
+		return nil, fmt.Errorf("parsearch: k = %d", k)
+	}
+	if ix.live == 0 {
+		return nil, ErrEmpty
+	}
+	m := ix.metric()
+	demands := make([][]float64, len(queries))
+	for i, q := range queries {
+		if len(q) != ix.opts.Dim {
+			return nil, fmt.Errorf("parsearch: query %d has dimension %d, want %d", i, len(q), ix.opts.Dim)
+		}
+		var merged []knn.Result
+		for _, t := range ix.trees {
+			res, _ := knn.HSMetric(t, q, k, m)
+			merged = append(merged, res...)
+		}
+		sortResults(merged)
+		if len(merged) > k {
+			merged = merged[:k]
+		}
+		rk := merged[len(merged)-1].Dist
+
+		perDisk := make([]int, len(ix.trees))
+		reads := make([]int, len(ix.trees))
+		refs, _ := ix.sphereRefs(q, rk, perDisk)
+		for _, ref := range refs {
+			reads[ref.Disk]++
+		}
+		row := make([]float64, len(ix.trees))
+		for d := range row {
+			row[d] = ix.params.SimulateCost(reads[d], perDisk[d]).Seconds()
+		}
+		demands[i] = row
+	}
+	return demands, nil
+}
+
+// BatchKNN answers many k-NN queries as one batch: the result phase runs
+// all disks and queries concurrently, and the I/O phase charges every
+// disk the union of its page reads across the batch. The i-th result
+// corresponds to queries[i].
+func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	var stats BatchStats
+	if k < 1 {
+		return nil, stats, fmt.Errorf("parsearch: k = %d", k)
+	}
+	for i, q := range queries {
+		if len(q) != ix.opts.Dim {
+			return nil, stats, fmt.Errorf("parsearch: query %d has dimension %d, want %d", i, len(q), ix.opts.Dim)
+		}
+	}
+	if ix.live == 0 {
+		return nil, stats, ErrEmpty
+	}
+	stats.Queries = len(queries)
+	stats.PagesPerDisk = make([]int, len(ix.trees))
+	if len(queries) == 0 {
+		return nil, stats, nil
+	}
+
+	// Result phase: a worker pool answers the queries; each query still
+	// fans out over all disks.
+	results := make([][]Neighbor, len(queries))
+	radii := make([]float64, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	m := ix.metric()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				q := queries[i]
+				var merged []knn.Result
+				for _, t := range ix.trees {
+					res, _ := knn.HSMetric(t, q, k, m)
+					merged = append(merged, res...)
+				}
+				sortResults(merged)
+				if len(merged) > k {
+					merged = merged[:k]
+				}
+				radii[i] = merged[len(merged)-1].Dist
+				out := make([]Neighbor, len(merged))
+				for j, r := range merged {
+					out[j] = Neighbor{ID: r.Entry.ID, Point: r.Entry.Point, Dist: r.Dist}
+				}
+				results[i] = out
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// I/O phase: aggregate the page reads of the whole batch and run
+	// them through the disk array once.
+	var refs []disk.PageRef
+	for i, q := range queries {
+		r, _ := ix.sphereRefs(q, radii[i], stats.PagesPerDisk)
+		refs = append(refs, r...)
+	}
+	batch, err := ix.array.ReadBatch(refs)
+	if err != nil {
+		return nil, stats, fmt.Errorf("parsearch: %w", err)
+	}
+	stats.TotalPages = batch.Total
+	stats.MakespanSeconds = batch.ParallelTime.Seconds()
+	if stats.MakespanSeconds > 0 {
+		stats.QueriesPerSecond = float64(stats.Queries) / stats.MakespanSeconds
+		stats.Utilization = batch.SequentialTime.Seconds() /
+			(stats.MakespanSeconds * float64(len(ix.trees)))
+	}
+	return results, stats, nil
+}

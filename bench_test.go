@@ -1,0 +1,212 @@
+// Benchmark harness: one testing.B benchmark per paper figure (and per
+// ablation), each wrapping the corresponding experiment from
+// internal/exp at a reduced scale so the full suite stays runnable. The
+// headline value of each figure is attached as a custom benchmark metric;
+// full-scale numbers are produced with cmd/experiments and recorded in
+// EXPERIMENTS.md.
+package parsearch_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"parsearch"
+	"parsearch/internal/exp"
+)
+
+// benchConfig keeps every figure benchmark fast enough for -bench=.
+func benchConfig() exp.Config {
+	return exp.Config{Scale: 0.25, Queries: 5, Seed: 42}
+}
+
+// runExperiment executes the experiment b.N times and reports the given
+// series' last y value (typically the 16-disk end of a sweep) as metric.
+func runExperiment(b *testing.B, id string, series int, metric string) {
+	e, ok := exp.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		last = e.Run(benchConfig())
+	}
+	if series < len(last.Series) && len(last.Series[series].Y) > 0 {
+		y := last.Series[series].Y
+		b.ReportMetric(y[len(y)-1], metric)
+	}
+}
+
+func BenchmarkFig01SequentialDegeneration(b *testing.B) {
+	runExperiment(b, "fig1", 0, "pages@d16")
+}
+
+func BenchmarkFig02RoundRobinSpeedup(b *testing.B) {
+	runExperiment(b, "fig2", 0, "speedup@16disks")
+}
+
+func BenchmarkFig03HilbertOverRR(b *testing.B) {
+	runExperiment(b, "fig3", 0, "factor@16disks")
+}
+
+func BenchmarkFig03bHilbertOverRRDataSize(b *testing.B) {
+	runExperiment(b, "fig3b", 0, "factor@maxN")
+}
+
+func BenchmarkFig05SurfaceProbability(b *testing.B) {
+	runExperiment(b, "fig5", 0, "p@d100")
+}
+
+func BenchmarkFig07CounterExamples(b *testing.B) {
+	runExperiment(b, "fig7", 0, "violations@new")
+}
+
+func BenchmarkFig10ColorStaircase(b *testing.B) {
+	runExperiment(b, "fig10", 0, "colors@d32")
+}
+
+func BenchmarkFig12NewTechniqueSpeedup(b *testing.B) {
+	runExperiment(b, "fig12", 0, "speedup@16disks")
+}
+
+func BenchmarkFig13FourierSpeedup(b *testing.B) {
+	runExperiment(b, "fig13", 0, "newNN@16disks")
+}
+
+func BenchmarkFig14ImprovementFactor(b *testing.B) {
+	runExperiment(b, "fig14", 0, "factor@16disks")
+}
+
+func BenchmarkFig15ScaleUp(b *testing.B) {
+	runExperiment(b, "fig15", 0, "ms@16disks")
+}
+
+func BenchmarkFig16RecursiveDeclustering(b *testing.B) {
+	runExperiment(b, "fig16", 1, "extMS@10nn")
+}
+
+func BenchmarkFig17TextData(b *testing.B) {
+	runExperiment(b, "fig17", 0, "newMS@10nn")
+}
+
+func BenchmarkAblKNNAlgorithms(b *testing.B) {
+	runExperiment(b, "abl-knn", 0, "hsPages@d16")
+}
+
+func BenchmarkAblIndirectNeighbors(b *testing.B) {
+	runExperiment(b, "abl-indirect", 0, "colMax@16disks")
+}
+
+func BenchmarkAblFolding(b *testing.B) {
+	runExperiment(b, "abl-fold", 0, "collisions@13disks")
+}
+
+func BenchmarkAblQuantileSplits(b *testing.B) {
+	runExperiment(b, "abl-quantile", 1, "quantMax@10nn")
+}
+
+func BenchmarkAblCostModel(b *testing.B) {
+	runExperiment(b, "abl-costmodel", 0, "treeMax@RR")
+}
+
+func BenchmarkAblSupernodes(b *testing.B) {
+	runExperiment(b, "abl-supernode", 0, "pages@d16")
+}
+
+// Engine micro-benchmarks: the public API's hot paths.
+
+func benchIndex(b *testing.B, kind parsearch.Kind, n, d, disks int) *parsearch.Index {
+	b.Helper()
+	ix, err := parsearch.Open(parsearch.Options{Dim: d, Disks: disks, Kind: kind})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := make([][]float64, n)
+	rng := newBenchRand()
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	if err := ix.Build(pts); err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+func BenchmarkIndexBuild64k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchIndex(b, parsearch.NearOptimal, 65536, 10, 16)
+	}
+}
+
+func BenchmarkKNNQuery(b *testing.B) {
+	ix := benchIndex(b, parsearch.NearOptimal, 65536, 10, 16)
+	rng := newBenchRand()
+	q := make([]float64, 10)
+	for j := range q {
+		q[j] = rng.Float64()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.KNN(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertDynamic(b *testing.B) {
+	ix, err := parsearch.Open(parsearch.Options{Dim: 10, Disks: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := newBenchRand()
+	pts := make([][]float64, b.N)
+	for i := range pts {
+		p := make([]float64, 10)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Insert(pts[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newBenchRand gives benchmarks a fixed-seed source.
+func newBenchRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+func BenchmarkExtPartialMatch(b *testing.B) {
+	runExperiment(b, "ext-partialmatch", 0, "maxPages@FX")
+}
+
+func BenchmarkExtThroughput(b *testing.B) {
+	runExperiment(b, "ext-throughput", 0, "qps@RR")
+}
+
+func BenchmarkExtQueueing(b *testing.B) {
+	runExperiment(b, "ext-queueing", 0, "newRespMS@fullLoad")
+}
+
+func BenchmarkAblGreedyColoring(b *testing.B) {
+	runExperiment(b, "abl-greedy", 1, "greedyColors@d13")
+}
+
+func BenchmarkExtModelValidation(b *testing.B) {
+	runExperiment(b, "ext-model", 2, "measPages@d12")
+}
+
+func BenchmarkExtHilbert2D(b *testing.B) {
+	runExperiment(b, "ext-hilbert2d", 0, "hilRatio@16disks")
+}
+
+func BenchmarkAblTreeQuality(b *testing.B) {
+	runExperiment(b, "abl-quality", 0, "insOverlap@d16")
+}

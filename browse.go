@@ -1,0 +1,97 @@
+package parsearch
+
+import (
+	"container/heap"
+	"fmt"
+
+	"parsearch/internal/knn"
+)
+
+// Browser returns the stored vectors in increasing distance from a query
+// point, one at a time, without fixing k in advance — the "distance
+// browsing" mode of Hjaltason and Samet [HS 95]. Interactive similarity
+// search uses it to fetch further results on demand.
+//
+// A Browser holds the index's read lock until Close is called; inserts
+// and deletes block meanwhile.
+type Browser struct {
+	ix     *Index
+	merge  mergeQueue
+	closed bool
+}
+
+// mergeItem is the current head of one disk's ranking.
+type mergeItem struct {
+	disk   int
+	result knn.Result
+}
+
+type mergeQueue struct {
+	items    []mergeItem
+	browsers []*knn.Browser
+}
+
+func (q *mergeQueue) Len() int { return len(q.items) }
+func (q *mergeQueue) Less(i, j int) bool {
+	a, b := q.items[i].result, q.items[j].result
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Entry.ID < b.Entry.ID
+}
+func (q *mergeQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *mergeQueue) Push(x interface{}) { q.items = append(q.items, x.(mergeItem)) }
+func (q *mergeQueue) Pop() interface{} {
+	old := q.items
+	x := old[len(old)-1]
+	q.items = old[:len(old)-1]
+	return x
+}
+
+// Browse starts an incremental ranking of all stored vectors around q.
+// Call Close when done.
+func (ix *Index) Browse(q []float64) (*Browser, error) {
+	ix.mu.RLock()
+	if len(q) != ix.opts.Dim {
+		ix.mu.RUnlock()
+		return nil, fmt.Errorf("parsearch: query dimension %d, want %d", len(q), ix.opts.Dim)
+	}
+	b := &Browser{ix: ix}
+	m := ix.metric()
+	b.merge.browsers = make([]*knn.Browser, len(ix.trees))
+	for d, t := range ix.trees {
+		b.merge.browsers[d] = knn.NewBrowserMetric(t, q, m)
+		if res, ok := b.merge.browsers[d].Next(); ok {
+			b.merge.items = append(b.merge.items, mergeItem{disk: d, result: res})
+		}
+	}
+	heap.Init(&b.merge)
+	return b, nil
+}
+
+// Next returns the next-nearest vector, or ok = false when every stored
+// vector has been returned (or the browser is closed).
+func (b *Browser) Next() (Neighbor, bool) {
+	if b.closed || b.merge.Len() == 0 {
+		return Neighbor{}, false
+	}
+	top := heap.Pop(&b.merge).(mergeItem)
+	if res, ok := b.merge.browsers[top.disk].Next(); ok {
+		heap.Push(&b.merge, mergeItem{disk: top.disk, result: res})
+	}
+	return Neighbor{
+		ID:    top.result.Entry.ID,
+		Point: top.result.Entry.Point,
+		Dist:  top.result.Dist,
+	}, true
+}
+
+// Close releases the index's read lock. The browser must not be used
+// afterwards; Close is idempotent.
+func (b *Browser) Close() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.ix.mu.RUnlock()
+}

@@ -1,0 +1,116 @@
+package parsearch
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"parsearch/internal/data"
+	"parsearch/internal/vec"
+)
+
+func TestBrowseFullRanking(t *testing.T) {
+	const d, n = 4, 1000
+	pts := data.Uniform(n, d, 61)
+	raw := make([][]float64, n)
+	for i, p := range pts {
+		raw[i] = p
+	}
+	ix, err := Open(Options{Dim: d, Disks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+	q := data.Uniform(1, d, 62)[0]
+
+	want := make([]float64, n)
+	for i, p := range pts {
+		want[i] = vec.Dist(q, p)
+	}
+	sort.Float64s(want)
+
+	b, err := ix.Browse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		nb, ok := b.Next()
+		if !ok {
+			t.Fatalf("ranking ended after %d of %d", i, n)
+		}
+		if math.Abs(nb.Dist-want[i]) > 1e-9 {
+			t.Fatalf("rank %d: dist %v, want %v", i, nb.Dist, want[i])
+		}
+		if seen[nb.ID] {
+			t.Fatalf("id %d returned twice", nb.ID)
+		}
+		seen[nb.ID] = true
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatal("ranking longer than the data set")
+	}
+}
+
+func TestBrowseMatchesKNNPrefix(t *testing.T) {
+	const d, n, k = 6, 2000, 15
+	ix := buildTestIndex(t, Options{Dim: d, Disks: 8}, n)
+	q := data.Uniform(1, d, 63)[0]
+	knnRes, _, err := ix.KNN(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ix.Browse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < k; i++ {
+		nb, ok := b.Next()
+		if !ok {
+			t.Fatal("browser exhausted early")
+		}
+		if nb.ID != knnRes[i].ID || math.Abs(nb.Dist-knnRes[i].Dist) > 1e-12 {
+			t.Fatalf("rank %d: browser %+v vs KNN %+v", i, nb, knnRes[i])
+		}
+	}
+}
+
+func TestBrowseValidation(t *testing.T) {
+	ix := buildTestIndex(t, Options{Dim: 3, Disks: 2}, 10)
+	if _, err := ix.Browse([]float64{0.5}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestBrowseCloseIdempotentAndUnlocks(t *testing.T) {
+	ix := buildTestIndex(t, Options{Dim: 2, Disks: 2}, 20)
+	b, err := ix.Browse([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	b.Close() // must not panic
+	if _, ok := b.Next(); ok {
+		t.Error("closed browser returned a result")
+	}
+	// The write lock must be obtainable again.
+	if _, err := ix.Insert([]float64{0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrowseEmptyIndex(t *testing.T) {
+	ix, _ := Open(Options{Dim: 2, Disks: 2})
+	b, err := ix.Browse([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, ok := b.Next(); ok {
+		t.Error("empty index produced a ranking entry")
+	}
+}

@@ -1,0 +1,97 @@
+// Command declust inspects declustering strategies: it prints the disk
+// assignment of every quadrant of a d-dimensional data space, verifies
+// near-optimality (Definition 4 of the paper), and shows the coloring
+// parameters.
+//
+// Usage:
+//
+//	declust -d 3 -n 4 -strategy all          # compare assignments
+//	declust -d 8 -n 16 -strategy new -verify # check near-optimality
+//	declust -d 16 -colors                    # coloring parameters only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"parsearch/internal/core"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against the given argument list and streams;
+// it returns the process exit code. Split from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("declust", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	d := fs.Int("d", 3, "dimensionality of the data space")
+	n := fs.Int("n", 0, "number of disks (default: the coloring's native count)")
+	strategy := fs.String("strategy", "new", "strategy: new, DM, FX, HIL, direct-only or all")
+	verify := fs.Bool("verify", false, "verify near-optimality (enumerates all 2^d buckets)")
+	colors := fs.Bool("colors", false, "print only the coloring parameters for -d")
+	table := fs.Bool("table", false, "print the full bucket-to-disk table (2^d rows)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *d < 1 || *d > 24 {
+		fmt.Fprintln(stderr, "declust: -d must be in [1, 24]")
+		return 1
+	}
+	if *colors {
+		fmt.Fprintf(stdout, "d = %d\n", *d)
+		fmt.Fprintf(stdout, "colors required by col: %d (lower bound %d, upper bound %d)\n",
+			core.NumColors(*d), core.ColorLowerBound(*d), core.ColorUpperBound(*d))
+		return 0
+	}
+	disks := *n
+	if disks == 0 {
+		disks = core.NumColors(*d)
+	}
+
+	strategies := map[string]core.Strategy{
+		"new":         core.NewNearOptimal(*d, disks),
+		"DM":          core.NewDiskModulo(disks),
+		"FX":          core.NewFX(disks),
+		"HIL":         core.MustNewHilbert(*d, 1, disks),
+		"direct-only": core.NewDirectOnly(*d, disks),
+	}
+	var selected []core.Strategy
+	if *strategy == "all" {
+		for _, name := range []string{"new", "DM", "FX", "HIL", "direct-only"} {
+			selected = append(selected, strategies[name])
+		}
+	} else if s, ok := strategies[*strategy]; ok {
+		selected = append(selected, s)
+	} else {
+		fmt.Fprintf(stderr, "declust: unknown strategy %q\n", *strategy)
+		return 1
+	}
+
+	for _, s := range selected {
+		fmt.Fprintf(stdout, "strategy %s, d = %d, disks = %d\n", s.Name(), *d, disks)
+		if *table || *d <= 4 {
+			for b := uint64(0); b < core.NumBuckets(*d); b++ {
+				bucket := core.Bucket(b)
+				fmt.Fprintf(stdout, "  bucket %s -> disk %d\n", bucket.BitString(*d), s.Disk(bucket.Cell(*d)))
+			}
+		}
+		if *verify {
+			violations := core.VerifyNearOptimal(s, *d, 5)
+			if len(violations) == 0 {
+				fmt.Fprintln(stdout, "  near-optimal: yes (no direct or indirect neighbors share a disk)")
+			} else {
+				fmt.Fprintln(stdout, "  near-optimal: NO (showing up to 5 violations)")
+				for _, v := range violations {
+					fmt.Fprintf(stdout, "    %s\n", v)
+				}
+			}
+		}
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}

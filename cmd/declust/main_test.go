@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestColorsMode(t *testing.T) {
+	out, _, code := runCLI(t, "-d", "16", "-colors")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "colors required by col: 32") {
+		t.Errorf("output missing staircase value:\n%s", out)
+	}
+	if !strings.Contains(out, "lower bound 17, upper bound 32") {
+		t.Errorf("output missing bounds:\n%s", out)
+	}
+}
+
+func TestVerifyNearOptimal(t *testing.T) {
+	out, _, code := runCLI(t, "-d", "3", "-strategy", "new", "-verify")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "near-optimal: yes") {
+		t.Errorf("col should verify clean in d=3:\n%s", out)
+	}
+	// The d=3 table prints all 8 quadrants.
+	if strings.Count(out, "bucket ") != 8 {
+		t.Errorf("expected 8 table rows:\n%s", out)
+	}
+}
+
+func TestVerifyFindsViolations(t *testing.T) {
+	out, _, code := runCLI(t, "-d", "3", "-strategy", "HIL", "-verify")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "near-optimal: NO") {
+		t.Errorf("Hilbert should violate near-optimality in d=3 (Lemma 1):\n%s", out)
+	}
+}
+
+func TestAllStrategies(t *testing.T) {
+	out, _, code := runCLI(t, "-d", "3", "-strategy", "all")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, name := range []string{"new", "DM", "FX", "HIL", "direct-only"} {
+		if !strings.Contains(out, "strategy "+name) {
+			t.Errorf("missing strategy %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad dimension": {"-d", "0"},
+		"huge dim":      {"-d", "30"},
+		"bad strategy":  {"-strategy", "nope"},
+		"bad flag":      {"-nonsense"},
+	} {
+		_, errOut, code := runCLI(t, args...)
+		if code == 0 {
+			t.Errorf("%s: expected nonzero exit", name)
+		}
+		if errOut == "" {
+			t.Errorf("%s: expected a message on stderr", name)
+		}
+	}
+}

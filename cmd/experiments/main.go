@@ -1,0 +1,81 @@
+// Command experiments reproduces the figures of "Fast Parallel Similarity
+// Search in Multimedia Databases" (SIGMOD 1997) and the repository's
+// ablations, printing each as a numeric table.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig12
+//	experiments -run all [-scale 0.5] [-queries 10] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"parsearch/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against the given argument list and streams;
+// it returns the process exit code. Split from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the available experiments")
+	runID := fs.String("run", "", "experiment id to run, or \"all\"")
+	scale := fs.Float64("scale", 1.0, "data-set scale factor (1.0 = standard)")
+	queries := fs.Int("queries", 20, "query points per measurement")
+	seed := fs.Int64("seed", 42, "random seed")
+	tsvDir := fs.String("tsv", "", "also write each result as a TSV file into this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list || *runID == "" {
+		fmt.Fprintln(stdout, "available experiments:")
+		for _, e := range exp.All() {
+			fmt.Fprintf(stdout, "  %-14s %-18s %s\n", e.ID, e.Figure, e.Title)
+		}
+		if *runID == "" && !*list {
+			fmt.Fprintln(stdout, "\nrun one with -run <id>, or -run all")
+		}
+		return 0
+	}
+
+	cfg := exp.Config{Scale: *scale, Queries: *queries, Seed: *seed}
+	ids := strings.Split(*runID, ",")
+	if *runID == "all" {
+		ids = ids[:0]
+		for _, e := range exp.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, ok := exp.Get(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(stderr, "experiments: unknown experiment %q (use -list)\n", id)
+			return 1
+		}
+		start := time.Now()
+		result := e.Run(cfg)
+		fmt.Fprint(stdout, result.Format())
+		fmt.Fprintf(stdout, "(%s, %s)\n\n", e.Figure, time.Since(start).Round(time.Millisecond))
+		if *tsvDir != "" {
+			path := filepath.Join(*tsvDir, result.ID+".tsv")
+			if err := os.WriteFile(path, []byte(result.TSV()), 0o644); err != nil {
+				fmt.Fprintf(stderr, "experiments: %v\n", err)
+				return 1
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestListMode(t *testing.T) {
+	out, _, code := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, id := range []string{"fig1", "fig12", "fig17", "abl-knn", "ext-queueing"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestNoArgsShowsHelp(t *testing.T) {
+	out, _, code := runCLI(t)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "run one with -run") {
+		t.Errorf("missing hint:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	_, errOut, code := runCLI(t, "-run", "fig99")
+	if code == 0 {
+		t.Fatal("expected nonzero exit")
+	}
+	if !strings.Contains(errOut, "unknown experiment") {
+		t.Errorf("stderr: %q", errOut)
+	}
+}
+
+func TestRunCheapExperimentWithTSV(t *testing.T) {
+	dir := t.TempDir()
+	out, _, code := runCLI(t, "-run", "fig7,fig10", "-tsv", dir)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "== fig7") || !strings.Contains(out, "== fig10") {
+		t.Errorf("missing results:\n%s", out)
+	}
+	for _, name := range []string{"fig7.tsv", "fig10.tsv"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("TSV not written: %v", err)
+		}
+		if !strings.Contains(string(b), "\t") {
+			t.Errorf("%s does not look like TSV: %q", name, b)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if _, _, code := runCLI(t, "-bogus"); code == 0 {
+		t.Error("expected nonzero exit for unknown flag")
+	}
+}

@@ -1,0 +1,155 @@
+// Command nnsearch builds a parallel similarity index over a generated
+// workload and runs k-nearest-neighbor queries against it, reporting the
+// paper's cost metrics per query and in aggregate.
+//
+// Usage:
+//
+//	nnsearch -workload uniform -n 100000 -d 10 -disks 16 -k 10
+//	nnsearch -workload fourier -strategy hilbert -queries 50
+//	nnsearch -workload text -quantile -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parsearch"
+	"parsearch/internal/data"
+	"parsearch/internal/vec"
+)
+
+// loadDataset reads a dataset file, CSV when the name ends in .csv and
+// the binary format otherwise.
+func loadDataset(path string) ([]vec.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return data.ReadCSV(f)
+	}
+	return data.ReadBinary(f)
+}
+
+// saveDataset writes a dataset file, CSV when the name ends in .csv and
+// the binary format otherwise.
+func saveDataset(path string, pts []vec.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = data.WriteCSV(f, pts)
+	} else {
+		err = data.WriteBinary(f, pts)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func main() {
+	workload := flag.String("workload", "uniform", "workload: uniform, clustered, fourier or text")
+	n := flag.Int("n", 65536, "number of data points")
+	d := flag.Int("d", 10, "dimensionality")
+	disks := flag.Int("disks", 16, "number of disks")
+	strategy := flag.String("strategy", "near-optimal", "declustering: near-optimal, hilbert, disk-modulo, fx, round-robin")
+	k := flag.Int("k", 10, "neighbors per query")
+	queries := flag.Int("queries", 20, "number of queries")
+	quantile := flag.Bool("quantile", false, "use median (0.5-quantile) splits")
+	recursive := flag.Bool("recursive", false, "recursively decluster overloaded disks")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("verbose", false, "print every query's statistics")
+	load := flag.String("load", "", "load the dataset from this file instead of generating (binary or .csv)")
+	save := flag.String("save", "", "save the generated dataset to this file (binary, or .csv by extension)")
+	flag.Parse()
+
+	var pts []vec.Point
+	if *load != "" {
+		var err error
+		pts, err = loadDataset(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nnsearch: %v\n", err)
+			os.Exit(1)
+		}
+		if len(pts) == 0 {
+			fmt.Fprintln(os.Stderr, "nnsearch: dataset is empty")
+			os.Exit(1)
+		}
+		*d = len(pts[0])
+		*workload = "file:" + *load
+	}
+	switch *workload {
+	case "uniform":
+		pts = data.Uniform(*n, *d, *seed)
+	case "clustered":
+		pts = data.Clustered(*n, *d, 8, 0.05, *seed)
+	case "fourier":
+		pts = data.Fourier(*n, *d, 12, 0.15, *seed)
+	case "text":
+		pts = data.Text(*n, *d, 8, *seed)
+	default:
+		if !strings.HasPrefix(*workload, "file:") {
+			fmt.Fprintf(os.Stderr, "nnsearch: unknown workload %q\n", *workload)
+			os.Exit(1)
+		}
+	}
+	if *save != "" {
+		if err := saveDataset(*save, pts); err != nil {
+			fmt.Fprintf(os.Stderr, "nnsearch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dataset saved to %s (%d points)\n", *save, len(pts))
+	}
+	qs := data.QueriesFromData(pts, *queries, 0.02, *seed+1)
+
+	ix, err := parsearch.Open(parsearch.Options{
+		Dim:            *d,
+		Disks:          *disks,
+		Kind:           parsearch.Kind(*strategy),
+		QuantileSplits: *quantile,
+		Recursive:      *recursive,
+		Baseline:       true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nnsearch: %v\n", err)
+		os.Exit(1)
+	}
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		fmt.Fprintf(os.Stderr, "nnsearch: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s: %d points, d = %d, %d disks, strategy %s\n",
+		*workload, len(pts), *d, *disks, ix.Strategy())
+	fmt.Printf("disk loads: %v\n\n", ix.DiskLoads())
+
+	var sumMax, sumTotal, sumSpeedup float64
+	for i, q := range qs {
+		res, stats, err := ix.KNN(q, *k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nnsearch: query %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		sumMax += float64(stats.MaxPages)
+		sumTotal += float64(stats.TotalPages)
+		sumSpeedup += stats.BaselineSpeedup
+		if *verbose {
+			fmt.Printf("query %2d: nearest id=%d dist=%.4f | pages max=%d total=%d speed-up=%.2f\n",
+				i, res[0].ID, res[0].Dist, stats.MaxPages, stats.TotalPages, stats.BaselineSpeedup)
+		}
+	}
+	m := float64(len(qs))
+	fmt.Printf("\naverages over %d %d-NN queries:\n", len(qs), *k)
+	fmt.Printf("  bottleneck pages: %.1f\n", sumMax/m)
+	fmt.Printf("  total pages:      %.1f\n", sumTotal/m)
+	fmt.Printf("  speed-up:         %.2f (vs. sequential X-tree, %d disks)\n", sumSpeedup/m, *disks)
+}

@@ -1,0 +1,125 @@
+// Capacity: size a parallel similarity-search deployment. Given an
+// expected query mix, ServiceDemands reports how much disk time each
+// query costs per disk; feeding those demands through a queueing
+// simulation shows the response times a disk configuration sustains at a
+// target arrival rate — the throughput view the paper's conclusion names
+// as future work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"parsearch"
+)
+
+func main() {
+	const (
+		dim        = 10
+		n          = 60000
+		targetRate = 250.0 // queries per second the service must sustain
+	)
+	// A modern flash array: ~100 µs positioning, ~20 µs per 4-KByte
+	// block (the default parameters model the paper's 1997 disks).
+	ssd := parsearch.DiskParams{Seek: 100 * time.Microsecond, Transfer: 20 * time.Microsecond}
+	rng := rand.New(rand.NewSource(5))
+	points := make([][]float64, n)
+	for i := range points {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		points[i] = p
+	}
+	queries := make([][]float64, 200)
+	for i := range queries {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		queries[i] = q
+	}
+
+	fmt.Printf("workload: %d vectors (d=%d), target %.0f 10-NN queries/s\n\n", n, dim, targetRate)
+	fmt.Printf("%-8s %-14s %-16s %-14s\n", "disks", "saturation/s", "mean resp (ms)", "verdict")
+	for _, disks := range []int{2, 4, 8, 16} {
+		ix, err := parsearch.Open(parsearch.Options{Dim: dim, Disks: disks, DiskParams: &ssd})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ix.Build(points); err != nil {
+			log.Fatal(err)
+		}
+		demands, err := ix.ServiceDemands(queries, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saturation := saturationRate(demands)
+		mean := meanResponse(demands, targetRate, rng)
+		verdict := "OK"
+		if saturation < targetRate {
+			verdict = "saturates — add disks"
+		} else if mean > 0.1 {
+			verdict = "queueing heavily"
+		}
+		fmt.Printf("%-8d %-14.1f %-16.1f %s\n", disks, saturation, mean*1000, verdict)
+	}
+}
+
+// saturationRate is the highest sustainable arrival rate: queries per
+// unit of the bottleneck disk's total demand.
+func saturationRate(demands [][]float64) float64 {
+	if len(demands) == 0 {
+		return math.Inf(1)
+	}
+	perDisk := make([]float64, len(demands[0]))
+	for _, q := range demands {
+		for d, v := range q {
+			perDisk[d] += v
+		}
+	}
+	worst := 0.0
+	for _, v := range perDisk {
+		worst = math.Max(worst, v)
+	}
+	if worst == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(demands)) / worst
+}
+
+// meanResponse simulates a Poisson stream over FCFS disks (each query
+// completes when its slowest disk share finishes) and returns the mean
+// response time in seconds.
+func meanResponse(demands [][]float64, rate float64, rng *rand.Rand) float64 {
+	disks := len(demands[0])
+	diskFree := make([]float64, disks)
+	arrival := 0.0
+	var responses []float64
+	// Repeat the query mix a few times so queues reach steady state.
+	for round := 0; round < 5; round++ {
+		for _, q := range demands {
+			arrival += rng.ExpFloat64() / rate
+			completion := arrival
+			for d, demand := range q {
+				if demand <= 0 {
+					continue
+				}
+				start := math.Max(diskFree[d], arrival)
+				diskFree[d] = start + demand
+				completion = math.Max(completion, diskFree[d])
+			}
+			responses = append(responses, completion-arrival)
+		}
+	}
+	sort.Float64s(responses)
+	sum := 0.0
+	for _, r := range responses {
+		sum += r
+	}
+	return sum / float64(len(responses))
+}

@@ -1,0 +1,105 @@
+// Imagesearch: content-based image retrieval with color histograms — the
+// paper's motivating application [Fal 94]. Synthetic "images" are
+// generated as mixtures of a few dominant colors; each image is reduced
+// to a color-histogram feature vector, indexed with the parallel
+// similarity index, and queried for look-alikes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"parsearch"
+)
+
+// imageClass describes a family of images sharing dominant colors
+// (sunsets, forests, oceans, ...).
+type imageClass struct {
+	name string
+	// hues are the dominant color-bin centers of the class.
+	hues []int
+}
+
+const histogramBins = 16
+
+var classes = []imageClass{
+	{name: "sunset", hues: []int{0, 1, 2}},
+	{name: "forest", hues: []int{5, 6, 7}},
+	{name: "ocean", hues: []int{9, 10, 11}},
+	{name: "night", hues: []int{13, 14, 15}},
+	{name: "desert", hues: []int{1, 3, 4}},
+	{name: "meadow", hues: []int{4, 6, 8}},
+}
+
+// renderHistogram synthesizes the color histogram of one image of the
+// class: most pixel mass in the class's dominant hues, the rest spread
+// randomly (objects, noise).
+func renderHistogram(rng *rand.Rand, c imageClass) []float64 {
+	h := make([]float64, histogramBins)
+	const pixels = 4096
+	for p := 0; p < pixels; p++ {
+		if rng.Float64() < 0.8 {
+			h[c.hues[rng.Intn(len(c.hues))]]++
+		} else {
+			h[rng.Intn(histogramBins)]++
+		}
+	}
+	for i := range h {
+		h[i] /= pixels
+	}
+	return h
+}
+
+func main() {
+	const (
+		imagesPerClass = 4000
+		disks          = 16
+	)
+	rng := rand.New(rand.NewSource(7))
+
+	// "Extract features" from the image library.
+	var histograms [][]float64
+	var labels []string
+	for _, c := range classes {
+		for i := 0; i < imagesPerClass; i++ {
+			histograms = append(histograms, renderHistogram(rng, c))
+			labels = append(labels, fmt.Sprintf("%s-%04d", c.name, i))
+		}
+	}
+
+	// Color histograms are skewed (most mass in few bins), so enable
+	// the paper's quantile-split extension.
+	ix, err := parsearch.Open(parsearch.Options{
+		Dim:            histogramBins,
+		Disks:          disks,
+		QuantileSplits: true,
+		Baseline:       true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ix.Build(histograms); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("image library: %d images in %d classes, %d-bin histograms, %d disks\n\n",
+		ix.Len(), len(classes), histogramBins, disks)
+
+	// Query: find images similar to a fresh sunset shot.
+	query := renderHistogram(rng, classes[0])
+	neighbors, stats, err := ix.KNN(query, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("images most similar to a new sunset photograph:")
+	correct := 0
+	for rank, nb := range neighbors {
+		fmt.Printf("  #%d: %-12s dist=%.4f\n", rank+1, labels[nb.ID], nb.Dist)
+		if labels[nb.ID][:6] == "sunset" {
+			correct++
+		}
+	}
+	fmt.Printf("\n%d of %d results are sunsets\n", correct, len(neighbors))
+	fmt.Printf("bottleneck disk read %d of %d pages -> speed-up %.1fx\n",
+		stats.MaxPages, stats.TotalPages, stats.BaselineSpeedup)
+}

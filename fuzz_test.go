@@ -1,0 +1,42 @@
+package parsearch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzzing the snapshot loader: arbitrary bytes must never panic — they
+// either load as a valid index or return an error.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid snapshot and a few mutations.
+	ix, err := Open(Options{Dim: 3, Disks: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := ix.Build([][]float64{{0.1, 0.2, 0.3}, {0.7, 0.8, 0.9}}); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("PARSRCH1"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		loaded, err := Load(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		// A successfully loaded index must be queryable (or empty).
+		if loaded.Len() == 0 {
+			return
+		}
+		q := make([]float64, loaded.opts.Dim)
+		if _, _, err := loaded.KNN(q, 1); err != nil {
+			t.Fatalf("loaded index cannot be queried: %v", err)
+		}
+	})
+}

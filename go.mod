@@ -1,0 +1,3 @@
+module parsearch
+
+go 1.22

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxDim is the largest supported dimensionality of the quadrant space.
+// Bucket numbers are stored in a uint64, one bit per dimension.
+const MaxDim = 64
+
+// Bucket is a bucket number (Definition 2): the binary quadrant coordinates
+// (c_0, ..., c_{d-1}) packed into an integer with bit i = c_i. Bucket
+// numbers only make sense together with the dimensionality d of the space.
+type Bucket uint64
+
+// checkDim panics when d is outside (0, MaxDim].
+func checkDim(d int) {
+	if d < 1 || d > MaxDim {
+		panic(fmt.Sprintf("core: dimension %d outside [1, %d]", d, MaxDim))
+	}
+}
+
+// BucketFromCell packs binary grid coordinates into a bucket number. Every
+// coordinate must be 0 or 1; the quadrant grid of the paper has no finer
+// resolution.
+func BucketFromCell(cell []uint32) Bucket {
+	checkDim(len(cell))
+	var b Bucket
+	for i, c := range cell {
+		switch c {
+		case 0:
+		case 1:
+			b |= 1 << uint(i)
+		default:
+			panic(fmt.Sprintf("core: cell coordinate %d = %d, want 0 or 1", i, c))
+		}
+	}
+	return b
+}
+
+// Cell unpacks the bucket number into binary grid coordinates of length d.
+func (b Bucket) Cell(d int) []uint32 {
+	checkDim(d)
+	cell := make([]uint32, d)
+	for i := range cell {
+		cell[i] = uint32(b>>uint(i)) & 1
+	}
+	return cell
+}
+
+// Coord returns coordinate c_i of the bucket.
+func (b Bucket) Coord(i int) uint32 {
+	return uint32(b>>uint(i)) & 1
+}
+
+// BitString renders the bucket as the coordinate string c_{d-1}...c_1 c_0.
+func (b Bucket) BitString(d int) string {
+	checkDim(d)
+	return fmt.Sprintf("%0*b", d, uint64(b))
+}
+
+// AreDirectNeighbors reports whether a and b differ in exactly one
+// coordinate (Definition 3): XOR of the bucket numbers has the form
+// 0...010...0.
+func AreDirectNeighbors(a, b Bucket) bool {
+	return bits.OnesCount64(uint64(a^b)) == 1
+}
+
+// AreIndirectNeighbors reports whether a and b differ in exactly two
+// coordinates (Definition 3).
+func AreIndirectNeighbors(a, b Bucket) bool {
+	return bits.OnesCount64(uint64(a^b)) == 2
+}
+
+// DirectNeighbors returns the d buckets that differ from b in exactly one
+// coordinate.
+func DirectNeighbors(b Bucket, d int) []Bucket {
+	checkDim(d)
+	out := make([]Bucket, 0, d)
+	for i := 0; i < d; i++ {
+		out = append(out, b^Bucket(1)<<uint(i))
+	}
+	return out
+}
+
+// IndirectNeighbors returns the d*(d-1)/2 buckets that differ from b in
+// exactly two coordinates.
+func IndirectNeighbors(b Bucket, d int) []Bucket {
+	checkDim(d)
+	out := make([]Bucket, 0, d*(d-1)/2)
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			out = append(out, b^Bucket(1)<<uint(i)^Bucket(1)<<uint(j))
+		}
+	}
+	return out
+}
+
+// NumBuckets returns the number of quadrants of a d-dimensional space,
+// 2^d. It panics for d >= 64, where the count overflows; callers that
+// enumerate buckets must bound d themselves anyway.
+func NumBuckets(d int) uint64 {
+	checkDim(d)
+	if d == MaxDim {
+		panic("core: NumBuckets(64) overflows uint64")
+	}
+	return 1 << uint(d)
+}
+
+// NeighborsWithin returns how many buckets differ from a given bucket in
+// at most `levels` coordinates (excluding the bucket itself): the sum of
+// binomial coefficients C(d, k) for k = 1..levels. The paper uses this
+// count to argue that guaranteeing separation beyond indirect neighbors
+// (levels 1 and 2) is impractical: for two levels of indirection in a
+// 16-dimensional space the count is already 136, and it grows
+// combinatorially.
+func NeighborsWithin(levels, d int) uint64 {
+	checkDim(d)
+	if levels < 0 || levels > d {
+		panic(fmt.Sprintf("core: %d levels of indirection in dimension %d", levels, d))
+	}
+	var total, binom uint64 = 0, 1
+	for k := 1; k <= levels; k++ {
+		binom = binom * uint64(d-k+1) / uint64(k)
+		total += binom
+	}
+	return total
+}

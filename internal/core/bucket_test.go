@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketCellRoundTrip(t *testing.T) {
+	f := func(raw uint64, dRaw uint8) bool {
+		d := 1 + int(dRaw)%32
+		b := Bucket(raw & (1<<uint(d) - 1))
+		return BucketFromCell(b.Cell(d)) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketFromCellValidation(t *testing.T) {
+	if got := BucketFromCell([]uint32{1, 0, 1}); got != 5 {
+		t.Errorf("BucketFromCell(101) = %d, want 5", got)
+	}
+	for _, cell := range [][]uint32{nil, {0, 2}, {3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BucketFromCell(%v): expected panic", cell)
+				}
+			}()
+			BucketFromCell(cell)
+		}()
+	}
+}
+
+func TestCoord(t *testing.T) {
+	b := Bucket(0b1010)
+	want := []uint32{0, 1, 0, 1}
+	for i, w := range want {
+		if got := b.Coord(i); got != w {
+			t.Errorf("Coord(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestBitString(t *testing.T) {
+	if got := Bucket(5).BitString(4); got != "0101" {
+		t.Errorf("BitString = %q, want 0101", got)
+	}
+}
+
+func TestNeighborPredicates(t *testing.T) {
+	tests := []struct {
+		a, b     Bucket
+		direct   bool
+		indirect bool
+	}{
+		{0b000, 0b001, true, false},
+		{0b000, 0b011, false, true},
+		{0b101, 0b101, false, false}, // same bucket
+		{0b000, 0b111, false, false}, // 3 bits apart
+		{0b110, 0b010, true, false},
+		{0b110, 0b000, false, true},
+	}
+	for _, tt := range tests {
+		if got := AreDirectNeighbors(tt.a, tt.b); got != tt.direct {
+			t.Errorf("AreDirectNeighbors(%b, %b) = %v", tt.a, tt.b, got)
+		}
+		if got := AreIndirectNeighbors(tt.a, tt.b); got != tt.indirect {
+			t.Errorf("AreIndirectNeighbors(%b, %b) = %v", tt.a, tt.b, got)
+		}
+	}
+}
+
+func TestDirectNeighborsEnumeration(t *testing.T) {
+	d := 5
+	b := Bucket(0b10110)
+	ns := DirectNeighbors(b, d)
+	if len(ns) != d {
+		t.Fatalf("got %d direct neighbors, want %d", len(ns), d)
+	}
+	seen := map[Bucket]bool{}
+	for _, n := range ns {
+		if !AreDirectNeighbors(b, n) {
+			t.Errorf("%b is not a direct neighbor of %b", n, b)
+		}
+		if seen[n] {
+			t.Errorf("duplicate neighbor %b", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestIndirectNeighborsEnumeration(t *testing.T) {
+	d := 6
+	b := Bucket(0b101101)
+	ns := IndirectNeighbors(b, d)
+	want := d * (d - 1) / 2
+	if len(ns) != want {
+		t.Fatalf("got %d indirect neighbors, want %d", len(ns), want)
+	}
+	seen := map[Bucket]bool{}
+	for _, n := range ns {
+		if !AreIndirectNeighbors(b, n) {
+			t.Errorf("%b is not an indirect neighbor of %b", n, b)
+		}
+		if seen[n] {
+			t.Errorf("duplicate neighbor %b", n)
+		}
+		seen[n] = true
+	}
+}
+
+// Neighborhood is symmetric.
+func TestNeighborSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		a := Bucket(r.Uint64())
+		b := Bucket(r.Uint64())
+		if AreDirectNeighbors(a, b) != AreDirectNeighbors(b, a) {
+			t.Fatalf("direct neighborhood not symmetric for %b, %b", a, b)
+		}
+		if AreIndirectNeighbors(a, b) != AreIndirectNeighbors(b, a) {
+			t.Fatalf("indirect neighborhood not symmetric for %b, %b", a, b)
+		}
+	}
+}
+
+// The XOR characterization from Definition 3: direct neighbors XOR to a
+// power of two, indirect neighbors to a number with exactly two set bits.
+func TestNeighborXORCharacterization(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x := uint64(a ^ b)
+		pop := bits.OnesCount64(x)
+		return AreDirectNeighbors(Bucket(a), Bucket(b)) == (pop == 1) &&
+			AreIndirectNeighbors(Bucket(a), Bucket(b)) == (pop == 2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumBuckets(t *testing.T) {
+	if NumBuckets(3) != 8 {
+		t.Errorf("NumBuckets(3) = %d", NumBuckets(3))
+	}
+	if NumBuckets(16) != 65536 {
+		t.Errorf("NumBuckets(16) = %d", NumBuckets(16))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NumBuckets(64) should panic")
+		}
+	}()
+	NumBuckets(64)
+}
+
+func TestCheckDimPanics(t *testing.T) {
+	for _, d := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("dimension %d: expected panic", d)
+				}
+			}()
+			checkDim(d)
+		}()
+	}
+	checkDim(1)
+	checkDim(64)
+}
+
+// The paper's §3.2 count: an algorithm considering i levels of
+// indirection in d dimensions must distribute 1 + sum C(d,k) buckets;
+// for two levels in 16 dimensions that is 1 + 16 + 120 = 137.
+func TestNeighborsWithinPaperExample(t *testing.T) {
+	if got := NeighborsWithin(2, 16); got != 136 {
+		t.Errorf("NeighborsWithin(2, 16) = %d, want 136 (paper: 137 including the bucket itself)", got)
+	}
+	if got := NeighborsWithin(1, 8); got != 8 {
+		t.Errorf("direct neighbors in d=8: %d", got)
+	}
+	if got := NeighborsWithin(2, 3); got != 6 {
+		t.Errorf("NeighborsWithin(2, 3) = %d, want 3+3", got)
+	}
+	// Full levels: all other buckets.
+	if got := NeighborsWithin(10, 10); got != 1023 {
+		t.Errorf("NeighborsWithin(10, 10) = %d, want 2^10-1", got)
+	}
+}
+
+func TestNeighborsWithinMatchesEnumeration(t *testing.T) {
+	for d := 2; d <= 8; d++ {
+		for levels := 1; levels <= d; levels++ {
+			count := uint64(0)
+			for b := uint64(1); b < NumBuckets(d); b++ {
+				if bits.OnesCount64(b) <= levels {
+					count++
+				}
+			}
+			if got := NeighborsWithin(levels, d); got != count {
+				t.Errorf("NeighborsWithin(%d, %d) = %d, enumeration says %d", levels, d, got, count)
+			}
+		}
+	}
+}
+
+func TestNeighborsWithinPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NeighborsWithin(-1, 4) },
+		func() { NeighborsWithin(5, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

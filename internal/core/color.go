@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Col is the vertex coloring function of Definition 6 / Figure 9: for every
+// set bit i of the bucket number, XOR the value i+1 into the color.
+//
+// Col guarantees (Lemmas 3–5) that buckets which are direct or indirect
+// neighbors receive different colors, so using the color as the disk number
+// yields a near-optimal declustering. Colors range over
+// [0, NumColors(d)).
+func Col(b Bucket, d int) int {
+	checkDim(d)
+	col := 0
+	for v := uint64(b); v != 0; v &= v - 1 {
+		i := bits.TrailingZeros64(v)
+		if i >= d {
+			panic(fmt.Sprintf("core: bucket %b has bit %d set beyond dimension %d", uint64(b), i, d))
+		}
+		col ^= i + 1
+	}
+	return col
+}
+
+// NextPow2 returns the smallest power of two >= x (the ⌈x⌉₂ operator of
+// Lemma 6). NextPow2(0) is 1.
+func NextPow2(x int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("core: NextPow2 of negative %d", x))
+	}
+	if x <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(x-1)))
+}
+
+// NumColors returns the number of colors (disks) the coloring function
+// requires for a d-dimensional space: nextPow2(d+1), a staircase function
+// that is optimal up to rounding (Lemma 6).
+func NumColors(d int) int {
+	checkDim(d)
+	return NextPow2(d + 1)
+}
+
+// ColorLowerBound returns d+1, the information-theoretic minimum number of
+// disks for a near-optimal declustering: a bucket and its d direct
+// neighbors must receive pairwise different colors.
+func ColorLowerBound(d int) int {
+	checkDim(d)
+	return d + 1
+}
+
+// ColorUpperBound returns 2d, the paper's linear upper bound on NumColors:
+// a power of two always lies between d+1 and 2(d+1), and for d >= 1
+// nextPow2(d+1) <= 2d.
+func ColorUpperBound(d int) int {
+	checkDim(d)
+	return 2 * d
+}
+
+// FoldColors implements the §4.3 reduction of the color set to an arbitrary
+// number of disks n. It returns a table t of length colors with
+// t[c] ∈ [0, n) for every color c.
+//
+// While n <= half the remaining colors, every color in the upper half is
+// mapped to its binary complement within the current bit width (complements
+// have maximal Hamming distance, so most direct neighbors stay on different
+// disks), halving the color count. A final complement step folds the
+// highest remaining colors down so that exactly n disks are used.
+//
+// colors must be a positive power of two and n >= 1. If n >= colors the
+// table is the identity.
+func FoldColors(colors, n int) []int {
+	if colors < 1 || colors&(colors-1) != 0 {
+		panic(fmt.Sprintf("core: FoldColors with colors = %d, want a positive power of two", colors))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("core: FoldColors with n = %d disks", n))
+	}
+	t := make([]int, colors)
+	for c := range t {
+		t[c] = c
+	}
+	if n >= colors {
+		return t
+	}
+	cur := colors
+	for n <= cur/2 {
+		for c := range t {
+			if t[c] >= cur/2 {
+				t[c] = (cur - 1) ^ t[c]
+			}
+		}
+		cur /= 2
+	}
+	if n < cur {
+		for c := range t {
+			if t[c] >= n {
+				t[c] = (cur - 1) ^ t[c]
+			}
+		}
+	}
+	return t
+}
+
+// DirectOnlyColor is the ablation counterpart of Col: a (d+1)-coloring
+// that separates only *direct* neighbors. Flipping bit j changes the color
+// by ±(j+1) mod (d+1) ≠ 0, so direct neighbors always differ, but indirect
+// neighbors may collide. Comparing it against Col quantifies the value of
+// the indirect-neighbor guarantee.
+func DirectOnlyColor(b Bucket, d int) int {
+	checkDim(d)
+	col := 0
+	for v := uint64(b); v != 0; v &= v - 1 {
+		i := bits.TrailingZeros64(v)
+		col += i + 1
+	}
+	return col % (d + 1)
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The paper's worked example (§4.2): vertex c = 5 = 101 in a 3-dimensional
+// space has bits 0 and 2 set; (0+1) XOR (2+1) = 1 XOR 3 = 2.
+func TestColPaperExample(t *testing.T) {
+	if got := Col(5, 3); got != 2 {
+		t.Errorf("Col(5, 3) = %d, want 2", got)
+	}
+}
+
+func TestColOriginIsZero(t *testing.T) {
+	for d := 1; d <= 64; d++ {
+		if got := Col(0, d); got != 0 {
+			t.Errorf("Col(0, %d) = %d, want 0", d, got)
+		}
+	}
+}
+
+func TestColSingleBits(t *testing.T) {
+	// A bucket with only bit i set has color i+1.
+	for d := 1; d <= 32; d++ {
+		for i := 0; i < d; i++ {
+			if got := Col(Bucket(1)<<uint(i), d); got != i+1 {
+				t.Errorf("Col(bit %d, d=%d) = %d, want %d", i, d, got, i+1)
+			}
+		}
+	}
+}
+
+func TestColPanicsOnOutOfRangeBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Col with a bit beyond d should panic")
+		}
+	}()
+	Col(Bucket(1)<<10, 3)
+}
+
+// Lemma 2: col(b) XOR col(c) = col(b XOR c).
+func TestColDistributivity(t *testing.T) {
+	f := func(a, b uint64, dRaw uint8) bool {
+		d := 1 + int(dRaw)%64
+		var mask uint64 = ^uint64(0)
+		if d < 64 {
+			mask = 1<<uint(d) - 1
+		}
+		x, y := Bucket(a&mask), Bucket(b&mask)
+		return Col(x, d)^Col(y, d) == Col(x^y, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 3: direct neighbors are colored differently.
+func TestColDirectNeighbors(t *testing.T) {
+	f := func(a uint64, dRaw, iRaw uint8) bool {
+		d := 1 + int(dRaw)%64
+		i := int(iRaw) % d
+		var mask uint64 = ^uint64(0)
+		if d < 64 {
+			mask = 1<<uint(d) - 1
+		}
+		b := Bucket(a & mask)
+		c := b ^ Bucket(1)<<uint(i)
+		return Col(b, d) != Col(c, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 4: indirect neighbors are colored differently.
+func TestColIndirectNeighbors(t *testing.T) {
+	f := func(a uint64, dRaw, iRaw, jRaw uint8) bool {
+		d := 2 + int(dRaw)%63
+		i := int(iRaw) % d
+		j := int(jRaw) % (d - 1)
+		if j >= i {
+			j++
+		}
+		var mask uint64 = ^uint64(0)
+		if d < 64 {
+			mask = 1<<uint(d) - 1
+		}
+		b := Bucket(a & mask)
+		c := b ^ Bucket(1)<<uint(i) ^ Bucket(1)<<uint(j)
+		return Col(b, d) != Col(c, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 6: the colors used are exactly [0, nextPow2(d+1)).
+func TestColRangeExact(t *testing.T) {
+	for d := 1; d <= 16; d++ {
+		want := NumColors(d)
+		used := make(map[int]bool)
+		for b := uint64(0); b < NumBuckets(d); b++ {
+			c := Col(Bucket(b), d)
+			if c < 0 || c >= want {
+				t.Fatalf("d=%d: Col(%b) = %d outside [0, %d)", d, b, c, want)
+			}
+			used[c] = true
+		}
+		if len(used) != want {
+			t.Errorf("d=%d: %d distinct colors used, want %d", d, len(used), want)
+		}
+	}
+}
+
+// The staircase of Figure 10.
+func TestNumColorsStaircase(t *testing.T) {
+	want := map[int]int{
+		1: 2, 2: 4, 3: 4, 4: 8, 5: 8, 6: 8, 7: 8,
+		8: 16, 9: 16, 15: 16, 16: 32, 31: 32, 32: 64, 63: 64,
+	}
+	for d, w := range want {
+		if got := NumColors(d); got != w {
+			t.Errorf("NumColors(%d) = %d, want %d", d, got, w)
+		}
+	}
+}
+
+// Lemma 6 bounds: d+1 <= NumColors(d) <= 2d (with equality cases).
+func TestColorBounds(t *testing.T) {
+	for d := 1; d <= 64; d++ {
+		n := NumColors(d)
+		if n < ColorLowerBound(d) {
+			t.Errorf("d=%d: NumColors %d below lower bound %d", d, n, d+1)
+		}
+		if n > ColorUpperBound(d) {
+			t.Errorf("d=%d: NumColors %d above upper bound %d", d, n, 2*d)
+		}
+	}
+	// The staircase touches the lower bound when d+1 is a power of two.
+	for _, d := range []int{1, 3, 7, 15, 31, 63} {
+		if NumColors(d) != d+1 {
+			t.Errorf("d=%d: staircase should touch lower bound, got %d", d, NumColors(d))
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {8, 8}, {9, 16},
+		{17, 32}, {1 << 20, 1 << 20}, {1<<20 + 1, 1 << 21},
+	}
+	for _, tt := range tests {
+		if got := NextPow2(tt.in); got != tt.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NextPow2(-1) should panic")
+		}
+	}()
+	NextPow2(-1)
+}
+
+func TestFoldColorsValidation(t *testing.T) {
+	for _, tc := range []struct{ colors, n int }{
+		{0, 1}, {3, 1}, {12, 2}, {8, 0}, {-8, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FoldColors(%d, %d): expected panic", tc.colors, tc.n)
+				}
+			}()
+			FoldColors(tc.colors, tc.n)
+		}()
+	}
+}
+
+// The paper's fold example (§4.3): 8-dimensional space, C = 16 colors,
+// folding to 8 disks maps 8..15 to 7..0.
+func TestFoldColorsPaperExample(t *testing.T) {
+	t8 := FoldColors(16, 8)
+	for c := 0; c < 8; c++ {
+		if t8[c] != c {
+			t.Errorf("fold16to8[%d] = %d, want identity", c, t8[c])
+		}
+	}
+	wantUpper := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	for i, w := range wantUpper {
+		if t8[8+i] != w {
+			t.Errorf("fold16to8[%d] = %d, want %d", 8+i, t8[8+i], w)
+		}
+	}
+}
+
+func TestFoldColorsIdentityWhenEnoughDisks(t *testing.T) {
+	for _, n := range []int{16, 17, 100} {
+		tbl := FoldColors(16, n)
+		for c, v := range tbl {
+			if v != c {
+				t.Errorf("FoldColors(16, %d)[%d] = %d, want identity", n, c, v)
+			}
+		}
+	}
+}
+
+// Folding must land every color in [0, n) and use all n disks.
+func TestFoldColorsRangeAndSurjectivity(t *testing.T) {
+	for _, colors := range []int{2, 4, 8, 16, 32, 64} {
+		for n := 1; n <= colors; n++ {
+			tbl := FoldColors(colors, n)
+			used := make(map[int]bool)
+			for c, v := range tbl {
+				if v < 0 || v >= n {
+					t.Fatalf("FoldColors(%d, %d)[%d] = %d outside [0, %d)", colors, n, c, v, n)
+				}
+				used[v] = true
+			}
+			if len(used) != n {
+				t.Errorf("FoldColors(%d, %d) uses %d disks, want %d", colors, n, len(used), n)
+			}
+		}
+	}
+}
+
+func TestFoldColorsSingleDisk(t *testing.T) {
+	for _, v := range FoldColors(32, 1) {
+		if v != 0 {
+			t.Fatalf("FoldColors(_, 1) must map everything to disk 0, got %d", v)
+		}
+	}
+}
+
+// With n = C/2 disks, the fold pairs each color with its binary
+// complement, which has maximal Hamming distance — the paper's rationale.
+func TestFoldColorsComplementPairing(t *testing.T) {
+	const colors = 16
+	tbl := FoldColors(colors, colors/2)
+	for c := 0; c < colors; c++ {
+		comp := (colors - 1) ^ c
+		if tbl[c] != tbl[comp] {
+			t.Errorf("colors %d and its complement %d folded apart: %d vs %d", c, comp, tbl[c], tbl[comp])
+		}
+	}
+}
+
+// When folding to a power-of-two disk count, direct neighbors (colors that
+// differ by XOR with j+1) should still usually differ; the paper only
+// claims "most", so verify the collision rate stays low statistically.
+func TestFoldPreservesMostDirectNeighborSeparation(t *testing.T) {
+	const d = 16
+	colors := NumColors(d) // 32
+	for _, n := range []int{16, 8} {
+		tbl := FoldColors(colors, n)
+		collisions, total := 0, 0
+		for b := uint64(0); b < 1<<d; b += 37 { // sampled stride
+			cb := tbl[Col(Bucket(b), d)]
+			for i := 0; i < d; i++ {
+				c := Bucket(b) ^ Bucket(1)<<uint(i)
+				total++
+				if tbl[Col(c, d)] == cb {
+					collisions++
+				}
+			}
+		}
+		rate := float64(collisions) / float64(total)
+		if rate > 0.25 {
+			t.Errorf("fold to %d disks: direct-neighbor collision rate %.2f too high", n, rate)
+		}
+	}
+}
+
+// DirectOnlyColor must separate all direct neighbors using d+1 colors.
+func TestDirectOnlyColor(t *testing.T) {
+	for _, d := range []int{2, 3, 5, 8, 13} {
+		for b := uint64(0); b < NumBuckets(d); b++ {
+			c := DirectOnlyColor(Bucket(b), d)
+			if c < 0 || c > d {
+				t.Fatalf("d=%d: DirectOnlyColor(%b) = %d outside [0, %d]", d, b, c, d)
+			}
+			for i := 0; i < d; i++ {
+				nb := Bucket(b) ^ Bucket(1)<<uint(i)
+				if DirectOnlyColor(nb, d) == c {
+					t.Fatalf("d=%d: direct neighbors %b and %b share color %d", d, b, nb, c)
+				}
+			}
+		}
+	}
+}
+
+// ... and it must fail on some indirect pair (that is the point of the
+// ablation): for every d >= 2 there exist indirect neighbors with equal
+// colors.
+func TestDirectOnlyColorCollidesOnIndirect(t *testing.T) {
+	for _, d := range []int{3, 4, 8, 16} {
+		found := false
+	search:
+		for b := uint64(0); b < NumBuckets(d); b++ {
+			for _, nb := range IndirectNeighbors(Bucket(b), d) {
+				if DirectOnlyColor(Bucket(b), d) == DirectOnlyColor(nb, d) {
+					found = true
+					break search
+				}
+			}
+		}
+		if !found {
+			t.Errorf("d=%d: expected an indirect collision for the direct-only coloring", d)
+		}
+	}
+}
+
+func BenchmarkCol16(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	buckets := make([]Bucket, 1024)
+	for i := range buckets {
+		buckets[i] = Bucket(r.Uint64() & 0xFFFF)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Col(buckets[i%len(buckets)], 16)
+	}
+}

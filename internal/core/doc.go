@@ -1,0 +1,25 @@
+// Package core implements the paper's primary contribution: near-optimal
+// declustering of high-dimensional data onto multiple disks for parallel
+// nearest-neighbor search (Berchtold, Böhm, Braunmüller, Keim, Kriegel,
+// SIGMOD 1997).
+//
+// The data space [0,1]^d is split once per dimension (finer grids are
+// infeasible in high dimensions), so the buckets are the 2^d quadrants,
+// identified by a bucket number whose bit i is the side of the split in
+// dimension i (Definition 2). Two buckets are direct neighbors if they
+// differ in exactly one bit and indirect neighbors if they differ in
+// exactly two (Definition 3). A declustering is near-optimal when all
+// direct and indirect neighbors land on different disks (Definition 4).
+//
+// The coloring function Col (Definition 6) achieves near-optimality with
+// NumColors(d) = nextPow2(d+1) colors, which is optimal up to rounding
+// (Lemma 6). FoldColors implements the paper's §4.3 reduction to an
+// arbitrary number of disks via binary-complement mapping, NewQuantile-
+// Splitter / AdaptiveSplitter implement the α-quantile split extension for
+// skewed data, and Recursive implements the recursive declustering of
+// overloaded disks for highly clustered data.
+//
+// The classic declustering baselines the paper compares against — round
+// robin, Disk Modulo [DS 82], FX [KP 88] and the Hilbert curve [FB 93] —
+// are implemented here as well, behind the same Strategy interface.
+package core

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+
+	"parsearch/internal/vec"
+)
+
+// Recursive implements the paper's second §4.3 extension for highly
+// clustered data: when one disk ends up overloaded (most points fall into
+// few quadrants), all buckets of that disk are declustered one level
+// deeper — each affected quadrant is split again into sub-quadrants which
+// are re-colored with Col, using a per-level color permutation ("permuting
+// the colors using a simple heuristic when going to the next level
+// provides good speed-ups"). The process repeats until the load is
+// balanced or the level/expansion budget is exhausted.
+//
+// Expanding all buckets of a single disk per step keeps the bookkeeping at
+// O(levels · disks) instead of the O(2^d) an exhaustive bucket-level
+// declustering would need — exactly the trade-off the paper describes.
+type Recursive struct {
+	d         int
+	n         int
+	fold      []int
+	bucketer  Bucketer
+	baseSpace vec.Rect
+	// expanded[l] holds the disks whose buckets were declustered one
+	// level deeper at level l.
+	expanded []map[int]bool
+}
+
+// RecursiveConfig bounds the reorganization loop of BuildRecursive.
+type RecursiveConfig struct {
+	// OverloadFactor is the load threshold relative to the ideal N/n:
+	// a disk holding more than OverloadFactor * N/n points triggers an
+	// expansion. Must be > 1. Typical: 2.
+	OverloadFactor float64
+	// MaxLevels bounds the recursion depth. Typical: 8.
+	MaxLevels int
+	// MaxExpansions bounds the total number of disk expansions across
+	// all levels. Typical: 4 * disks.
+	MaxExpansions int
+}
+
+// DefaultRecursiveConfig returns the configuration used by the
+// experiments: overload factor 2, up to 8 levels, 4n expansions.
+func DefaultRecursiveConfig(n int) RecursiveConfig {
+	return RecursiveConfig{OverloadFactor: 2, MaxLevels: 8, MaxExpansions: 4 * n}
+}
+
+// NewRecursive returns a recursive decluster over n disks that buckets
+// points with the given Bucketer at level 0 and splits sub-quadrants at
+// their midpoints below. No disks are expanded yet; use BuildRecursive to
+// derive the expansions from a data set, or Expand to add them manually.
+func NewRecursive(b Bucketer, n int) *Recursive {
+	if b == nil {
+		panic("core: NewRecursive with nil bucketer")
+	}
+	checkDisks(n)
+	d := b.Dim()
+	return &Recursive{
+		d:         d,
+		n:         n,
+		fold:      FoldColors(NumColors(d), n),
+		bucketer:  b,
+		baseSpace: vec.UnitCube(d),
+	}
+}
+
+// Name implements Assigner.
+func (r *Recursive) Name() string { return "new+recursive" }
+
+// Disks implements Assigner.
+func (r *Recursive) Disks() int { return r.n }
+
+// Levels returns the number of levels at which at least one disk has been
+// expanded, i.e. the current recursion depth.
+func (r *Recursive) Levels() int { return len(r.expanded) }
+
+// Expanded reports whether the given disk is expanded at the given level.
+func (r *Recursive) Expanded(level, disk int) bool {
+	return level < len(r.expanded) && r.expanded[level][disk]
+}
+
+// Expand marks a disk for one-level-deeper declustering at the given
+// level. Levels must be added in order: level <= Levels().
+func (r *Recursive) Expand(level, disk int) {
+	if level < 0 || level > len(r.expanded) {
+		panic(fmt.Sprintf("core: Expand at level %d with %d levels present", level, len(r.expanded)))
+	}
+	if disk < 0 || disk >= r.n {
+		panic(fmt.Sprintf("core: Expand of disk %d with %d disks", disk, r.n))
+	}
+	if level == len(r.expanded) {
+		r.expanded = append(r.expanded, make(map[int]bool))
+	}
+	r.expanded[level][disk] = true
+}
+
+// permute applies the per-level color permutation heuristic: a rotation of
+// the color space by the level index, so a bucket that collides with its
+// neighborhood on one level is spread differently on the next.
+func (r *Recursive) permute(col, level int) int {
+	c := NumColors(r.d)
+	return (col + level) % c
+}
+
+// Assign implements Assigner: walk down the levels, re-declustering within
+// the current quadrant while the assigned disk is expanded at that level.
+// Level 0 uses the Bucketer (which may be quantile-adapted); deeper levels
+// split the current quadrant at its midpoint.
+func (r *Recursive) Assign(_ int, p vec.Point) int {
+	_, disk := r.assignWithLevel(p)
+	return disk
+}
+
+// splitsOf extracts the level-0 split values from a Bucketer. Both
+// concrete bucketers expose Splits(); unknown implementations fall back to
+// midpoints of the unit cube.
+func splitsOf(b Bucketer) []float64 {
+	type splitter interface{ Splits() []float64 }
+	if s, ok := b.(splitter); ok {
+		return s.Splits()
+	}
+	out := make([]float64, b.Dim())
+	for i := range out {
+		out[i] = 0.5
+	}
+	return out
+}
+
+// BuildRecursive derives the expansions from a data set: it repeatedly
+// assigns all points, finds the most overloaded disk at its deepest
+// terminal level, and expands it, until every disk's load is within
+// cfg.OverloadFactor of the ideal or the budget is exhausted. It returns
+// the resulting assigner.
+func BuildRecursive(points []vec.Point, b Bucketer, n int, cfg RecursiveConfig) *Recursive {
+	if cfg.OverloadFactor <= 1 {
+		panic(fmt.Sprintf("core: overload factor %v must exceed 1", cfg.OverloadFactor))
+	}
+	if cfg.MaxLevels < 1 || cfg.MaxExpansions < 0 {
+		panic(fmt.Sprintf("core: invalid recursive config %+v", cfg))
+	}
+	r := NewRecursive(b, n)
+	if len(points) == 0 {
+		return r
+	}
+	ideal := float64(len(points)) / float64(n)
+
+	for exp := 0; exp < cfg.MaxExpansions; exp++ {
+		// Load per (level, disk) where the assignment terminated.
+		type cell struct{ level, disk int }
+		loads := make(map[cell]int)
+		diskLoads := make([]int, n)
+		for _, p := range points {
+			level, disk := r.assignWithLevel(p)
+			loads[cell{level, disk}]++
+			diskLoads[disk]++
+		}
+		// Find the most loaded disk; stop when balanced.
+		worst, worstLoad := 0, 0
+		for d, l := range diskLoads {
+			if l > worstLoad {
+				worst, worstLoad = d, l
+			}
+		}
+		if float64(worstLoad) <= cfg.OverloadFactor*ideal {
+			break
+		}
+		// Expand the terminal (level, disk) cell of the worst disk
+		// that carries the most points.
+		bestLevel, bestCount := -1, 0
+		for c, cnt := range loads {
+			if c.disk == worst && cnt > bestCount {
+				bestLevel, bestCount = c.level, cnt
+			}
+		}
+		if bestLevel < 0 || bestLevel >= cfg.MaxLevels {
+			break
+		}
+		r.Expand(bestLevel, worst)
+	}
+	return r
+}
+
+// assignWithLevel is Assign that also reports the level at which the
+// assignment terminated.
+func (r *Recursive) assignWithLevel(p vec.Point) (level, disk int) {
+	c := r.AssignCell(p)
+	return c.Level, c.Disk
+}
+
+// CellAssignment describes the terminal storage cell of a point: the disk
+// it lives on, the quadrant path that leads there (one bucket number per
+// level), and the region of the terminal cell — the storage unit whose
+// pages a query must read when its NN-sphere intersects the region.
+type CellAssignment struct {
+	Disk  int
+	Level int
+	// Path holds the quadrant chosen at each level, root first.
+	Path []Bucket
+	Rect vec.Rect
+}
+
+// Key returns a string uniquely identifying the cell.
+func (c CellAssignment) Key() string {
+	key := make([]byte, 0, 8+8*len(c.Path))
+	for _, b := range c.Path {
+		key = append(key,
+			byte(b), byte(b>>8), byte(b>>16), byte(b>>24),
+			byte(b>>32), byte(b>>40), byte(b>>48), byte(b>>56), '/')
+	}
+	return string(key)
+}
+
+// AssignCell assigns p and reports the full terminal cell.
+func (r *Recursive) AssignCell(p vec.Point) CellAssignment {
+	if len(p) != r.d {
+		panic(fmt.Sprintf("core: %d-dimensional point assigned by %d-dimensional recursive decluster", len(p), r.d))
+	}
+	lo := make([]float64, r.d)
+	hi := make([]float64, r.d)
+	splits := splitsOf(r.bucketer)
+	for i := 0; i < r.d; i++ {
+		lo[i], hi[i] = r.baseSpace.Min[i], r.baseSpace.Max[i]
+	}
+
+	bucket := r.bucketer.Bucket(p)
+	path := []Bucket{bucket}
+	disk := r.fold[r.permute(Col(bucket, r.d), 0)]
+	level := 0
+	for r.Expanded(level, disk) {
+		// Narrow the region to the chosen quadrant and split it
+		// again at the midpoints.
+		for i := 0; i < r.d; i++ {
+			if bucket.Coord(i) == 1 {
+				lo[i] = splits[i]
+			} else {
+				hi[i] = splits[i]
+			}
+			splits[i] = (lo[i] + hi[i]) / 2
+		}
+		bucket = 0
+		for i := 0; i < r.d; i++ {
+			if p[i] > splits[i] {
+				bucket |= 1 << uint(i)
+			}
+		}
+		level++
+		path = append(path, bucket)
+		disk = r.fold[r.permute(Col(bucket, r.d), level)]
+	}
+
+	// The terminal cell is the quadrant chosen at the final level.
+	rect := vec.Rect{Min: make([]float64, r.d), Max: make([]float64, r.d)}
+	for i := 0; i < r.d; i++ {
+		if bucket.Coord(i) == 1 {
+			rect.Min[i], rect.Max[i] = splits[i], hi[i]
+		} else {
+			rect.Min[i], rect.Max[i] = lo[i], splits[i]
+		}
+	}
+	return CellAssignment{Disk: disk, Level: level, Path: path, Rect: rect}
+}

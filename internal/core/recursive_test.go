@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"parsearch/internal/vec"
+)
+
+// clusteredPoints generates points packed into one quadrant corner — the
+// adversarial case of §4.3 where the basic technique assigns most points
+// to a single disk.
+func clusteredPoints(r *rand.Rand, n, d int) []vec.Point {
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = 0.9 + 0.1*r.Float64() // all in the top quadrant
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestNewRecursiveValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRecursive(nil, 4) },
+		func() { NewRecursive(NewMidpointSplitter(3), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRecursiveWithoutExpansionsMatchesBase(t *testing.T) {
+	const d, n = 5, 8
+	sp := NewMidpointSplitter(d)
+	rec := NewRecursive(sp, n)
+	base := NewNearOptimal(d, n)
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 500; i++ {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		if got, want := rec.Assign(i, p), base.DiskForBucket(sp.Bucket(p)); got != want {
+			t.Fatalf("unexpanded recursive assign %d, base %d", got, want)
+		}
+	}
+	if rec.Levels() != 0 {
+		t.Errorf("Levels = %d, want 0", rec.Levels())
+	}
+	if rec.Name() != "new+recursive" || rec.Disks() != n {
+		t.Errorf("accessors: %s %d", rec.Name(), rec.Disks())
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	rec := NewRecursive(NewMidpointSplitter(3), 4)
+	for _, f := range []func(){
+		func() { rec.Expand(1, 0) },  // level skips ahead
+		func() { rec.Expand(-1, 0) }, // negative level
+		func() { rec.Expand(0, 4) },  // disk out of range
+		func() { rec.Expand(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	rec.Expand(0, 1)
+	rec.Expand(0, 2)
+	rec.Expand(1, 0)
+	if !rec.Expanded(0, 1) || !rec.Expanded(0, 2) || !rec.Expanded(1, 0) {
+		t.Error("Expanded does not reflect Expand calls")
+	}
+	if rec.Expanded(0, 3) || rec.Expanded(5, 0) {
+		t.Error("Expanded reports disks never expanded")
+	}
+}
+
+// The headline behaviour (Figure 16): on highly clustered data the basic
+// technique puts nearly everything on one disk; recursive declustering
+// spreads it out.
+func TestBuildRecursiveBalancesClusteredData(t *testing.T) {
+	const d, n = 8, 16
+	r := rand.New(rand.NewSource(77))
+	pts := clusteredPoints(r, 4000, d)
+	sp := NewMidpointSplitter(d)
+
+	// Basic technique: everything in one quadrant -> one disk.
+	basic := NewBucketAssigner(sp, NewNearOptimal(d, n))
+	lbBasic := MeasureBalance(basic, pts)
+	if lbBasic.Max != len(pts) {
+		t.Fatalf("expected full overload on one disk, max = %d", lbBasic.Max)
+	}
+
+	rec := BuildRecursive(pts, sp, n, DefaultRecursiveConfig(n))
+	lbRec := MeasureBalance(rec, pts)
+	if lbRec.Imbalance() >= lbBasic.Imbalance()/2 {
+		t.Errorf("recursive declustering did not help: %.2f -> %.2f",
+			lbBasic.Imbalance(), lbRec.Imbalance())
+	}
+	if rec.Levels() == 0 {
+		t.Error("no levels were expanded on clustered data")
+	}
+	// All disks must stay in range.
+	for i, p := range pts {
+		if disk := rec.Assign(i, p); disk < 0 || disk >= n {
+			t.Fatalf("disk %d out of range", disk)
+		}
+	}
+}
+
+// Uniform data must not trigger any expansion.
+func TestBuildRecursiveUniformNoExpansion(t *testing.T) {
+	const d, n = 8, 8
+	r := rand.New(rand.NewSource(3))
+	pts := make([]vec.Point, 2000)
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		pts[i] = p
+	}
+	rec := BuildRecursive(pts, NewMidpointSplitter(d), n, DefaultRecursiveConfig(n))
+	if rec.Levels() != 0 {
+		t.Errorf("uniform data expanded %d levels", rec.Levels())
+	}
+}
+
+func TestBuildRecursiveEmptyPoints(t *testing.T) {
+	rec := BuildRecursive(nil, NewMidpointSplitter(4), 4, DefaultRecursiveConfig(4))
+	if rec.Levels() != 0 {
+		t.Error("empty data expanded levels")
+	}
+}
+
+func TestBuildRecursiveConfigValidation(t *testing.T) {
+	pts := []vec.Point{{0.5, 0.5}}
+	sp := NewMidpointSplitter(2)
+	for _, cfg := range []RecursiveConfig{
+		{OverloadFactor: 1, MaxLevels: 4, MaxExpansions: 4},
+		{OverloadFactor: 2, MaxLevels: 0, MaxExpansions: 4},
+		{OverloadFactor: 2, MaxLevels: 4, MaxExpansions: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v: expected panic", cfg)
+				}
+			}()
+			BuildRecursive(pts, sp, 4, cfg)
+		}()
+	}
+}
+
+// Assignment must be deterministic: the same point always goes to the same
+// disk, regardless of query order — required for a consistent store.
+func TestRecursiveAssignDeterministic(t *testing.T) {
+	const d, n = 6, 8
+	r := rand.New(rand.NewSource(13))
+	pts := clusteredPoints(r, 1000, d)
+	rec := BuildRecursive(pts, NewMidpointSplitter(d), n, DefaultRecursiveConfig(n))
+	for i, p := range pts {
+		a := rec.Assign(i, p)
+		b := rec.Assign(i+500, p)
+		if a != b {
+			t.Fatalf("assignment of %v changed: %d vs %d", p, a, b)
+		}
+	}
+}
+
+// The recursion must terminate even when every disk is expanded at every
+// level (the loop exits past the deepest expanded level).
+func TestRecursiveTerminatesWhenFullyExpanded(t *testing.T) {
+	const d, n = 3, 4
+	rec := NewRecursive(NewMidpointSplitter(d), n)
+	for level := 0; level < 3; level++ {
+		for disk := 0; disk < n; disk++ {
+			rec.Expand(level, disk)
+		}
+	}
+	disk := rec.Assign(0, vec.Point{0.91, 0.93, 0.97})
+	if disk < 0 || disk >= n {
+		t.Fatalf("disk %d out of range", disk)
+	}
+	if rec.Levels() != 3 {
+		t.Errorf("Levels = %d, want 3", rec.Levels())
+	}
+}
+
+func TestRecursiveDimensionMismatchPanics(t *testing.T) {
+	rec := NewRecursive(NewMidpointSplitter(3), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rec.Assign(0, vec.Point{0.5})
+}
+
+// Works with a quantile splitter at level 0 (the two extensions compose).
+func TestRecursiveWithQuantileSplitter(t *testing.T) {
+	const d, n = 6, 8
+	r := rand.New(rand.NewSource(55))
+	pts := clusteredPoints(r, 2000, d)
+	sp := NewQuantileSplitter(pts, 0.5)
+	rec := BuildRecursive(pts, sp, n, DefaultRecursiveConfig(n))
+	lb := MeasureBalance(rec, pts)
+	if lb.Imbalance() > 4 {
+		t.Errorf("imbalance %.2f too high with quantile level-0 splits", lb.Imbalance())
+	}
+}
+
+// AssignCell properties: the terminal cell contains the point, its disk
+// matches Assign, and points sharing a cell key share disk and rect.
+func TestAssignCellProperties(t *testing.T) {
+	const d, n = 6, 8
+	r := rand.New(rand.NewSource(101))
+	pts := clusteredPoints(r, 2000, d)
+	rec := BuildRecursive(pts, NewMidpointSplitter(d), n, DefaultRecursiveConfig(n))
+
+	type cellID struct {
+		disk int
+		rect string
+	}
+	byKey := map[string]cellID{}
+	for i, p := range pts {
+		c := rec.AssignCell(p)
+		if !c.Rect.Contains(p) {
+			t.Fatalf("cell %v does not contain its point %v", c.Rect, p)
+		}
+		if got := rec.Assign(i, p); got != c.Disk {
+			t.Fatalf("Assign disk %d != AssignCell disk %d", got, c.Disk)
+		}
+		if c.Level != len(c.Path)-1 {
+			t.Fatalf("level %d inconsistent with path length %d", c.Level, len(c.Path))
+		}
+		id := cellID{disk: c.Disk, rect: c.Rect.String()}
+		if prev, ok := byKey[c.Key()]; ok && prev != id {
+			t.Fatalf("key %q maps to two cells: %+v vs %+v", c.Key(), prev, id)
+		}
+		byKey[c.Key()] = id
+	}
+	if len(byKey) < 2 {
+		t.Fatal("expected multiple cells for clustered data under recursion")
+	}
+}

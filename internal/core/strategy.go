@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+
+	"parsearch/internal/hilbert"
+	"parsearch/internal/vec"
+)
+
+// Strategy maps a grid cell — for the paper's quadrant grid, binary
+// coordinates — to a disk number in [0, Disks()). A declustering algorithm
+// DA in the paper's notation.
+type Strategy interface {
+	// Name identifies the strategy in reports ("new", "HIL", ...).
+	Name() string
+	// Disks returns the number of disks the strategy declusters onto.
+	Disks() int
+	// Disk returns the disk for the given grid cell.
+	Disk(cell []uint32) int
+}
+
+// NearOptimal is the paper's declustering technique: color the quadrant
+// with Col and fold the color set down to the available number of disks
+// (§4.3). For n >= NumColors(d) it is near-optimal in the strict sense of
+// Definition 4.
+type NearOptimal struct {
+	d    int
+	n    int
+	fold []int
+}
+
+// NewNearOptimal returns the paper's declustering for a d-dimensional
+// space on n disks.
+func NewNearOptimal(d, n int) *NearOptimal {
+	checkDim(d)
+	checkDisks(n)
+	return &NearOptimal{d: d, n: n, fold: FoldColors(NumColors(d), n)}
+}
+
+// Name implements Strategy.
+func (s *NearOptimal) Name() string { return "new" }
+
+// Disks implements Strategy.
+func (s *NearOptimal) Disks() int { return s.n }
+
+// Dim returns the dimensionality the strategy was built for.
+func (s *NearOptimal) Dim() int { return s.d }
+
+// Disk implements Strategy. The cell must be binary (quadrant coordinates).
+func (s *NearOptimal) Disk(cell []uint32) int {
+	return s.DiskForBucket(BucketFromCell(cell))
+}
+
+// DiskForBucket is Disk without the cell-slice conversion, for hot paths.
+func (s *NearOptimal) DiskForBucket(b Bucket) int {
+	return s.fold[Col(b, s.d)]
+}
+
+// DiskModulo is the declustering of Du and Sobolewski [DS 82]:
+// sum of the cell coordinates mod n.
+type DiskModulo struct {
+	n int
+}
+
+// NewDiskModulo returns the Disk Modulo declustering on n disks.
+func NewDiskModulo(n int) *DiskModulo {
+	checkDisks(n)
+	return &DiskModulo{n: n}
+}
+
+// Name implements Strategy.
+func (s *DiskModulo) Name() string { return "DM" }
+
+// Disks implements Strategy.
+func (s *DiskModulo) Disks() int { return s.n }
+
+// Disk implements Strategy.
+func (s *DiskModulo) Disk(cell []uint32) int {
+	var sum uint64
+	for _, c := range cell {
+		sum += uint64(c)
+	}
+	return int(sum % uint64(s.n))
+}
+
+// FX is the field-wise XOR declustering of Kim and Pramanik [KP 88]:
+// XOR of the cell coordinates mod n.
+type FX struct {
+	n int
+}
+
+// NewFX returns the FX declustering on n disks.
+func NewFX(n int) *FX {
+	checkDisks(n)
+	return &FX{n: n}
+}
+
+// Name implements Strategy.
+func (s *FX) Name() string { return "FX" }
+
+// Disks implements Strategy.
+func (s *FX) Disks() int { return s.n }
+
+// Disk implements Strategy.
+func (s *FX) Disk(cell []uint32) int {
+	var x uint64
+	for _, c := range cell {
+		x ^= uint64(c)
+	}
+	return int(x % uint64(s.n))
+}
+
+// Hilbert is the declustering of Faloutsos and Bhagwat [FB 93]: the cell's
+// Hilbert value mod n. The curve preserves spatial proximity as far as a
+// linear order can, which made it the best known declustering method for
+// low-dimensional range queries — the paper's main experimental baseline.
+type Hilbert struct {
+	n     int
+	curve *hilbert.Curve
+}
+
+// NewHilbert returns the Hilbert declustering for a d-dimensional grid of
+// 2^order cells per dimension on n disks. The quadrant grid of the paper
+// has order 1. dim*order must be at most 64.
+func NewHilbert(d, order, n int) (*Hilbert, error) {
+	checkDim(d)
+	checkDisks(n)
+	c, err := hilbert.New(d, order)
+	if err != nil {
+		return nil, err
+	}
+	return &Hilbert{n: n, curve: c}, nil
+}
+
+// MustNewHilbert is NewHilbert that panics on error.
+func MustNewHilbert(d, order, n int) *Hilbert {
+	s, err := NewHilbert(d, order, n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements Strategy.
+func (s *Hilbert) Name() string { return "HIL" }
+
+// Disks implements Strategy.
+func (s *Hilbert) Disks() int { return s.n }
+
+// Disk implements Strategy.
+func (s *Hilbert) Disk(cell []uint32) int {
+	return int(s.curve.Encode(cell) % uint64(s.n))
+}
+
+// DirectOnly is the ablation strategy built on DirectOnlyColor: it uses
+// d+1 colors and separates direct neighbors only. See DirectOnlyColor.
+type DirectOnly struct {
+	d, n int
+}
+
+// NewDirectOnly returns the direct-neighbor-only declustering.
+func NewDirectOnly(d, n int) *DirectOnly {
+	checkDim(d)
+	checkDisks(n)
+	return &DirectOnly{d: d, n: n}
+}
+
+// Name implements Strategy.
+func (s *DirectOnly) Name() string { return "direct-only" }
+
+// Disks implements Strategy.
+func (s *DirectOnly) Disks() int { return s.n }
+
+// Disk implements Strategy.
+func (s *DirectOnly) Disk(cell []uint32) int {
+	return DirectOnlyColor(BucketFromCell(cell), s.d) % s.n
+}
+
+// checkDisks panics when n is not a legal disk count.
+func checkDisks(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("core: %d disks, want >= 1", n))
+	}
+}
+
+// Assigner places a data point on a disk. It is the interface the parallel
+// index uses; bucket-based strategies are adapted via NewBucketAssigner,
+// while round robin assigns by insertion order directly.
+type Assigner interface {
+	// Name identifies the assigner in reports.
+	Name() string
+	// Disks returns the number of disks.
+	Disks() int
+	// Assign returns the disk for the i-th point p.
+	Assign(i int, p vec.Point) int
+}
+
+// RoundRobin distributes points by insertion order: point i goes to disk
+// i mod n. The paper's simplest baseline (§3).
+type RoundRobin struct {
+	n int
+}
+
+// NewRoundRobin returns a round-robin assigner over n disks.
+func NewRoundRobin(n int) *RoundRobin {
+	checkDisks(n)
+	return &RoundRobin{n: n}
+}
+
+// Name implements Assigner.
+func (r *RoundRobin) Name() string { return "RR" }
+
+// Disks implements Assigner.
+func (r *RoundRobin) Disks() int { return r.n }
+
+// Assign implements Assigner.
+func (r *RoundRobin) Assign(i int, _ vec.Point) int {
+	if i < 0 {
+		panic(fmt.Sprintf("core: negative point index %d", i))
+	}
+	return i % r.n
+}
+
+// BucketAssigner adapts a bucket-based Strategy to the Assigner interface:
+// the point's quadrant is computed with a Bucketer and handed to the
+// strategy.
+type BucketAssigner struct {
+	bucketer Bucketer
+	strategy Strategy
+}
+
+// NewBucketAssigner combines a Bucketer with a Strategy. The bucketer's
+// dimensionality must not exceed what the strategy accepts; strategies
+// validate their cells themselves.
+func NewBucketAssigner(b Bucketer, s Strategy) *BucketAssigner {
+	if b == nil || s == nil {
+		panic("core: NewBucketAssigner with nil components")
+	}
+	return &BucketAssigner{bucketer: b, strategy: s}
+}
+
+// Name implements Assigner.
+func (a *BucketAssigner) Name() string { return a.strategy.Name() }
+
+// Strategy returns the wrapped bucket strategy.
+func (a *BucketAssigner) Strategy() Strategy { return a.strategy }
+
+// Bucketer returns the wrapped bucketer.
+func (a *BucketAssigner) Bucketer() Bucketer { return a.bucketer }
+
+// Disks implements Assigner.
+func (a *BucketAssigner) Disks() int { return a.strategy.Disks() }
+
+// Assign implements Assigner.
+func (a *BucketAssigner) Assign(_ int, p vec.Point) int {
+	return a.strategy.Disk(a.bucketer.Bucket(p).Cell(a.bucketer.Dim()))
+}

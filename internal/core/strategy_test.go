@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"parsearch/internal/vec"
+)
+
+func TestNearOptimalBasics(t *testing.T) {
+	s := NewNearOptimal(8, 16)
+	if s.Name() != "new" || s.Disks() != 16 || s.Dim() != 8 {
+		t.Errorf("unexpected accessors: %s %d %d", s.Name(), s.Disks(), s.Dim())
+	}
+	// Disk and DiskForBucket agree.
+	for b := uint64(0); b < 256; b++ {
+		if s.Disk(Bucket(b).Cell(8)) != s.DiskForBucket(Bucket(b)) {
+			t.Fatalf("Disk and DiskForBucket disagree on %b", b)
+		}
+	}
+}
+
+// Lemma 5: with n >= NumColors(d) disks, the paper's strategy is strictly
+// near-optimal — zero violations under exhaustive verification.
+func TestNearOptimalIsNearOptimal(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12} {
+		s := NewNearOptimal(d, NumColors(d))
+		if v := VerifyNearOptimal(s, d, 1); len(v) != 0 {
+			t.Errorf("d=%d: near-optimal strategy has violation %v", d, v[0])
+		}
+	}
+}
+
+// Lemma 1 / Figure 7: DM, FX and Hilbert are NOT near-optimal for d >= 3.
+func TestBaselinesAreNotNearOptimal(t *testing.T) {
+	const d = 3
+	n := NumColors(d) // 4 disks, enough for a near-optimal declustering
+	for _, s := range []Strategy{
+		NewDiskModulo(n),
+		NewFX(n),
+		MustNewHilbert(d, 1, n),
+	} {
+		if v := VerifyNearOptimal(s, d, 1); len(v) == 0 {
+			t.Errorf("%s: expected a near-optimality violation in d=%d (Lemma 1)", s.Name(), d)
+		}
+	}
+}
+
+// All strategies must produce disks in range for random cells.
+func TestStrategyDiskRange(t *testing.T) {
+	const d = 10
+	r := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		strategies := []Strategy{
+			NewNearOptimal(d, n),
+			NewDiskModulo(n),
+			NewFX(n),
+			MustNewHilbert(d, 1, n),
+			NewDirectOnly(d, n),
+		}
+		for _, s := range strategies {
+			if s.Disks() != n {
+				t.Fatalf("%s: Disks() = %d, want %d", s.Name(), s.Disks(), n)
+			}
+			for trial := 0; trial < 200; trial++ {
+				cell := make([]uint32, d)
+				for i := range cell {
+					cell[i] = uint32(r.Intn(2))
+				}
+				disk := s.Disk(cell)
+				if disk < 0 || disk >= n {
+					t.Fatalf("%s: disk %d outside [0, %d)", s.Name(), disk, n)
+				}
+			}
+		}
+	}
+}
+
+// On the binary quadrant grid, NearOptimal and Hilbert use all n disks,
+// while the baselines degenerate: FX's XOR of 0/1 coordinates is only ever
+// 0 or 1, and DM's coordinate sum ranges over [0, d] — one reason they
+// perform poorly in high dimensions.
+func TestStrategiesDiskUsageOnBinaryGrid(t *testing.T) {
+	const d = 6
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	for _, n := range []int{2, 3, 4, 7, 8} {
+		for _, tc := range []struct {
+			s    Strategy
+			want int
+		}{
+			{NewNearOptimal(d, n), n},
+			{MustNewHilbert(d, 1, n), n},
+			{NewDiskModulo(n), min(n, d+1)},
+			{NewFX(n), min(n, 2)},
+		} {
+			used := make(map[int]bool)
+			for b := uint64(0); b < NumBuckets(d); b++ {
+				used[tc.s.Disk(Bucket(b).Cell(d))] = true
+			}
+			if len(used) != tc.want {
+				t.Errorf("%s with %d disks uses %d, want %d", tc.s.Name(), n, len(used), tc.want)
+			}
+		}
+	}
+}
+
+func TestDiskModuloKnownValues(t *testing.T) {
+	s := NewDiskModulo(3)
+	tests := []struct {
+		cell []uint32
+		want int
+	}{
+		{[]uint32{0, 0, 0}, 0},
+		{[]uint32{1, 1, 0}, 2},
+		{[]uint32{1, 1, 1}, 0},
+		{[]uint32{5, 4}, 0}, // general grid: (5+4) mod 3
+	}
+	for _, tt := range tests {
+		if got := s.Disk(tt.cell); got != tt.want {
+			t.Errorf("DM(%v) = %d, want %d", tt.cell, got, tt.want)
+		}
+	}
+}
+
+func TestFXKnownValues(t *testing.T) {
+	s := NewFX(4)
+	tests := []struct {
+		cell []uint32
+		want int
+	}{
+		{[]uint32{0, 0}, 0},
+		{[]uint32{1, 1}, 0}, // 1 XOR 1
+		{[]uint32{1, 0}, 1},
+		{[]uint32{5, 3}, 2}, // 5 XOR 3 = 6 mod 4
+	}
+	for _, tt := range tests {
+		if got := s.Disk(tt.cell); got != tt.want {
+			t.Errorf("FX(%v) = %d, want %d", tt.cell, got, tt.want)
+		}
+	}
+}
+
+func TestHilbertStrategyGeneralGrid(t *testing.T) {
+	// Order-4 grid in 2-d: 256 cells over 5 disks; all disks used and
+	// consecutive curve cells land on consecutive disks mod n.
+	s := MustNewHilbert(2, 4, 5)
+	used := make(map[int]bool)
+	for x := uint32(0); x < 16; x++ {
+		for y := uint32(0); y < 16; y++ {
+			used[s.Disk([]uint32{x, y})] = true
+		}
+	}
+	if len(used) != 5 {
+		t.Errorf("Hilbert order-4 uses %d disks, want 5", len(used))
+	}
+}
+
+func TestNewHilbertError(t *testing.T) {
+	if _, err := NewHilbert(33, 2, 4); err == nil {
+		t.Error("expected error for dim*order > 64")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewHilbert should panic on invalid input")
+		}
+	}()
+	MustNewHilbert(33, 2, 4)
+}
+
+func TestRoundRobin(t *testing.T) {
+	r := NewRoundRobin(4)
+	if r.Name() != "RR" || r.Disks() != 4 {
+		t.Errorf("accessors wrong: %s %d", r.Name(), r.Disks())
+	}
+	p := vec.Point{0.5}
+	for i := 0; i < 20; i++ {
+		if got := r.Assign(i, p); got != i%4 {
+			t.Errorf("Assign(%d) = %d, want %d", i, got, i%4)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative index should panic")
+		}
+	}()
+	r.Assign(-1, p)
+}
+
+func TestBucketAssigner(t *testing.T) {
+	d := 4
+	sp := NewMidpointSplitter(d)
+	s := NewNearOptimal(d, 8)
+	a := NewBucketAssigner(sp, s)
+	if a.Name() != "new" || a.Disks() != 8 {
+		t.Errorf("accessors wrong: %s %d", a.Name(), a.Disks())
+	}
+	p := vec.Point{0.9, 0.1, 0.9, 0.1} // bucket 0101 = 5
+	want := s.DiskForBucket(5)
+	if got := a.Assign(0, p); got != want {
+		t.Errorf("Assign = %d, want %d", got, want)
+	}
+	// Index must be irrelevant for bucket assigners.
+	if a.Assign(0, p) != a.Assign(99, p) {
+		t.Error("bucket assignment depends on point index")
+	}
+}
+
+func TestNewBucketAssignerNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for nil components")
+		}
+	}()
+	NewBucketAssigner(nil, nil)
+}
+
+func TestCheckDisksPanics(t *testing.T) {
+	for _, ctor := range []func(){
+		func() { NewNearOptimal(4, 0) },
+		func() { NewDiskModulo(-1) },
+		func() { NewFX(0) },
+		func() { NewRoundRobin(0) },
+		func() { NewDirectOnly(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid disk count")
+				}
+			}()
+			ctor()
+		}()
+	}
+}
+
+// The near-optimal strategy with folding must still separate ALL direct
+// and indirect neighbors when n is a power of two >= NumColors(d)... and
+// when n < NumColors(d) violations become possible but load must stay
+// balanced over buckets.
+func TestNearOptimalFoldedBucketBalance(t *testing.T) {
+	const d = 8
+	for _, n := range []int{3, 5, 6, 11, 16} {
+		s := NewNearOptimal(d, n)
+		counts := make([]int, n)
+		for b := uint64(0); b < NumBuckets(d); b++ {
+			counts[s.Disk(Bucket(b).Cell(d))]++
+		}
+		ideal := float64(NumBuckets(d)) / float64(n)
+		for disk, c := range counts {
+			if float64(c) > 2.5*ideal || float64(c) < ideal/2.5 {
+				t.Errorf("n=%d: disk %d holds %d buckets, ideal %.1f", n, disk, c, ideal)
+			}
+		}
+	}
+}

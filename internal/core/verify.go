@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NeighborKind distinguishes the two neighborhood relations of
+// Definition 3.
+type NeighborKind int
+
+const (
+	// Direct neighbors differ in exactly one quadrant coordinate.
+	Direct NeighborKind = iota
+	// Indirect neighbors differ in exactly two quadrant coordinates.
+	Indirect
+)
+
+// String returns "direct" or "indirect".
+func (k NeighborKind) String() string {
+	if k == Direct {
+		return "direct"
+	}
+	return "indirect"
+}
+
+// Violation records two neighboring buckets that a strategy assigned to
+// the same disk — a breach of near-optimality (Definition 4).
+type Violation struct {
+	A, B Bucket
+	Kind NeighborKind
+	Disk int
+}
+
+// String renders the violation for reports, e.g.
+// "indirect neighbors 011 and 110 both on disk 2".
+func (v Violation) String() string {
+	return fmt.Sprintf("%s neighbors %b and %b both on disk %d", v.Kind, uint64(v.A), uint64(v.B), v.Disk)
+}
+
+// VerifyNearOptimal exhaustively checks a strategy against Definition 4
+// for a d-dimensional quadrant space: every pair of direct or indirect
+// neighbors must be assigned to different disks. It returns up to max
+// violations (max <= 0 means all). Enumeration visits all 2^d buckets, so
+// d should stay below ~20.
+//
+// This is the machine-checkable form of Lemma 1 (DM, FX and Hilbert are
+// not near-optimal) and Lemma 5 (col is).
+func VerifyNearOptimal(s Strategy, d, max int) []Violation {
+	checkDim(d)
+	if d >= 30 {
+		panic(fmt.Sprintf("core: exhaustive verification of 2^%d buckets is infeasible; use SampleVerify", d))
+	}
+	var out []Violation
+	n := NumBuckets(d)
+	disks := make([]int, n)
+	for b := uint64(0); b < n; b++ {
+		disks[b] = s.Disk(Bucket(b).Cell(d))
+	}
+	check := func(a, b Bucket, kind NeighborKind) bool {
+		if disks[a] == disks[b] {
+			out = append(out, Violation{A: a, B: b, Kind: kind, Disk: disks[a]})
+			if max > 0 && len(out) >= max {
+				return false
+			}
+		}
+		return true
+	}
+	for b := uint64(0); b < n; b++ {
+		for i := 0; i < d; i++ {
+			c := b ^ 1<<uint(i)
+			if c > b && !check(Bucket(b), Bucket(c), Direct) {
+				return out
+			}
+			for j := i + 1; j < d; j++ {
+				c2 := b ^ 1<<uint(i) ^ 1<<uint(j)
+				if c2 > b && !check(Bucket(b), Bucket(c2), Indirect) {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SampleVerify checks randomly sampled neighbor pairs, for dimensions too
+// large to enumerate. It returns up to max violations found in trials
+// random probes (each probe checks one random direct and one random
+// indirect neighbor of a random bucket).
+func SampleVerify(s Strategy, d, trials, max int, rng *rand.Rand) []Violation {
+	checkDim(d)
+	if rng == nil {
+		panic("core: SampleVerify with nil rng")
+	}
+	var out []Violation
+	randBucket := func() Bucket {
+		if d == 64 {
+			return Bucket(rng.Uint64())
+		}
+		return Bucket(rng.Uint64() & (1<<uint(d) - 1))
+	}
+	disk := func(b Bucket) int { return s.Disk(b.Cell(d)) }
+	for t := 0; t < trials; t++ {
+		b := randBucket()
+		i := rng.Intn(d)
+		dir := b ^ Bucket(1)<<uint(i)
+		if disk(b) == disk(dir) {
+			out = append(out, Violation{A: b, B: dir, Kind: Direct, Disk: disk(b)})
+		}
+		if d > 1 {
+			j := rng.Intn(d - 1)
+			if j >= i {
+				j++
+			}
+			ind := dir ^ Bucket(1)<<uint(j)
+			if disk(b) == disk(ind) {
+				out = append(out, Violation{A: b, B: ind, Kind: Indirect, Disk: disk(b)})
+			}
+		}
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// LoadBalance summarizes how evenly an Assigner spreads a point set.
+type LoadBalance struct {
+	// Loads holds the number of points per disk.
+	Loads []int
+	// Max and Min are the heaviest and lightest disk loads.
+	Max, Min int
+	// Ideal is the perfectly balanced load, N/n.
+	Ideal float64
+}
+
+// Imbalance returns Max / Ideal, 1.0 for a perfect distribution. An empty
+// assignment reports 0.
+func (l LoadBalance) Imbalance() float64 {
+	if l.Ideal == 0 {
+		return 0
+	}
+	return float64(l.Max) / l.Ideal
+}
+
+// MeasureBalance assigns every point and tallies the per-disk loads.
+func MeasureBalance(a Assigner, points [][]float64) LoadBalance {
+	loads := make([]int, a.Disks())
+	for i, p := range points {
+		loads[a.Assign(i, p)]++
+	}
+	lb := LoadBalance{Loads: loads, Ideal: float64(len(points)) / float64(a.Disks())}
+	lb.Min = int(^uint(0) >> 1)
+	for _, l := range loads {
+		if l > lb.Max {
+			lb.Max = l
+		}
+		if l < lb.Min {
+			lb.Min = l
+		}
+	}
+	if len(points) == 0 {
+		lb.Min = 0
+	}
+	return lb
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parsearch/internal/vec"
+)
+
+func TestVerifyNearOptimalFindsAllViolations(t *testing.T) {
+	// FX on the binary grid maps every bucket to XOR of its bits, so in
+	// d=3 there are plenty of collisions between neighbors; max <= 0
+	// returns all of them, a positive max truncates.
+	s := NewFX(4)
+	all := VerifyNearOptimal(s, 3, 0)
+	if len(all) == 0 {
+		t.Fatal("expected violations for FX in d=3")
+	}
+	limited := VerifyNearOptimal(s, 3, 2)
+	if len(limited) != 2 {
+		t.Fatalf("max=2 returned %d violations", len(limited))
+	}
+	// Each reported violation must actually be a violation.
+	for _, v := range all {
+		switch v.Kind {
+		case Direct:
+			if !AreDirectNeighbors(v.A, v.B) {
+				t.Errorf("reported direct violation %v is not a direct pair", v)
+			}
+		case Indirect:
+			if !AreIndirectNeighbors(v.A, v.B) {
+				t.Errorf("reported indirect violation %v is not an indirect pair", v)
+			}
+		}
+		if s.Disk(v.A.Cell(3)) != v.Disk || s.Disk(v.B.Cell(3)) != v.Disk {
+			t.Errorf("violation %v does not match the strategy's assignment", v)
+		}
+	}
+}
+
+func TestVerifyNearOptimalCleanStrategy(t *testing.T) {
+	for d := 1; d <= 10; d++ {
+		s := NewNearOptimal(d, NumColors(d))
+		if v := VerifyNearOptimal(s, d, 0); len(v) != 0 {
+			t.Errorf("d=%d: %d violations for col with full colors", d, len(v))
+		}
+	}
+}
+
+func TestVerifyNearOptimalPanicsOnHugeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for d >= 30")
+		}
+	}()
+	VerifyNearOptimal(NewDiskModulo(4), 30, 1)
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{A: 3, B: 6, Kind: Indirect, Disk: 2}
+	s := v.String()
+	if !strings.Contains(s, "indirect") || !strings.Contains(s, "disk 2") {
+		t.Errorf("unhelpful violation string %q", s)
+	}
+	if Direct.String() != "direct" || Indirect.String() != "indirect" {
+		t.Error("NeighborKind names wrong")
+	}
+}
+
+func TestSampleVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// col with full colors: no violations even in d=32.
+	clean := NewNearOptimal(32, NumColors(32))
+	if v := SampleVerify(clean, 32, 5000, 0, rng); len(v) != 0 {
+		t.Errorf("sampled violations for col in d=32: %v", v[0])
+	}
+	// FX in d=32: two colors for 2^32 buckets, violations abound.
+	dirty := NewFX(4)
+	v := SampleVerify(dirty, 32, 2000, 10, rng)
+	if len(v) != 10 {
+		t.Errorf("expected 10 capped violations, got %d", len(v))
+	}
+}
+
+func TestSampleVerifyNilRNGPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil rng")
+		}
+	}()
+	SampleVerify(NewFX(2), 8, 10, 0, nil)
+}
+
+func TestSampleVerifyOneDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// d=1 has no indirect pairs; must not panic.
+	s := NewNearOptimal(1, 2)
+	if v := SampleVerify(s, 1, 100, 0, rng); len(v) != 0 {
+		t.Errorf("violations in d=1: %v", v)
+	}
+}
+
+func TestMeasureBalance(t *testing.T) {
+	a := NewRoundRobin(4)
+	pts := make([][]float64, 10)
+	for i := range pts {
+		pts[i] = []float64{0.5}
+	}
+	lb := MeasureBalance(a, pts)
+	if lb.Max != 3 || lb.Min != 2 {
+		t.Errorf("round robin of 10 over 4: max %d min %d, want 3/2", lb.Max, lb.Min)
+	}
+	if lb.Ideal != 2.5 {
+		t.Errorf("Ideal = %v", lb.Ideal)
+	}
+	if got := lb.Imbalance(); got != 1.2 {
+		t.Errorf("Imbalance = %v, want 1.2", got)
+	}
+}
+
+func TestMeasureBalanceEmpty(t *testing.T) {
+	lb := MeasureBalance(NewRoundRobin(4), nil)
+	if lb.Max != 0 || lb.Min != 0 || lb.Imbalance() != 0 {
+		t.Errorf("empty balance: %+v", lb)
+	}
+}
+
+// Full-pipeline sanity: points through splitter + strategy end-to-end, all
+// strategies, uniform data roughly balanced for the near-optimal strategy.
+func TestEndToEndUniformBalance(t *testing.T) {
+	const d, n = 16, 16
+	r := rand.New(rand.NewSource(99))
+	pts := make([][]float64, 8000)
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		pts[i] = p
+	}
+	sp := NewMidpointSplitter(d)
+	a := NewBucketAssigner(sp, NewNearOptimal(d, n))
+	lb := MeasureBalance(a, pts)
+	if lb.Imbalance() > 1.5 {
+		t.Errorf("uniform data imbalance %.2f for near-optimal declustering", lb.Imbalance())
+	}
+}

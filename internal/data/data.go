@@ -1,0 +1,290 @@
+// Package data generates the workloads of the paper's evaluation:
+// uniformly distributed points, Fourier points corresponding to contours
+// of industrial (CAD) parts, and text descriptors characterizing
+// substrings of documents — plus Gaussian cluster mixtures used by the
+// recursive-declustering experiment.
+//
+// The paper used proprietary datasets (R&D CAD archives, document
+// collections); this package synthesizes data with the same statistical
+// character (see DESIGN.md): Fourier descriptors are computed from
+// procedurally generated part contours (a few part families with
+// parameter jitter, hence highly clustered and correlated), and text
+// descriptors are hashed letter-trigram histograms of Markov-generated
+// text. Every generator is deterministic for a given seed, and all points
+// lie in the unit cube [0,1]^d.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"parsearch/internal/vec"
+)
+
+// Uniform returns n points distributed uniformly in [0,1]^d.
+func Uniform(n, d int, seed int64) []vec.Point {
+	checkArgs(n, d)
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Clustered returns n points drawn from a mixture of k Gaussian clusters
+// with the given standard deviation, clipped to the unit cube. Cluster
+// centers are uniform in [0.15, 0.85]^d so the clusters keep most of
+// their mass inside the cube.
+func Clustered(n, d, k int, stddev float64, seed int64) []vec.Point {
+	checkArgs(n, d)
+	if k < 1 {
+		panic(fmt.Sprintf("data: %d clusters", k))
+	}
+	if stddev <= 0 {
+		panic(fmt.Sprintf("data: stddev %v", stddev))
+	}
+	r := rand.New(rand.NewSource(seed))
+	centers := make([]vec.Point, k)
+	for i := range centers {
+		c := make(vec.Point, d)
+		for j := range c {
+			c[j] = 0.15 + 0.7*r.Float64()
+		}
+		centers[i] = c
+	}
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		c := centers[r.Intn(k)]
+		p := make(vec.Point, d)
+		for j := range p {
+			p[j] = clamp01(c[j] + r.NormFloat64()*stddev)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// contourSamples is the number of boundary points sampled per part
+// contour before the Fourier transform.
+const contourSamples = 64
+
+// Fourier returns n d-dimensional Fourier descriptors of procedurally
+// generated part contours drawn from families part families. Each family
+// is a base shape; parts within a family jitter the shape parameters by
+// the relative jitter (0.15 gives moderately clustered data; small
+// values give the tightly clustered CAD-variant workload of Figure 16).
+// Descriptors are the magnitudes of the first d Fourier coefficients of
+// the contour's radius profile, normalized per dimension to [0,1].
+func Fourier(n, d, families int, jitter float64, seed int64) []vec.Point {
+	checkArgs(n, d)
+	if families < 1 {
+		panic(fmt.Sprintf("data: %d part families", families))
+	}
+	if jitter <= 0 {
+		panic(fmt.Sprintf("data: jitter %v", jitter))
+	}
+	if d > contourSamples/2 {
+		panic(fmt.Sprintf("data: %d descriptor dimensions exceed %d contour harmonics", d, contourSamples/2))
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	// A part family is a base contour given by its harmonic amplitudes
+	// and phases (amplitudes decay with the harmonic index, as for any
+	// smooth contour). Every harmonic is drawn independently, so the
+	// descriptors have full intrinsic dimensionality — like descriptors
+	// of diverse real parts — while variants within a family stay
+	// tightly clustered.
+	type family struct {
+		amps   []float64
+		phases []float64
+	}
+	fams := make([]family, families)
+	for i := range fams {
+		f := family{amps: make([]float64, d), phases: make([]float64, d)}
+		for k := 0; k < d; k++ {
+			f.amps[k] = (0.05 + 0.45*r.Float64()) / (1 + 0.3*float64(k))
+			f.phases[k] = 2 * math.Pi * r.Float64()
+		}
+		fams[i] = f
+	}
+
+	pts := make([]vec.Point, n)
+	radius := make([]float64, contourSamples)
+	for i := range pts {
+		f := fams[r.Intn(families)]
+		for s := 0; s < contourSamples; s++ {
+			radius[s] = 1
+		}
+		// Jitter every harmonic independently: a variant of the part.
+		for k := 0; k < d; k++ {
+			amp := f.amps[k] * (1 + jitter*r.NormFloat64())
+			phase := f.phases[k] + 0.1*r.NormFloat64()
+			for s := 0; s < contourSamples; s++ {
+				th := 2 * math.Pi * float64(s) / contourSamples
+				radius[s] += amp * math.Cos(float64(k+1)*th+phase)
+			}
+		}
+		pts[i] = dftMagnitudes(radius, d)
+	}
+	normalizeColumns(pts)
+	return pts
+}
+
+// dftMagnitudes returns the magnitudes of the first d DFT coefficients
+// (starting at the fundamental, skipping the DC term) of the signal.
+func dftMagnitudes(signal []float64, d int) vec.Point {
+	n := len(signal)
+	out := make(vec.Point, d)
+	for k := 1; k <= d; k++ {
+		var re, im float64
+		for s, x := range signal {
+			angle := -2 * math.Pi * float64(k) * float64(s) / float64(n)
+			re += x * math.Cos(angle)
+			im += x * math.Sin(angle)
+		}
+		out[k-1] = math.Hypot(re, im) / float64(n)
+	}
+	return out
+}
+
+// Text returns n d-dimensional text descriptors: hashed letter-trigram
+// histograms of substrings of Markov-chain generated text, normalized per
+// dimension to [0,1]. Like real text descriptors they are sparse, skewed
+// and clustered by topic (each Markov chain is one "topic").
+func Text(n, d, topics int, seed int64) []vec.Point {
+	checkArgs(n, d)
+	if topics < 1 {
+		panic(fmt.Sprintf("data: %d topics", topics))
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	// Per-topic syllable inventories: a small set of syllables heavily
+	// reused within the topic makes trigram statistics topic-specific.
+	const alphabet = "abcdefghijklmnopqrstuvwxyz"
+	syllables := make([][]string, topics)
+	for t := range syllables {
+		count := 12 + r.Intn(8)
+		set := make([]string, count)
+		for i := range set {
+			l := 2 + r.Intn(2)
+			b := make([]byte, l)
+			for j := range b {
+				b[j] = alphabet[r.Intn(len(alphabet))]
+			}
+			set[i] = string(b)
+		}
+		syllables[t] = set
+	}
+
+	pts := make([]vec.Point, n)
+	for i := range pts {
+		topic := r.Intn(topics)
+		// A substring of ~40 syllables from the topic's language.
+		var text []byte
+		for s := 0; s < 40; s++ {
+			text = append(text, syllables[topic][r.Intn(len(syllables[topic]))]...)
+			if r.Float64() < 0.2 {
+				text = append(text, ' ')
+			}
+		}
+		p := make(vec.Point, d)
+		for j := 0; j+3 <= len(text); j++ {
+			h := trigramHash(text[j], text[j+1], text[j+2])
+			p[h%uint32(d)]++
+		}
+		// Scale by substring length so descriptors are comparable.
+		for j := range p {
+			p[j] /= float64(len(text))
+		}
+		pts[i] = p
+	}
+	normalizeColumns(pts)
+	return pts
+}
+
+// trigramHash is an FNV-style hash of three letters.
+func trigramHash(a, b, c byte) uint32 {
+	h := uint32(2166136261)
+	for _, x := range [3]byte{a, b, c} {
+		h ^= uint32(x)
+		h *= 16777619
+	}
+	return h
+}
+
+// QueriesFromData samples n query points from the data set with a small
+// Gaussian jitter — the query model for the real-data experiments (query
+// points follow the data distribution).
+func QueriesFromData(points []vec.Point, n int, jitter float64, seed int64) []vec.Point {
+	if len(points) == 0 {
+		panic("data: QueriesFromData with no points")
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("data: %d queries", n))
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]vec.Point, n)
+	for i := range out {
+		src := points[r.Intn(len(points))]
+		q := make(vec.Point, len(src))
+		for j, x := range src {
+			q[j] = clamp01(x + r.NormFloat64()*jitter)
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// normalizeColumns rescales every dimension linearly onto [0,1] over the
+// point set (constant dimensions map to 0.5).
+func normalizeColumns(pts []vec.Point) {
+	if len(pts) == 0 {
+		return
+	}
+	d := len(pts[0])
+	for j := 0; j < d; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range pts {
+			if p[j] < lo {
+				lo = p[j]
+			}
+			if p[j] > hi {
+				hi = p[j]
+			}
+		}
+		if hi == lo {
+			for _, p := range pts {
+				p[j] = 0.5
+			}
+			continue
+		}
+		for _, p := range pts {
+			p[j] = (p[j] - lo) / (hi - lo)
+		}
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func checkArgs(n, d int) {
+	if n < 0 {
+		panic(fmt.Sprintf("data: %d points", n))
+	}
+	if d < 1 {
+		panic(fmt.Sprintf("data: dimension %d", d))
+	}
+}

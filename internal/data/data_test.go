@@ -1,0 +1,210 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"parsearch/internal/vec"
+)
+
+func inUnitCube(t *testing.T, pts []vec.Point, d int) {
+	t.Helper()
+	for i, p := range pts {
+		if len(p) != d {
+			t.Fatalf("point %d has dimension %d, want %d", i, len(p), d)
+		}
+		for j, x := range p {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				t.Fatalf("point %d coordinate %d = %v outside [0,1]", i, j, x)
+			}
+		}
+	}
+}
+
+func TestUniformBasics(t *testing.T) {
+	pts := Uniform(2000, 8, 1)
+	if len(pts) != 2000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	inUnitCube(t, pts, 8)
+	// Mean of each dimension should be near 0.5.
+	for j := 0; j < 8; j++ {
+		sum := 0.0
+		for _, p := range pts {
+			sum += p[j]
+		}
+		if mean := sum / 2000; mean < 0.45 || mean > 0.55 {
+			t.Errorf("dimension %d mean %v", j, mean)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for name, gen := range map[string]func() []vec.Point{
+		"uniform":   func() []vec.Point { return Uniform(100, 4, 7) },
+		"clustered": func() []vec.Point { return Clustered(100, 4, 3, 0.05, 7) },
+		"fourier":   func() []vec.Point { return Fourier(100, 8, 4, 0.15, 7) },
+		"text":      func() []vec.Point { return Text(100, 8, 3, 7) },
+	} {
+		a, b := gen(), gen()
+		for i := range a {
+			if !vec.Equal(a[i], b[i]) {
+				t.Errorf("%s: generation not deterministic at point %d", name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := Uniform(10, 4, 1)
+	b := Uniform(10, 4, 2)
+	same := true
+	for i := range a {
+		if !vec.Equal(a[i], b[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestClusteredIsClustered(t *testing.T) {
+	const d = 8
+	pts := Clustered(3000, d, 4, 0.03, 11)
+	inUnitCube(t, pts, d)
+	// Average pairwise distance of clustered data must be far below the
+	// uniform expectation (~sqrt(d/6) for uniform in the unit cube).
+	uni := Uniform(3000, d, 11)
+	if avgDist(pts) > 0.7*avgDist(uni) {
+		t.Errorf("clustered data not clustered: avg dist %v vs uniform %v", avgDist(pts), avgDist(uni))
+	}
+}
+
+func avgDist(pts []vec.Point) float64 {
+	sum, count := 0.0, 0
+	for i := 0; i < len(pts); i += 37 {
+		for j := i + 1; j < len(pts); j += 53 {
+			sum += vec.Dist(pts[i], pts[j])
+			count++
+		}
+	}
+	return sum / float64(count)
+}
+
+func TestFourierBasics(t *testing.T) {
+	const d = 16
+	pts := Fourier(2000, d, 6, 0.15, 3)
+	inUnitCube(t, pts, d)
+	// Fourier descriptors of part families must be clustered relative
+	// to uniform.
+	uni := Uniform(2000, d, 3)
+	if avgDist(pts) > 0.8*avgDist(uni) {
+		t.Errorf("fourier data not correlated: %v vs %v", avgDist(pts), avgDist(uni))
+	}
+	// Dimensions must not be constant (normalization fills [0,1]).
+	for j := 0; j < d; j++ {
+		lo, hi := 1.0, 0.0
+		for _, p := range pts {
+			lo = math.Min(lo, p[j])
+			hi = math.Max(hi, p[j])
+		}
+		if hi-lo < 0.9 {
+			t.Errorf("dimension %d spans only [%v, %v] after normalization", j, lo, hi)
+		}
+	}
+}
+
+// One part family = the heavily clustered CAD-variant workload of
+// Figure 16: most points concentrated in a small region.
+func TestFourierSingleFamilyHighlyClustered(t *testing.T) {
+	const d = 16
+	pts := Fourier(1000, d, 1, 0.05, 9)
+	multi := Fourier(1000, d, 8, 0.15, 9)
+	if avgDist(pts) > avgDist(multi) {
+		t.Errorf("single family (%v) should cluster tighter than 8 families (%v)",
+			avgDist(pts), avgDist(multi))
+	}
+}
+
+func TestTextBasics(t *testing.T) {
+	const d = 16
+	pts := Text(1500, d, 5, 13)
+	inUnitCube(t, pts, d)
+	uni := Uniform(1500, d, 13)
+	if avgDist(pts) > 0.9*avgDist(uni) {
+		t.Errorf("text descriptors not clustered: %v vs %v", avgDist(pts), avgDist(uni))
+	}
+}
+
+func TestQueriesFromData(t *testing.T) {
+	pts := Uniform(500, 4, 17)
+	qs := QueriesFromData(pts, 50, 0.01, 18)
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	inUnitCube(t, qs, 4)
+	// Each query must be near some data point.
+	for _, q := range qs {
+		best := math.Inf(1)
+		for _, p := range pts {
+			if dd := vec.Dist(q, p); dd < best {
+				best = dd
+			}
+		}
+		if best > 0.2 {
+			t.Errorf("query %v is %v away from all data", q, best)
+		}
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"uniform n":        func() { Uniform(-1, 4, 1) },
+		"uniform d":        func() { Uniform(10, 0, 1) },
+		"clustered k":      func() { Clustered(10, 4, 0, 0.1, 1) },
+		"clustered stddev": func() { Clustered(10, 4, 2, 0, 1) },
+		"fourier families": func() { Fourier(10, 4, 0, 0.15, 1) },
+		"fourier jitter":   func() { Fourier(10, 4, 2, 0, 1) },
+		"fourier dims":     func() { Fourier(10, 64, 2, 0.15, 1) },
+		"text topics":      func() { Text(10, 4, 0, 1) },
+		"queries empty":    func() { QueriesFromData(nil, 5, 0.1, 1) },
+		"queries n":        func() { QueriesFromData([]vec.Point{{0.5}}, 0, 0.1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZeroPoints(t *testing.T) {
+	if got := Uniform(0, 4, 1); len(got) != 0 {
+		t.Error("Uniform(0) should be empty")
+	}
+}
+
+func TestDFTMagnitudesKnownSignal(t *testing.T) {
+	// A pure cosine at frequency 2 concentrates its energy in
+	// coefficient k=2.
+	n := 32
+	signal := make([]float64, n)
+	for s := range signal {
+		signal[s] = math.Cos(2 * math.Pi * 2 * float64(s) / float64(n))
+	}
+	mags := dftMagnitudes(signal, 4)
+	// Coefficients are 1-indexed from the fundamental: mags[1] is k=2.
+	if mags[1] < 0.4 {
+		t.Errorf("k=2 magnitude %v too small", mags[1])
+	}
+	for _, k := range []int{0, 2, 3} {
+		if mags[k] > 0.01 {
+			t.Errorf("k=%d magnitude %v should be ~0", k+1, mags[k])
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Arbitrary bytes fed to the dataset readers must never panic.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, Uniform(5, 3, 1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PRSDATA1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pts, err := ReadBinary(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		// A successful parse must round-trip.
+		var out bytes.Buffer
+		if err := WriteBinary(&out, pts); err != nil {
+			t.Fatalf("re-encoding parsed dataset: %v", err)
+		}
+		again, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-parsing: %v", err)
+		}
+		if len(again) != len(pts) {
+			t.Fatalf("round trip changed count: %d vs %d", len(again), len(pts))
+		}
+	})
+}
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1.0,2.0\n3.5,4.5\n")
+	f.Add("")
+	f.Add("abc,def")
+	f.Add("1.0\n2.0,3.0")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		pts, err := ReadCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for i, p := range pts {
+			if len(pts) > 0 && len(p) != len(pts[0]) {
+				t.Fatalf("accepted ragged CSV: row %d", i)
+			}
+		}
+	})
+}

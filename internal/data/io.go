@@ -1,0 +1,164 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"parsearch/internal/vec"
+)
+
+// Dataset serialization: a CSV form for interoperability (one vector per
+// row) and a compact binary form for large generated workloads
+// (magic, dimension, count, little-endian float64 coordinates).
+
+// binaryMagic identifies the binary dataset format.
+const binaryMagic = "PRSDATA1"
+
+// WriteCSV writes one vector per line, coordinates as decimal columns.
+func WriteCSV(w io.Writer, pts []vec.Point) error {
+	cw := csv.NewWriter(w)
+	record := []string(nil)
+	for i, p := range pts {
+		if i == 0 {
+			record = make([]string, len(p))
+		}
+		if len(p) != len(record) {
+			return fmt.Errorf("data: point %d has dimension %d, want %d", i, len(p), len(record))
+		}
+		for j, x := range p {
+			record[j] = strconv.FormatFloat(x, 'g', -1, 64)
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("data: writing CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("data: writing CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV reads vectors written by WriteCSV (or any numeric CSV with one
+// vector per row). All rows must have the same number of columns.
+func ReadCSV(r io.Reader) ([]vec.Point, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validate dimensions ourselves for a clearer error
+	var out []vec.Point
+	dim := -1
+	for row := 1; ; row++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: reading CSV row %d: %w", row, err)
+		}
+		if dim == -1 {
+			dim = len(record)
+			if dim == 0 {
+				return nil, fmt.Errorf("data: CSV row %d is empty", row)
+			}
+		}
+		if len(record) != dim {
+			return nil, fmt.Errorf("data: CSV row %d has %d columns, want %d", row, len(record), dim)
+		}
+		p := make(vec.Point, dim)
+		for j, field := range record {
+			x, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: CSV row %d column %d: %w", row, j+1, err)
+			}
+			p[j] = x
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// WriteBinary writes the compact binary dataset format.
+func WriteBinary(w io.Writer, pts []vec.Point) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("data: writing dataset: %w", err)
+	}
+	dim := 0
+	if len(pts) > 0 {
+		dim = len(pts[0])
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(dim)); err != nil {
+		return fmt.Errorf("data: writing dataset: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(pts))); err != nil {
+		return fmt.Errorf("data: writing dataset: %w", err)
+	}
+	buf := make([]byte, 8*dim)
+	for i, p := range pts {
+		if len(p) != dim {
+			return fmt.Errorf("data: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+		for j, x := range p {
+			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(x))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("data: writing dataset: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("data: writing dataset: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary reads a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) ([]vec.Point, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("data: reading dataset: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("data: not a dataset file (magic %q)", magic)
+	}
+	var dim uint32
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+		return nil, fmt.Errorf("data: reading dataset: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("data: reading dataset: %w", err)
+	}
+	if count > 0 && (dim == 0 || dim > 4096) {
+		return nil, fmt.Errorf("data: implausible dataset dimension %d", dim)
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("data: implausible dataset size %d", count)
+	}
+	// Grow incrementally rather than trusting the header's count: a
+	// forged count must fail on EOF, not by exhausting memory first.
+	prealloc := count
+	if prealloc > 65536 {
+		prealloc = 65536
+	}
+	out := make([]vec.Point, 0, prealloc)
+	buf := make([]byte, 8*dim)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("data: reading dataset point %d: %w", i, err)
+		}
+		p := make(vec.Point, dim)
+		for j := range p {
+			p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+		out = append(out, p)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("data: trailing bytes after %d points", count)
+	}
+	return out, nil
+}

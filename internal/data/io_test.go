@@ -1,0 +1,108 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parsearch/internal/vec"
+)
+
+func samePoints(a, b []vec.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !vec.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := Uniform(100, 5, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePoints(pts, got) {
+		t.Fatal("CSV round trip lost data")
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty CSV: %v, %v", got, err)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1.0,2.0\n3.0\n")); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1.0,abc\n")); err == nil {
+		t.Error("non-numeric CSV accepted")
+	}
+	ragged := []vec.Point{{1, 2}, {3}}
+	if err := WriteCSV(&bytes.Buffer{}, ragged); err == nil {
+		t.Error("ragged points written")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	pts := Fourier(200, 8, 4, 0.15, 5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePoints(pts, got) {
+		t.Fatal("binary round trip lost data")
+	}
+}
+
+func TestBinaryEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty binary: %v, %v", got, err)
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	pts := Uniform(10, 3, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(full[:len(full)-5])); err == nil {
+		t.Error("truncated dataset accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(append(append([]byte(nil), full...), 0))); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	ragged := []vec.Point{{1, 2}, {3}}
+	if err := WriteBinary(&bytes.Buffer{}, ragged); err == nil {
+		t.Error("ragged points written")
+	}
+}

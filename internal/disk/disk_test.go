@@ -1,0 +1,211 @@
+package disk
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewArrayValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewArray(0, DefaultParams()) },
+		func() { NewArray(4, Params{Seek: -1}) },
+		func() { NewArray(4, Params{Transfer: -1}) },
+		func() { NewArray(4, Params{Throttle: -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	a := NewArray(4, DefaultParams())
+	if a.Disks() != 4 {
+		t.Errorf("Disks = %d", a.Disks())
+	}
+	if a.Params().Seek != 8*time.Millisecond {
+		t.Errorf("Params = %+v", a.Params())
+	}
+}
+
+func TestReadBatchAccounting(t *testing.T) {
+	p := Params{Seek: 10 * time.Millisecond, Transfer: time.Millisecond}
+	a := NewArray(3, p)
+	refs := []PageRef{
+		{Disk: 0, Blocks: 1},
+		{Disk: 0, Blocks: 2},
+		{Disk: 1, Blocks: 1},
+	}
+	res, err := a.ReadBatch(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerDisk[0] != 3 || res.PerDisk[1] != 1 || res.PerDisk[2] != 0 {
+		t.Errorf("PerDisk = %v", res.PerDisk)
+	}
+	if res.ReadsPerDisk[0] != 2 || res.ReadsPerDisk[1] != 1 {
+		t.Errorf("ReadsPerDisk = %v", res.ReadsPerDisk)
+	}
+	if res.Total != 4 || res.MaxPerDisk != 3 {
+		t.Errorf("Total=%d MaxPerDisk=%d", res.Total, res.MaxPerDisk)
+	}
+	// Disk 0: 2 seeks + 3 transfers = 23ms; disk 1: 1 seek + 1 transfer
+	// = 11ms.
+	if res.ParallelTime != 23*time.Millisecond {
+		t.Errorf("ParallelTime = %v", res.ParallelTime)
+	}
+	if res.SequentialTime != 34*time.Millisecond {
+		t.Errorf("SequentialTime = %v", res.SequentialTime)
+	}
+	if sp := res.Speedup(); sp < 1.47 || sp > 1.48 {
+		t.Errorf("Speedup = %v", sp)
+	}
+}
+
+func TestReadBatchEmpty(t *testing.T) {
+	a := NewArray(2, DefaultParams())
+	res, err := a.ReadBatch(nil)
+	if err != nil || res.Total != 0 || res.Speedup() != 0 {
+		t.Errorf("empty batch: %+v err=%v", res, err)
+	}
+}
+
+func TestReadBatchValidation(t *testing.T) {
+	a := NewArray(2, DefaultParams())
+	for _, refs := range [][]PageRef{
+		{{Disk: 2, Blocks: 1}},
+		{{Disk: -1, Blocks: 1}},
+		{{Disk: 0, Blocks: 0}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("refs %v: expected panic", refs)
+				}
+			}()
+			a.ReadBatch(refs)
+		}()
+	}
+}
+
+func TestLifetimeCounters(t *testing.T) {
+	a := NewArray(2, Params{})
+	a.ReadBatch([]PageRef{{Disk: 0, Blocks: 2}, {Disk: 1, Blocks: 1}})
+	a.ReadBatch([]PageRef{{Disk: 0, Blocks: 1}})
+	got := a.TotalReads()
+	if got[0] != 3 || got[1] != 1 {
+		t.Errorf("TotalReads = %v", got)
+	}
+	a.ResetCounters()
+	got = a.TotalReads()
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("after reset: %v", got)
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	a := NewArray(3, Params{})
+	a.Fail(1)
+	if !a.Failed(1) || a.Failed(0) {
+		t.Error("failure flags wrong")
+	}
+	res, err := a.ReadBatch([]PageRef{
+		{Disk: 0, Blocks: 1},
+		{Disk: 1, Blocks: 1},
+	})
+	if err == nil {
+		t.Fatal("batch touching a failed disk must error")
+	}
+	if !errors.Is(err, ErrDiskFailed) {
+		t.Errorf("error %v does not wrap ErrDiskFailed", err)
+	}
+	// The healthy disk still completed its reads.
+	if res.PerDisk[0] != 1 {
+		t.Errorf("healthy disk accounting lost: %v", res.PerDisk)
+	}
+	if res.PerDisk[1] != 0 {
+		t.Errorf("failed disk reported reads: %v", res.PerDisk)
+	}
+	a.Heal(1)
+	if _, err := a.ReadBatch([]PageRef{{Disk: 1, Blocks: 1}}); err != nil {
+		t.Errorf("healed disk still fails: %v", err)
+	}
+}
+
+// Batches from many goroutines must keep counters consistent.
+func TestConcurrentBatches(t *testing.T) {
+	a := NewArray(4, Params{})
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				a.ReadBatch([]PageRef{
+					{Disk: 0, Blocks: 1},
+					{Disk: 1, Blocks: 1},
+					{Disk: 2, Blocks: 1},
+					{Disk: 3, Blocks: 1},
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	for d, c := range a.TotalReads() {
+		if c != workers*perWorker {
+			t.Errorf("disk %d counted %d, want %d", d, c, workers*perWorker)
+		}
+	}
+}
+
+// With throttling, a balanced batch over n disks must finish in roughly
+// 1/n of the sequential time — the goroutines really run in parallel.
+func TestThrottledParallelism(t *testing.T) {
+	p := Params{Seek: 0, Transfer: time.Millisecond, Throttle: 1}
+	const n, pages = 4, 20
+	a := NewArray(n, p)
+	var refs []PageRef
+	for d := 0; d < n; d++ {
+		for i := 0; i < pages; i++ {
+			refs = append(refs, PageRef{Disk: d, Blocks: 1})
+		}
+	}
+	start := time.Now()
+	res, err := a.ReadBatch(refs)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParallelTime != pages*time.Millisecond {
+		t.Errorf("ParallelTime = %v", res.ParallelTime)
+	}
+	// Wall time should be near ParallelTime (20 ms), far below the
+	// 80 ms sequential time. Allow generous scheduling slack.
+	if wall > 60*time.Millisecond {
+		t.Errorf("wall time %v suggests the disks ran sequentially", wall)
+	}
+}
+
+func TestSimulateCost(t *testing.T) {
+	p := Params{Seek: 10 * time.Millisecond, Transfer: 2 * time.Millisecond}
+	if got := p.SimulateCost(3, 5); got != 40*time.Millisecond {
+		t.Errorf("SimulateCost = %v", got)
+	}
+}
+
+func BenchmarkReadBatch16Disks(b *testing.B) {
+	a := NewArray(16, Params{})
+	refs := make([]PageRef, 160)
+	for i := range refs {
+		refs[i] = PageRef{Disk: i % 16, Blocks: 1}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.ReadBatch(refs)
+	}
+}

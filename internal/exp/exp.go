@@ -1,0 +1,178 @@
+// Package exp is the experiment harness: it regenerates every figure of
+// the paper's evaluation (and a set of ablations motivated by its design
+// choices) as numeric series, printed in the same rows the paper plots.
+//
+// Each experiment is registered under a stable id (fig1, fig2, ...,
+// abl-knn, ...); cmd/experiments runs them by id and the repository's
+// benchmark suite wraps them as testing.B benchmarks. See DESIGN.md for
+// the experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// results.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config tunes an experiment run without changing its structure.
+type Config struct {
+	// Scale multiplies the data-set sizes; 1.0 reproduces the standard
+	// configuration, smaller values give quick runs. Must be > 0.
+	Scale float64
+	// Queries is the number of query points averaged per measurement.
+	// Must be >= 1.
+	Queries int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig is the standard configuration used by EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{Scale: 1, Queries: 20, Seed: 42}
+}
+
+func (c Config) validate() {
+	if c.Scale <= 0 {
+		panic(fmt.Sprintf("exp: scale %v", c.Scale))
+	}
+	if c.Queries < 1 {
+		panic(fmt.Sprintf("exp: %d queries", c.Queries))
+	}
+}
+
+// scaled applies the scale factor to a point count, keeping at least 256.
+func (c Config) scaled(n int) int {
+	s := int(float64(n) * c.Scale)
+	if s < 256 {
+		s = 256
+	}
+	return s
+}
+
+// Series is one curve of a figure: y values over x values.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Result is the output of one experiment: a table of series over a
+// common x axis, plus free-form notes.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	X      []float64
+	Series []Series
+	Notes  []string
+}
+
+// Format renders the result as an aligned text table, the harness's
+// equivalent of the paper's plot.
+func (r Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.X) > 0 {
+		fmt.Fprintf(&sb, "%-14s", r.XLabel)
+		for _, s := range r.Series {
+			fmt.Fprintf(&sb, "%14s", s.Name)
+		}
+		sb.WriteByte('\n')
+		for i, x := range r.X {
+			fmt.Fprintf(&sb, "%-14.4g", x)
+			for _, s := range r.Series {
+				if i < len(s.Y) {
+					fmt.Fprintf(&sb, "%14.4g", s.Y[i])
+				} else {
+					fmt.Fprintf(&sb, "%14s", "-")
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// TSV renders the result as tab-separated values with a header row —
+// ready for gnuplot or a spreadsheet.
+func (r Result) TSV() string {
+	var sb strings.Builder
+	sb.WriteString(r.XLabel)
+	for _, s := range r.Series {
+		sb.WriteByte('\t')
+		sb.WriteString(s.Name)
+	}
+	sb.WriteByte('\n')
+	for i, x := range r.X {
+		fmt.Fprintf(&sb, "%g", x)
+		for _, s := range r.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&sb, "\t%g", s.Y[i])
+			} else {
+				sb.WriteString("\t")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Experiment is a registered, runnable reproduction of one paper figure
+// or ablation.
+type Experiment struct {
+	// ID is the stable identifier (fig1, abl-knn, ...).
+	ID string
+	// Figure names the paper figure reproduced ("Figure 12"), or
+	// "ablation".
+	Figure string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment.
+	Run func(Config) Result
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment; duplicate ids are programming errors.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment sorted by id (figures first,
+// then ablations).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		fi := strings.HasPrefix(out[i].ID, "fig")
+		fj := strings.HasPrefix(out[j].ID, "fig")
+		if fi != fj {
+			return fi
+		}
+		if fi && fj {
+			// Numeric order for figN ids.
+			var a, b int
+			fmt.Sscanf(out[i].ID, "fig%d", &a)
+			fmt.Sscanf(out[j].ID, "fig%d", &b)
+			if a != b {
+				return a < b
+			}
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}

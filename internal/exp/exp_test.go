@@ -1,0 +1,366 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg runs every experiment at reduced scale so the suite stays
+// fast; shape assertions hold at this scale too.
+func quickCfg() Config {
+	return Config{Scale: 0.25, Queries: 8, Seed: 7}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	wantFigures := []string{
+		"fig1", "fig2", "fig3", "fig3b", "fig5", "fig7", "fig10",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+	}
+	wantAblations := []string{
+		"abl-knn", "abl-indirect", "abl-fold", "abl-quantile",
+		"abl-costmodel", "abl-supernode", "abl-greedy", "abl-quality",
+		"ext-partialmatch", "ext-throughput", "ext-queueing", "ext-model", "ext-hilbert2d",
+	}
+	for _, id := range append(wantFigures, wantAblations...) {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if got := len(All()); got != len(wantFigures)+len(wantAblations) {
+		t.Errorf("registry has %d experiments, want %d", got, len(wantFigures)+len(wantAblations))
+	}
+	// All() orders figures before ablations, figN numerically.
+	all := All()
+	if all[0].ID != "fig1" || all[1].ID != "fig2" {
+		t.Errorf("ordering wrong: %s, %s first", all[0].ID, all[1].ID)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("fig99"); ok {
+		t.Error("unknown id found")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range []Config{{Scale: 0, Queries: 1}, {Scale: 1, Queries: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v: expected panic", cfg)
+				}
+			}()
+			cfg.validate()
+		}()
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	c := Config{Scale: 0.0001, Queries: 1}
+	if got := c.scaled(100000); got != 256 {
+		t.Errorf("scaled floor = %d, want 256", got)
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	r := Result{
+		ID: "figX", Title: "demo", XLabel: "n",
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "a", Y: []float64{3, 4}}, {Name: "b", Y: []float64{5}}},
+		Notes:  []string{"hello"},
+	}
+	out := r.Format()
+	for _, want := range []string{"figX", "demo", "n", "a", "b", "3", "hello", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Shape assertions per figure, at quick scale.
+
+func TestFig1Shape(t *testing.T) {
+	r := mustRun(t, "fig1", quickCfg())
+	pages := r.Series[0].Y
+	if pages[len(pages)-1] < 4*pages[0] {
+		t.Errorf("page accesses should explode with dimension: %v", pages)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r := mustRun(t, "fig2", quickCfg())
+	nn := r.Series[0].Y
+	//
+
+	// Speed-up grows with disks and stays above 1 from 2 disks on.
+	if nn[len(nn)-1] <= nn[1] {
+		t.Errorf("round-robin speed-up not increasing: %v", nn)
+	}
+	if nn[len(nn)-1] < 2 {
+		t.Errorf("round-robin speed-up at 16 disks too small: %v", nn)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r := mustRun(t, "fig3", quickCfg())
+	nn := r.Series[0].Y
+	if nn[len(nn)-1] <= 1 {
+		t.Errorf("Hilbert should beat round robin at 16 disks: %v", nn)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r := mustRun(t, "fig5", quickCfg())
+	analytic := r.Series[0].Y
+	mc := r.Series[1].Y
+	for i := range analytic {
+		if analytic[i] < 0 || analytic[i] > 1 {
+			t.Fatalf("probability out of range: %v", analytic[i])
+		}
+		if diff := analytic[i] - mc[i]; diff > 0.05 || diff < -0.05 {
+			t.Errorf("Monte Carlo diverges from analytic at x=%v: %v vs %v",
+				r.X[i], mc[i], analytic[i])
+		}
+	}
+	if analytic[len(analytic)-1] < 0.99 {
+		t.Errorf("p(~100) should approach 1: %v", analytic[len(analytic)-1])
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	r := mustRun(t, "fig7", quickCfg())
+	v := r.Series[0].Y
+	// DM, FX, Hilbert must have violations; near-optimal none.
+	for i := 0; i < 3; i++ {
+		if v[i] == 0 {
+			t.Errorf("strategy %d should violate near-optimality", i+1)
+		}
+	}
+	if v[3] != 0 {
+		t.Errorf("near-optimal strategy has %v violations", v[3])
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r := mustRun(t, "fig10", quickCfg())
+	col := r.Series[0].Y
+	lower := r.Series[1].Y
+	upper := r.Series[2].Y
+	for i := range col {
+		if col[i] < lower[i] || col[i] > upper[i] {
+			t.Errorf("staircase out of bounds at d=%v: %v not in [%v, %v]",
+				r.X[i], col[i], lower[i], upper[i])
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r := mustRun(t, "fig12", quickCfg())
+	nn := r.Series[0].Y
+	last := len(nn) - 1
+	if nn[last] <= nn[1] {
+		t.Errorf("near-optimal speed-up not increasing: %v", nn)
+	}
+	if nn[last] < 3 {
+		t.Errorf("near-optimal speed-up at 16 disks too small: %v", nn)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	r := mustRun(t, "fig14", quickCfg())
+	nn := r.Series[0].Y
+	if nn[len(nn)-1] <= 1 {
+		t.Errorf("near-optimal should beat Hilbert on Fourier data at 16 disks: %v", nn)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	r := mustRun(t, "fig16", quickCfg())
+	basic := r.Series[0].Y
+	ext := r.Series[1].Y
+	for i := range basic {
+		if ext[i] >= basic[i] {
+			t.Errorf("recursive declustering should reduce search time at k=%v: %v vs %v",
+				r.X[i], ext[i], basic[i])
+		}
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	r := mustRun(t, "fig17", quickCfg())
+	newT := r.Series[0].Y
+	hilT := r.Series[1].Y
+	for i := range newT {
+		if newT[i] > hilT[i] {
+			t.Errorf("near-optimal slower than Hilbert on text at k=%v: %v vs %v",
+				r.X[i], newT[i], hilT[i])
+		}
+	}
+}
+
+func TestAblKNNShape(t *testing.T) {
+	r := mustRun(t, "abl-knn", quickCfg())
+	hs := r.Series[0].Y
+	rkv := r.Series[1].Y
+	for i := range hs {
+		if hs[i] > rkv[i]+0.5 {
+			t.Errorf("HS read more pages than RKV at d=%v: %v vs %v", r.X[i], hs[i], rkv[i])
+		}
+	}
+}
+
+func TestAblFoldShape(t *testing.T) {
+	r := mustRun(t, "abl-fold", quickCfg())
+	fold := r.Series[0].Y
+	naive := r.Series[1].Y
+	foldTotal, naiveTotal := 0.0, 0.0
+	for i := range fold {
+		foldTotal += fold[i]
+		naiveTotal += naive[i]
+	}
+	if foldTotal > naiveTotal {
+		t.Errorf("folding collides more than naive modulo overall: %v vs %v", foldTotal, naiveTotal)
+	}
+}
+
+func TestAblQuantileShape(t *testing.T) {
+	r := mustRun(t, "abl-quantile", quickCfg())
+	mid := r.Series[0].Y
+	quant := r.Series[1].Y
+	if quant[1] >= mid[1] {
+		t.Errorf("quantile splits should reduce the 10-NN bottleneck: %v vs %v", quant[1], mid[1])
+	}
+}
+
+// The remaining experiments are exercised for crash-freedom and sane
+// output; their magnitudes are recorded in EXPERIMENTS.md at full scale.
+func TestRemainingExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	for _, id := range []string{"fig3b", "fig13", "fig15", "abl-indirect", "abl-costmodel", "abl-supernode", "ext-partialmatch", "ext-throughput"} {
+		r := mustRun(t, id, quickCfg())
+		if len(r.X) == 0 || len(r.Series) == 0 {
+			t.Errorf("%s: empty result", id)
+		}
+		for _, s := range r.Series {
+			for _, y := range s.Y {
+				if y < 0 {
+					t.Errorf("%s: negative measurement %v in %s", id, y, s.Name)
+				}
+			}
+		}
+	}
+}
+
+func mustRun(t *testing.T, id string, cfg Config) Result {
+	t.Helper()
+	e, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	return e.Run(cfg)
+}
+
+// The queueing extension must show near-optimal sustaining load at least
+// as well as round robin.
+func TestExtQueueingShape(t *testing.T) {
+	r := mustRun(t, "ext-queueing", quickCfg())
+	if len(r.Series) != 3 {
+		t.Fatalf("%d series", len(r.Series))
+	}
+	newResp := r.Series[0].Y
+	rrResp := r.Series[2].Y
+	last := len(newResp) - 1
+	if newResp[last] > rrResp[last] {
+		t.Errorf("at full load, near-optimal response %v should not exceed RR %v",
+			newResp[last], rrResp[last])
+	}
+	// Responses must grow with load for every strategy.
+	for _, s := range r.Series {
+		if s.Y[last] < s.Y[0] {
+			t.Errorf("%s: response fell with load: %v", s.Name, s.Y)
+		}
+	}
+}
+
+func TestAblGreedyShape(t *testing.T) {
+	r := mustRun(t, "abl-greedy", quickCfg())
+	col := r.Series[0].Y
+	greedy := r.Series[1].Y
+	lower := r.Series[2].Y
+	for i := range col {
+		if col[i] < lower[i] || greedy[i] < lower[i] {
+			t.Errorf("d=%v: a proper coloring cannot use fewer than d+1 colors", r.X[i])
+		}
+	}
+}
+
+func TestExtModelShape(t *testing.T) {
+	r := mustRun(t, "ext-model", quickCfg())
+	measR := r.Series[0].Y
+	modelR := r.Series[1].Y
+	// The model must track the measured radius within a factor of 2 in
+	// low dimensions and never exceed the measured value by much (it
+	// ignores boundary effects, so it underestimates).
+	for i := range measR {
+		if modelR[i] > 2*measR[i]+0.05 {
+			t.Errorf("d=%v: model radius %v far above measured %v", r.X[i], modelR[i], measR[i])
+		}
+	}
+	// Page counts explode with dimension in both curves.
+	measP := r.Series[2].Y
+	if measP[len(measP)-1] < 3*measP[0] {
+		t.Errorf("measured pages did not grow: %v", measP)
+	}
+}
+
+// In 2-d range queries Hilbert must beat DM and FX on average — the
+// design point of [FB 93] that the paper contrasts against.
+func TestExtHilbert2DShape(t *testing.T) {
+	r := mustRun(t, "ext-hilbert2d", quickCfg())
+	hil := r.Series[0].Y
+	dm := r.Series[1].Y
+	fx := r.Series[2].Y
+	hilSum, dmSum, fxSum := 0.0, 0.0, 0.0
+	for i := range hil {
+		hilSum += hil[i]
+		dmSum += dm[i]
+		fxSum += fx[i]
+	}
+	if hilSum > dmSum || hilSum > fxSum {
+		t.Errorf("Hilbert should win 2-d range queries: HIL %v, DM %v, FX %v", hilSum, dmSum, fxSum)
+	}
+}
+
+func TestResultTSV(t *testing.T) {
+	r := Result{
+		XLabel: "disks",
+		X:      []float64{2, 4},
+		Series: []Series{{Name: "a", Y: []float64{1.5, 2.5}}, {Name: "b", Y: []float64{3}}},
+	}
+	got := r.TSV()
+	want := "disks\ta\tb\n2\t1.5\t3\n4\t2.5\t\n"
+	if got != want {
+		t.Errorf("TSV = %q, want %q", got, want)
+	}
+}
+
+func TestAblQualityShape(t *testing.T) {
+	r := mustRun(t, "abl-quality", quickCfg())
+	insOv := r.Series[0].Y
+	blkOv := r.Series[1].Y
+	insFill := r.Series[2].Y
+	blkFill := r.Series[3].Y
+	for i := range insOv {
+		// Both construction paths must keep directory overlap small
+		// (the X-tree's design goal): insert-built via supernodes,
+		// bulk-loaded via volume-minimal cuts.
+		if insOv[i] > 0.1 || blkOv[i] > 0.1 {
+			t.Errorf("d=%v: directory overlap too high: ins %v, bulk %v", r.X[i], insOv[i], blkOv[i])
+		}
+		if insFill[i] < 0.4 || blkFill[i] < 0.4 {
+			t.Errorf("d=%v: storage utilization too low: ins %v, bulk %v", r.X[i], insFill[i], blkFill[i])
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parsearch"
+	"parsearch/internal/core"
+	"parsearch/internal/data"
+	"parsearch/internal/graph"
+	"parsearch/internal/model"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig1", Figure: "Figure 1",
+		Title: "Sequential X-tree NN search degenerates with dimension",
+		Run:   runFig1,
+	})
+	register(Experiment{
+		ID: "fig2", Figure: "Figure 2",
+		Title: "Speed-up of parallel NN search with round-robin declustering",
+		Run:   runFig2,
+	})
+	register(Experiment{
+		ID: "fig3", Figure: "Figure 3 (left)",
+		Title: "Improvement of Hilbert over round robin vs. number of disks",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID: "fig3b", Figure: "Figure 3 (right)",
+		Title: "Improvement of Hilbert over round robin vs. amount of data",
+		Run:   runFig3b,
+	})
+	register(Experiment{
+		ID: "fig5", Figure: "Figure 5",
+		Title: "Probability of a point lying near the data-space surface",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID: "fig7", Figure: "Figure 7",
+		Title: "DM, FX and Hilbert are not near-optimal (d=3 counter-examples)",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID: "fig10", Figure: "Figure 10",
+		Title: "Number of colors required by col (staircase and bounds)",
+		Run:   runFig10,
+	})
+	register(Experiment{
+		ID: "fig12", Figure: "Figure 12",
+		Title: "Speed-up of the near-optimal technique on uniform data",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID: "fig13", Figure: "Figure 13",
+		Title: "Speed-up of near-optimal vs. Hilbert on Fourier points",
+		Run:   runFig13,
+	})
+	register(Experiment{
+		ID: "fig14", Figure: "Figure 14",
+		Title: "Improvement factor over the Hilbert curve (Fourier points)",
+		Run:   runFig14,
+	})
+	register(Experiment{
+		ID: "fig15", Figure: "Figure 15",
+		Title: "Scale-up: search time as data and disks grow together",
+		Run:   runFig15,
+	})
+	register(Experiment{
+		ID: "fig16", Figure: "Figure 16",
+		Title: "Effect of recursive declustering on highly clustered data",
+		Run:   runFig16,
+	})
+	register(Experiment{
+		ID: "fig17", Figure: "Figure 17",
+		Title: "Search time of near-optimal vs. Hilbert on text descriptors",
+		Run:   runFig17,
+	})
+}
+
+// runFig1 measures 1-NN page accesses and simulated search time of a
+// sequential X-tree at constant data size and growing dimension.
+func runFig1(cfg Config) Result {
+	cfg.validate()
+	dims := []int{2, 4, 6, 8, 10, 12, 14, 16}
+	n := cfg.scaled(32768)
+
+	var pages, times Series
+	pages.Name = "pages"
+	times.Name = "time(ms)"
+	x := make([]float64, 0, len(dims))
+	for _, d := range dims {
+		pts := raw(data.Uniform(n, d, cfg.Seed))
+		queries := raw(data.Uniform(cfg.Queries, d, cfg.Seed+1))
+		ix := build(parsearch.Options{Dim: d, Disks: 1}, pts)
+		m := measure(ix, queries, 1)
+		x = append(x, float64(d))
+		pages.Y = append(pages.Y, m.MaxPages)
+		times.Y = append(times.Y, m.ParTimeMS)
+	}
+	return Result{
+		ID: "fig1", Title: "sequential NN search time vs. dimension",
+		XLabel: "dimension", X: x,
+		Series: []Series{pages, times},
+		Notes: []string{
+			fmt.Sprintf("N = %d uniform points, 1 disk, 4-KByte pages", n),
+			"expected shape: super-linear growth with dimension (Figure 1)",
+		},
+	}
+}
+
+// speedupSweep builds the given strategy for every disk count and
+// reports the baseline speed-up for 1-NN and 10-NN.
+func speedupSweep(cfg Config, kind parsearch.Kind, pts, queries [][]float64, quantile bool) Result {
+	nn := Series{Name: "NN"}
+	tenNN := Series{Name: "10-NN"}
+	x := make([]float64, 0, len(diskSweep))
+	for _, disks := range diskSweep {
+		ix := build(parsearch.Options{
+			Dim: len(pts[0]), Disks: disks, Kind: kind,
+			Baseline: true, QuantileSplits: quantile,
+		}, pts)
+		x = append(x, float64(disks))
+		nn.Y = append(nn.Y, measure(ix, queries, 1).Speedup)
+		tenNN.Y = append(tenNN.Y, measure(ix, queries, 10).Speedup)
+	}
+	return Result{
+		XLabel: "disks", X: x,
+		Series: []Series{nn, tenNN},
+	}
+}
+
+func runFig2(cfg Config) Result {
+	cfg.validate()
+	pts, queries := uniformWorkload(cfg)
+	r := speedupSweep(cfg, parsearch.RoundRobin, pts, queries, false)
+	r.ID, r.Title = "fig2", "round-robin speed-up on uniform data"
+	r.Notes = []string{
+		fmt.Sprintf("N = %d uniform points, d = %d", len(pts), uniformDim),
+		"expected shape: increasing but clearly sub-linear speed-up",
+	}
+	return r
+}
+
+func runFig3(cfg Config) Result {
+	cfg.validate()
+	pts, queries := uniformWorkload(cfg)
+	nn := Series{Name: "NN"}
+	tenNN := Series{Name: "10-NN"}
+	var x []float64
+	for _, disks := range []int{2, 4, 8, 16} {
+		hil := build(parsearch.Options{Dim: uniformDim, Disks: disks, Kind: parsearch.Hilbert}, pts)
+		rr := build(parsearch.Options{Dim: uniformDim, Disks: disks, Kind: parsearch.RoundRobin}, pts)
+		x = append(x, float64(disks))
+		nn.Y = append(nn.Y, measure(rr, queries, 1).ParTimeMS/measure(hil, queries, 1).ParTimeMS)
+		tenNN.Y = append(tenNN.Y, measure(rr, queries, 10).ParTimeMS/measure(hil, queries, 10).ParTimeMS)
+	}
+	return Result{
+		ID: "fig3", Title: "improvement factor of Hilbert over round robin",
+		XLabel: "disks", X: x,
+		Series: []Series{nn, tenNN},
+		Notes: []string{
+			fmt.Sprintf("N = %d uniform points, d = %d; factor = RR search time / Hilbert search time", len(pts), uniformDim),
+			"expected shape: factor > 1, growing with the number of disks",
+		},
+	}
+}
+
+func runFig3b(cfg Config) Result {
+	cfg.validate()
+	nn := Series{Name: "NN"}
+	tenNN := Series{Name: "10-NN"}
+	var x []float64
+	for _, base := range []int{32768, 65536, 131072, 262144} {
+		n := cfg.scaled(base)
+		pts := raw(data.Uniform(n, uniformDim, cfg.Seed))
+		queries := raw(data.Uniform(cfg.Queries, uniformDim, cfg.Seed+1))
+		hil := build(parsearch.Options{Dim: uniformDim, Disks: maxDisks, Kind: parsearch.Hilbert}, pts)
+		rr := build(parsearch.Options{Dim: uniformDim, Disks: maxDisks, Kind: parsearch.RoundRobin}, pts)
+		x = append(x, float64(n))
+		nn.Y = append(nn.Y, measure(rr, queries, 1).ParTimeMS/measure(hil, queries, 1).ParTimeMS)
+		tenNN.Y = append(tenNN.Y, measure(rr, queries, 10).ParTimeMS/measure(hil, queries, 10).ParTimeMS)
+	}
+	return Result{
+		ID: "fig3b", Title: "improvement of Hilbert over round robin vs. data size",
+		XLabel: "points", X: x,
+		Series: []Series{nn, tenNN},
+		Notes: []string{
+			fmt.Sprintf("d = %d, %d disks", uniformDim, maxDisks),
+			"expected shape: factor grows with the amount of data",
+		},
+	}
+}
+
+func runFig5(cfg Config) Result {
+	cfg.validate()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	analytic := Series{Name: "analytic"}
+	mc := Series{Name: "montecarlo"}
+	var x []float64
+	const eps = 0.1
+	for d := 2; d <= 100; d += 7 {
+		x = append(x, float64(d))
+		analytic.Y = append(analytic.Y, model.SurfaceProbability(d, eps))
+		hits := 0
+		const trials = 4000
+		for t := 0; t < trials; t++ {
+			near := false
+			for j := 0; j < d; j++ {
+				if v := rng.Float64(); v < eps || v > 1-eps {
+					near = true
+				}
+			}
+			if near {
+				hits++
+			}
+		}
+		mc.Y = append(mc.Y, float64(hits)/trials)
+	}
+	return Result{
+		ID: "fig5", Title: "probability of a point within 0.1 of the surface",
+		XLabel: "dimension", X: x,
+		Series: []Series{analytic, mc},
+		Notes: []string{
+			"p(d) = 1 - (1 - 0.2)^d (Eq. 1); paper: > 97% at d = 16",
+			fmt.Sprintf("p(16) = %.4f", model.SurfaceProbability(16, eps)),
+		},
+	}
+}
+
+func runFig7(cfg Config) Result {
+	cfg.validate()
+	const d = 3
+	n := core.NumColors(d) // 4 disks: enough for a near-optimal declustering
+	strategies := []core.Strategy{
+		core.NewDiskModulo(n),
+		core.NewFX(n),
+		core.MustNewHilbert(d, 1, n),
+		core.NewNearOptimal(d, n),
+	}
+	violations := Series{Name: "violations"}
+	var x []float64
+	notes := []string{fmt.Sprintf("d = %d, %d disks; total neighbor pairs: %d",
+		d, n, 8*3/2+8*3/2)}
+	for i, s := range strategies {
+		vs := core.VerifyNearOptimal(s, d, 0)
+		x = append(x, float64(i+1))
+		violations.Y = append(violations.Y, float64(len(vs)))
+		note := fmt.Sprintf("%d: %-4s %d violations", i+1, s.Name(), len(vs))
+		if len(vs) > 0 {
+			note += " (e.g. " + vs[0].String() + ")"
+		}
+		notes = append(notes, note)
+	}
+	notes = append(notes, "expected: DM, FX, Hilbert > 0 violations (Lemma 1); new = 0 (Lemma 5)")
+	return Result{
+		ID: "fig7", Title: "near-optimality violations of the classic declusterings",
+		XLabel: "strategy", X: x,
+		Series: []Series{violations},
+		Notes:  notes,
+	}
+}
+
+func runFig10(cfg Config) Result {
+	cfg.validate()
+	colors := Series{Name: "col"}
+	lower := Series{Name: "d+1"}
+	upper := Series{Name: "2d"}
+	var x []float64
+	for d := 1; d <= 32; d++ {
+		x = append(x, float64(d))
+		colors.Y = append(colors.Y, float64(core.NumColors(d)))
+		lower.Y = append(lower.Y, float64(core.ColorLowerBound(d)))
+		upper.Y = append(upper.Y, float64(core.ColorUpperBound(d)))
+	}
+	notes := []string{"staircase nextPow2(d+1); optimal up to rounding (Lemma 6)"}
+	for d := 1; d <= 4; d++ {
+		chrom := graph.New(d).ChromaticNumber()
+		notes = append(notes, fmt.Sprintf(
+			"d=%d: exact chromatic number of G_d = %d, staircase = %d",
+			d, chrom, core.NumColors(d)))
+	}
+	return Result{
+		ID: "fig10", Title: "colors required by the coloring function",
+		XLabel: "dimension", X: x,
+		Series: []Series{colors, lower, upper},
+		Notes:  notes,
+	}
+}
+
+func runFig12(cfg Config) Result {
+	cfg.validate()
+	pts, queries := uniformWorkload(cfg)
+	r := speedupSweep(cfg, parsearch.NearOptimal, pts, queries, false)
+	r.ID, r.Title = "fig12", "near-optimal speed-up on uniform data"
+	r.Notes = []string{
+		fmt.Sprintf("N = %d uniform points, d = %d", len(pts), uniformDim),
+		"expected shape: near-linear speed-up for both query types",
+	}
+	return r
+}
+
+func runFig13(cfg Config) Result {
+	cfg.validate()
+	pts, queries := fourierWorkload(cfg, fourierFams, 0.3)
+	newNN := Series{Name: "new NN"}
+	hilNN := Series{Name: "HIL NN"}
+	new10 := Series{Name: "new 10-NN"}
+	hil10 := Series{Name: "HIL 10-NN"}
+	var x []float64
+	for _, disks := range diskSweep {
+		no := build(parsearch.Options{Dim: realDim, Disks: disks, Baseline: true, QuantileSplits: true}, pts)
+		hil := build(parsearch.Options{Dim: realDim, Disks: disks, Kind: parsearch.Hilbert, Baseline: true, QuantileSplits: true}, pts)
+		x = append(x, float64(disks))
+		newNN.Y = append(newNN.Y, measure(no, queries, 1).Speedup)
+		hilNN.Y = append(hilNN.Y, measure(hil, queries, 1).Speedup)
+		new10.Y = append(new10.Y, measure(no, queries, 10).Speedup)
+		hil10.Y = append(hil10.Y, measure(hil, queries, 10).Speedup)
+	}
+	return Result{
+		ID: "fig13", Title: "speed-up on Fourier points: near-optimal vs. Hilbert",
+		XLabel: "disks", X: x,
+		Series: []Series{newNN, hilNN, new10, hil10},
+		Notes: []string{
+			fmt.Sprintf("N = %d Fourier descriptors, d = %d, %d part families, median splits", len(pts), realDim, fourierFams),
+			"expected shape: both increase, new clearly above HIL",
+		},
+	}
+}
+
+func runFig14(cfg Config) Result {
+	cfg.validate()
+	pts, queries := fourierWorkload(cfg, fourierFams, 0.3)
+	nn := Series{Name: "NN"}
+	tenNN := Series{Name: "10-NN"}
+	var x []float64
+	for _, disks := range []int{2, 4, 8, 16} {
+		no := build(parsearch.Options{Dim: realDim, Disks: disks, QuantileSplits: true}, pts)
+		hil := build(parsearch.Options{Dim: realDim, Disks: disks, Kind: parsearch.Hilbert, QuantileSplits: true}, pts)
+		x = append(x, float64(disks))
+		nn.Y = append(nn.Y, measure(hil, queries, 1).ParTimeMS/measure(no, queries, 1).ParTimeMS)
+		tenNN.Y = append(tenNN.Y, measure(hil, queries, 10).ParTimeMS/measure(no, queries, 10).ParTimeMS)
+	}
+	return Result{
+		ID: "fig14", Title: "improvement factor of near-optimal over Hilbert (Fourier)",
+		XLabel: "disks", X: x,
+		Series: []Series{nn, tenNN},
+		Notes: []string{
+			"factor = Hilbert search time / near-optimal search time",
+			"expected shape: grows with the number of disks (paper: up to ~5 at 16 disks)",
+		},
+	}
+}
+
+func runFig15(cfg Config) Result {
+	cfg.validate()
+	unit := cfg.scaled(32768)
+	nn := Series{Name: "NN(ms)"}
+	tenNN := Series{Name: "10-NN(ms)"}
+	var x []float64
+	for _, disks := range []int{2, 4, 8, 16} {
+		n := unit * disks
+		// Growing the database means indexing more distinct parts, not
+		// denser copies of the same parts: scale the family count with
+		// the data so the local density stays comparable.
+		families := fourierFams * disks / 16
+		ps := data.Fourier(n, realDim, families, 0.3, cfg.Seed)
+		pts := raw(ps)
+		queries := raw(data.QueriesFromData(ps, cfg.Queries, queryJitter, cfg.Seed+1))
+		ix := build(parsearch.Options{Dim: realDim, Disks: disks, QuantileSplits: true}, pts)
+		x = append(x, float64(disks))
+		nn.Y = append(nn.Y, measure(ix, queries, 1).ParTimeMS)
+		tenNN.Y = append(tenNN.Y, measure(ix, queries, 10).ParTimeMS)
+	}
+	return Result{
+		ID: "fig15", Title: "scale-up: search time with proportional data and disks",
+		XLabel: "disks", X: x,
+		Series: []Series{nn, tenNN},
+		Notes: []string{
+			fmt.Sprintf("%d Fourier points per disk, d = %d", unit, realDim),
+			"expected shape: roughly constant search time (constant scale-up)",
+		},
+	}
+}
+
+func runFig16(cfg Config) Result {
+	cfg.validate()
+	// A few part families with tiny within-family jitter: variants of a
+	// handful of CAD parts, highly clustered (the workload of the
+	// paper's recursive-declustering experiment).
+	pts, queries := fourierWorkload(cfg, 4, 0.04)
+	basic := build(parsearch.Options{Dim: realDim, Disks: maxDisks}, pts)
+	ext := build(parsearch.Options{
+		Dim: realDim, Disks: maxDisks,
+		QuantileSplits: true, Recursive: true,
+	}, pts)
+
+	basicS := Series{Name: "new(ms)"}
+	extS := Series{Name: "new+ext(ms)"}
+	var x []float64
+	for _, k := range []int{1, 10} {
+		x = append(x, float64(k))
+		basicS.Y = append(basicS.Y, measure(basic, queries, k).ParTimeMS)
+		extS.Y = append(extS.Y, measure(ext, queries, k).ParTimeMS)
+	}
+	imbalance := func(loads []int) float64 {
+		m := 0
+		for _, l := range loads {
+			if l > m {
+				m = l
+			}
+		}
+		return float64(m) * float64(maxDisks) / float64(len(pts))
+	}
+	return Result{
+		ID: "fig16", Title: "recursive declustering on highly clustered CAD variants",
+		XLabel: "k", X: x,
+		Series: []Series{basicS, extS},
+		Notes: []string{
+			fmt.Sprintf("N = %d tightly clustered Fourier points (4 part families), d = %d, %d disks", len(pts), realDim, maxDisks),
+			fmt.Sprintf("load imbalance (max/ideal): basic %.1f, extended %.1f",
+				imbalance(basic.DiskLoads()), imbalance(ext.DiskLoads())),
+			"expected: large search-time reduction (paper: ~3.3x) from the extension",
+		},
+	}
+}
+
+func runFig17(cfg Config) Result {
+	cfg.validate()
+	pts, queries := textWorkload(cfg)
+	no := build(parsearch.Options{Dim: realDim, Disks: maxDisks, QuantileSplits: true}, pts)
+	hil := build(parsearch.Options{Dim: realDim, Disks: maxDisks, Kind: parsearch.Hilbert, QuantileSplits: true}, pts)
+
+	newS := Series{Name: "new(ms)"}
+	hilS := Series{Name: "HIL(ms)"}
+	var x []float64
+	var notes []string
+	for _, k := range []int{1, 10} {
+		mNew := measure(no, queries, k)
+		mHil := measure(hil, queries, k)
+		x = append(x, float64(k))
+		newS.Y = append(newS.Y, mNew.ParTimeMS)
+		hilS.Y = append(hilS.Y, mHil.ParTimeMS)
+		notes = append(notes, fmt.Sprintf("k=%d: improvement factor %.2f", k, mHil.ParTimeMS/mNew.ParTimeMS))
+	}
+	notes = append(notes,
+		fmt.Sprintf("N = %d text descriptors, d = %d, %d disks", len(pts), realDim, maxDisks),
+		"expected: new faster than HIL (paper: factors ~1.8 NN, ~2.0 10-NN)")
+	return Result{
+		ID: "fig17", Title: "text descriptors: near-optimal vs. Hilbert search time",
+		XLabel: "k", X: x,
+		Series: []Series{newS, hilS},
+		Notes:  notes,
+	}
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+
+	"parsearch"
+	"parsearch/internal/data"
+	"parsearch/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ext-queueing", Figure: "extension",
+		Title: "Query-stream queueing: response time vs. arrival rate per strategy",
+		Run:   runExtQueueing,
+	})
+}
+
+// runExtQueueing drives a Poisson query stream through FCFS disk queues
+// (internal/sim) and sweeps the arrival rate: the strategy with the
+// lowest bottleneck demand saturates last. This extends the paper's
+// single-query evaluation toward its future-work goal of
+// throughput-oriented declustering.
+func runExtQueueing(cfg Config) Result {
+	cfg.validate()
+	pts, _ := uniformWorkload(cfg)
+	queries := raw(data.Uniform(16*cfg.Queries, uniformDim, cfg.Seed+1))
+
+	kinds := []parsearch.Kind{parsearch.NearOptimal, parsearch.Hilbert, parsearch.RoundRobin}
+	demands := make([][][]float64, len(kinds))
+	saturation := make([]float64, len(kinds))
+	for i, kind := range kinds {
+		ix := build(parsearch.Options{Dim: uniformDim, Disks: maxDisks, Kind: kind}, pts)
+		d, err := ix.ServiceDemands(queries, 10)
+		if err != nil {
+			panic(fmt.Sprintf("exp: %v", err))
+		}
+		demands[i] = d
+		saturation[i] = sim.SaturationRate(d)
+	}
+
+	// Sweep arrival rates as fractions of the best strategy's
+	// saturation rate.
+	base := saturation[0]
+	series := make([]Series, len(kinds))
+	for i, kind := range kinds {
+		series[i] = Series{Name: string(kind)}
+	}
+	var x []float64
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		rate := base * frac
+		x = append(x, frac)
+		for i := range kinds {
+			s := sim.Run(demands[i], rate, cfg.Seed+7)
+			series[i].Y = append(series[i].Y, s.MeanResponse*1000)
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("N = %d uniform points, d = %d, %d disks, %d 10-NN queries; mean response (ms) vs. arrival rate",
+			len(pts), uniformDim, maxDisks, len(queries)),
+		fmt.Sprintf("x axis: arrival rate as a fraction of the near-optimal strategy's saturation rate (%.1f queries/s)", base),
+	}
+	for i, kind := range kinds {
+		notes = append(notes, fmt.Sprintf("%s saturates at %.1f queries/s", kind, saturation[i]))
+	}
+	notes = append(notes, "expected: near-optimal sustains the highest rate before responses blow up")
+	return Result{
+		ID: "ext-queueing", Title: "mean response time under a Poisson query stream",
+		XLabel: "load", X: x,
+		Series: series,
+		Notes:  notes,
+	}
+}

@@ -1,0 +1,196 @@
+// Package graph implements the disk assignment graph of the paper
+// (Definition 5): vertices are the 2^d quadrant bucket numbers of a
+// d-dimensional data space, and edges connect direct neighbors (bucket
+// numbers differing in one bit) and indirect neighbors (differing in two
+// bits). Declustering is exactly graph coloring on this graph: colors are
+// disks, and a proper coloring is a near-optimal declustering.
+//
+// The package provides the graph construction, proper-coloring
+// verification, a greedy coloring for comparison, and an exact
+// chromatic-number search by backtracking. The exact search is how the
+// paper "verified by enumerating all possible color assignments" that the
+// staircase nextPow2(d+1) is optimal for low dimensions.
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// DiskAssignmentGraph is G_d: an undirected graph on the 2^d bucket
+// numbers with direct and indirect neighborhood edges.
+type DiskAssignmentGraph struct {
+	d   int
+	adj [][]int
+}
+
+// New builds the disk assignment graph for a d-dimensional space. The
+// graph has 2^d vertices and 2^d · (d + d(d-1)/2) / 2 edges, so d must
+// stay small (d <= 20).
+func New(d int) *DiskAssignmentGraph {
+	if d < 1 || d > 20 {
+		panic(fmt.Sprintf("graph: dimension %d outside [1, 20]", d))
+	}
+	n := 1 << uint(d)
+	g := &DiskAssignmentGraph{d: d, adj: make([][]int, n)}
+	degree := d + d*(d-1)/2
+	for v := 0; v < n; v++ {
+		g.adj[v] = make([]int, 0, degree)
+		for i := 0; i < d; i++ {
+			g.adj[v] = append(g.adj[v], v^1<<uint(i))
+			for j := i + 1; j < d; j++ {
+				g.adj[v] = append(g.adj[v], v^1<<uint(i)^1<<uint(j))
+			}
+		}
+	}
+	return g
+}
+
+// Dim returns the dimensionality d of the underlying data space.
+func (g *DiskAssignmentGraph) Dim() int { return g.d }
+
+// NumVertices returns 2^d.
+func (g *DiskAssignmentGraph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *DiskAssignmentGraph) NumEdges() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// Degree returns the degree of every vertex: d direct plus d(d-1)/2
+// indirect neighbors (the graph is vertex-transitive).
+func (g *DiskAssignmentGraph) Degree() int {
+	return g.d + g.d*(g.d-1)/2
+}
+
+// Neighbors returns the adjacency list of v. The slice is shared; callers
+// must not modify it.
+func (g *DiskAssignmentGraph) Neighbors(v int) []int {
+	return g.adj[v]
+}
+
+// Adjacent reports whether u and v are connected, i.e. differ in exactly
+// one or two bits.
+func (g *DiskAssignmentGraph) Adjacent(u, v int) bool {
+	pop := bits.OnesCount(uint(u ^ v))
+	return pop == 1 || pop == 2
+}
+
+// IsProperColoring reports whether the given coloring (one color per
+// vertex) assigns different colors to every pair of adjacent vertices,
+// returning the first conflicting edge otherwise.
+func (g *DiskAssignmentGraph) IsProperColoring(colors []int) (ok bool, u, v int) {
+	if len(colors) != len(g.adj) {
+		panic(fmt.Sprintf("graph: coloring of length %d for %d vertices", len(colors), len(g.adj)))
+	}
+	for a, nbrs := range g.adj {
+		for _, b := range nbrs {
+			if a < b && colors[a] == colors[b] {
+				return false, a, b
+			}
+		}
+	}
+	return true, 0, 0
+}
+
+// GreedyColoring colors vertices in index order with the lowest free
+// color and returns the coloring and the number of colors used. On the
+// disk assignment graph greedy is not optimal in general; it serves as a
+// baseline against the closed-form coloring.
+func (g *DiskAssignmentGraph) GreedyColoring() ([]int, int) {
+	n := len(g.adj)
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	maxColor := 0
+	used := make([]bool, g.Degree()+1)
+	for v := 0; v < n; v++ {
+		for i := range used {
+			used[i] = false
+		}
+		for _, w := range g.adj[v] {
+			if c := colors[w]; c >= 0 && c < len(used) {
+				used[c] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > maxColor {
+			maxColor = c + 1
+		}
+	}
+	return colors, maxColor
+}
+
+// Colorable reports whether the graph has a proper coloring with k colors,
+// searching exhaustively with backtracking and symmetry breaking (vertex 0
+// is pinned to color 0). Exponential; intended for d <= 4, where it
+// finishes quickly.
+func (g *DiskAssignmentGraph) Colorable(k int) bool {
+	if k < 1 {
+		return false
+	}
+	n := len(g.adj)
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	colors[0] = 0
+	var rec func(v, maxUsed int) bool
+	rec = func(v, maxUsed int) bool {
+		if v == n {
+			return true
+		}
+		if colors[v] >= 0 {
+			return rec(v+1, maxUsed)
+		}
+		// Try existing colors plus at most one new color (canonical
+		// order breaks color-permutation symmetry).
+		limit := maxUsed + 1
+		if limit > k-1 {
+			limit = k - 1
+		}
+		for c := 0; c <= limit; c++ {
+			conflict := false
+			for _, w := range g.adj[v] {
+				if colors[w] == c {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			colors[v] = c
+			next := maxUsed
+			if c > maxUsed {
+				next = c
+			}
+			if rec(v+1, next) {
+				return true
+			}
+			colors[v] = -1
+		}
+		return false
+	}
+	return rec(1, 0)
+}
+
+// ChromaticNumber returns the exact chromatic number by trying increasing
+// k starting from the clique-based lower bound d+1. Exponential; intended
+// for d <= 4.
+func (g *DiskAssignmentGraph) ChromaticNumber() int {
+	for k := g.d + 1; ; k++ {
+		if g.Colorable(k) {
+			return k
+		}
+	}
+}

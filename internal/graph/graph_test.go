@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"testing"
+
+	"parsearch/internal/core"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, d := range []int{0, -1, 21} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d): expected panic", d)
+				}
+			}()
+			New(d)
+		}()
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	g := New(3)
+	if g.Dim() != 3 {
+		t.Errorf("Dim = %d", g.Dim())
+	}
+	if g.NumVertices() != 8 {
+		t.Errorf("NumVertices = %d, want 8", g.NumVertices())
+	}
+	// Degree: 3 direct + 3 indirect = 6; edges = 8*6/2 = 24.
+	if g.Degree() != 6 {
+		t.Errorf("Degree = %d, want 6", g.Degree())
+	}
+	if g.NumEdges() != 24 {
+		t.Errorf("NumEdges = %d, want 24", g.NumEdges())
+	}
+	for v := 0; v < 8; v++ {
+		if len(g.Neighbors(v)) != 6 {
+			t.Errorf("vertex %d has %d neighbors", v, len(g.Neighbors(v)))
+		}
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	g := New(4)
+	tests := []struct {
+		u, v int
+		want bool
+	}{
+		{0b0000, 0b0001, true},  // direct
+		{0b0000, 0b0011, true},  // indirect
+		{0b0000, 0b0111, false}, // 3 bits
+		{0b0101, 0b0101, false}, // same vertex
+		{0b1111, 0b1100, true},
+	}
+	for _, tt := range tests {
+		if got := g.Adjacent(tt.u, tt.v); got != tt.want {
+			t.Errorf("Adjacent(%b, %b) = %v", tt.u, tt.v, got)
+		}
+	}
+}
+
+// The coloring function of the paper is a proper coloring of G_d — the
+// graph-theoretic formulation of Lemma 5.
+func TestColIsProperColoring(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		g := New(d)
+		colors := make([]int, g.NumVertices())
+		for v := range colors {
+			colors[v] = core.Col(core.Bucket(v), d)
+		}
+		if ok, u, v := g.IsProperColoring(colors); !ok {
+			t.Errorf("d=%d: col conflicts on edge (%b, %b)", d, u, v)
+		}
+	}
+}
+
+// An all-same coloring must be rejected with a concrete conflict edge.
+func TestIsProperColoringRejects(t *testing.T) {
+	g := New(2)
+	ok, u, v := g.IsProperColoring(make([]int, 4))
+	if ok {
+		t.Fatal("constant coloring accepted")
+	}
+	if !g.Adjacent(u, v) {
+		t.Errorf("reported conflict (%d, %d) not an edge", u, v)
+	}
+}
+
+func TestIsProperColoringLengthPanics(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong coloring length")
+		}
+	}()
+	g.IsProperColoring([]int{0})
+}
+
+func TestGreedyColoringIsProper(t *testing.T) {
+	for d := 1; d <= 7; d++ {
+		g := New(d)
+		colors, k := g.GreedyColoring()
+		if ok, u, v := g.IsProperColoring(colors); !ok {
+			t.Fatalf("d=%d: greedy coloring conflicts on (%b, %b)", d, u, v)
+		}
+		if k < core.ColorLowerBound(d) {
+			t.Errorf("d=%d: greedy used %d colors, below the d+1 lower bound", d, k)
+		}
+		if k > g.Degree()+1 {
+			t.Errorf("d=%d: greedy used %d colors, above degree+1", d, k)
+		}
+	}
+}
+
+// The paper's enumeration claim: for low dimensions the exact chromatic
+// number of G_d equals the staircase nextPow2(d+1). (d=1: 2, d=2: 4,
+// d=3: 4, d=4: 8.)
+func TestChromaticNumberMatchesStaircase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact chromatic search skipped in -short mode")
+	}
+	for d := 1; d <= 4; d++ {
+		g := New(d)
+		got := g.ChromaticNumber()
+		want := core.NumColors(d)
+		if got != want {
+			t.Errorf("d=%d: chromatic number %d, staircase %d", d, got, want)
+		}
+	}
+}
+
+func TestColorableEdgeCases(t *testing.T) {
+	g := New(2)
+	if g.Colorable(0) {
+		t.Error("0 colors cannot color a non-empty graph")
+	}
+	if g.Colorable(3) {
+		t.Error("G_2 is K_4; 3 colors must not suffice")
+	}
+	if !g.Colorable(4) {
+		t.Error("G_2 is K_4; 4 colors suffice")
+	}
+}
+
+// G_2 is the complete graph K_4 (all four quadrants are pairwise direct or
+// indirect neighbors).
+func TestG2IsComplete(t *testing.T) {
+	g := New(2)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if !g.Adjacent(u, v) {
+				t.Errorf("G_2 missing edge (%d, %d)", u, v)
+			}
+		}
+	}
+}
+
+func BenchmarkChromaticNumberD3(b *testing.B) {
+	g := New(3)
+	for i := 0; i < b.N; i++ {
+		if g.ChromaticNumber() != 4 {
+			b.Fatal("wrong chromatic number")
+		}
+	}
+}

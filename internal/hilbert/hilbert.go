@@ -1,0 +1,175 @@
+// Package hilbert implements the d-dimensional Hilbert space-filling curve
+// using Skilling's transpose algorithm (J. Skilling, "Programming the
+// Hilbert curve", AIP Conf. Proc. 707, 2004).
+//
+// The curve underlies the Hilbert declustering baseline of Faloutsos and
+// Bhagwat [FB 93] that the paper compares against: a grid cell
+// (c_0, ..., c_{d-1}) is mapped to disk Hilbert(c_0, ..., c_{d-1}) mod n.
+// For the binary quadrant grid of the paper the curve order is 1 (one bit
+// per dimension), but the implementation supports arbitrary orders so the
+// same package also serves finer grids and point mapping.
+package hilbert
+
+import "fmt"
+
+// Curve is a Hilbert curve over a dim-dimensional grid with 2^order cells
+// per dimension. The total index space is 2^(dim*order), which must fit in
+// a uint64: dim*order <= 64.
+type Curve struct {
+	dim   int
+	order int
+}
+
+// New returns a Hilbert curve for the given dimensionality and order.
+func New(dim, order int) (*Curve, error) {
+	switch {
+	case dim < 1:
+		return nil, fmt.Errorf("hilbert: dimension %d < 1", dim)
+	case order < 1:
+		return nil, fmt.Errorf("hilbert: order %d < 1", order)
+	case dim*order > 64:
+		return nil, fmt.Errorf("hilbert: dim*order = %d exceeds 64 bits", dim*order)
+	}
+	return &Curve{dim: dim, order: order}, nil
+}
+
+// MustNew is New that panics on error, for statically valid parameters.
+func MustNew(dim, order int) *Curve {
+	c, err := New(dim, order)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Dim returns the dimensionality of the curve.
+func (c *Curve) Dim() int { return c.dim }
+
+// Order returns the order (bits per dimension) of the curve.
+func (c *Curve) Order() int { return c.order }
+
+// Size returns the number of cells along each dimension, 2^order.
+func (c *Curve) Size() uint32 { return 1 << uint(c.order) }
+
+// Length returns the total number of cells, 2^(dim*order).
+func (c *Curve) Length() uint64 { return 1 << uint(c.dim*c.order) }
+
+// Encode maps grid coordinates to the Hilbert index. Each coordinate must
+// be < 2^order; Encode panics otherwise (out-of-grid coordinates are a
+// programming error, like an out-of-range slice index).
+func (c *Curve) Encode(coords []uint32) uint64 {
+	if len(coords) != c.dim {
+		panic(fmt.Sprintf("hilbert: Encode with %d coordinates on a %d-dimensional curve", len(coords), c.dim))
+	}
+	x := make([]uint32, c.dim)
+	for i, v := range coords {
+		if v >= c.Size() {
+			panic(fmt.Sprintf("hilbert: coordinate %d = %d exceeds grid size %d", i, v, c.Size()))
+		}
+		x[i] = v
+	}
+	c.axesToTranspose(x)
+	return c.interleave(x)
+}
+
+// Decode maps a Hilbert index back to grid coordinates. The index must be
+// < Length().
+func (c *Curve) Decode(h uint64) []uint32 {
+	if c.dim*c.order < 64 && h >= c.Length() {
+		panic(fmt.Sprintf("hilbert: index %d exceeds curve length %d", h, c.Length()))
+	}
+	x := c.deinterleave(h)
+	c.transposeToAxes(x)
+	return x
+}
+
+// axesToTranspose converts coordinates in place to the "transposed" Hilbert
+// representation (Skilling's inverse undo + Gray encode).
+func (c *Curve) axesToTranspose(x []uint32) {
+	n := c.dim
+	m := uint32(1) << uint(c.order-1)
+
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes converts the transposed representation in place back to
+// coordinates (Skilling's Gray decode + undo excess work).
+func (c *Curve) transposeToAxes(x []uint32) {
+	n := c.dim
+	size := uint32(2) << uint(c.order-1)
+
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+
+	// Undo excess work.
+	for q := uint32(2); q != size; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// interleave packs the transposed representation into a single index: bit
+// j of x[i] (counting from the most significant, j = order-1 .. 0) becomes
+// bit (j*dim + (dim-1-i)) of the result, i.e. the bits of H are distributed
+// round-robin over the x[i], most significant first.
+func (c *Curve) interleave(x []uint32) uint64 {
+	var h uint64
+	for j := c.order - 1; j >= 0; j-- {
+		for i := 0; i < c.dim; i++ {
+			h = h<<1 | uint64((x[i]>>uint(j))&1)
+		}
+	}
+	return h
+}
+
+// deinterleave is the inverse of interleave.
+func (c *Curve) deinterleave(h uint64) []uint32 {
+	x := make([]uint32, c.dim)
+	shift := c.dim*c.order - 1
+	for j := c.order - 1; j >= 0; j-- {
+		for i := 0; i < c.dim; i++ {
+			bit := uint32(h>>uint(shift)) & 1
+			x[i] |= bit << uint(j)
+			shift--
+		}
+	}
+	return x
+}

@@ -1,0 +1,284 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct {
+		dim, order int
+		ok         bool
+	}{
+		{1, 1, true},
+		{2, 16, true},
+		{16, 4, true},
+		{16, 1, true},
+		{0, 1, false},
+		{2, 0, false},
+		{-1, 3, false},
+		{2, -1, false},
+		{33, 2, false}, // 66 bits
+		{64, 1, true},
+		{65, 1, false},
+	} {
+		_, err := New(tc.dim, tc.order)
+		if (err == nil) != tc.ok {
+			t.Errorf("New(%d, %d): err = %v, want ok=%v", tc.dim, tc.order, err, tc.ok)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on invalid parameters")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+func TestAccessors(t *testing.T) {
+	c := MustNew(3, 4)
+	if c.Dim() != 3 || c.Order() != 4 {
+		t.Errorf("Dim/Order = %d/%d", c.Dim(), c.Order())
+	}
+	if c.Size() != 16 {
+		t.Errorf("Size = %d, want 16", c.Size())
+	}
+	if c.Length() != 1<<12 {
+		t.Errorf("Length = %d, want 4096", c.Length())
+	}
+}
+
+func TestEncodePanicsOnBadInput(t *testing.T) {
+	c := MustNew(2, 2)
+	for _, coords := range [][]uint32{
+		{0},       // wrong arity
+		{0, 1, 2}, // wrong arity
+		{4, 0},    // out of grid
+		{0, 100},  // out of grid
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Encode(%v): expected panic", coords)
+				}
+			}()
+			c.Encode(coords)
+		}()
+	}
+}
+
+func TestDecodePanicsOnBadIndex(t *testing.T) {
+	c := MustNew(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decode past curve length should panic")
+		}
+	}()
+	c.Decode(16)
+}
+
+func TestCurveStartsAtOrigin(t *testing.T) {
+	for _, tc := range []struct{ dim, order int }{
+		{1, 4}, {2, 1}, {2, 4}, {3, 2}, {16, 1}, {8, 2},
+	} {
+		c := MustNew(tc.dim, tc.order)
+		coords := c.Decode(0)
+		for i, v := range coords {
+			if v != 0 {
+				t.Errorf("dim=%d order=%d: Decode(0)[%d] = %d, want 0", tc.dim, tc.order, i, v)
+			}
+		}
+		if h := c.Encode(make([]uint32, tc.dim)); h != 0 {
+			t.Errorf("dim=%d order=%d: Encode(origin) = %d, want 0", tc.dim, tc.order, h)
+		}
+	}
+}
+
+// The defining property of the Hilbert curve: consecutive indices map to
+// grid cells that differ by exactly 1 in exactly one coordinate.
+func TestUnitStepAdjacency(t *testing.T) {
+	for _, tc := range []struct{ dim, order int }{
+		{1, 6}, {2, 1}, {2, 4}, {3, 3}, {4, 2}, {5, 2}, {16, 1},
+	} {
+		c := MustNew(tc.dim, tc.order)
+		prev := c.Decode(0)
+		for h := uint64(1); h < c.Length(); h++ {
+			cur := c.Decode(h)
+			diff := 0
+			for i := range cur {
+				d := int64(cur[i]) - int64(prev[i])
+				if d != 0 {
+					diff++
+					if d != 1 && d != -1 {
+						t.Fatalf("dim=%d order=%d: step %d -> %d moves by %d in dim %d",
+							tc.dim, tc.order, h-1, h, d, i)
+					}
+				}
+			}
+			if diff != 1 {
+				t.Fatalf("dim=%d order=%d: step %d -> %d changes %d coordinates, want 1",
+					tc.dim, tc.order, h-1, h, diff)
+			}
+			prev = cur
+		}
+	}
+}
+
+// The curve must be a bijection: decoding every index yields every grid
+// cell exactly once.
+func TestBijection(t *testing.T) {
+	for _, tc := range []struct{ dim, order int }{
+		{2, 3}, {3, 2}, {4, 2}, {10, 1}, {16, 1},
+	} {
+		c := MustNew(tc.dim, tc.order)
+		seen := make(map[string]bool, c.Length())
+		for h := uint64(0); h < c.Length(); h++ {
+			coords := c.Decode(h)
+			key := ""
+			for _, v := range coords {
+				key += string(rune(v)) + ","
+			}
+			if seen[key] {
+				t.Fatalf("dim=%d order=%d: cell %v visited twice", tc.dim, tc.order, coords)
+			}
+			seen[key] = true
+		}
+		if uint64(len(seen)) != c.Length() {
+			t.Fatalf("dim=%d order=%d: visited %d cells, want %d", tc.dim, tc.order, len(seen), c.Length())
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripExhaustive(t *testing.T) {
+	for _, tc := range []struct{ dim, order int }{
+		{1, 8}, {2, 4}, {3, 3}, {4, 2}, {16, 1},
+	} {
+		c := MustNew(tc.dim, tc.order)
+		for h := uint64(0); h < c.Length(); h++ {
+			if got := c.Encode(c.Decode(h)); got != h {
+				t.Fatalf("dim=%d order=%d: Encode(Decode(%d)) = %d", tc.dim, tc.order, h, got)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		dim := 1 + r.Intn(16)
+		maxOrder := 64 / dim
+		if maxOrder > 16 {
+			maxOrder = 16
+		}
+		order := 1 + r.Intn(maxOrder)
+		c := MustNew(dim, order)
+		coords := make([]uint32, dim)
+		for j := range coords {
+			coords[j] = uint32(r.Intn(int(c.Size())))
+		}
+		got := c.Decode(c.Encode(coords))
+		for j := range coords {
+			if got[j] != coords[j] {
+				t.Fatalf("dim=%d order=%d: Decode(Encode(%v)) = %v", dim, order, coords, got)
+			}
+		}
+	}
+}
+
+// Property-based round trip with testing/quick on a fixed curve.
+func TestQuickRoundTrip(t *testing.T) {
+	c := MustNew(4, 8)
+	f := func(a, b, cc, d uint16) bool {
+		coords := []uint32{
+			uint32(a) % c.Size(), uint32(b) % c.Size(),
+			uint32(cc) % c.Size(), uint32(d) % c.Size(),
+		}
+		got := c.Decode(c.Encode(coords))
+		for i := range coords {
+			if got[i] != coords[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Classic 2-d, order-1 curve: the 4 quadrants are visited in a U shape
+// (each consecutive pair is a direct neighbor). With Skilling's convention
+// the visit order is (0,0), (1,0)... verify only the structural property
+// plus that all 4 cells appear.
+func TestTwoDimOrderOne(t *testing.T) {
+	c := MustNew(2, 1)
+	cells := make(map[[2]uint32]uint64)
+	for h := uint64(0); h < 4; h++ {
+		xy := c.Decode(h)
+		cells[[2]uint32{xy[0], xy[1]}] = h
+	}
+	if len(cells) != 4 {
+		t.Fatalf("expected all 4 quadrants, got %v", cells)
+	}
+}
+
+// One-dimensional Hilbert curve degenerates to the identity.
+func TestOneDimIsIdentity(t *testing.T) {
+	c := MustNew(1, 10)
+	for h := uint64(0); h < c.Length(); h += 37 {
+		if got := c.Decode(h)[0]; uint64(got) != h {
+			t.Fatalf("Decode(%d) = %d in 1-d", h, got)
+		}
+	}
+}
+
+func BenchmarkEncode16D(b *testing.B) {
+	c := MustNew(16, 1)
+	coords := make([]uint32, 16)
+	for i := range coords {
+		coords[i] = uint32(i % 2)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Encode(coords)
+	}
+}
+
+func BenchmarkDecode2D16(b *testing.B) {
+	c := MustNew(2, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Decode(uint64(i) % c.Length())
+	}
+}
+
+// Fuzz the curve: any in-range coordinates must round-trip through
+// Encode/Decode, for every dimension/order combination derived from the
+// fuzz input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(4), uint64(123))
+	f.Add(uint8(16), uint8(1), uint64(0xFFFF))
+	f.Fuzz(func(t *testing.T, dRaw, oRaw uint8, coordBits uint64) {
+		dim := 1 + int(dRaw)%16
+		maxOrder := 64 / dim
+		if maxOrder > 16 {
+			maxOrder = 16
+		}
+		order := 1 + int(oRaw)%maxOrder
+		c := MustNew(dim, order)
+		coords := make([]uint32, dim)
+		for i := range coords {
+			coords[i] = uint32(coordBits>>(uint(i)*4)) % c.Size()
+		}
+		got := c.Decode(c.Encode(coords))
+		for i := range coords {
+			if got[i] != coords[i] {
+				t.Fatalf("dim=%d order=%d: %v -> %v", dim, order, coords, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+
+	"parsearch/internal/vec"
+	"parsearch/internal/xtree"
+)
+
+// Browser performs incremental nearest-neighbor ranking ("distance
+// browsing", the second contribution of Hjaltason and Samet [HS 95]): it
+// returns the neighbors of a query point one at a time in increasing
+// distance order, without a k fixed in advance. Interactive similarity
+// search uses this to fetch more results on demand at no extra cost.
+//
+// A Browser holds a single priority queue of nodes and data entries;
+// Next pops entries in globally correct order because a data entry is
+// only emitted once no remaining node could contain anything closer.
+type Browser struct {
+	query  vec.Point
+	metric vec.Metric
+	queue  browseQueue
+	acc    Accounting
+}
+
+// browseItem is either a tree node or a data entry, keyed by (squared)
+// distance.
+type browseItem struct {
+	node   *xtree.Node // nil for data entries
+	entry  xtree.Entry
+	sqDist float64
+}
+
+type browseQueue []browseItem
+
+func (q browseQueue) Len() int { return len(q) }
+func (q browseQueue) Less(i, j int) bool {
+	if q[i].sqDist != q[j].sqDist {
+		return q[i].sqDist < q[j].sqDist
+	}
+	// Entries before nodes at equal distance, then by ID, for
+	// deterministic emission order.
+	in, jn := q[i].node != nil, q[j].node != nil
+	if in != jn {
+		return !in
+	}
+	return q[i].entry.ID < q[j].entry.ID
+}
+func (q browseQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *browseQueue) Push(x interface{}) { *q = append(*q, x.(browseItem)) }
+func (q *browseQueue) Pop() interface{} {
+	old := *q
+	x := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return x
+}
+
+// NewBrowser starts an incremental ranking of the tree's entries around
+// q under the Euclidean metric.
+func NewBrowser(t *xtree.Tree, q vec.Point) *Browser {
+	return NewBrowserMetric(t, q, vec.L2)
+}
+
+// NewBrowserMetric is NewBrowser under an arbitrary Minkowski metric.
+func NewBrowserMetric(t *xtree.Tree, q vec.Point, m vec.Metric) *Browser {
+	if len(q) != t.Config().Dim {
+		panic(fmt.Sprintf("knn: %d-dimensional query on %d-dimensional tree", len(q), t.Config().Dim))
+	}
+	b := &Browser{query: vec.Clone(q), metric: m}
+	if root := t.Root(); root != nil {
+		b.queue = browseQueue{{node: root, sqDist: m.RankMinDist(root.Rect(), q)}}
+	}
+	return b
+}
+
+// Next returns the next-nearest entry and its distance, or false when the
+// ranking is exhausted.
+func (b *Browser) Next() (Result, bool) {
+	for len(b.queue) > 0 {
+		item := heap.Pop(&b.queue).(browseItem)
+		if item.node == nil {
+			return Result{Entry: item.entry, Dist: b.metric.FromRank(item.sqDist)}, true
+		}
+		b.acc.visit(item.node)
+		if item.node.IsLeaf() {
+			for _, e := range item.node.Entries() {
+				heap.Push(&b.queue, browseItem{entry: e, sqDist: b.metric.RankDist(b.query, e.Point)})
+			}
+			continue
+		}
+		for _, c := range item.node.Children() {
+			heap.Push(&b.queue, browseItem{node: c, sqDist: b.metric.RankMinDist(c.Rect(), b.query)})
+		}
+	}
+	return Result{}, false
+}
+
+// Accounting returns the page accesses performed so far.
+func (b *Browser) Accounting() Accounting { return b.acc }

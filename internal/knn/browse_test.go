@@ -1,0 +1,124 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"parsearch/internal/vec"
+	"parsearch/internal/xtree"
+)
+
+func TestBrowserFullRankingMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	const d, n = 4, 800
+	entries := uniformEntries(r, n, d)
+	tree := buildTree(entries, d)
+	q := make(vec.Point, d)
+	for j := range q {
+		q[j] = r.Float64()
+	}
+
+	// Ground truth: all distances sorted.
+	want := make([]float64, n)
+	for i, e := range entries {
+		want[i] = vec.Dist(q, e.Point)
+	}
+	sort.Float64s(want)
+
+	b := NewBrowser(tree, q)
+	for i := 0; i < n; i++ {
+		res, ok := b.Next()
+		if !ok {
+			t.Fatalf("ranking exhausted after %d of %d", i, n)
+		}
+		if math.Abs(res.Dist-want[i]) > 1e-9 {
+			t.Fatalf("rank %d: dist %v, want %v", i, res.Dist, want[i])
+		}
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatal("ranking returned more entries than stored")
+	}
+	if b.Accounting().PageAccesses == 0 {
+		t.Error("no page accesses recorded")
+	}
+}
+
+func TestBrowserMatchesHSPrefix(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	const d, n, k = 8, 2000, 25
+	entries := uniformEntries(r, n, d)
+	tree := buildTree(entries, d)
+	q := make(vec.Point, d)
+	for j := range q {
+		q[j] = r.Float64()
+	}
+	hs, _ := HS(tree, q, k)
+	b := NewBrowser(tree, q)
+	for i := 0; i < k; i++ {
+		res, ok := b.Next()
+		if !ok {
+			t.Fatal("browser exhausted early")
+		}
+		if math.Abs(res.Dist-hs[i].Dist) > 1e-9 {
+			t.Fatalf("rank %d: browser %v vs HS %v", i, res.Dist, hs[i].Dist)
+		}
+	}
+}
+
+// Browsing k entries should not read substantially more pages than a
+// k-NN query for the same k (lazy evaluation).
+func TestBrowserIsLazy(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	const d, n = 8, 5000
+	entries := uniformEntries(r, n, d)
+	tree := buildTree(entries, d)
+	q := make(vec.Point, d)
+	for j := range q {
+		q[j] = r.Float64()
+	}
+	b := NewBrowser(tree, q)
+	b.Next() // only the single nearest neighbor
+	browsePages := b.Accounting().PageAccesses
+	_, acc := HS(tree, q, 1)
+	if browsePages > 2*acc.PageAccesses+2 {
+		t.Errorf("browsing 1 entry read %d pages, HS read %d", browsePages, acc.PageAccesses)
+	}
+}
+
+func TestBrowserEmptyTree(t *testing.T) {
+	tree := xtree.New(xtree.DefaultConfig(2))
+	b := NewBrowser(tree, vec.Point{0.5, 0.5})
+	if _, ok := b.Next(); ok {
+		t.Fatal("empty tree produced a result")
+	}
+}
+
+func TestBrowserDimensionMismatchPanics(t *testing.T) {
+	tree := xtree.New(xtree.DefaultConfig(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBrowser(tree, vec.Point{0.5})
+}
+
+func BenchmarkBrowserTop10(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	entries := uniformEntries(r, 10000, 16)
+	tree := buildTree(entries, 16)
+	q := make(vec.Point, 16)
+	for j := range q {
+		q[j] = r.Float64()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		br := NewBrowser(tree, q)
+		for j := 0; j < 10; j++ {
+			br.Next()
+		}
+	}
+}

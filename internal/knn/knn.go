@@ -1,0 +1,281 @@
+// Package knn implements nearest-neighbor search over the X-tree: the
+// priority-queue algorithm of Hjaltason and Samet [HS 95], which visits
+// partitions ordered by MINDIST and is optimal in the number of pages read
+// (exactly those intersecting the NN-sphere), and the branch-and-bound
+// algorithm of Roussopoulos, Kelley and Vincent [RKV 95] with MINMAXDIST
+// pruning, which the paper applied to the X-tree in [BKK 96]. A linear
+// scan provides ground truth for the tests.
+//
+// All algorithms report page-access accounting, the cost measure of the
+// paper's experiments (a supernode of multiplier s costs s page accesses).
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"parsearch/internal/vec"
+	"parsearch/internal/xtree"
+)
+
+// Result is one neighbor: the stored entry and its Euclidean distance to
+// the query point.
+type Result struct {
+	Entry xtree.Entry
+	Dist  float64
+}
+
+// Accounting counts the I/O a query performed.
+type Accounting struct {
+	// DirAccesses and LeafAccesses count visited directory and leaf
+	// nodes.
+	DirAccesses, LeafAccesses int
+	// PageAccesses counts disk blocks: every visited node costs its
+	// supernode multiplier.
+	PageAccesses int
+}
+
+func (a *Accounting) visit(n *xtree.Node) {
+	if n.IsLeaf() {
+		a.LeafAccesses++
+	} else {
+		a.DirAccesses++
+	}
+	a.PageAccesses += n.Super()
+}
+
+// resultHeap is a max-heap of the k best candidates so far, ordered by
+// squared distance.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// kBest collects the k nearest candidates seen so far, ordered by rank
+// distance (see vec.Metric.RankDist).
+type kBest struct {
+	k      int
+	metric vec.Metric
+	heap   resultHeap
+}
+
+// bound returns the squared distance of the current k-th candidate, or
+// +inf while fewer than k candidates are known.
+func (b *kBest) bound() float64 {
+	if len(b.heap) < b.k {
+		return math.Inf(1)
+	}
+	return b.heap[0].Dist
+}
+
+// offer inserts a candidate if it improves the k-set. dist is squared.
+func (b *kBest) offer(e xtree.Entry, sqDist float64) {
+	if len(b.heap) < b.k {
+		heap.Push(&b.heap, Result{Entry: e, Dist: sqDist})
+		return
+	}
+	if sqDist < b.heap[0].Dist {
+		b.heap[0] = Result{Entry: e, Dist: sqDist}
+		heap.Fix(&b.heap, 0)
+	}
+}
+
+// results returns the collected candidates sorted by increasing distance,
+// with rank distances converted to metric distances.
+func (b *kBest) results() []Result {
+	out := make([]Result, len(b.heap))
+	copy(out, b.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Entry.ID < out[j].Entry.ID
+	})
+	for i := range out {
+		out[i].Dist = b.metric.FromRank(out[i].Dist)
+	}
+	return out
+}
+
+func checkQuery(t *xtree.Tree, q vec.Point, k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("knn: k = %d < 1", k))
+	}
+	if len(q) != t.Config().Dim {
+		panic(fmt.Sprintf("knn: %d-dimensional query on %d-dimensional tree", len(q), t.Config().Dim))
+	}
+}
+
+// nodeItem is a priority-queue element for the HS algorithm.
+type nodeItem struct {
+	node      *xtree.Node
+	sqMinDist float64
+}
+
+type nodeQueue []nodeItem
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].sqMinDist < q[j].sqMinDist }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(nodeItem)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	x := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return x
+}
+
+// HS finds the k nearest neighbors of q under the Euclidean metric with
+// the Hjaltason–Samet priority-queue algorithm: nodes are visited in
+// MINDIST order and the search stops as soon as the next node's MINDIST
+// exceeds the k-th best distance. HS reads exactly the pages whose
+// region intersects the NN-sphere, which makes it the reference
+// algorithm for the paper's page-count experiments.
+func HS(t *xtree.Tree, q vec.Point, k int) ([]Result, Accounting) {
+	return HSMetric(t, q, k, vec.L2)
+}
+
+// HSMetric is HS under an arbitrary Minkowski metric (the NN-"sphere"
+// becomes the metric's ball; the algorithm and its optimality argument
+// carry over unchanged).
+func HSMetric(t *xtree.Tree, q vec.Point, k int, m vec.Metric) ([]Result, Accounting) {
+	checkQuery(t, q, k)
+	var acc Accounting
+	best := kBest{k: k, metric: m}
+	if t.Root() == nil {
+		return nil, acc
+	}
+	pq := nodeQueue{{node: t.Root(), sqMinDist: m.RankMinDist(t.Root().Rect(), q)}}
+	for len(pq) > 0 {
+		item := heap.Pop(&pq).(nodeItem)
+		if item.sqMinDist > best.bound() {
+			break
+		}
+		n := item.node
+		acc.visit(n)
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				best.offer(e, m.RankDist(q, e.Point))
+			}
+			continue
+		}
+		for _, c := range n.Children() {
+			if d := m.RankMinDist(c.Rect(), q); d <= best.bound() {
+				heap.Push(&pq, nodeItem{node: c, sqMinDist: d})
+			}
+		}
+	}
+	return best.results(), acc
+}
+
+// RKV finds the k nearest neighbors with the depth-first branch-and-bound
+// algorithm of Roussopoulos et al.: children are visited in MINDIST order,
+// branches whose MINDIST exceeds the current k-th best distance are
+// pruned, and for k = 1 the MINMAXDIST of each sibling additionally
+// tightens the upper bound before any point has been seen (the pruning
+// rule does not generalize to k > 1, where it is skipped).
+func RKV(t *xtree.Tree, q vec.Point, k int) ([]Result, Accounting) {
+	checkQuery(t, q, k)
+	var acc Accounting
+	best := kBest{k: k, metric: vec.L2}
+	if t.Root() == nil {
+		return nil, acc
+	}
+	var visit func(n *xtree.Node)
+	visit = func(n *xtree.Node) {
+		acc.visit(n)
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				best.offer(e, vec.SqDist(q, e.Point))
+			}
+			return
+		}
+		children := n.Children()
+		type branch struct {
+			node      *xtree.Node
+			sqMinDist float64
+		}
+		abl := make([]branch, 0, len(children))
+		upper := math.Inf(1)
+		for _, c := range children {
+			abl = append(abl, branch{node: c, sqMinDist: c.Rect().SqMinDist(q)})
+			if k == 1 {
+				// MINMAXDIST guarantees a data point within
+				// that distance inside the child MBR.
+				if mm := c.Rect().SqMinMaxDist(q); mm < upper {
+					upper = mm
+				}
+			}
+		}
+		sort.Slice(abl, func(i, j int) bool { return abl[i].sqMinDist < abl[j].sqMinDist })
+		for _, b := range abl {
+			if b.sqMinDist > best.bound() || b.sqMinDist > upper {
+				continue
+			}
+			visit(b.node)
+		}
+	}
+	visit(t.Root())
+	return best.results(), acc
+}
+
+// Linear scans entries directly — the ground truth for correctness tests
+// and the no-index baseline. Ties are broken by entry ID, matching the
+// tree algorithms.
+func Linear(entries []xtree.Entry, q vec.Point, k int) []Result {
+	return LinearMetric(entries, q, k, vec.L2)
+}
+
+// LinearMetric is Linear under an arbitrary Minkowski metric.
+func LinearMetric(entries []xtree.Entry, q vec.Point, k int, m vec.Metric) []Result {
+	if k < 1 {
+		panic(fmt.Sprintf("knn: k = %d < 1", k))
+	}
+	best := kBest{k: k, metric: m}
+	for _, e := range entries {
+		best.offer(e, m.RankDist(q, e.Point))
+	}
+	return best.results()
+}
+
+// SphereLeafPages counts the leaf pages of the tree whose MBR intersects
+// the Euclidean sphere of (non-squared) radius r around q — the pages
+// any NN-algorithm must read (paper §2.1, the NN-sphere). Supernode
+// leaves count their multiplier. The second result is the number of
+// leaves.
+func SphereLeafPages(t *xtree.Tree, q vec.Point, r float64) (pages, leaves int) {
+	return SphereLeafPagesMetric(t, q, r, vec.L2)
+}
+
+// SphereLeafPagesMetric is SphereLeafPages for the metric's ball of
+// radius r.
+func SphereLeafPagesMetric(t *xtree.Tree, q vec.Point, r float64, m vec.Metric) (pages, leaves int) {
+	rank := m.ToRank(r)
+	for _, l := range t.Leaves() {
+		if m.RankMinDist(l.Rect(), q) <= rank {
+			pages += l.Super()
+			leaves++
+		}
+	}
+	return pages, leaves
+}
+
+// KthDistance returns the distance of the k-th nearest neighbor of q, or
+// +inf when the tree holds fewer than k entries. It runs HS.
+func KthDistance(t *xtree.Tree, q vec.Point, k int) float64 {
+	res, _ := HS(t, q, k)
+	if len(res) < k {
+		return math.Inf(1)
+	}
+	return res[k-1].Dist
+}

@@ -1,0 +1,111 @@
+// Package model implements the analytic cost model the paper builds on
+// ([BBKK 97], and Eq. 1 / Figure 5 of the paper itself): the probability
+// mass near the data-space surface, the expected nearest-neighbor
+// distance in high dimensions, and the expected number of page accesses
+// of a nearest-neighbor query — the quantities that motivate
+// parallelizing the search in the first place.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// SurfaceProbability returns the probability that a uniformly distributed
+// point in [0,1]^d lies within eps of the (d-1)-dimensional surface of the
+// data space (Eq. 1): 1 - (1-2·eps)^d. For eps = 0.1 this exceeds 97% at
+// d = 16 — the paper's Figure 5.
+func SurfaceProbability(d int, eps float64) float64 {
+	if d < 1 {
+		panic(fmt.Sprintf("model: dimension %d", d))
+	}
+	if eps < 0 || eps > 0.5 {
+		panic(fmt.Sprintf("model: eps %v outside [0, 0.5]", eps))
+	}
+	return 1 - math.Pow(1-2*eps, float64(d))
+}
+
+// UnitBallVolume returns the volume of the d-dimensional unit ball,
+// π^(d/2) / Γ(d/2 + 1). UnitBallVolume(0) is 1.
+func UnitBallVolume(d int) float64 {
+	if d < 0 {
+		panic(fmt.Sprintf("model: dimension %d", d))
+	}
+	return math.Pow(math.Pi, float64(d)/2) / math.Gamma(float64(d)/2+1)
+}
+
+// ExpectedNNDist returns the expected distance from a query point to its
+// k-th nearest neighbor among n uniform points in [0,1]^d, from the
+// sphere-volume argument of [BBKK 97]: the NN-sphere of radius r contains
+// k points in expectation when n · Vol_d(r) = k, i.e.
+//
+//	r = ( k / (n · UnitBallVolume(d)) )^(1/d).
+//
+// The estimate ignores boundary effects (it underestimates r for large d,
+// where most of the data space is boundary), but captures the paper's
+// core observation: r grows rapidly with d.
+func ExpectedNNDist(n, d, k int) float64 {
+	if n < 1 || k < 1 || k > n {
+		panic(fmt.Sprintf("model: n=%d k=%d", n, k))
+	}
+	if d < 1 {
+		panic(fmt.Sprintf("model: dimension %d", d))
+	}
+	return math.Pow(float64(k)/(float64(n)*UnitBallVolume(d)), 1/float64(d))
+}
+
+// ExpectedPageAccesses estimates how many data pages a k-NN query on n
+// uniform points in [0,1]^d must read when pages hold up to c points and
+// partition the space into cubes of side (c/n)^(1/d): the number of pages
+// whose cell intersects the NN-sphere equals the total number of pages
+// times the Minkowski-sum volume of a cell and the sphere,
+//
+//	accesses = (n/c) · Σ_{i=0..d} C(d,i) · a^(d-i) · V_i · r^i,
+//
+// clamped to the page count. V_i is the i-dimensional unit-ball volume
+// and a the page side. This is the Friedman/BBKK-style estimate behind
+// the paper's Figure 1: the count explodes with d.
+func ExpectedPageAccesses(n, d, k, c int) float64 {
+	if c < 1 {
+		panic(fmt.Sprintf("model: page capacity %d", c))
+	}
+	r := ExpectedNNDist(n, d, k)
+	pages := float64(n) / float64(c)
+	if pages < 1 {
+		pages = 1
+	}
+	a := math.Pow(float64(c)/float64(n), 1/float64(d))
+	if a > 1 {
+		a = 1
+	}
+
+	// Minkowski sum volume of a cube of side a and a ball of radius r.
+	vol := 0.0
+	binom := 1.0 // C(d, i), updated incrementally
+	for i := 0; i <= d; i++ {
+		vol += binom * math.Pow(a, float64(d-i)) * UnitBallVolume(i) * math.Pow(r, float64(i))
+		binom = binom * float64(d-i) / float64(i+1)
+	}
+	accesses := pages * vol
+	if accesses > pages {
+		return pages
+	}
+	if accesses < 1 {
+		return 1
+	}
+	return accesses
+}
+
+// MaxSpeedup returns the best possible speed-up of a parallel
+// nearest-neighbor search with n disks when the query must read p pages:
+// min(n, p) — with fewer pages than disks, some disks idle. The paper's
+// declustering aims to reach this bound.
+func MaxSpeedup(n int, p float64) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("model: %d disks", n))
+	}
+	if p < float64(n) {
+		return p
+	}
+	return float64(n)
+}

@@ -1,0 +1,222 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSurfaceProbabilityKnownValues(t *testing.T) {
+	// Eq. 1 with eps = 0.1: p(d) = 1 - 0.8^d.
+	tests := []struct {
+		d    int
+		want float64
+	}{
+		{1, 0.2},
+		{2, 0.36},
+		{16, 1 - math.Pow(0.8, 16)}, // ≈ 0.9719
+	}
+	for _, tt := range tests {
+		if got := SurfaceProbability(tt.d, 0.1); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("p(%d) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+	// The paper's claim: "more than 97% for a dimensionality of 16".
+	if p := SurfaceProbability(16, 0.1); p < 0.97 {
+		t.Errorf("p(16) = %v, paper says > 0.97", p)
+	}
+}
+
+func TestSurfaceProbabilityMonotone(t *testing.T) {
+	prev := 0.0
+	for d := 1; d <= 100; d++ {
+		p := SurfaceProbability(d, 0.1)
+		if p <= prev || p > 1 {
+			t.Fatalf("p(%d) = %v not increasing in (0,1]", d, p)
+		}
+		prev = p
+	}
+}
+
+func TestSurfaceProbabilityMonteCarlo(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, d := range []int{2, 8, 16} {
+		hits := 0
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			near := false
+			for j := 0; j < d; j++ {
+				x := r.Float64()
+				if x < 0.1 || x > 0.9 {
+					near = true
+				}
+			}
+			if near {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		want := SurfaceProbability(d, 0.1)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("d=%d: Monte Carlo %v vs analytic %v", d, got, want)
+		}
+	}
+}
+
+func TestSurfaceProbabilityValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { SurfaceProbability(0, 0.1) },
+		func() { SurfaceProbability(2, -0.1) },
+		func() { SurfaceProbability(2, 0.6) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUnitBallVolumeKnownValues(t *testing.T) {
+	tests := []struct {
+		d    int
+		want float64
+	}{
+		{0, 1},
+		{1, 2},
+		{2, math.Pi},
+		{3, 4 * math.Pi / 3},
+	}
+	for _, tt := range tests {
+		if got := UnitBallVolume(tt.d); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("V(%d) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+	// Ball volume peaks near d=5 and then decays toward zero.
+	if UnitBallVolume(5) < UnitBallVolume(20) {
+		t.Error("ball volume should decay for large d")
+	}
+}
+
+func TestExpectedNNDistGrowsWithDimension(t *testing.T) {
+	prev := 0.0
+	for _, d := range []int{2, 4, 8, 16, 32} {
+		r := ExpectedNNDist(100000, d, 1)
+		if r <= prev {
+			t.Fatalf("r(%d) = %v did not grow", d, r)
+		}
+		prev = r
+	}
+	// The paper's core fact: at high d the NN-sphere radius is of the
+	// order of the data-space extent even for large n.
+	if r := ExpectedNNDist(100000, 16, 1); r < 0.3 {
+		t.Errorf("r(16) = %v unexpectedly small", r)
+	}
+}
+
+func TestExpectedNNDistMonteCarlo(t *testing.T) {
+	// In d=2 the estimate is accurate (little boundary effect).
+	r := rand.New(rand.NewSource(2))
+	const n, trials = 5000, 200
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{r.Float64(), r.Float64()}
+	}
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		q := [2]float64{0.2 + 0.6*r.Float64(), 0.2 + 0.6*r.Float64()}
+		best := math.Inf(1)
+		for _, p := range pts {
+			d := math.Hypot(q[0]-p[0], q[1]-p[1])
+			if d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	got := sum / trials
+	want := ExpectedNNDist(n, 2, 1)
+	if math.Abs(got-want)/want > 0.3 {
+		t.Errorf("measured mean NN dist %v vs model %v", got, want)
+	}
+}
+
+func TestExpectedNNDistKGrows(t *testing.T) {
+	r1 := ExpectedNNDist(10000, 8, 1)
+	r10 := ExpectedNNDist(10000, 8, 10)
+	if r10 <= r1 {
+		t.Errorf("r_10 %v should exceed r_1 %v", r10, r1)
+	}
+}
+
+func TestExpectedPageAccesses(t *testing.T) {
+	// Page accesses explode with dimension (Figure 1's shape).
+	prev := 0.0
+	for _, d := range []int{2, 4, 8, 16} {
+		a := ExpectedPageAccesses(50000, d, 1, 30)
+		if a < prev {
+			t.Fatalf("accesses fell from %v to %v at d=%d", prev, a, d)
+		}
+		prev = a
+	}
+	// Never more than the page count, never less than 1.
+	if a := ExpectedPageAccesses(50000, 16, 1, 30); a > 50000.0/30+1 {
+		t.Errorf("accesses %v exceed page count", a)
+	}
+	if a := ExpectedPageAccesses(100, 2, 1, 30); a < 1 {
+		t.Errorf("accesses %v below 1", a)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nn n":    func() { ExpectedNNDist(0, 2, 1) },
+		"nn k":    func() { ExpectedNNDist(10, 2, 0) },
+		"nn k>n":  func() { ExpectedNNDist(10, 2, 11) },
+		"nn d":    func() { ExpectedNNDist(10, 0, 1) },
+		"pages c": func() { ExpectedPageAccesses(10, 2, 1, 0) },
+		"ball d":  func() { UnitBallVolume(-1) },
+		"speed n": func() { MaxSpeedup(0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxSpeedup(t *testing.T) {
+	if got := MaxSpeedup(16, 100); got != 16 {
+		t.Errorf("MaxSpeedup = %v", got)
+	}
+	if got := MaxSpeedup(16, 3); got != 3 {
+		t.Errorf("MaxSpeedup with few pages = %v", got)
+	}
+}
+
+// Cross-check the Minkowski-sum binomial recursion against a direct
+// computation for a small case.
+func TestMinkowskiBinomial(t *testing.T) {
+	// d=2, a=0.5, r=0.1: vol = a^2 + 2·a·(2r)/... direct formula:
+	// C(2,0)a²·V0 + C(2,1)a·V1·r + C(2,2)V2·r² with V0=1, V1=2, V2=π.
+	a, r := 0.5, 0.1
+	want := a*a + 2*a*2*r + math.Pi*r*r
+	// Reconstruct via ExpectedPageAccesses: n/c = 4 pages of side 0.5
+	// (n=4c). Pick c so that r matches? Simpler: inline the same loop.
+	vol := 0.0
+	binom := 1.0
+	for i := 0; i <= 2; i++ {
+		vol += binom * math.Pow(a, float64(2-i)) * UnitBallVolume(i) * math.Pow(r, float64(i))
+		binom = binom * float64(2-i) / float64(i+1)
+	}
+	if math.Abs(vol-want) > 1e-12 {
+		t.Errorf("Minkowski volume %v, want %v", vol, want)
+	}
+}

@@ -1,0 +1,189 @@
+package quantile
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestExactKnownValues(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+		{0.125, 1.5},
+	}
+	for _, tt := range tests {
+		if got := Exact(v, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Exact(q=%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestExactSingleValue(t *testing.T) {
+	if got := Exact([]float64{7}, 0.5); got != 7 {
+		t.Errorf("Exact single = %v", got)
+	}
+}
+
+func TestExactDoesNotMutateInput(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Exact(v, 0.5)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Errorf("input mutated: %v", v)
+	}
+}
+
+func TestExactPanics(t *testing.T) {
+	for _, tc := range []struct {
+		vals []float64
+		q    float64
+	}{
+		{nil, 0.5},
+		{[]float64{1}, -0.1},
+		{[]float64{1}, 1.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Exact(%v, %v): expected panic", tc.vals, tc.q)
+				}
+			}()
+			Exact(tc.vals, tc.q)
+		}()
+	}
+}
+
+func TestNewP2Panics(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2(%v): expected panic", q)
+				}
+			}()
+			NewP2(q)
+		}()
+	}
+}
+
+func TestP2Empty(t *testing.T) {
+	p := NewP2(0.5)
+	if p.Value() != 0 || p.Count() != 0 {
+		t.Errorf("empty P2: value=%v count=%d", p.Value(), p.Count())
+	}
+	if p.Target() != 0.5 {
+		t.Errorf("Target = %v", p.Target())
+	}
+}
+
+func TestP2FewObservations(t *testing.T) {
+	p := NewP2(0.5)
+	p.Add(3)
+	p.Add(1)
+	p.Add(2)
+	if got := p.Value(); got != 2 {
+		t.Errorf("median of {1,2,3} = %v, want 2", got)
+	}
+	if p.Count() != 3 {
+		t.Errorf("Count = %d", p.Count())
+	}
+}
+
+// P2 on uniform data should estimate quantiles with small error.
+func TestP2Uniform(t *testing.T) {
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		r := rand.New(rand.NewSource(11))
+		p := NewP2(q)
+		for i := 0; i < 50000; i++ {
+			p.Add(r.Float64())
+		}
+		if got := p.Value(); math.Abs(got-q) > 0.02 {
+			t.Errorf("P2(%v) on uniform = %v, want ~%v", q, got, q)
+		}
+	}
+}
+
+// P2 on a Gaussian should track the exact sample quantile.
+func TestP2Gaussian(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p := NewP2(0.5)
+	var all []float64
+	for i := 0; i < 20000; i++ {
+		x := r.NormFloat64()*2 + 10
+		p.Add(x)
+		all = append(all, x)
+	}
+	exact := Exact(all, 0.5)
+	if math.Abs(p.Value()-exact) > 0.1 {
+		t.Errorf("P2 median = %v, exact = %v", p.Value(), exact)
+	}
+}
+
+// P2 on heavily skewed data (exponential) must still converge.
+func TestP2Exponential(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	p := NewP2(0.5)
+	var all []float64
+	for i := 0; i < 30000; i++ {
+		x := r.ExpFloat64()
+		p.Add(x)
+		all = append(all, x)
+	}
+	exact := Exact(all, 0.5)
+	if math.Abs(p.Value()-exact) > 0.05 {
+		t.Errorf("P2 exp median = %v, exact = %v", p.Value(), exact)
+	}
+}
+
+// The estimate must always lie within the observed range.
+func TestP2WithinRange(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	p := NewP2(0.3)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 1000; i++ {
+		x := r.NormFloat64()
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+		p.Add(x)
+		if v := p.Value(); v < lo-1e-9 || v > hi+1e-9 {
+			t.Fatalf("estimate %v outside observed range [%v, %v] after %d obs", v, lo, hi, i+1)
+		}
+	}
+}
+
+// Exact quantiles of a sorted ramp agree with the closed form; use that to
+// cross-check P2 against Exact on identical streams.
+func TestP2MatchesExactOnPermutedRamp(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = float64(i) / float64(len(vals))
+	}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	p := NewP2(0.25)
+	for _, v := range vals {
+		p.Add(v)
+	}
+	sort.Float64s(vals)
+	exact := Exact(vals, 0.25)
+	if math.Abs(p.Value()-exact) > 0.02 {
+		t.Errorf("P2 = %v, exact = %v", p.Value(), exact)
+	}
+}
+
+func BenchmarkP2Add(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	p := NewP2(0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Add(r.Float64())
+	}
+}

@@ -1,0 +1,136 @@
+// Package sim simulates a stream of similarity queries against the
+// parallel disk array with queueing: queries arrive as a Poisson
+// process, every query puts a service demand on each disk it touches,
+// disks serve first-come-first-served, and a query completes when its
+// slowest share finishes. The paper's conclusion names declustering for
+// *throughput* as future work; this simulator measures exactly that —
+// response times and saturation under load, rather than the single-query
+// search time of the main experiments.
+//
+// Because service demands are known up front and disks are FCFS, the
+// simulation is a single linear pass: per disk, share i starts at
+// max(diskFree, arrival_i).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Stats summarizes one simulated run.
+type Stats struct {
+	// Completed is the number of queries processed.
+	Completed int
+	// MeanResponse, P95Response and MaxResponse are response times in
+	// seconds (completion minus arrival).
+	MeanResponse, P95Response, MaxResponse float64
+	// Throughput is completed queries per second of makespan.
+	Throughput float64
+	// Utilization is the mean busy fraction over all disks during the
+	// makespan.
+	Utilization float64
+	// Makespan is the time until the last query completed, in seconds.
+	Makespan float64
+}
+
+// Run simulates the query stream. demands[i][d] is the service time in
+// seconds query i requires from disk d (0 = disk not touched); arrival
+// times are Poisson with the given rate (queries per second). It panics
+// on invalid input (experiment configurations are static).
+func Run(demands [][]float64, arrivalRate float64, seed int64) Stats {
+	if arrivalRate <= 0 {
+		panic(fmt.Sprintf("sim: arrival rate %v", arrivalRate))
+	}
+	if len(demands) == 0 {
+		return Stats{}
+	}
+	disks := len(demands[0])
+	if disks == 0 {
+		panic("sim: no disks")
+	}
+	for i, q := range demands {
+		if len(q) != disks {
+			panic(fmt.Sprintf("sim: query %d has %d demands, want %d", i, len(q), disks))
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	arrival := 0.0
+	diskFree := make([]float64, disks)
+	busy := make([]float64, disks)
+	responses := make([]float64, 0, len(demands))
+	makespan := 0.0
+
+	for _, q := range demands {
+		arrival += rng.ExpFloat64() / arrivalRate
+		completion := arrival
+		for d, demand := range q {
+			if demand <= 0 {
+				continue
+			}
+			start := math.Max(diskFree[d], arrival)
+			diskFree[d] = start + demand
+			busy[d] += demand
+			if diskFree[d] > completion {
+				completion = diskFree[d]
+			}
+		}
+		responses = append(responses, completion-arrival)
+		if completion > makespan {
+			makespan = completion
+		}
+	}
+
+	stats := Stats{Completed: len(demands), Makespan: makespan}
+	sum := 0.0
+	for _, r := range responses {
+		sum += r
+		if r > stats.MaxResponse {
+			stats.MaxResponse = r
+		}
+	}
+	stats.MeanResponse = sum / float64(len(responses))
+	sort.Float64s(responses)
+	stats.P95Response = responses[(len(responses)*95)/100]
+	if stats.P95Response == 0 && len(responses) > 0 {
+		stats.P95Response = responses[len(responses)-1]
+	}
+	if makespan > 0 {
+		stats.Throughput = float64(len(demands)) / makespan
+		totalBusy := 0.0
+		for _, b := range busy {
+			totalBusy += b
+		}
+		stats.Utilization = totalBusy / (makespan * float64(disks))
+	}
+	return stats
+}
+
+// SaturationRate estimates the highest sustainable arrival rate for the
+// given per-query demands: the reciprocal of the mean per-disk demand of
+// the busiest disk. Beyond this rate the bottleneck disk's queue grows
+// without bound.
+func SaturationRate(demands [][]float64) float64 {
+	if len(demands) == 0 {
+		return math.Inf(1)
+	}
+	disks := len(demands[0])
+	perDisk := make([]float64, disks)
+	for _, q := range demands {
+		for d, v := range q {
+			perDisk[d] += v
+		}
+	}
+	worst := 0.0
+	for _, v := range perDisk {
+		if v > worst {
+			worst = v
+		}
+	}
+	if worst == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(demands)) / worst
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// One query on one disk: response equals its demand.
+func TestSingleQuery(t *testing.T) {
+	s := Run([][]float64{{0.25}}, 1, 1)
+	if s.Completed != 1 {
+		t.Fatalf("Completed = %d", s.Completed)
+	}
+	if math.Abs(s.MeanResponse-0.25) > 1e-12 || math.Abs(s.MaxResponse-0.25) > 1e-12 {
+		t.Errorf("response %v/%v, want 0.25", s.MeanResponse, s.MaxResponse)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := Run(nil, 1, 1)
+	if s.Completed != 0 || s.Throughput != 0 {
+		t.Errorf("empty run: %+v", s)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"rate":    func() { Run([][]float64{{1}}, 0, 1) },
+		"raggedy": func() { Run([][]float64{{1}, {1, 2}}, 1, 1) },
+		"nodisks": func() { Run([][]float64{{}}, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// At a low arrival rate queries rarely queue: mean response approaches
+// the bare demand. At a rate beyond saturation, responses blow up.
+func TestQueueingBehaviour(t *testing.T) {
+	const queries = 2000
+	demands := make([][]float64, queries)
+	for i := range demands {
+		demands[i] = []float64{0.01, 0.01} // 10 ms on each of 2 disks
+	}
+	sat := SaturationRate(demands)
+	if math.Abs(sat-100) > 1e-9 { // 0.01 s per query per disk -> 100/s
+		t.Fatalf("SaturationRate = %v, want 100", sat)
+	}
+
+	light := Run(demands, 10, 7) // 10% load
+	if light.MeanResponse > 0.02 {
+		t.Errorf("light load mean response %v, want near 0.01", light.MeanResponse)
+	}
+	heavy := Run(demands, 300, 7) // 3x overload
+	if heavy.MeanResponse < 10*light.MeanResponse {
+		t.Errorf("overload did not blow up responses: %v vs %v",
+			heavy.MeanResponse, light.MeanResponse)
+	}
+	if heavy.Utilization < 0.9 {
+		t.Errorf("overloaded system should be nearly fully utilized: %v", heavy.Utilization)
+	}
+	if light.Utilization > 0.3 {
+		t.Errorf("light load utilization %v too high", light.Utilization)
+	}
+}
+
+// Balanced demands sustain a higher rate than skewed demands of the same
+// total work — the declustering story in queueing terms.
+func TestBalancedBeatsSkewed(t *testing.T) {
+	const queries = 1000
+	balanced := make([][]float64, queries)
+	skewed := make([][]float64, queries)
+	for i := range balanced {
+		balanced[i] = []float64{0.005, 0.005, 0.005, 0.005} // 20 ms spread
+		skewed[i] = []float64{0.02, 0, 0, 0}                // 20 ms on one disk
+	}
+	if SaturationRate(balanced) <= SaturationRate(skewed) {
+		t.Errorf("balanced saturation %v should exceed skewed %v",
+			SaturationRate(balanced), SaturationRate(skewed))
+	}
+	rate := 60.0
+	b := Run(balanced, rate, 3)
+	s := Run(skewed, rate, 3)
+	if b.MeanResponse >= s.MeanResponse {
+		t.Errorf("balanced response %v should beat skewed %v at rate %v",
+			b.MeanResponse, s.MeanResponse, rate)
+	}
+}
+
+func TestPercentilesOrdered(t *testing.T) {
+	demands := make([][]float64, 500)
+	for i := range demands {
+		demands[i] = []float64{0.001 * float64(1+i%7)}
+	}
+	s := Run(demands, 50, 11)
+	if s.MeanResponse > s.P95Response || s.P95Response > s.MaxResponse {
+		t.Errorf("percentiles out of order: mean %v p95 %v max %v",
+			s.MeanResponse, s.P95Response, s.MaxResponse)
+	}
+}
+
+func TestSaturationRateEdgeCases(t *testing.T) {
+	if !math.IsInf(SaturationRate(nil), 1) {
+		t.Error("no queries should saturate at +inf")
+	}
+	if !math.IsInf(SaturationRate([][]float64{{0, 0}}), 1) {
+		t.Error("zero demands should saturate at +inf")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	demands := make([][]float64, 300)
+	for i := range demands {
+		demands[i] = []float64{0.002, 0.001}
+	}
+	a := Run(demands, 100, 42)
+	b := Run(demands, 100, 42)
+	if a != b {
+		t.Errorf("same seed, different stats: %+v vs %+v", a, b)
+	}
+	c := Run(demands, 100, 43)
+	if a == c {
+		t.Error("different seeds produced identical arrival processes")
+	}
+}

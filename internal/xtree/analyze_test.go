@@ -1,0 +1,93 @@
+package xtree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeEmptyTree(t *testing.T) {
+	a := New(smallConfig(2)).Analyze()
+	if a.Height != 0 || a.LeafNodes != 0 || a.DirNodes != 0 {
+		t.Errorf("empty analysis: %+v", a)
+	}
+}
+
+func TestAnalyzeSingleLeaf(t *testing.T) {
+	tr := New(smallConfig(2))
+	tr.Insert([]float64{0.5, 0.5}, 0)
+	tr.Insert([]float64{0.6, 0.6}, 1)
+	a := tr.Analyze()
+	if a.Height != 1 || a.LeafNodes != 1 || a.DirNodes != 0 {
+		t.Errorf("analysis: %+v", a)
+	}
+	if a.LeafFill != 2.0/8 {
+		t.Errorf("LeafFill = %v, want 0.25", a.LeafFill)
+	}
+}
+
+func TestAnalyzeConsistentWithCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	tr := New(smallConfig(3))
+	for i, p := range uniformPoints(r, 3000, 3) {
+		tr.Insert(p, i)
+	}
+	a := tr.Analyze()
+	dirs, leaves := tr.NodeCount()
+	if a.DirNodes != dirs || a.LeafNodes != leaves {
+		t.Errorf("Analyze counts %d/%d, NodeCount %d/%d", a.DirNodes, a.LeafNodes, dirs, leaves)
+	}
+	if a.Height != tr.Height() {
+		t.Errorf("Height %d vs %d", a.Height, tr.Height())
+	}
+	if a.LeafFill <= 0.2 || a.LeafFill > 1.01 {
+		t.Errorf("implausible leaf fill %v", a.LeafFill)
+	}
+	if a.DirFill <= 0.2 || a.DirFill > 1.01 {
+		t.Errorf("implausible dir fill %v", a.DirFill)
+	}
+	if a.MeanDirOverlap < 0 || a.MeanDirOverlap > 1 {
+		t.Errorf("overlap ratio %v outside [0,1]", a.MeanDirOverlap)
+	}
+	if !strings.Contains(a.String(), "height") {
+		t.Errorf("String() unhelpful: %q", a.String())
+	}
+}
+
+// Supernode accounting: analysis of a 16-dimensional insert-built tree
+// must agree with the tree's stats counters.
+func TestAnalyzeSupernodes(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	tr := New(DefaultConfig(16))
+	for i, p := range uniformPoints(r, 6000, 16) {
+		tr.Insert(p, i)
+	}
+	a := tr.Analyze()
+	if a.SuperBlocks != tr.Stats().Supernodes {
+		t.Errorf("SuperBlocks %d != cumulative supernode extensions %d",
+			a.SuperBlocks, tr.Stats().Supernodes)
+	}
+	if a.Supernodes == 0 && a.SuperBlocks > 0 {
+		t.Error("blocks without supernodes")
+	}
+}
+
+// Bulk-loaded trees over uniform points should have near-zero directory
+// overlap (the volume-minimal partition) and decent fill.
+func TestAnalyzeBulkLoadQuality(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	pts := uniformPoints(r, 5000, 4)
+	entries := make([]Entry, len(pts))
+	for i, p := range pts {
+		entries[i] = Entry{Point: p, ID: i}
+	}
+	tr := New(smallConfig(4))
+	tr.BulkLoad(entries)
+	a := tr.Analyze()
+	if a.MeanDirOverlap > 0.05 {
+		t.Errorf("bulk-loaded overlap %v too high", a.MeanDirOverlap)
+	}
+	if a.LeafFill < 0.4 {
+		t.Errorf("bulk-loaded leaf fill %v too low", a.LeafFill)
+	}
+}

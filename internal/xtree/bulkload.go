@@ -1,0 +1,266 @@
+package xtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"parsearch/internal/vec"
+)
+
+// BulkLoad builds the tree from scratch over the given entries, replacing
+// any previous content. It uses a recursive median partition (a
+// sort-tile-recursive variant): the entry set is repeatedly sorted along
+// the dimension of largest spread and cut at a block-aligned median, which
+// yields leaves with zero overlap; directory levels are built bottom-up
+// the same way over the node centers. Bulk loading is how the experiments
+// construct their per-disk trees.
+//
+// The entries slice is taken over by the tree and reordered; callers must
+// not reuse it.
+func (t *Tree) BulkLoad(entries []Entry) {
+	for _, e := range entries {
+		if len(e.Point) != t.cfg.Dim {
+			panic(fmt.Sprintf("xtree: bulk loading %d-dimensional point into %d-dimensional tree", len(e.Point), t.cfg.Dim))
+		}
+	}
+	t.root = nil
+	t.size = len(entries)
+	t.stats = Stats{}
+	if len(entries) == 0 {
+		return
+	}
+
+	// Build the leaf level.
+	var leaves []*Node
+	t.partitionEntries(entries, t.cfg.LeafCapacity, 0, func(group []Entry, history uint64) {
+		own := make([]Entry, len(group))
+		copy(own, group)
+		n := &Node{leaf: true, entries: own, history: history, super: 1}
+		n.recomputeRect()
+		leaves = append(leaves, n)
+	})
+
+	// Build directory levels bottom-up until a single root remains.
+	level := leaves
+	for len(level) > 1 {
+		var next []*Node
+		t.partitionNodes(level, t.cfg.DirCapacity, 0, func(group []*Node, history uint64) {
+			own := make([]*Node, len(group))
+			copy(own, group)
+			n := &Node{leaf: false, children: own, history: history, super: 1}
+			n.recomputeRect()
+			next = append(next, n)
+		})
+		level = next
+	}
+	t.root = level[0]
+}
+
+// BulkLoadGrouped builds the tree like BulkLoad but with the guarantee
+// that no leaf page spans two of the given groups: each group's entries
+// are partitioned into their own leaves, and only the directory levels
+// are built across groups. The parallel engine uses this to keep every
+// data page inside a single declustering bucket — the storage layout of
+// the paper, where the buckets of the quadrant grid are the storage
+// units. Empty groups are permitted. The group slices are taken over and
+// reordered.
+func (t *Tree) BulkLoadGrouped(groups [][]Entry) {
+	total := 0
+	for _, g := range groups {
+		for _, e := range g {
+			if len(e.Point) != t.cfg.Dim {
+				panic(fmt.Sprintf("xtree: bulk loading %d-dimensional point into %d-dimensional tree", len(e.Point), t.cfg.Dim))
+			}
+		}
+		total += len(g)
+	}
+	t.root = nil
+	t.size = total
+	t.stats = Stats{}
+	if total == 0 {
+		return
+	}
+
+	var leaves []*Node
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		t.partitionEntries(g, t.cfg.LeafCapacity, 0, func(group []Entry, history uint64) {
+			own := make([]Entry, len(group))
+			copy(own, group)
+			n := &Node{leaf: true, entries: own, history: history, super: 1}
+			n.recomputeRect()
+			leaves = append(leaves, n)
+		})
+	}
+	level := leaves
+	for len(level) > 1 {
+		var next []*Node
+		t.partitionNodes(level, t.cfg.DirCapacity, 0, func(group []*Node, history uint64) {
+			own := make([]*Node, len(group))
+			copy(own, group)
+			n := &Node{leaf: false, children: own, history: history, super: 1}
+			n.recomputeRect()
+			next = append(next, n)
+		})
+		level = next
+	}
+	t.root = level[0]
+}
+
+// partitionEntries recursively splits entries into groups of at most cap,
+// cutting along the dimension of largest spread at a block-aligned
+// median. history accumulates the split dimensions, matching the split
+// history maintained by dynamic inserts.
+func (t *Tree) partitionEntries(entries []Entry, cap int, history uint64, emit func([]Entry, uint64)) {
+	if len(entries) <= cap {
+		emit(entries, history)
+		return
+	}
+	dim := widestEntryDim(entries, t.cfg.Dim)
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Point[dim] < entries[j].Point[dim]
+	})
+	cut := bestCut(len(entries), func(i int) vec.Point { return entries[i].Point },
+		func(i int) vec.Point { return entries[i].Point }, t.cfg.Dim)
+	h := history | 1<<uint(dim)
+	t.partitionEntries(entries[:cut], cap, h, emit)
+	t.partitionEntries(entries[cut:], cap, h, emit)
+}
+
+// partitionNodes is partitionEntries over node centers.
+func (t *Tree) partitionNodes(nodes []*Node, cap int, history uint64, emit func([]*Node, uint64)) {
+	if len(nodes) <= cap {
+		emit(nodes, history)
+		return
+	}
+	dim := widestNodeDim(nodes, t.cfg.Dim)
+	sort.Slice(nodes, func(i, j int) bool {
+		ci := nodes[i].rect.Min[dim] + nodes[i].rect.Max[dim]
+		cj := nodes[j].rect.Min[dim] + nodes[j].rect.Max[dim]
+		return ci < cj
+	})
+	cut := bestCut(len(nodes), func(i int) vec.Point { return nodes[i].rect.Min },
+		func(i int) vec.Point { return nodes[i].rect.Max }, t.cfg.Dim)
+	h := history | 1<<uint(dim)
+	t.partitionNodes(nodes[:cut], cap, h, emit)
+	t.partitionNodes(nodes[cut:], cap, h, emit)
+}
+
+// bestCut returns the cut index in the middle 40% of a sorted sequence
+// that minimizes the summed MBR volume of the two sides (ties: closest to
+// the middle). Volume-minimal cuts fall between the data's natural
+// clusters (e.g. quadrant boundaries), keeping page MBRs tight — what a
+// dynamically built R*/X-tree achieves with its overlap-minimizing
+// splits. min and max yield the per-item bounds (identical for points).
+func bestCut(n int, min, max func(i int) vec.Point, d int) int {
+	lo := n * 3 / 10
+	if lo < 1 {
+		lo = 1
+	}
+	hi := n - lo
+	if hi < lo {
+		return n / 2
+	}
+
+	// prefixVol[k] = volume of the MBR of items [0, k); suffixVol[k] =
+	// volume of the MBR of items [k, n).
+	prefixVol := make([]float64, n+1)
+	suffixVol := make([]float64, n+1)
+	runMin := make(vec.Point, d)
+	runMax := make(vec.Point, d)
+
+	copy(runMin, min(0))
+	copy(runMax, max(0))
+	prefixVol[1] = volume(runMin, runMax)
+	for i := 1; i < n; i++ {
+		extend(runMin, runMax, min(i), max(i))
+		prefixVol[i+1] = volume(runMin, runMax)
+	}
+	copy(runMin, min(n-1))
+	copy(runMax, max(n-1))
+	suffixVol[n-1] = volume(runMin, runMax)
+	for i := n - 2; i >= 0; i-- {
+		extend(runMin, runMax, min(i), max(i))
+		suffixVol[i] = volume(runMin, runMax)
+	}
+
+	best, bestVol, bestDist := n/2, math.Inf(1), n
+	for k := lo; k <= hi; k++ {
+		v := prefixVol[k] + suffixVol[k]
+		dist := k - n/2
+		if dist < 0 {
+			dist = -dist
+		}
+		if v < bestVol || (v == bestVol && dist < bestDist) {
+			best, bestVol, bestDist = k, v, dist
+		}
+	}
+	return best
+}
+
+// extend grows the running bounds to cover the item bounds.
+func extend(runMin, runMax, itemMin, itemMax vec.Point) {
+	for j := range runMin {
+		if itemMin[j] < runMin[j] {
+			runMin[j] = itemMin[j]
+		}
+		if itemMax[j] > runMax[j] {
+			runMax[j] = itemMax[j]
+		}
+	}
+}
+
+// volume returns the product of the side lengths.
+func volume(min, max vec.Point) float64 {
+	v := 1.0
+	for j := range min {
+		v *= max[j] - min[j]
+	}
+	return v
+}
+
+// widestEntryDim returns the dimension with the largest coordinate spread.
+func widestEntryDim(entries []Entry, d int) int {
+	best, bestSpread := 0, -1.0
+	for dim := 0; dim < d; dim++ {
+		lo, hi := entries[0].Point[dim], entries[0].Point[dim]
+		for _, e := range entries[1:] {
+			v := e.Point[dim]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if s := hi - lo; s > bestSpread {
+			best, bestSpread = dim, s
+		}
+	}
+	return best
+}
+
+// widestNodeDim returns the dimension with the largest center spread.
+func widestNodeDim(nodes []*Node, d int) int {
+	best, bestSpread := 0, -1.0
+	for dim := 0; dim < d; dim++ {
+		lo := nodes[0].rect.Min[dim] + nodes[0].rect.Max[dim]
+		hi := lo
+		for _, n := range nodes[1:] {
+			v := n.rect.Min[dim] + n.rect.Max[dim]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if s := hi - lo; s > bestSpread {
+			best, bestSpread = dim, s
+		}
+	}
+	return best
+}

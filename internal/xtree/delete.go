@@ -1,0 +1,105 @@
+package xtree
+
+import (
+	"fmt"
+
+	"parsearch/internal/vec"
+)
+
+// Delete removes one entry with the given point and id. It returns false
+// when no such entry exists. Underfull nodes along the path are dissolved
+// and their content reinserted (the classic R-tree condense step), so the
+// tree stays balanced.
+func (t *Tree) Delete(p vec.Point, id int) bool {
+	if t.root == nil {
+		return false
+	}
+	if len(p) != t.cfg.Dim {
+		panic(fmt.Sprintf("xtree: deleting %d-dimensional point from %d-dimensional tree", len(p), t.cfg.Dim))
+	}
+
+	var orphans []Entry
+	removed := t.remove(t.root, p, id, &orphans)
+	if !removed {
+		return false
+	}
+	t.size--
+
+	// Shrink the root: an empty root leaf disappears; a directory root
+	// with a single child is replaced by that child.
+	if t.root.leaf {
+		if len(t.root.entries) == 0 {
+			t.root = nil
+		}
+	} else if len(t.root.children) == 0 {
+		t.root = nil
+	} else {
+		for !t.root.leaf && len(t.root.children) == 1 {
+			t.root = t.root.children[0]
+		}
+	}
+
+	// Reinsert entries orphaned by dissolved nodes.
+	for _, e := range orphans {
+		t.size--
+		t.Insert(e.Point, e.ID)
+	}
+	return true
+}
+
+// remove deletes the entry from the subtree under n. Nodes that underflow
+// are emptied into orphans and removed from their parent by the caller.
+func (t *Tree) remove(n *Node, p vec.Point, id int, orphans *[]Entry) bool {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.ID == id && vec.Equal(e.Point, p) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				if len(n.entries) > 0 {
+					n.recomputeRect()
+				}
+				return true
+			}
+		}
+		return false
+	}
+	for i, c := range n.children {
+		if !c.rect.Contains(p) {
+			continue
+		}
+		if !t.remove(c, p, id, orphans) {
+			continue
+		}
+		if t.underfull(c) {
+			// Dissolve the child: collect its entries for
+			// reinsertion and drop it.
+			collectEntries(c, orphans)
+			n.children = append(n.children[:i], n.children[i+1:]...)
+		}
+		if len(n.children) > 0 {
+			n.recomputeRect()
+		}
+		return true
+	}
+	return false
+}
+
+// underfull reports whether a node has fallen below the minimum fill and
+// should be dissolved. Leaves below half the R* minimum and directory
+// nodes with fewer than two children qualify.
+func (t *Tree) underfull(n *Node) bool {
+	if n.leaf {
+		return len(n.entries) < t.minFillOf(t.cfg.LeafCapacity)/2+1
+	}
+	return len(n.children) < 2
+}
+
+// collectEntries gathers every entry in the subtree under n.
+func collectEntries(n *Node, out *[]Entry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for _, c := range n.children {
+		collectEntries(c, out)
+	}
+}

@@ -1,0 +1,162 @@
+package xtree
+
+import (
+	"fmt"
+
+	"parsearch/internal/vec"
+)
+
+// RangeSearch returns all entries whose points lie inside r (boundary
+// inclusive). The second result is the number of nodes visited, the page
+// access count of the query.
+func (t *Tree) RangeSearch(r vec.Rect) ([]Entry, int) {
+	if t.root == nil {
+		return nil, 0
+	}
+	var out []Entry
+	accesses := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		accesses++
+		if n.leaf {
+			for _, e := range n.entries {
+				if r.Contains(e.Point) {
+					out = append(out, e)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			if c.rect.Intersects(r) {
+				walk(c)
+			}
+		}
+	}
+	if t.root.rect.Intersects(r) {
+		walk(t.root)
+	}
+	return out, accesses
+}
+
+// PointSearch returns the entries stored exactly at p.
+func (t *Tree) PointSearch(p vec.Point) []Entry {
+	out, _ := t.RangeSearch(vec.PointRect(p))
+	return out
+}
+
+// Leaves returns all leaf nodes in depth-first order. The parallel engine
+// uses this to enumerate the data pages of a disk.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.leaf {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	return out
+}
+
+// NodeCount returns the number of directory nodes and leaf nodes.
+func (t *Tree) NodeCount() (dirs, leaves int) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.leaf {
+			leaves++
+			return
+		}
+		dirs++
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	return dirs, leaves
+}
+
+// CheckInvariants verifies the structural invariants of the tree and
+// returns the first violation found, or nil. It is used by the tests
+// after randomized workloads:
+//
+//   - every child MBR is contained in its parent's MBR,
+//   - every node's MBR is the exact MBR of its payload,
+//   - every leaf entry lies inside its leaf's MBR,
+//   - node payloads respect the (supernode-adjusted) capacity,
+//   - all leaves are at the same depth,
+//   - the entry count matches Len().
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		if t.size != 0 {
+			return fmt.Errorf("xtree: empty tree with size %d", t.size)
+		}
+		return nil
+	}
+	leafDepth := -1
+	count := 0
+	var walk func(n *Node, depth int) error
+	walk = func(n *Node, depth int) error {
+		if n.super < 1 {
+			return fmt.Errorf("xtree: node with super %d", n.super)
+		}
+		if n.leaf {
+			if len(n.entries) == 0 {
+				return fmt.Errorf("xtree: empty leaf")
+			}
+			if len(n.entries) > t.leafCap(n) {
+				return fmt.Errorf("xtree: leaf with %d entries exceeds capacity %d", len(n.entries), t.leafCap(n))
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("xtree: leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			exact := mbrOfEntries(n.entries)
+			if !rectsEqual(exact, n.rect) {
+				return fmt.Errorf("xtree: leaf MBR %v is not tight (exact %v)", n.rect, exact)
+			}
+			count += len(n.entries)
+			return nil
+		}
+		if len(n.children) == 0 {
+			return fmt.Errorf("xtree: empty directory node")
+		}
+		if len(n.children) > t.dirCap(n) {
+			return fmt.Errorf("xtree: directory with %d children exceeds capacity %d", len(n.children), t.dirCap(n))
+		}
+		exact := mbrOfNodes(n.children)
+		if !rectsEqual(exact, n.rect) {
+			return fmt.Errorf("xtree: directory MBR %v is not tight (exact %v)", n.rect, exact)
+		}
+		for _, c := range n.children {
+			if !n.rect.ContainsRect(c.rect) {
+				return fmt.Errorf("xtree: child MBR %v escapes parent %v", c.rect, n.rect)
+			}
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("xtree: %d entries found, size says %d", count, t.size)
+	}
+	return nil
+}
+
+// rectsEqual compares rectangles exactly; MBRs are computed from the same
+// float values, so no tolerance is needed.
+func rectsEqual(a, b vec.Rect) bool {
+	return vec.Equal(a.Min, b.Min) && vec.Equal(a.Max, b.Max)
+}

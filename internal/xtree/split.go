@@ -1,0 +1,294 @@
+package xtree
+
+import (
+	"math"
+	"sort"
+
+	"parsearch/internal/vec"
+)
+
+// splitLeaf splits an overfull leaf with the R*-tree topological split and
+// returns the new sibling. Point data always admits a balanced split, so
+// leaves never become supernodes.
+func (t *Tree) splitLeaf(n *Node) *Node {
+	t.stats.Splits++
+	axis, k := t.chooseLeafSplit(n.entries)
+	sortEntriesByAxis(n.entries, axis)
+
+	right := make([]Entry, len(n.entries)-k)
+	copy(right, n.entries[k:])
+	n.entries = n.entries[:k]
+
+	sibling := &Node{leaf: true, entries: right, super: 1}
+	n.history |= 1 << uint(axis)
+	sibling.history = n.history
+	n.recomputeRect()
+	sibling.recomputeRect()
+	return sibling
+}
+
+// chooseLeafSplit implements the R* split for point entries: the split
+// axis minimizes the total margin over all distributions; the split index
+// minimizes overlap (ties: total area).
+func (t *Tree) chooseLeafSplit(entries []Entry) (axis, k int) {
+	n := len(entries)
+	m := t.minFillOf(n)
+
+	bestAxis, bestMargin := 0, math.Inf(1)
+	for a := 0; a < t.cfg.Dim; a++ {
+		sortEntriesByAxis(entries, a)
+		margin := 0.0
+		for s := m; s <= n-m; s++ {
+			margin += mbrOfEntries(entries[:s]).Margin() + mbrOfEntries(entries[s:]).Margin()
+		}
+		if margin < bestMargin {
+			bestAxis, bestMargin = a, margin
+		}
+	}
+
+	sortEntriesByAxis(entries, bestAxis)
+	bestK, bestOverlap, bestArea := m, math.Inf(1), math.Inf(1)
+	for s := m; s <= n-m; s++ {
+		r1 := mbrOfEntries(entries[:s])
+		r2 := mbrOfEntries(entries[s:])
+		ov := r1.OverlapArea(r2)
+		area := r1.Area() + r2.Area()
+		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = s, ov, area
+		}
+	}
+	return bestAxis, bestK
+}
+
+// splitDir splits an overfull directory node. It first tries the R*
+// topological split; if the resulting MBRs overlap more than the X-tree
+// threshold, it tries the overlap-minimal split based on the children's
+// split history; if that split would be unbalanced, the node becomes a
+// supernode instead and no split happens (nil is returned).
+func (t *Tree) splitDir(n *Node) *Node {
+	children := n.children
+
+	// 1. Topological (R*) split.
+	axis, k := t.chooseDirSplit(children)
+	sortNodesByAxis(children, axis)
+	r1 := mbrOfNodes(children[:k])
+	r2 := mbrOfNodes(children[k:])
+
+	if overlapRatio(r1, r2) <= t.cfg.MaxOverlap {
+		t.stats.Splits++
+		return t.finishDirSplit(n, k, axis)
+	}
+
+	// 2. Overlap-minimal split: a dimension along which every child's
+	// region has been split admits a cut position where no child MBR
+	// straddles the cut, i.e. an overlap-free split. The original
+	// algorithm replays the split history tree; equivalently, we scan
+	// the dimensions in the intersection of the children's history
+	// bitmasks for the overlap-free cut closest to the middle. If the
+	// best such cut is unbalanced (one side below MinFanout), the
+	// X-tree refuses to split and extends the node into a supernode.
+	common := ^uint64(0)
+	for _, c := range children {
+		common &= c.history
+	}
+	if dim, cut, ok := bestOverlapFreeCut(children, common, t.cfg.Dim); ok {
+		minSide := int(math.Ceil(t.cfg.MinFanout * float64(len(children))))
+		if cut >= minSide && len(children)-cut >= minSide {
+			t.stats.Splits++
+			t.stats.OverlapMinimalSplits++
+			return t.finishDirSplit(n, cut, dim)
+		}
+	}
+
+	// 3. No good split: extend the node into a (larger) supernode.
+	t.stats.Supernodes++
+	n.super++
+	return nil
+}
+
+// bestOverlapFreeCut searches the dimensions set in the history mask for
+// the overlap-free cut closest to the middle of the children list. A cut
+// at index k along dim is overlap-free when every child MBR lies entirely
+// on one side: max over children[:k] of Max[dim] <= min over children[k:]
+// of Min[dim] after sorting along dim.
+// On success the children are left sorted along the returned dimension,
+// so the caller can cut the slice directly.
+func bestOverlapFreeCut(children []*Node, history uint64, d int) (dim, cut int, ok bool) {
+	n := len(children)
+	bestDist := n + 1
+	for a := 0; a < d; a++ {
+		if history&(1<<uint(a)) == 0 {
+			continue
+		}
+		sortNodesByAxis(children, a)
+		prefixMax := children[0].rect.Max[a]
+		for k := 1; k < n; k++ {
+			if prefixMax <= children[k].rect.Min[a] {
+				dist := k - n/2
+				if dist < 0 {
+					dist = -dist
+				}
+				if dist < bestDist {
+					dim, cut, ok, bestDist = a, k, true, dist
+				}
+			}
+			if children[k].rect.Max[a] > prefixMax {
+				prefixMax = children[k].rect.Max[a]
+			}
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	// Restore the sort order of the winning dimension (the loop may have
+	// finished on another one) and re-verify the cut: sort.Slice is not
+	// stable, so tied keys could reorder; reject the cut in that case
+	// rather than produce an overlapping "overlap-free" split.
+	sortNodesByAxis(children, dim)
+	prefixMax := children[0].rect.Max[dim]
+	for k := 1; k <= cut; k++ {
+		if k == cut {
+			if prefixMax > children[k].rect.Min[dim] {
+				return 0, 0, false
+			}
+			break
+		}
+		if children[k].rect.Max[dim] > prefixMax {
+			prefixMax = children[k].rect.Max[dim]
+		}
+	}
+	return dim, cut, true
+}
+
+// finishDirSplit moves children[k:] into a new sibling and records the
+// split dimension in both histories. Splitting a supernode can leave
+// either side larger than one block, so each side's supernode multiplier
+// is recomputed from its actual size (supernodes shrink back to normal
+// nodes when a split makes that possible).
+func (t *Tree) finishDirSplit(n *Node, k, axis int) *Node {
+	right := make([]*Node, len(n.children)-k)
+	copy(right, n.children[k:])
+	n.children = n.children[:k]
+
+	sibling := &Node{leaf: false, children: right, super: superFor(len(right), t.cfg.DirCapacity)}
+	n.super = superFor(len(n.children), t.cfg.DirCapacity)
+	n.history |= 1 << uint(axis)
+	sibling.history = n.history
+	n.recomputeRect()
+	sibling.recomputeRect()
+	return sibling
+}
+
+// superFor returns the smallest supernode multiplier that fits count
+// children with the given base capacity, at least 1.
+func superFor(count, capacity int) int {
+	s := (count + capacity - 1) / capacity
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// chooseDirSplit is the R* topological split for directory children.
+func (t *Tree) chooseDirSplit(children []*Node) (axis, k int) {
+	n := len(children)
+	m := t.minFillOf(n)
+
+	bestAxis, bestMargin := 0, math.Inf(1)
+	for a := 0; a < t.cfg.Dim; a++ {
+		sortNodesByAxis(children, a)
+		margin := 0.0
+		for s := m; s <= n-m; s++ {
+			margin += mbrOfNodes(children[:s]).Margin() + mbrOfNodes(children[s:]).Margin()
+		}
+		if margin < bestMargin {
+			bestAxis, bestMargin = a, margin
+		}
+	}
+
+	sortNodesByAxis(children, bestAxis)
+	bestK, bestOverlap, bestArea := m, math.Inf(1), math.Inf(1)
+	for s := m; s <= n-m; s++ {
+		r1 := mbrOfNodes(children[:s])
+		r2 := mbrOfNodes(children[s:])
+		ov := r1.OverlapArea(r2)
+		area := r1.Area() + r2.Area()
+		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = s, ov, area
+		}
+	}
+	return bestAxis, bestK
+}
+
+// minFillOf returns the minimum number of items per side when splitting a
+// node that currently holds count items. Deriving it from the actual count
+// rather than the base capacity keeps supernode splits balanced too.
+func (t *Tree) minFillOf(count int) int {
+	m := int(t.cfg.MinFill * float64(count))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// overlapRatio is the X-tree split quality measure: the volume of the
+// intersection relative to the volume of the union of the two MBRs, in
+// [0, 1]. Zero-volume unions (possible with point-degenerate MBRs in some
+// dimensions) count as fully overlapping when the intersection is
+// non-empty in every dimension.
+func overlapRatio(a, b vec.Rect) float64 {
+	union := a.Union(b).Area()
+	if union == 0 {
+		if a.Intersects(b) {
+			return 1
+		}
+		return 0
+	}
+	return a.OverlapArea(b) / union
+}
+
+// recomputeRect rebuilds the node's MBR from its payload.
+func (n *Node) recomputeRect() {
+	if n.leaf {
+		n.rect = mbrOfEntries(n.entries)
+		return
+	}
+	n.rect = mbrOfNodes(n.children)
+}
+
+// mbrOfEntries returns the MBR of the given entries. It panics on an
+// empty slice (empty nodes are removed, never kept).
+func mbrOfEntries(entries []Entry) vec.Rect {
+	r := vec.PointRect(entries[0].Point)
+	for _, e := range entries[1:] {
+		r.Extend(e.Point)
+	}
+	return r
+}
+
+// mbrOfNodes returns the MBR of the given nodes' rectangles.
+func mbrOfNodes(nodes []*Node) vec.Rect {
+	r := nodes[0].rect.Clone()
+	for _, n := range nodes[1:] {
+		r.ExtendRect(n.rect)
+	}
+	return r
+}
+
+// sortEntriesByAxis sorts entries by their coordinate along the axis.
+func sortEntriesByAxis(entries []Entry, axis int) {
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Point[axis] < entries[j].Point[axis]
+	})
+}
+
+// sortNodesByAxis sorts nodes by rectangle center along the axis (R* sorts
+// by lower then upper boundary; for the splits here the center is an
+// equivalent single key).
+func sortNodesByAxis(nodes []*Node, axis int) {
+	sort.Slice(nodes, func(i, j int) bool {
+		ci := nodes[i].rect.Min[axis] + nodes[i].rect.Max[axis]
+		cj := nodes[j].rect.Min[axis] + nodes[j].rect.Max[axis]
+		return ci < cj
+	})
+}

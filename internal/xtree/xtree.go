@@ -1,0 +1,296 @@
+// Package xtree implements the X-tree of Berchtold, Keim and Kriegel
+// (VLDB 1996), the high-dimensional index structure the paper's parallel
+// nearest-neighbor engine is built on.
+//
+// The X-tree is an R*-tree variant that avoids the directory degeneration
+// of high-dimensional R-trees with two mechanisms: an overlap-minimal
+// split that uses the split history of a node's children to find a
+// dimension along which the children can be separated without overlap, and
+// supernodes — directory nodes enlarged to a multiple of the block size —
+// created whenever no good (balanced, low-overlap) split exists.
+//
+// The implementation stores d-dimensional points (the feature vectors of
+// the paper), supports insertion, deletion, bulk loading, range and point
+// queries, and exposes its nodes read-only so the knn package can run the
+// HS and RKV nearest-neighbor algorithms over it while counting page
+// accesses.
+package xtree
+
+import (
+	"fmt"
+
+	"parsearch/internal/vec"
+)
+
+// Entry is a data object stored in the tree: a feature vector and the
+// caller's identifier.
+type Entry struct {
+	Point vec.Point
+	ID    int
+}
+
+// Config controls the shape of the tree. The zero value is not valid; use
+// DefaultConfig or fill every field.
+type Config struct {
+	// Dim is the dimensionality of the indexed points.
+	Dim int
+	// LeafCapacity is the maximum number of entries per (non-super)
+	// leaf node.
+	LeafCapacity int
+	// DirCapacity is the maximum number of children per (non-super)
+	// directory node.
+	DirCapacity int
+	// MinFill is the minimum fill grade of a node after a split, as a
+	// fraction of capacity (R*-tree uses 0.4).
+	MinFill float64
+	// MaxOverlap is the X-tree threshold: if a topological split of a
+	// directory node produces more than this overlap ratio, the
+	// overlap-minimal split is tried and, failing that, a supernode is
+	// created. The X-tree paper derives 0.2 as a good value.
+	MaxOverlap float64
+	// MinFanout is the minimum fraction of children on each side of an
+	// overlap-minimal split for the split to count as balanced
+	// (X-tree paper: 0.35).
+	MinFanout float64
+}
+
+// PageSize is the block size used by the paper's experiments (4 KBytes).
+const PageSize = 4096
+
+// bytesPerCoord is the storage cost of one float64 coordinate.
+const bytesPerCoord = 8
+
+// LeafCapacityForPage returns how many d-dimensional entries fit in a page
+// of the given size (one point plus a 4-byte id each), at least 2.
+func LeafCapacityForPage(d, pageBytes int) int {
+	c := pageBytes / (d*bytesPerCoord + 4)
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// DirCapacityForPage returns how many directory entries (an MBR — two
+// points — plus an 8-byte child pointer) fit in a page, at least 2.
+func DirCapacityForPage(d, pageBytes int) int {
+	c := pageBytes / (2*d*bytesPerCoord + 8)
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// DefaultConfig returns the configuration the experiments use: 4-KByte
+// pages, R* minimum fill 0.4, X-tree overlap threshold 0.2 and minimum
+// fanout 0.35.
+func DefaultConfig(dim int) Config {
+	return Config{
+		Dim:          dim,
+		LeafCapacity: LeafCapacityForPage(dim, PageSize),
+		DirCapacity:  DirCapacityForPage(dim, PageSize),
+		MinFill:      0.4,
+		MaxOverlap:   0.2,
+		MinFanout:    0.35,
+	}
+}
+
+// validate panics on an unusable configuration.
+func (c Config) validate() {
+	switch {
+	case c.Dim < 1:
+		panic(fmt.Sprintf("xtree: dimension %d < 1", c.Dim))
+	case c.LeafCapacity < 2:
+		panic(fmt.Sprintf("xtree: leaf capacity %d < 2", c.LeafCapacity))
+	case c.DirCapacity < 2:
+		panic(fmt.Sprintf("xtree: directory capacity %d < 2", c.DirCapacity))
+	case c.MinFill <= 0 || c.MinFill > 0.5:
+		panic(fmt.Sprintf("xtree: min fill %v outside (0, 0.5]", c.MinFill))
+	case c.MaxOverlap < 0 || c.MaxOverlap > 1:
+		panic(fmt.Sprintf("xtree: max overlap %v outside [0, 1]", c.MaxOverlap))
+	case c.MinFanout <= 0 || c.MinFanout > 0.5:
+		panic(fmt.Sprintf("xtree: min fanout %v outside (0, 0.5]", c.MinFanout))
+	}
+}
+
+// Tree is an X-tree over d-dimensional points.
+type Tree struct {
+	cfg   Config
+	root  *Node
+	size  int
+	stats Stats
+}
+
+// Stats counts structural events since the tree was created.
+type Stats struct {
+	// Splits counts all node splits (topological or overlap-minimal).
+	Splits int
+	// OverlapMinimalSplits counts directory splits that fell back to
+	// the split-history-based algorithm.
+	OverlapMinimalSplits int
+	// Supernodes counts supernode extensions (each extension grows one
+	// node by one block).
+	Supernodes int
+}
+
+// Node is a tree node. Fields are unexported; read-only accessors expose
+// the structure to search algorithms.
+type Node struct {
+	leaf     bool
+	rect     vec.Rect
+	entries  []Entry // leaf payload
+	children []*Node // directory payload
+	history  uint64  // bitmask of dimensions this node's region was split along
+	super    int     // capacity multiplier; 1 = normal node
+}
+
+// IsLeaf reports whether the node stores data entries.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// Rect returns the node's minimum bounding rectangle. Callers must not
+// modify it.
+func (n *Node) Rect() vec.Rect { return n.rect }
+
+// Entries returns the data entries of a leaf (nil for directory nodes).
+// Callers must not modify the slice.
+func (n *Node) Entries() []Entry { return n.entries }
+
+// Children returns the children of a directory node (nil for leaves).
+// Callers must not modify the slice.
+func (n *Node) Children() []*Node { return n.children }
+
+// Super returns the node's supernode multiplier (1 for a normal node; a
+// supernode of multiplier s occupies s disk blocks).
+func (n *Node) Super() int { return n.super }
+
+// New returns an empty X-tree with the given configuration.
+func New(cfg Config) *Tree {
+	cfg.validate()
+	return &Tree{cfg: cfg}
+}
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Root returns the root node, or nil for an empty tree.
+func (t *Tree) Root() *Node { return t.root }
+
+// Stats returns the structural event counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// Height returns the number of levels (0 for an empty tree, 1 for a
+// root-only leaf).
+func (t *Tree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.leaf {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// Insert adds an entry to the tree.
+func (t *Tree) Insert(p vec.Point, id int) {
+	if len(p) != t.cfg.Dim {
+		panic(fmt.Sprintf("xtree: inserting %d-dimensional point into %d-dimensional tree", len(p), t.cfg.Dim))
+	}
+	e := Entry{Point: vec.Clone(p), ID: id}
+	if t.root == nil {
+		t.root = &Node{leaf: true, rect: vec.PointRect(e.Point), entries: []Entry{e}, super: 1}
+		t.size = 1
+		return
+	}
+	if sibling := t.insert(t.root, e); sibling != nil {
+		// Root split: grow the tree by one level.
+		old := t.root
+		t.root = &Node{
+			leaf:     false,
+			rect:     old.rect.Union(sibling.rect),
+			children: []*Node{old, sibling},
+			super:    1,
+		}
+	}
+	t.size++
+}
+
+// insert descends to a leaf, adds the entry, and propagates splits upward.
+// It returns the new sibling if n was split.
+func (t *Tree) insert(n *Node, e Entry) *Node {
+	n.rect.Extend(e.Point)
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.leafCap(n) {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	child := t.chooseSubtree(n, e.Point)
+	if s := t.insert(child, e); s != nil {
+		n.children = append(n.children, s)
+		if len(n.children) > t.dirCap(n) {
+			return t.splitDir(n)
+		}
+	}
+	return nil
+}
+
+// leafCap returns the effective capacity of a leaf node including its
+// supernode multiplier.
+func (t *Tree) leafCap(n *Node) int { return t.cfg.LeafCapacity * n.super }
+
+// dirCap returns the effective capacity of a directory node including its
+// supernode multiplier.
+func (t *Tree) dirCap(n *Node) int { return t.cfg.DirCapacity * n.super }
+
+// chooseSubtree implements the R*-tree descent criterion: among the
+// children of n, pick the one whose MBR needs the least overlap
+// enlargement when the child level is a leaf level, and the least area
+// enlargement otherwise (ties: smaller area).
+func (t *Tree) chooseSubtree(n *Node, p vec.Point) *Node {
+	pr := vec.PointRect(p)
+	childrenAreLeaves := n.children[0].leaf
+
+	best := n.children[0]
+	if childrenAreLeaves {
+		bestOverlapInc := overlapEnlargement(n.children, 0, pr)
+		bestAreaInc := best.rect.Enlargement(pr)
+		for i, c := range n.children[1:] {
+			oi := overlapEnlargement(n.children, i+1, pr)
+			ai := c.rect.Enlargement(pr)
+			if oi < bestOverlapInc ||
+				(oi == bestOverlapInc && ai < bestAreaInc) ||
+				(oi == bestOverlapInc && ai == bestAreaInc && c.rect.Area() < best.rect.Area()) {
+				best, bestOverlapInc, bestAreaInc = c, oi, ai
+			}
+		}
+		return best
+	}
+	bestAreaInc := best.rect.Enlargement(pr)
+	for _, c := range n.children[1:] {
+		ai := c.rect.Enlargement(pr)
+		if ai < bestAreaInc || (ai == bestAreaInc && c.rect.Area() < best.rect.Area()) {
+			best, bestAreaInc = c, ai
+		}
+	}
+	return best
+}
+
+// overlapEnlargement computes how much the overlap of children[i] with its
+// siblings grows when children[i] is extended to cover r.
+func overlapEnlargement(children []*Node, i int, r vec.Rect) float64 {
+	enlarged := children[i].rect.Union(r)
+	var before, after float64
+	for j, c := range children {
+		if j == i {
+			continue
+		}
+		before += children[i].rect.OverlapArea(c.rect)
+		after += enlarged.OverlapArea(c.rect)
+	}
+	return after - before
+}

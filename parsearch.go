@@ -1,0 +1,724 @@
+// Package parsearch is a parallel similarity-search engine for
+// high-dimensional feature vectors, reproducing "Fast Parallel Similarity
+// Search in Multimedia Databases" (Berchtold, Böhm, Braunmüller, Keim,
+// Kriegel; ACM SIGMOD 1997).
+//
+// Feature vectors are declustered over a bank of simulated disks; each
+// disk holds an X-tree over its share of the data, and k-nearest-neighbor
+// queries run against all disks in parallel (one goroutine per disk). The
+// declustering strategy decides how well the pages a query must read are
+// spread over the disks, and hence the speed-up; the paper's near-optimal
+// strategy guarantees that all directly and indirectly neighboring
+// quadrants of the data space land on different disks.
+//
+// Basic use:
+//
+//	ix, err := parsearch.Open(parsearch.Options{Dim: 16, Disks: 8})
+//	if err != nil { ... }
+//	ix.Build(points)
+//	neighbors, stats, err := ix.KNN(query, 10)
+//
+// The returned QueryStats carry the paper's cost metrics: pages read per
+// disk, the bottleneck disk, and the speed-up over a sequential search.
+package parsearch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"parsearch/internal/core"
+	"parsearch/internal/disk"
+	"parsearch/internal/knn"
+	"parsearch/internal/vec"
+	"parsearch/internal/xtree"
+)
+
+// Kind selects a declustering strategy.
+type Kind string
+
+// The available declustering strategies.
+const (
+	// NearOptimal is the paper's graph-coloring declustering ("new"):
+	// quadrant coloring with col, folded to the disk count.
+	NearOptimal Kind = "near-optimal"
+	// Hilbert declusters by the quadrant's Hilbert value mod disks
+	// [FB 93] — the strongest classic baseline.
+	Hilbert Kind = "hilbert"
+	// DiskModulo declusters by the coordinate sum mod disks [DS 82].
+	DiskModulo Kind = "disk-modulo"
+	// FX declusters by the coordinate XOR mod disks [KP 88].
+	FX Kind = "fx"
+	// RoundRobin assigns points to disks by insertion order.
+	RoundRobin Kind = "round-robin"
+	// DirectOnly is an ablation: a d+1-coloring separating only direct
+	// neighbors.
+	DirectOnly Kind = "direct-only"
+)
+
+// DiskParams is the service-time model of one simulated disk.
+type DiskParams struct {
+	// Seek is charged once per page read (positioning).
+	Seek time.Duration
+	// Transfer is charged per 4-KByte block of the page.
+	Transfer time.Duration
+	// Throttle, when non-zero, makes queries really sleep the scaled
+	// service time on each disk goroutine (tests and demos only).
+	Throttle float64
+}
+
+// DefaultDiskParams models the paper's mid-1990s SCSI disks: 8 ms
+// positioning and 1 ms to transfer a 4-KByte block.
+func DefaultDiskParams() DiskParams {
+	p := disk.DefaultParams()
+	return DiskParams{Seek: p.Seek, Transfer: p.Transfer, Throttle: p.Throttle}
+}
+
+func (p DiskParams) validate() error {
+	if p.Seek < 0 || p.Transfer < 0 || p.Throttle < 0 {
+		return fmt.Errorf("parsearch: negative disk parameters %+v", p)
+	}
+	return nil
+}
+
+// Metric selects the distance function for similarity queries.
+type Metric string
+
+// The available metrics.
+const (
+	// Euclidean (L2) distance, the paper's similarity measure. Default.
+	Euclidean Metric = "l2"
+	// Manhattan (L1) distance.
+	Manhattan Metric = "l1"
+	// Maximum (L∞) distance.
+	Maximum Metric = "linf"
+)
+
+// CostModel selects how query page accesses are accounted.
+type CostModel string
+
+// The available cost models.
+const (
+	// TreePages counts the leaf pages of each disk's X-tree whose MBR
+	// intersects the NN-sphere — the behaviour of the real system,
+	// where every disk packs its share of the data into its own index
+	// pages. Default.
+	TreePages CostModel = "tree"
+	// BucketPages counts the pages of the quadrant buckets intersecting
+	// the NN-sphere — the paper's idealized storage model of §3, where
+	// the buckets themselves are the storage units. Useful at small
+	// scale, where per-disk trees cannot resolve quadrants yet.
+	BucketPages CostModel = "buckets"
+)
+
+// Options configure an Index. Zero values select the documented defaults.
+type Options struct {
+	// Dim is the dimensionality of the feature vectors. Required.
+	Dim int
+	// Disks is the number of disks to decluster onto. Required.
+	Disks int
+	// Kind selects the declustering strategy; default NearOptimal.
+	Kind Kind
+	// PageSize is the disk block size in bytes; default 4096 (the
+	// paper's block size). It determines the X-tree node capacities.
+	PageSize int
+	// QuantileSplits, when true, places the quadrant split of every
+	// dimension at the data's median instead of 0.5 (the paper's first
+	// extension for skewed data). Takes effect at Build time.
+	QuantileSplits bool
+	// Recursive, when true, recursively declusters overloaded disks
+	// (the paper's second extension for highly clustered data). Takes
+	// effect at Build time. Only valid with Kind NearOptimal.
+	Recursive bool
+	// DiskParams is the service-time model of the simulated disks;
+	// nil selects DefaultDiskParams.
+	DiskParams *DiskParams
+	// Baseline, when true, additionally maintains a sequential X-tree
+	// over all data so QueryStats can report the true speed-up.
+	Baseline bool
+	// CostModel selects the page-access accounting; default TreePages.
+	CostModel CostModel
+	// Metric selects the similarity measure; default Euclidean.
+	Metric Metric
+}
+
+// vecMetric maps the option value to the internal metric type.
+func (m Metric) vecMetric() (vec.Metric, error) {
+	switch m {
+	case Euclidean:
+		return vec.L2, nil
+	case Manhattan:
+		return vec.L1, nil
+	case Maximum:
+		return vec.LInf, nil
+	default:
+		return 0, fmt.Errorf("parsearch: unknown metric %q", m)
+	}
+}
+
+// metric returns the validated internal metric of the index.
+func (ix *Index) metric() vec.Metric {
+	m, err := ix.opts.Metric.vecMetric()
+	if err != nil {
+		panic(err) // validated in Open
+	}
+	return m
+}
+
+// Neighbor is one query result.
+type Neighbor struct {
+	// ID is the identifier assigned at Build/Insert time.
+	ID int
+	// Point is the stored feature vector.
+	Point []float64
+	// Dist is the distance to the query point under the index's metric
+	// (Euclidean by default).
+	Dist float64
+}
+
+// QueryStats reports the cost of one query in the paper's metrics. Data
+// is stored in bucket cells (the quadrants of the data space, the paper's
+// storage units); a query must read the pages of every cell whose region
+// intersects the NN-sphere.
+type QueryStats struct {
+	// PagesPerDisk is the number of data pages each disk had to read.
+	PagesPerDisk []int
+	// MaxPages is the bottleneck disk's page count — the paper's
+	// parallel search cost.
+	MaxPages int
+	// TotalPages is the sum over all disks, the cost of a sequential
+	// search over the same storage.
+	TotalPages int
+	// Cells is the number of bucket cells the NN-sphere intersected.
+	Cells int
+	// SeqPages is the page count of a sequential X-tree over all data
+	// (the paper's sequential baseline); 0 unless Options.Baseline was
+	// set.
+	SeqPages int
+	// BaselineTime is the simulated search time of the sequential
+	// X-tree, in seconds; 0 without Options.Baseline.
+	BaselineTime float64
+	// BaselineSpeedup is BaselineTime / ParallelTime — the speed-up the
+	// paper reports (parallel X-tree vs. the original sequential
+	// X-tree); 0 without Options.Baseline.
+	BaselineSpeedup float64
+	// ParallelTime is the simulated search time of the bottleneck
+	// disk, in seconds.
+	ParallelTime float64
+	// SequentialTime is the simulated time had one disk performed all
+	// reads, in seconds.
+	SequentialTime float64
+	// Speedup is SequentialTime / ParallelTime, the paper's headline
+	// metric.
+	Speedup float64
+}
+
+// cellInfo is one storage cell: a quadrant (or recursive sub-quadrant)
+// region, the disk it is assigned to, and how many points it holds.
+type cellInfo struct {
+	rect  vec.Rect
+	disk  int
+	count int
+}
+
+// Index is a parallel similarity-search index.
+type Index struct {
+	opts      Options
+	params    disk.Params
+	bucketer  core.Bucketer
+	assigner  core.Assigner
+	array     *disk.Array
+	trees     []*xtree.Tree
+	baseline  *xtree.Tree
+	points    []vec.Point // index = ID; nil entries are deleted (tombstones)
+	live      int         // number of non-tombstone points
+	adaptive  *core.AdaptiveSplitter
+	cells     []cellInfo
+	cellIndex map[string]int
+	mu        sync.RWMutex
+}
+
+// Open validates the options and returns an empty index.
+func Open(opts Options) (*Index, error) {
+	if opts.Dim < 1 || opts.Dim > core.MaxDim {
+		return nil, fmt.Errorf("parsearch: dimension %d outside [1, %d]", opts.Dim, core.MaxDim)
+	}
+	if opts.Disks < 1 {
+		return nil, fmt.Errorf("parsearch: %d disks", opts.Disks)
+	}
+	if opts.Kind == "" {
+		opts.Kind = NearOptimal
+	}
+	if opts.PageSize == 0 {
+		opts.PageSize = xtree.PageSize
+	}
+	if opts.PageSize < 256 {
+		return nil, fmt.Errorf("parsearch: page size %d too small", opts.PageSize)
+	}
+	if opts.Recursive && opts.Kind != NearOptimal {
+		return nil, fmt.Errorf("parsearch: recursive declustering requires the near-optimal strategy, not %q", opts.Kind)
+	}
+	if opts.CostModel == "" {
+		opts.CostModel = TreePages
+	}
+	if opts.CostModel != TreePages && opts.CostModel != BucketPages {
+		return nil, fmt.Errorf("parsearch: unknown cost model %q", opts.CostModel)
+	}
+	if opts.Metric == "" {
+		opts.Metric = Euclidean
+	}
+	if _, err := opts.Metric.vecMetric(); err != nil {
+		return nil, err
+	}
+	params := disk.DefaultParams()
+	if opts.DiskParams != nil {
+		if err := opts.DiskParams.validate(); err != nil {
+			return nil, err
+		}
+		params = disk.Params{
+			Seek:     opts.DiskParams.Seek,
+			Transfer: opts.DiskParams.Transfer,
+			Throttle: opts.DiskParams.Throttle,
+		}
+	}
+
+	ix := &Index{opts: opts, params: params}
+	ix.bucketer = core.NewMidpointSplitter(opts.Dim)
+	assigner, err := ix.makeAssigner(ix.bucketer)
+	if err != nil {
+		return nil, err
+	}
+	ix.assigner = assigner
+	ix.array = disk.NewArray(opts.Disks, params)
+	ix.trees = make([]*xtree.Tree, opts.Disks)
+	cfg := ix.treeConfig()
+	for i := range ix.trees {
+		ix.trees[i] = xtree.New(cfg)
+	}
+	if opts.Baseline {
+		ix.baseline = xtree.New(cfg)
+	}
+	ix.cellIndex = make(map[string]int)
+	return ix, nil
+}
+
+// splitValues returns the current per-dimension split values of the
+// bucketer (both splitter implementations expose them).
+func (ix *Index) splitValues() []float64 {
+	return ix.bucketer.(interface{ Splits() []float64 }).Splits()
+}
+
+// assignCell places point i and returns its disk together with the
+// storage cell it lands in.
+func (ix *Index) assignCell(i int, p vec.Point) (diskNo int, key string, rect vec.Rect) {
+	if rec, ok := ix.assigner.(*core.Recursive); ok {
+		c := rec.AssignCell(p)
+		return c.Disk, c.Key(), c.Rect
+	}
+	diskNo = ix.assigner.Assign(i, p)
+	b := ix.bucketer.Bucket(p)
+	// Round robin scatters a quadrant over every disk; the disk is part
+	// of the cell identity so each disk keeps its own pages per quadrant.
+	key = fmt.Sprintf("%d#%d", b, diskNo)
+	return diskNo, key, core.QuadrantRect(b, ix.splitValues())
+}
+
+// addToCell records one point in its storage cell.
+func (ix *Index) addToCell(key string, diskNo int, rect vec.Rect) {
+	if idx, ok := ix.cellIndex[key]; ok {
+		ix.cells[idx].count++
+		return
+	}
+	ix.cellIndex[key] = len(ix.cells)
+	ix.cells = append(ix.cells, cellInfo{rect: rect, disk: diskNo, count: 1})
+}
+
+func (ix *Index) treeConfig() xtree.Config {
+	cfg := xtree.DefaultConfig(ix.opts.Dim)
+	cfg.LeafCapacity = xtree.LeafCapacityForPage(ix.opts.Dim, ix.opts.PageSize)
+	cfg.DirCapacity = xtree.DirCapacityForPage(ix.opts.Dim, ix.opts.PageSize)
+	return cfg
+}
+
+// makeAssigner builds the Assigner for the configured strategy over the
+// given bucketer.
+func (ix *Index) makeAssigner(b core.Bucketer) (core.Assigner, error) {
+	d, n := ix.opts.Dim, ix.opts.Disks
+	switch ix.opts.Kind {
+	case NearOptimal:
+		return core.NewBucketAssigner(b, core.NewNearOptimal(d, n)), nil
+	case Hilbert:
+		s, err := core.NewHilbert(d, 1, n)
+		if err != nil {
+			return nil, fmt.Errorf("parsearch: %w", err)
+		}
+		return core.NewBucketAssigner(b, s), nil
+	case DiskModulo:
+		return core.NewBucketAssigner(b, core.NewDiskModulo(n)), nil
+	case FX:
+		return core.NewBucketAssigner(b, core.NewFX(n)), nil
+	case RoundRobin:
+		return core.NewRoundRobin(n), nil
+	case DirectOnly:
+		return core.NewBucketAssigner(b, core.NewDirectOnly(d, n)), nil
+	default:
+		return nil, fmt.Errorf("parsearch: unknown strategy %q", ix.opts.Kind)
+	}
+}
+
+// Strategy returns the name of the active declustering strategy.
+func (ix *Index) Strategy() string { return ix.assigner.Name() }
+
+// Disks returns the number of disks.
+func (ix *Index) Disks() int { return ix.opts.Disks }
+
+// Len returns the number of indexed (non-deleted) vectors.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.live
+}
+
+// FailDisk marks a simulated disk as failed: queries whose page reads
+// touch it return an error (wrapping disk.ErrDiskFailed) until HealDisk
+// is called. Used for failure-injection testing.
+func (ix *Index) FailDisk(d int) error {
+	if d < 0 || d >= ix.opts.Disks {
+		return fmt.Errorf("parsearch: no disk %d", d)
+	}
+	ix.array.Fail(d)
+	return nil
+}
+
+// HealDisk clears a disk failure injected with FailDisk.
+func (ix *Index) HealDisk(d int) error {
+	if d < 0 || d >= ix.opts.Disks {
+		return fmt.Errorf("parsearch: no disk %d", d)
+	}
+	ix.array.Heal(d)
+	return nil
+}
+
+// DiskLoads returns the number of vectors stored on each disk.
+func (ix *Index) DiskLoads() []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	loads := make([]int, len(ix.trees))
+	for i, t := range ix.trees {
+		loads[i] = t.Len()
+	}
+	return loads
+}
+
+// Build indexes the given vectors, replacing any previous content. Vector
+// i receives ID i. A nil vector is a tombstone: its ID stays reserved but
+// nothing is stored (snapshots of indexes with deletions use this). With
+// Options.QuantileSplits the quadrant splits are placed at the
+// per-dimension medians of the data; with Options.Recursive overloaded
+// disks are recursively declustered (both extensions of §4.3).
+func (ix *Index) Build(points [][]float64) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	for i, p := range points {
+		if p != nil && len(p) != ix.opts.Dim {
+			return fmt.Errorf("parsearch: point %d has dimension %d, want %d", i, len(p), ix.opts.Dim)
+		}
+	}
+	ix.points = make([]vec.Point, len(points))
+	ix.live = 0
+	var livePoints []vec.Point
+	for i, p := range points {
+		if p == nil {
+			continue
+		}
+		ix.points[i] = vec.Clone(p)
+		livePoints = append(livePoints, ix.points[i])
+		ix.live++
+	}
+
+	// Choose the bucketing per the configured extensions.
+	if ix.opts.QuantileSplits && ix.live > 0 {
+		ix.bucketer = core.NewQuantileSplitter(livePoints, 0.5)
+	} else {
+		ix.bucketer = core.NewMidpointSplitter(ix.opts.Dim)
+	}
+	if ix.opts.Recursive {
+		ix.assigner = core.BuildRecursive(livePoints, ix.bucketer, ix.opts.Disks,
+			core.DefaultRecursiveConfig(ix.opts.Disks))
+	} else {
+		assigner, err := ix.makeAssigner(ix.bucketer)
+		if err != nil {
+			return err
+		}
+		ix.assigner = assigner
+	}
+
+	// Partition into per-disk trees and bucket cells. Bucket-based
+	// strategies store data per bucket, so no page spans two buckets
+	// (the paper's storage layout); round robin has no spatial
+	// grouping — each disk indexes its arrival-order sample as a whole.
+	ix.cells = nil
+	ix.cellIndex = make(map[string]int)
+	// With a single disk there is nothing to decluster: the "parallel"
+	// index degenerates to the original sequential X-tree, so the plain
+	// layout applies (bucket grouping would only fragment pages).
+	_, isRR := ix.assigner.(*core.RoundRobin)
+	plain := isRR || ix.opts.Disks == 1
+	groups := make([]map[string][]xtree.Entry, ix.opts.Disks)
+	for d := range groups {
+		groups[d] = make(map[string][]xtree.Entry)
+	}
+	for i, p := range ix.points {
+		if p == nil {
+			continue
+		}
+		d, key, rect := ix.assignCell(i, p)
+		ix.addToCell(key, d, rect)
+		groups[d][key] = append(groups[d][key], xtree.Entry{Point: p, ID: i})
+	}
+	cfg := ix.treeConfig()
+	for d := range ix.trees {
+		keys := make([]string, 0, len(groups[d]))
+		for key := range groups[d] {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys) // deterministic build
+		ix.trees[d] = xtree.New(cfg)
+		if plain {
+			var all []xtree.Entry
+			for _, key := range keys {
+				all = append(all, groups[d][key]...)
+			}
+			ix.trees[d].BulkLoad(all)
+			continue
+		}
+		parts := make([][]xtree.Entry, 0, len(keys))
+		for _, key := range keys {
+			parts = append(parts, groups[d][key])
+		}
+		ix.trees[d].BulkLoadGrouped(parts)
+	}
+	if ix.opts.Baseline {
+		entries := make([]xtree.Entry, 0, ix.live)
+		for i, p := range ix.points {
+			if p != nil {
+				entries = append(entries, xtree.Entry{Point: p, ID: i})
+			}
+		}
+		ix.baseline = xtree.New(cfg)
+		ix.baseline.BulkLoad(entries)
+	}
+	return nil
+}
+
+// Insert adds one vector dynamically and returns its ID.
+func (ix *Index) Insert(p []float64) (int, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(p) != ix.opts.Dim {
+		return 0, fmt.Errorf("parsearch: inserting dimension %d, want %d", len(p), ix.opts.Dim)
+	}
+	id := len(ix.points)
+	point := vec.Clone(p)
+	ix.points = append(ix.points, point)
+	ix.live++
+	if ix.opts.QuantileSplits {
+		ix.observer().Observe(point)
+	}
+	d, key, rect := ix.assignCell(id, point)
+	ix.addToCell(key, d, rect)
+	ix.trees[d].Insert(point, id)
+	if ix.baseline != nil {
+		ix.baseline.Insert(point, id)
+	}
+	return id, nil
+}
+
+// Delete removes the vector with the given ID. The ID is not reused;
+// subsequent inserts continue from the highest ID ever assigned.
+func (ix *Index) Delete(id int) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if id < 0 || id >= len(ix.points) || ix.points[id] == nil {
+		return fmt.Errorf("parsearch: no vector with id %d", id)
+	}
+	p := ix.points[id]
+	d, key, _ := ix.assignCell(id, p)
+	if !ix.trees[d].Delete(p, id) {
+		return fmt.Errorf("parsearch: internal inconsistency: id %d not found on disk %d", id, d)
+	}
+	if ix.baseline != nil {
+		ix.baseline.Delete(p, id)
+	}
+	if idx, ok := ix.cellIndex[key]; ok && ix.cells[idx].count > 0 {
+		ix.cells[idx].count--
+	}
+	ix.points[id] = nil
+	ix.live--
+	return nil
+}
+
+// ErrEmpty is returned by queries on an empty index.
+var ErrEmpty = errors.New("parsearch: index is empty")
+
+// NN returns the nearest neighbor of q.
+func (ix *Index) NN(q []float64) (Neighbor, QueryStats, error) {
+	res, stats, err := ix.KNN(q, 1)
+	if err != nil {
+		return Neighbor{}, stats, err
+	}
+	return res[0], stats, nil
+}
+
+// KNN returns the k nearest neighbors of q, searching all disks in
+// parallel, together with the query's cost statistics.
+func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	var stats QueryStats
+	if len(q) != ix.opts.Dim {
+		return nil, stats, fmt.Errorf("parsearch: query dimension %d, want %d", len(q), ix.opts.Dim)
+	}
+	if k < 1 {
+		return nil, stats, fmt.Errorf("parsearch: k = %d", k)
+	}
+	if ix.live == 0 {
+		return nil, stats, ErrEmpty
+	}
+
+	// Phase 1: every disk finds its local k nearest neighbors, one
+	// goroutine per disk (the union of the local results contains the
+	// global result).
+	m := ix.metric()
+	type local struct{ res []knn.Result }
+	locals := make([]local, len(ix.trees))
+	var wg sync.WaitGroup
+	for d := range ix.trees {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			res, _ := knn.HSMetric(ix.trees[d], q, k, m)
+			locals[d] = local{res: res}
+		}(d)
+	}
+	wg.Wait()
+
+	// Merge to the global k nearest.
+	var merged []knn.Result
+	for _, l := range locals {
+		merged = append(merged, l.res...)
+	}
+	sortResults(merged)
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	rk := merged[len(merged)-1].Dist
+
+	// Phase 2: cost accounting — every disk must read its pages
+	// intersecting the NN-sphere of radius rk (§3.2: the partitions
+	// intersecting the NN-sphere should be distributed over different
+	// disks). The cost model selects what a "page" is: the disk's own
+	// X-tree leaf pages (real system) or the quadrant buckets (the
+	// paper's idealized storage).
+	stats.PagesPerDisk = make([]int, len(ix.trees))
+	refs, cells := ix.sphereRefs(q, rk, stats.PagesPerDisk)
+	stats.Cells = cells
+	batch, err := ix.array.ReadBatch(refs)
+	if err != nil {
+		return nil, stats, fmt.Errorf("parsearch: %w", err)
+	}
+	stats.MaxPages = batch.MaxPerDisk
+	stats.TotalPages = batch.Total
+	stats.ParallelTime = batch.ParallelTime.Seconds()
+	stats.SequentialTime = batch.SequentialTime.Seconds()
+	stats.Speedup = batch.Speedup()
+
+	if ix.baseline != nil {
+		pages, leaves := knn.SphereLeafPagesMetric(ix.baseline, q, rk, m)
+		stats.SeqPages = pages
+		stats.BaselineTime = ix.params.SimulateCost(leaves, pages).Seconds()
+		if stats.ParallelTime > 0 {
+			stats.BaselineSpeedup = stats.BaselineTime / stats.ParallelTime
+		}
+	}
+
+	out := make([]Neighbor, len(merged))
+	for i, r := range merged {
+		out[i] = Neighbor{ID: r.Entry.ID, Point: r.Entry.Point, Dist: r.Dist}
+	}
+	return out, stats, nil
+}
+
+// sphereRefs collects the page reads a query with NN-sphere radius rk
+// requires, per the configured cost model: the disks' own X-tree leaf
+// pages (real system) or the quadrant bucket pages (the paper's
+// idealized storage of §3). perDisk is incremented with the page counts;
+// the returned refs feed the disk array.
+func (ix *Index) sphereRefs(q vec.Point, rk float64, perDisk []int) (refs []disk.PageRef, cells int) {
+	m := ix.metric()
+	rank := m.ToRank(rk)
+	switch ix.opts.CostModel {
+	case BucketPages:
+		leafCap := ix.treeConfig().LeafCapacity
+		for i := range ix.cells {
+			c := &ix.cells[i]
+			if c.count == 0 || m.RankMinDist(c.rect, q) > rank {
+				continue
+			}
+			pages := (c.count + leafCap - 1) / leafCap
+			cells++
+			perDisk[c.disk] += pages
+			refs = append(refs, disk.PageRef{Disk: c.disk, Blocks: pages})
+		}
+	default: // TreePages
+		for d, t := range ix.trees {
+			for _, leaf := range t.Leaves() {
+				if m.RankMinDist(leaf.Rect(), q) > rank {
+					continue
+				}
+				cells++
+				perDisk[d] += leaf.Super()
+				refs = append(refs, disk.PageRef{Disk: d, Blocks: leaf.Super()})
+			}
+		}
+	}
+	return refs, cells
+}
+
+// sortResults orders by distance, breaking ties by ID.
+func sortResults(rs []knn.Result) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0; j-- {
+			if rs[j].Dist < rs[j-1].Dist ||
+				(rs[j].Dist == rs[j-1].Dist && rs[j].Entry.ID < rs[j-1].Entry.ID) {
+				rs[j], rs[j-1] = rs[j-1], rs[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// VerifyDeclustering checks the active bucket-based strategy against the
+// paper's near-optimality criterion (Definition 4) and returns up to max
+// violations, formatted for display. Round-robin and recursive
+// assignments are point-based and return an error, as do dimensions too
+// large to enumerate.
+func (ix *Index) VerifyDeclustering(max int) ([]string, error) {
+	ba, ok := ix.assigner.(*core.BucketAssigner)
+	if !ok {
+		return nil, fmt.Errorf("parsearch: strategy %q is not bucket-based", ix.assigner.Name())
+	}
+	if ix.opts.Dim >= 25 {
+		return nil, fmt.Errorf("parsearch: dimension %d too large for exhaustive verification", ix.opts.Dim)
+	}
+	var out []string
+	for _, v := range core.VerifyNearOptimal(ba.Strategy(), ix.opts.Dim, max) {
+		out = append(out, v.String())
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package parsearch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"parsearch/internal/disk"
+	"parsearch/internal/vec"
+	"parsearch/internal/xtree"
+)
+
+// RangeQuery returns all vectors inside the axis-aligned box [min, max]
+// (boundary inclusive), searching all disks in parallel, together with
+// the usual per-disk cost accounting. Results are ordered by ID; their
+// Dist field is the distance to the box center.
+//
+// Range queries are the workload the classic declustering methods (Disk
+// Modulo, FX, Hilbert) were designed for; the PartialMatch helper
+// expresses the partial-match queries of [DS 82] and [KP 88] on top of
+// this.
+func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	var stats QueryStats
+	if len(min) != ix.opts.Dim || len(max) != ix.opts.Dim {
+		return nil, stats, fmt.Errorf("parsearch: range bounds have dimensions %d/%d, want %d",
+			len(min), len(max), ix.opts.Dim)
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			return nil, stats, fmt.Errorf("parsearch: range min > max in dimension %d", i)
+		}
+	}
+	if ix.live == 0 {
+		return nil, stats, ErrEmpty
+	}
+	rect := vec.NewRect(min, max)
+	center := rect.Center()
+
+	// Phase 1: all disks search in parallel.
+	found := make([][]xtree.Entry, len(ix.trees))
+	var wg sync.WaitGroup
+	for d := range ix.trees {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			found[d], _ = ix.trees[d].RangeSearch(rect)
+		}(d)
+	}
+	wg.Wait()
+
+	// Phase 2: page accounting — every disk reads its pages
+	// intersecting the query box.
+	stats.PagesPerDisk = make([]int, len(ix.trees))
+	var refs []disk.PageRef
+	switch ix.opts.CostModel {
+	case BucketPages:
+		leafCap := ix.treeConfig().LeafCapacity
+		for i := range ix.cells {
+			c := &ix.cells[i]
+			if c.count == 0 || !c.rect.Intersects(rect) {
+				continue
+			}
+			pages := (c.count + leafCap - 1) / leafCap
+			stats.Cells++
+			stats.PagesPerDisk[c.disk] += pages
+			refs = append(refs, disk.PageRef{Disk: c.disk, Blocks: pages})
+		}
+	default: // TreePages
+		for d, t := range ix.trees {
+			for _, leaf := range t.Leaves() {
+				if !leaf.Rect().Intersects(rect) {
+					continue
+				}
+				stats.Cells++
+				stats.PagesPerDisk[d] += leaf.Super()
+				refs = append(refs, disk.PageRef{Disk: d, Blocks: leaf.Super()})
+			}
+		}
+	}
+	batch, err := ix.array.ReadBatch(refs)
+	if err != nil {
+		return nil, stats, fmt.Errorf("parsearch: %w", err)
+	}
+	stats.MaxPages = batch.MaxPerDisk
+	stats.TotalPages = batch.Total
+	stats.ParallelTime = batch.ParallelTime.Seconds()
+	stats.SequentialTime = batch.SequentialTime.Seconds()
+	stats.Speedup = batch.Speedup()
+
+	if ix.baseline != nil {
+		pages, leaves := 0, 0
+		for _, leaf := range ix.baseline.Leaves() {
+			if leaf.Rect().Intersects(rect) {
+				pages += leaf.Super()
+				leaves++
+			}
+		}
+		stats.SeqPages = pages
+		stats.BaselineTime = ix.params.SimulateCost(leaves, pages).Seconds()
+		if stats.ParallelTime > 0 {
+			stats.BaselineSpeedup = stats.BaselineTime / stats.ParallelTime
+		}
+	}
+
+	var out []Neighbor
+	for _, entries := range found {
+		for _, e := range entries {
+			out = append(out, Neighbor{ID: e.ID, Point: e.Point, Dist: vec.Dist(center, e.Point)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, stats, nil
+}
+
+// Wildcard marks a dimension as unspecified in a PartialMatch query.
+var Wildcard = math.NaN()
+
+// PartialMatch runs a partial match query [DS 82, KP 88]: spec gives an
+// exact value per specified dimension and Wildcard (NaN) for the rest;
+// eps is the matching tolerance per specified dimension. It returns the
+// vectors matching every specified dimension within eps.
+func (ix *Index) PartialMatch(spec []float64, eps float64) ([]Neighbor, QueryStats, error) {
+	if len(spec) != ix.opts.Dim {
+		return nil, QueryStats{}, fmt.Errorf("parsearch: partial-match spec has dimension %d, want %d",
+			len(spec), ix.opts.Dim)
+	}
+	if eps < 0 {
+		return nil, QueryStats{}, fmt.Errorf("parsearch: negative tolerance %v", eps)
+	}
+	min := make([]float64, len(spec))
+	max := make([]float64, len(spec))
+	specified := 0
+	for i, v := range spec {
+		if math.IsNaN(v) {
+			min[i], max[i] = math.Inf(-1), math.Inf(1)
+			continue
+		}
+		specified++
+		min[i], max[i] = v-eps, v+eps
+	}
+	if specified == 0 {
+		return nil, QueryStats{}, fmt.Errorf("parsearch: partial-match query specifies no dimension")
+	}
+	return ix.RangeQuery(min, max)
+}

@@ -1,0 +1,61 @@
+package parsearch
+
+import (
+	"fmt"
+
+	"parsearch/internal/core"
+)
+
+// Reorganization implements the dynamic side of the paper's §4.3
+// extensions: with Options.QuantileSplits the index keeps per-dimension
+// distribution statistics as vectors are inserted (an AdaptiveSplitter
+// with streaming P² quantile estimators); when the data drifts so far
+// that some split's below/above ratio exceeds the threshold,
+// NeedsReorganization reports true and Reorganize rebuilds the index
+// with fresh split values — "we reorganize our data distribution using
+// the new 0.5-quantile for each dimension".
+
+// imbalanceThreshold is the below/above ratio that triggers
+// reorganization (2 = one side holds twice the other's points).
+const imbalanceThreshold = 2.0
+
+// observer returns the index's adaptive splitter, creating it on first
+// use. Only meaningful with QuantileSplits.
+func (ix *Index) observer() *core.AdaptiveSplitter {
+	if ix.adaptive == nil {
+		ix.adaptive = core.NewAdaptiveSplitter(ix.opts.Dim, 0.5, imbalanceThreshold)
+	}
+	return ix.adaptive
+}
+
+// NeedsReorganization reports whether inserted data has drifted far
+// enough from the current split values that a Reorganize would
+// rebalance the disks. Always false unless Options.QuantileSplits is
+// set.
+func (ix *Index) NeedsReorganization() bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if !ix.opts.QuantileSplits || ix.adaptive == nil {
+		return false
+	}
+	return ix.adaptive.NeedsRebalance()
+}
+
+// Reorganize rebuilds the index over its current (live) contents,
+// recomputing quantile splits and recursive expansions from today's
+// data. IDs are preserved. It is the explicit form of the paper's
+// reorganization step; call it when NeedsReorganization reports true (or
+// on a maintenance schedule).
+func (ix *Index) Reorganize() error {
+	ix.mu.Lock()
+	points := make([][]float64, len(ix.points))
+	for i, p := range ix.points {
+		points[i] = p // Build clones; tombstones stay nil
+	}
+	ix.adaptive = nil
+	ix.mu.Unlock()
+	if err := ix.Build(points); err != nil {
+		return fmt.Errorf("parsearch: reorganizing: %w", err)
+	}
+	return nil
+}

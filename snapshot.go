@@ -1,0 +1,233 @@
+package parsearch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+)
+
+// Snapshot format: a little-endian binary stream holding the index
+// options and the raw vectors. Index structures (per-disk X-trees,
+// bucket cells, recursive expansions) are derived state and are rebuilt
+// deterministically by Build on load, so the snapshot stays small and
+// version-independent. A CRC-32 of the payload guards against
+// truncation and corruption.
+const (
+	snapshotMagic   = "PARSRCH1"
+	snapshotVersion = 1
+)
+
+// Save writes a snapshot of the index (options and vectors) to w.
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("parsearch: writing snapshot: %w", err)
+	}
+	var flags uint8
+	if ix.opts.QuantileSplits {
+		flags |= 1
+	}
+	if ix.opts.Recursive {
+		flags |= 2
+	}
+	if ix.opts.Baseline {
+		flags |= 4
+	}
+	header := []interface{}{
+		uint32(snapshotVersion),
+		uint32(ix.opts.Dim),
+		uint32(ix.opts.Disks),
+		uint32(ix.opts.PageSize),
+		flags,
+		int64(ix.params.Seek),
+		int64(ix.params.Transfer),
+		math.Float64bits(ix.params.Throttle),
+	}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("parsearch: writing snapshot header: %w", err)
+		}
+	}
+	if err := writeString(bw, string(ix.opts.Kind)); err != nil {
+		return err
+	}
+	if err := writeString(bw, string(ix.opts.CostModel)); err != nil {
+		return err
+	}
+
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(ix.points))); err != nil {
+		return fmt.Errorf("parsearch: writing snapshot: %w", err)
+	}
+	// Each slot is a presence byte followed by the coordinates; deleted
+	// IDs (tombstones) are a single zero byte, so IDs stay stable across
+	// save/load.
+	buf := make([]byte, 8*ix.opts.Dim)
+	for _, p := range ix.points {
+		if p == nil {
+			if err := bw.WriteByte(0); err != nil {
+				return fmt.Errorf("parsearch: writing snapshot: %w", err)
+			}
+			continue
+		}
+		if err := bw.WriteByte(1); err != nil {
+			return fmt.Errorf("parsearch: writing snapshot: %w", err)
+		}
+		for j, x := range p {
+			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(x))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("parsearch: writing snapshot: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("parsearch: writing snapshot: %w", err)
+	}
+	// The checksum covers everything flushed so far.
+	if err := binary.Write(w, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("parsearch: writing snapshot checksum: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save and returns a fully rebuilt
+// index. The whole snapshot is buffered so the checksum can be verified
+// before any of it is trusted.
+func Load(r io.Reader) (*Index, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("parsearch: reading snapshot: %w", err)
+	}
+	if len(raw) < len(snapshotMagic)+4 {
+		return nil, fmt.Errorf("parsearch: snapshot truncated (%d bytes)", len(raw))
+	}
+	payload, sumBytes := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(sumBytes) {
+		return nil, fmt.Errorf("parsearch: snapshot checksum mismatch (corrupted or truncated)")
+	}
+	br := bytes.NewReader(payload)
+
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("parsearch: reading snapshot: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("parsearch: not a parsearch snapshot (magic %q)", magic)
+	}
+	var (
+		version, dim, disks, pageSize uint32
+		flags                         uint8
+		seek, transfer                int64
+		throttleBits                  uint64
+	)
+	for _, v := range []interface{}{&version, &dim, &disks, &pageSize, &flags, &seek, &transfer, &throttleBits} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("parsearch: reading snapshot header: %w", err)
+		}
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("parsearch: unsupported snapshot version %d", version)
+	}
+	kind, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	costModel, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("parsearch: reading snapshot: %w", err)
+	}
+	if dim == 0 || count > (1<<34) {
+		return nil, fmt.Errorf("parsearch: implausible snapshot (dim %d, %d points)", dim, count)
+	}
+	// Every slot needs at least its presence byte, so a forged count
+	// larger than the remaining payload cannot be honest — reject it
+	// before allocating for it.
+	if count > uint64(br.Len()) {
+		return nil, fmt.Errorf("parsearch: snapshot claims %d points in %d bytes", count, br.Len())
+	}
+	points := make([][]float64, count)
+	buf := make([]byte, 8*dim)
+	for i := range points {
+		presence, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("parsearch: reading snapshot point %d: %w", i, err)
+		}
+		switch presence {
+		case 0: // tombstone
+		case 1:
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("parsearch: reading snapshot point %d: %w", i, err)
+			}
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+			}
+			points[i] = p
+		default:
+			return nil, fmt.Errorf("parsearch: invalid presence byte %d at point %d", presence, i)
+		}
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("parsearch: %d trailing bytes in snapshot", br.Len())
+	}
+
+	params := DiskParams{
+		Seek:     time.Duration(seek),
+		Transfer: time.Duration(transfer),
+		Throttle: math.Float64frombits(throttleBits),
+	}
+	ix, err := Open(Options{
+		Dim:            int(dim),
+		Disks:          int(disks),
+		Kind:           Kind(kind),
+		PageSize:       int(pageSize),
+		QuantileSplits: flags&1 != 0,
+		Recursive:      flags&2 != 0,
+		Baseline:       flags&4 != 0,
+		DiskParams:     &params,
+		CostModel:      CostModel(costModel),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("parsearch: snapshot options invalid: %w", err)
+	}
+	if err := ix.Build(points); err != nil {
+		return nil, fmt.Errorf("parsearch: rebuilding from snapshot: %w", err)
+	}
+	return ix, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return fmt.Errorf("parsearch: writing snapshot string: %w", err)
+	}
+	if _, err := io.WriteString(w, s); err != nil {
+		return fmt.Errorf("parsearch: writing snapshot string: %w", err)
+	}
+	return nil
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", fmt.Errorf("parsearch: reading snapshot string: %w", err)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("parsearch: reading snapshot string: %w", err)
+	}
+	return string(b), nil
+}

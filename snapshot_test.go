@@ -1,0 +1,170 @@
+package parsearch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parsearch/internal/data"
+)
+
+func buildTestIndex(t *testing.T, opts Options, n int) *Index {
+	t.Helper()
+	ix, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := data.Uniform(n, opts.Dim, 123)
+	raw := make([][]float64, n)
+	for i, p := range pts {
+		raw[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	opts := Options{
+		Dim: 6, Disks: 4, Kind: Hilbert,
+		QuantileSplits: true, Baseline: true,
+	}
+	ix := buildTestIndex(t, opts, 800)
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Len() != ix.Len() {
+		t.Fatalf("Len = %d, want %d", loaded.Len(), ix.Len())
+	}
+	if loaded.Strategy() != ix.Strategy() || loaded.Disks() != ix.Disks() {
+		t.Errorf("options drift: %s/%d vs %s/%d",
+			loaded.Strategy(), loaded.Disks(), ix.Strategy(), ix.Disks())
+	}
+	// Queries on the loaded index must give identical results and cost
+	// statistics (the rebuild is deterministic).
+	for _, q := range data.Uniform(10, opts.Dim, 9) {
+		a, sa, err := ix.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, sb, err := loaded.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+				t.Fatalf("result %d differs after reload: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+		if sa.MaxPages != sb.MaxPages || sa.TotalPages != sb.TotalPages {
+			t.Fatalf("cost statistics differ after reload: %+v vs %+v", sa, sb)
+		}
+	}
+}
+
+func TestSnapshotRoundTripRecursive(t *testing.T) {
+	ix := buildTestIndex(t, Options{Dim: 5, Disks: 8, Recursive: true, QuantileSplits: true}, 600)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.DiskLoads(), ix.DiskLoads(); len(got) != len(want) {
+		t.Fatalf("disk count changed")
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("disk loads differ after reload: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestSnapshotEmptyIndex(t *testing.T) {
+	ix, err := Open(Options{Dim: 3, Disks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Errorf("Len = %d", loaded.Len())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       []byte("PAR"),
+		"wrong magic": append([]byte("NOTMAGIC"), make([]byte, 64)...),
+	}
+	for name, b := range cases {
+		if _, err := Load(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	ix := buildTestIndex(t, Options{Dim: 4, Disks: 2}, 100)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip one payload byte: checksum must catch it.
+	corrupted := append([]byte(nil), good...)
+	corrupted[len(corrupted)/2] ^= 0xFF
+	if _, err := Load(bytes.NewReader(corrupted)); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupted snapshot: err = %v, want checksum mismatch", err)
+	}
+
+	// Truncate: must error, not panic.
+	if _, err := Load(bytes.NewReader(good[:len(good)-10])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+
+	// Trailing junk after the checksum changes the checksum position,
+	// so it must be rejected too.
+	if _, err := Load(bytes.NewReader(append(append([]byte(nil), good...), 1, 2, 3))); err == nil {
+		t.Error("snapshot with trailing bytes accepted")
+	}
+}
+
+func TestSnapshotPreservesUnusualOptions(t *testing.T) {
+	opts := Options{
+		Dim: 4, Disks: 3, Kind: FX, PageSize: 1024,
+		CostModel: BucketPages,
+	}
+	ix := buildTestIndex(t, opts, 50)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Strategy() != "FX" {
+		t.Errorf("strategy %q after reload", loaded.Strategy())
+	}
+}
