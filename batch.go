@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"parsearch/internal/disk"
 	"parsearch/internal/knn"
@@ -17,6 +18,10 @@ import (
 type BatchStats struct {
 	// Queries is the batch size.
 	Queries int
+	// Workers is the size of the worker pool that processed the batch
+	// (Options.BatchWorkers, capped at the batch size; GOMAXPROCS when
+	// unset).
+	Workers int
 	// PagesPerDisk is the total number of pages each disk read for the
 	// whole batch.
 	PagesPerDisk []int
@@ -30,6 +35,51 @@ type BatchStats struct {
 	// Utilization is the mean disk busy-fraction over the makespan
 	// (1.0 = perfectly balanced).
 	Utilization float64
+	// PerQuery holds each query's own cost statistics: PerQuery[i]
+	// describes queries[i]. Page counts are exact regardless of how the
+	// scheduler interleaved the workers; times are derived from the
+	// service-time model as if the query ran alone (the disk array's
+	// lifetime counters are charged once, for the aggregated batch).
+	PerQuery []QueryStats
+}
+
+// batchWorkers returns the worker-pool size for a batch of n queries.
+func (ix *Index) batchWorkers(n int) int {
+	w := ix.opts.BatchWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// fillQueryCost completes a per-query QueryStats from its page refs:
+// totals, bottleneck, and model-derived times (the same seek/transfer
+// accounting the disk array applies).
+func fillQueryCost(qs *QueryStats, refs []disk.PageRef, params disk.Params, disks int) {
+	reads := make([]int, disks)
+	for _, r := range refs {
+		reads[r.Disk]++
+	}
+	var par, seq time.Duration
+	for d := 0; d < disks; d++ {
+		qs.TotalPages += qs.PagesPerDisk[d]
+		if qs.PagesPerDisk[d] > qs.MaxPages {
+			qs.MaxPages = qs.PagesPerDisk[d]
+		}
+		t := params.SimulateCost(reads[d], qs.PagesPerDisk[d])
+		seq += t
+		if t > par {
+			par = t
+		}
+	}
+	qs.ParallelTime = par.Seconds()
+	qs.SequentialTime = seq.Seconds()
+	if par > 0 {
+		qs.Speedup = float64(seq) / float64(par)
+	}
 }
 
 // ServiceDemands computes, for every query, the service time in seconds
@@ -39,10 +89,11 @@ type BatchStats struct {
 func (ix *Index) ServiceDemands(queries [][]float64, k int) ([][]float64, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	st := ix.st
 	if k < 1 {
 		return nil, fmt.Errorf("parsearch: k = %d", k)
 	}
-	if ix.live == 0 {
+	if ix.liveCount() == 0 {
 		return nil, ErrEmpty
 	}
 	m := ix.metric()
@@ -52,23 +103,28 @@ func (ix *Index) ServiceDemands(queries [][]float64, k int) ([][]float64, error)
 			return nil, fmt.Errorf("parsearch: query %d has dimension %d, want %d", i, len(q), ix.opts.Dim)
 		}
 		var merged []knn.Result
-		for _, t := range ix.trees {
-			res, _ := knn.HSMetric(t, q, k, m)
+		for _, sh := range st.shards {
+			sh.mu.RLock()
+			res, _ := knn.HSMetric(sh.tree, q, k, m)
+			sh.mu.RUnlock()
 			merged = append(merged, res...)
 		}
 		sortResults(merged)
 		if len(merged) > k {
 			merged = merged[:k]
 		}
+		if len(merged) == 0 {
+			return nil, ErrEmpty
+		}
 		rk := merged[len(merged)-1].Dist
 
-		perDisk := make([]int, len(ix.trees))
-		reads := make([]int, len(ix.trees))
-		refs, _ := ix.sphereRefs(q, rk, perDisk)
+		perDisk := make([]int, len(st.shards))
+		reads := make([]int, len(st.shards))
+		refs, _ := ix.sphereRefs(st, q, rk, perDisk)
 		for _, ref := range refs {
 			reads[ref.Disk]++
 		}
-		row := make([]float64, len(ix.trees))
+		row := make([]float64, len(st.shards))
 		for d := range row {
 			row[d] = ix.params.SimulateCost(reads[d], perDisk[d]).Seconds()
 		}
@@ -77,13 +133,18 @@ func (ix *Index) ServiceDemands(queries [][]float64, k int) ([][]float64, error)
 	return demands, nil
 }
 
-// BatchKNN answers many k-NN queries as one batch: the result phase runs
-// all disks and queries concurrently, and the I/O phase charges every
-// disk the union of its page reads across the batch. The i-th result
-// corresponds to queries[i].
+// BatchKNN answers many k-NN queries as one batch: a worker pool of
+// Options.BatchWorkers goroutines (default GOMAXPROCS) processes the
+// queries, each query still fanning out over all disks, and the I/O
+// phase charges every disk the union of its page reads across the batch.
+// The i-th result corresponds to queries[i]; BatchStats.PerQuery carries
+// each query's own cost accounting. Results and statistics are
+// deterministic for a given index state regardless of the worker count
+// or scheduling order.
 func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	st := ix.st
 
 	var stats BatchStats
 	if k < 1 {
@@ -94,23 +155,25 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 			return nil, stats, fmt.Errorf("parsearch: query %d has dimension %d, want %d", i, len(q), ix.opts.Dim)
 		}
 	}
-	if ix.live == 0 {
+	if ix.liveCount() == 0 {
 		return nil, stats, ErrEmpty
 	}
 	stats.Queries = len(queries)
-	stats.PagesPerDisk = make([]int, len(ix.trees))
+	stats.PagesPerDisk = make([]int, len(st.shards))
 	if len(queries) == 0 {
 		return nil, stats, nil
 	}
 
-	// Result phase: a worker pool answers the queries; each query still
-	// fans out over all disks.
+	// Result phase: the worker pool answers the queries and computes
+	// each query's page refs and per-query statistics. Everything is
+	// stored per query index, so the final aggregation is a
+	// deterministic fold no matter how the workers interleaved.
+	workers := ix.batchWorkers(len(queries))
+	stats.Workers = workers
 	results := make([][]Neighbor, len(queries))
-	radii := make([]float64, len(queries))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(queries) {
-		workers = len(queries)
-	}
+	perQuery := make([]QueryStats, len(queries))
+	refsPerQuery := make([][]disk.PageRef, len(queries))
+	errs := make([]error, len(queries))
 	m := ix.metric()
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -121,20 +184,34 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 			for i := range next {
 				q := queries[i]
 				var merged []knn.Result
-				for _, t := range ix.trees {
-					res, _ := knn.HSMetric(t, q, k, m)
+				for _, sh := range st.shards {
+					sh.mu.RLock()
+					res, _ := knn.HSMetric(sh.tree, q, k, m)
+					sh.mu.RUnlock()
 					merged = append(merged, res...)
 				}
 				sortResults(merged)
 				if len(merged) > k {
 					merged = merged[:k]
 				}
-				radii[i] = merged[len(merged)-1].Dist
+				if len(merged) == 0 {
+					// Concurrent deletions emptied the index.
+					errs[i] = ErrEmpty
+					continue
+				}
+				rk := merged[len(merged)-1].Dist
 				out := make([]Neighbor, len(merged))
 				for j, r := range merged {
 					out[j] = Neighbor{ID: r.Entry.ID, Point: r.Entry.Point, Dist: r.Dist}
 				}
 				results[i] = out
+
+				qs := QueryStats{PagesPerDisk: make([]int, len(st.shards))}
+				refs, cells := ix.sphereRefs(st, q, rk, qs.PagesPerDisk)
+				qs.Cells = cells
+				fillQueryCost(&qs, refs, ix.params, len(st.shards))
+				perQuery[i] = qs
+				refsPerQuery[i] = refs
 			}
 		}()
 	}
@@ -143,13 +220,21 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 	}
 	close(next)
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	stats.PerQuery = perQuery
 
-	// I/O phase: aggregate the page reads of the whole batch and run
-	// them through the disk array once.
+	// I/O phase: aggregate the page reads of the whole batch in query
+	// order and run them through the disk array once.
 	var refs []disk.PageRef
-	for i, q := range queries {
-		r, _ := ix.sphereRefs(q, radii[i], stats.PagesPerDisk)
-		refs = append(refs, r...)
+	for i := range refsPerQuery {
+		refs = append(refs, refsPerQuery[i]...)
+		for d, pages := range perQuery[i].PagesPerDisk {
+			stats.PagesPerDisk[d] += pages
+		}
 	}
 	batch, err := ix.array.ReadBatch(refs)
 	if err != nil {
@@ -160,7 +245,7 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 	if stats.MakespanSeconds > 0 {
 		stats.QueriesPerSecond = float64(stats.Queries) / stats.MakespanSeconds
 		stats.Utilization = batch.SequentialTime.Seconds() /
-			(stats.MakespanSeconds * float64(len(ix.trees)))
+			(stats.MakespanSeconds * float64(len(st.shards)))
 	}
 	return results, stats, nil
 }

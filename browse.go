@@ -12,10 +12,15 @@ import (
 // browsing" mode of Hjaltason and Samet [HS 95]. Interactive similarity
 // search uses it to fetch further results on demand.
 //
-// A Browser holds the index's read lock until Close is called; inserts
-// and deletes block meanwhile.
+// A Browser pins the index structure (the cutover read lock) and holds
+// every disk's read lock until Close is called: inserts, deletes, and
+// rebuilds block meanwhile, and other queries keep running — though once
+// a writer is waiting, new queries on the contested disk queue behind it
+// (RWMutex writer fairness). Keep browsing sessions short under
+// write-heavy load.
 type Browser struct {
 	ix     *Index
+	st     *state
 	merge  mergeQueue
 	closed bool
 }
@@ -56,11 +61,18 @@ func (ix *Index) Browse(q []float64) (*Browser, error) {
 		ix.mu.RUnlock()
 		return nil, fmt.Errorf("parsearch: query dimension %d, want %d", len(q), ix.opts.Dim)
 	}
-	b := &Browser{ix: ix}
+	st := ix.st
+	// Hold every disk's read lock for the browser's lifetime: the
+	// incremental ranking walks the trees lazily in Next, so the trees
+	// must not mutate until Close.
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+	}
+	b := &Browser{ix: ix, st: st}
 	m := ix.metric()
-	b.merge.browsers = make([]*knn.Browser, len(ix.trees))
-	for d, t := range ix.trees {
-		b.merge.browsers[d] = knn.NewBrowserMetric(t, q, m)
+	b.merge.browsers = make([]*knn.Browser, len(st.shards))
+	for d, sh := range st.shards {
+		b.merge.browsers[d] = knn.NewBrowserMetric(sh.tree, q, m)
 		if res, ok := b.merge.browsers[d].Next(); ok {
 			b.merge.items = append(b.merge.items, mergeItem{disk: d, result: res})
 		}
@@ -86,12 +98,15 @@ func (b *Browser) Next() (Neighbor, bool) {
 	}, true
 }
 
-// Close releases the index's read lock. The browser must not be used
-// afterwards; Close is idempotent.
+// Close releases the disk read locks and the index's structure lock. The
+// browser must not be used afterwards; Close is idempotent.
 func (b *Browser) Close() {
 	if b.closed {
 		return
 	}
 	b.closed = true
+	for _, sh := range b.st.shards {
+		sh.mu.RUnlock()
+	}
 	b.ix.mu.RUnlock()
 }

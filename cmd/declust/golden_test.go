@@ -1,0 +1,52 @@
+package main
+
+// Golden-file tests: declust's output is fully deterministic, so the
+// assignment tables and verification verdicts are compared byte-for-byte
+// against files under testdata/. Regenerate with:
+//
+//	go test ./cmd/declust -run TestGolden -update
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"d4_n8", []string{"-d", "4", "-n", "8"}},
+		{"d3_all_verify", []string{"-d", "3", "-strategy", "all", "-verify"}},
+		{"d16_colors", []string{"-d", "16", "-colors"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			out, errOut, code := runCLI(t, tc.args...)
+			if code != 0 || errOut != "" {
+				t.Fatalf("exit %d, stderr %q", code, errOut)
+			}
+			checkGolden(t, tc.name, out)
+		})
+	}
+}

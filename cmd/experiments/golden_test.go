@@ -1,0 +1,70 @@
+package main
+
+// Golden-file tests: the CLI's output for the listing and for the cheap,
+// fully deterministic figure reproductions is compared byte-for-byte
+// against files under testdata/. Wall-clock durations in the trailer
+// lines are normalized before comparison. Regenerate with:
+//
+//	go test ./cmd/experiments -run TestGolden -update
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// durationRe matches the "(Figure N, 12ms)" trailer printed after each
+// experiment; the elapsed time is the only nondeterministic output.
+var durationRe = regexp.MustCompile(`(?m)^\((.*), [0-9][^)]*\)$`)
+
+func normalize(out string) string {
+	return durationRe.ReplaceAllString(out, "($1, DURATION)")
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenList(t *testing.T) {
+	out, errOut, code := runCLI(t, "-list")
+	if code != 0 || errOut != "" {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	checkGolden(t, "list", out)
+}
+
+// TestGoldenFigures locks down the numeric tables of the two cheap,
+// deterministic figure reproductions (near-optimality violations per
+// strategy; chromatic-number bounds per dimension) at the default seed.
+func TestGoldenFigures(t *testing.T) {
+	for _, id := range []string{"fig7", "fig10"} {
+		t.Run(id, func(t *testing.T) {
+			out, errOut, code := runCLI(t, "-run", id)
+			if code != 0 || errOut != "" {
+				t.Fatalf("exit %d, stderr %q", code, errOut)
+			}
+			norm := normalize(out)
+			if norm == out && durationRe.FindString(out) == "" {
+				t.Fatalf("expected a duration trailer in output:\n%s", out)
+			}
+			checkGolden(t, id, norm)
+		})
+	}
+}

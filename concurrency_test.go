@@ -1,0 +1,745 @@
+package parsearch
+
+// Race-hardened stress and conformance tests: N reader goroutines issue
+// KNN/RangeQuery/BatchKNN/Browse against M writer goroutines running
+// Insert/Delete/FailDisk/HealDisk plus a maintenance goroutine running
+// Reorganize/Save. Workloads are seeded, the final state is verified
+// against a linear scan, and CheckIntegrity cross-checks the X-trees and
+// the storage-cell accounting. The whole file is meant to run under
+// `go test -race`.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"parsearch/internal/data"
+	"parsearch/internal/disk"
+	"parsearch/internal/vec"
+)
+
+// stressIters scales the per-goroutine operation counts down in -short
+// mode (CI runs the race build with -short).
+func stressIters(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
+// tolerableQueryErr reports whether a query error is an expected outcome
+// of the concurrent workload: an index transiently emptied by deletions,
+// or a read hitting an injected disk failure.
+func tolerableQueryErr(err error) bool {
+	return err == nil || errors.Is(err, ErrEmpty) || errors.Is(err, disk.ErrDiskFailed)
+}
+
+// writerLog records the mutations one writer performed, for the final
+// ground-truth reconstruction.
+type writerLog struct {
+	inserted map[int][]float64
+	deleted  map[int]bool
+}
+
+// TestStressMixedWorkload is the main stress test: seeded mixed
+// read/write traffic over one index, followed by exact conformance
+// checks of the final state.
+func TestStressMixedWorkload(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"tree-pages", Options{Dim: 6, Disks: 4}},
+		{"bucket-pages-baseline", Options{Dim: 5, Disks: 3, CostModel: BucketPages, Baseline: true}},
+		{"quantile-recursive", Options{Dim: 4, Disks: 4, QuantileSplits: true, Recursive: true}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			runMixedWorkload(t, cfg.opts)
+		})
+	}
+}
+
+func runMixedWorkload(t *testing.T, opts Options) {
+	const (
+		initial = 400
+		writers = 3
+		readers = 4
+	)
+	writerOps := stressIters(400, 120)
+
+	ix, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := data.Uniform(initial, opts.Dim, 42)
+	raw := make([][]float64, initial)
+	for i, p := range pts {
+		raw[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var readerWG, writerWG sync.WaitGroup
+
+	// Readers: seeded query traffic of every kind until the writers are
+	// done. Errors are only tolerable if they stem from an injected
+	// disk failure or a transiently empty index.
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := randPoint(rng, opts.Dim)
+				switch rng.Intn(6) {
+				case 0:
+					if _, _, err := ix.KNN(q, 1+rng.Intn(5)); !tolerableQueryErr(err) {
+						t.Errorf("KNN: %v", err)
+					}
+				case 1:
+					lo, hi := randBox(rng, opts.Dim)
+					if _, _, err := ix.RangeQuery(lo, hi); !tolerableQueryErr(err) {
+						t.Errorf("RangeQuery: %v", err)
+					}
+				case 2:
+					batch := [][]float64{q, randPoint(rng, opts.Dim), randPoint(rng, opts.Dim)}
+					if _, _, err := ix.BatchKNN(batch, 3); !tolerableQueryErr(err) {
+						t.Errorf("BatchKNN: %v", err)
+					}
+				case 3:
+					b, err := ix.Browse(q)
+					if err != nil {
+						t.Errorf("Browse: %v", err)
+						continue
+					}
+					for i := 0; i < 5; i++ {
+						if _, ok := b.Next(); !ok {
+							break
+						}
+					}
+					b.Close()
+				case 4:
+					ix.Len()
+					ix.DiskLoads()
+					ix.CellLoads()
+				case 5:
+					if _, _, err := ix.NN(q); !tolerableQueryErr(err) {
+						t.Errorf("NN: %v", err)
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Writers: each owns the initial IDs congruent to its index mod
+	// `writers` (so no two goroutines delete the same ID) plus
+	// everything it inserts itself.
+	logs := make([]*writerLog, writers)
+	for w := 0; w < writers; w++ {
+		logs[w] = &writerLog{inserted: make(map[int][]float64), deleted: make(map[int]bool)}
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(int64(2000 + w)))
+			lg := logs[w]
+			var ownInitial []int
+			for id := w; id < initial; id += writers {
+				ownInitial = append(ownInitial, id)
+			}
+			var ownInserted []int
+			for op := 0; op < writerOps; op++ {
+				switch v := rng.Intn(100); {
+				case v < 55:
+					p := randPoint(rng, opts.Dim)
+					id, err := ix.Insert(p)
+					if err != nil {
+						t.Errorf("Insert: %v", err)
+						return
+					}
+					lg.inserted[id] = p
+					ownInserted = append(ownInserted, id)
+				case v < 75 && len(ownInserted) > 0:
+					i := rng.Intn(len(ownInserted))
+					id := ownInserted[i]
+					ownInserted = append(ownInserted[:i], ownInserted[i+1:]...)
+					if err := ix.Delete(id); err != nil {
+						t.Errorf("Delete(%d): %v", id, err)
+						return
+					}
+					lg.deleted[id] = true
+				case v < 85 && len(ownInitial) > 0:
+					i := rng.Intn(len(ownInitial))
+					id := ownInitial[i]
+					ownInitial = append(ownInitial[:i], ownInitial[i+1:]...)
+					if err := ix.Delete(id); err != nil {
+						t.Errorf("Delete(initial %d): %v", id, err)
+						return
+					}
+					lg.deleted[id] = true
+				case v < 92:
+					d := rng.Intn(opts.Disks)
+					ix.FailDisk(d)
+					ix.HealDisk(d)
+				default:
+					ix.Len()
+				}
+			}
+		}(w)
+	}
+
+	// Maintenance: concurrent reorganizations and snapshots.
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		n := stressIters(8, 3)
+		for i := 0; i < n; i++ {
+			if err := ix.Reorganize(); err != nil {
+				t.Errorf("Reorganize: %v", err)
+				return
+			}
+			ix.NeedsReorganization()
+			if err := ix.Save(io.Discard); err != nil {
+				t.Errorf("Save: %v", err)
+				return
+			}
+			if err := ix.CheckIntegrity(); err != nil {
+				t.Errorf("CheckIntegrity mid-flight: %v", err)
+				return
+			}
+		}
+	}()
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	for d := 0; d < opts.Disks; d++ {
+		ix.HealDisk(d)
+	}
+
+	// Reconstruct the expected live set from the initial data and the
+	// writers' logs.
+	expected := make(map[int][]float64)
+	for id, p := range raw {
+		expected[id] = p
+	}
+	for _, lg := range logs {
+		for id, p := range lg.inserted {
+			expected[id] = p
+		}
+		for id := range lg.deleted {
+			delete(expected, id)
+		}
+	}
+
+	verifyFinalState(t, ix, expected, opts)
+}
+
+// verifyFinalState checks the quiesced index exactly against the
+// expected id→point map: structural integrity, counts, loads, k-NN
+// versus a linear scan, and range queries versus a direct box filter.
+func verifyFinalState(t *testing.T, ix *Index, expected map[int][]float64, opts Options) {
+	t.Helper()
+	if err := ix.CheckIntegrity(); err != nil {
+		t.Fatalf("CheckIntegrity: %v", err)
+	}
+	if got := ix.Len(); got != len(expected) {
+		t.Fatalf("Len = %d, want %d", got, len(expected))
+	}
+	diskLoads := ix.DiskLoads()
+	cellLoads := ix.CellLoads()
+	if !reflect.DeepEqual(diskLoads, cellLoads) {
+		t.Fatalf("DiskLoads %v != CellLoads %v", diskLoads, cellLoads)
+	}
+	sum := 0
+	for _, l := range diskLoads {
+		sum += l
+	}
+	if sum != len(expected) {
+		t.Fatalf("disk loads sum to %d, want %d", sum, len(expected))
+	}
+
+	if len(expected) == 0 {
+		return
+	}
+	m, err := opts.Metric.vecMetric()
+	if err != nil {
+		m, _ = Euclidean.vecMetric()
+	}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 10; i++ {
+		q := randPoint(rng, opts.Dim)
+		k := 1 + rng.Intn(8)
+		got, _, err := ix.KNN(q, k)
+		if err != nil {
+			t.Fatalf("final KNN: %v", err)
+		}
+		want := linearScanKNN(expected, q, k, m)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d neighbors, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j].ID != want[j].id || got[j].Dist != want[j].dist {
+				t.Fatalf("query %d neighbor %d: got (id %d, dist %v), want (id %d, dist %v)",
+					i, j, got[j].ID, got[j].Dist, want[j].id, want[j].dist)
+			}
+		}
+
+		lo, hi := randBox(rng, opts.Dim)
+		res, _, err := ix.RangeQuery(lo, hi)
+		if err != nil {
+			t.Fatalf("final RangeQuery: %v", err)
+		}
+		var gotIDs []int
+		for _, n := range res {
+			gotIDs = append(gotIDs, n.ID)
+		}
+		var wantIDs []int
+		for id, p := range expected {
+			if inBox(p, lo, hi) {
+				wantIDs = append(wantIDs, id)
+			}
+		}
+		sort.Ints(wantIDs)
+		if !reflect.DeepEqual(gotIDs, wantIDs) {
+			t.Fatalf("range query %d: got ids %v, want %v", i, gotIDs, wantIDs)
+		}
+	}
+}
+
+type scanHit struct {
+	id   int
+	dist float64
+}
+
+// linearScanKNN is the ground truth: distances to every live point,
+// sorted by (dist, id), truncated to k — the same semantics as the tree
+// algorithms.
+func linearScanKNN(points map[int][]float64, q []float64, k int, m vec.Metric) []scanHit {
+	hits := make([]scanHit, 0, len(points))
+	for id, p := range points {
+		hits = append(hits, scanHit{id: id, dist: m.FromRank(m.RankDist(q, p))})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].dist != hits[j].dist {
+			return hits[i].dist < hits[j].dist
+		}
+		return hits[i].id < hits[j].id
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+func inBox(p, lo, hi []float64) bool {
+	for i := range p {
+		if p[i] < lo[i] || p[i] > hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randPoint(rng *rand.Rand, d int) []float64 {
+	p := make([]float64, d)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	return p
+}
+
+func randBox(rng *rand.Rand, d int) (lo, hi []float64) {
+	lo = make([]float64, d)
+	hi = make([]float64, d)
+	for i := range lo {
+		a, b := rng.Float64(), rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return lo, hi
+}
+
+// TestConcurrentKNNIdenticalToSequential verifies the acceptance
+// criterion that concurrent KNN calls return byte-identical results to
+// the single-threaded run on the same seed: exact k-NN semantics are
+// preserved under read parallelism.
+func TestConcurrentKNNIdenticalToSequential(t *testing.T) {
+	const d, n, k, queries = 8, 1500, 9, 40
+	ix, err := Open(Options{Dim: d, Disks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := data.Uniform(n, d, 42)
+	raw := make([][]float64, n)
+	for i, p := range pts {
+		raw[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+	qs := data.Uniform(queries, d, 43)
+
+	// Sequential reference.
+	want := make([][]Neighbor, queries)
+	for i, q := range qs {
+		res, _, err := ix.KNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	// The same queries from many goroutines, repeatedly.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < stressIters(20, 6); rep++ {
+				i := (g + rep) % queries
+				res, _, err := ix.KNN(qs[i], k)
+				if err != nil {
+					t.Errorf("concurrent KNN: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(res, want[i]) {
+					t.Errorf("query %d: concurrent result differs from sequential", i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestReorganizeConcurrentInsertsNotLost is the regression test for the
+// torn-rebuild race: Reorganize used to drop the lock between copying
+// the point table and rebuilding, so a concurrent Insert in that window
+// vanished. Every insert must survive any number of reorganizations.
+func TestReorganizeConcurrentInsertsNotLost(t *testing.T) {
+	const d, writers = 4, 4
+	perWriter := stressIters(150, 50)
+	ix, err := Open(Options{Dim: d, Disks: 3, QuantileSplits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := data.Uniform(100, d, 1)
+	raw := make([][]float64, len(initial))
+	for i, p := range initial {
+		raw[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				if _, err := ix.Insert(randPoint(rng, d)); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			goto drained
+		default:
+		}
+		if err := ix.Reorganize(); err != nil {
+			t.Fatalf("Reorganize: %v", err)
+		}
+	}
+drained:
+	// One final reorganization over the quiesced index.
+	if err := ix.Reorganize(); err != nil {
+		t.Fatal(err)
+	}
+	want := len(initial) + writers*perWriter
+	if got := ix.Len(); got != want {
+		t.Fatalf("Len = %d after concurrent reorganize, want %d (inserts lost)", got, want)
+	}
+	if err := ix.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNeedsReorganizationDuringInserts is the regression test for the
+// unsynchronized quantile-estimator access: the adaptive splitter is
+// updated by Insert while NeedsReorganization reads its counters and
+// queries read the split values. Must be clean under -race.
+func TestNeedsReorganizationDuringInserts(t *testing.T) {
+	const d = 5
+	ix, err := Open(Options{Dim: d, Disks: 4, QuantileSplits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := data.Uniform(200, d, 3)
+	raw := make([][]float64, len(seed))
+	for i, p := range seed {
+		raw[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var inserter, pollers sync.WaitGroup
+	inserter.Add(1)
+	go func() {
+		defer inserter.Done()
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < stressIters(500, 150); i++ {
+			if _, err := ix.Insert(randPoint(rng, d)); err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 2; g++ {
+		pollers.Add(1)
+		go func(g int) {
+			defer pollers.Done()
+			rng := rand.New(rand.NewSource(int64(5 + g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ix.NeedsReorganization()
+				if _, _, err := ix.KNN(randPoint(rng, d), 3); !tolerableQueryErr(err) {
+					t.Errorf("KNN: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	inserter.Wait()
+	close(stop)
+	pollers.Wait()
+	if err := ix.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailHealDuringQueries is the regression test for the disk
+// fail/heal flags being read by query goroutines: flags are atomic, a
+// query either succeeds or reports the failure, and a healed array
+// serves queries again.
+func TestFailHealDuringQueries(t *testing.T) {
+	const d = 6
+	ix, err := Open(Options{Dim: d, Disks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := data.Uniform(800, d, 11)
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var flipper, readers sync.WaitGroup
+	flipper.Add(1)
+	go func() {
+		defer flipper.Done()
+		rng := rand.New(rand.NewSource(12))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			di := rng.Intn(4)
+			ix.FailDisk(di)
+			ix.DiskFailed(di)
+			ix.HealDisk(di)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(20 + g)))
+			for i := 0; i < stressIters(300, 80); i++ {
+				_, _, err := ix.KNN(randPoint(rng, d), 4)
+				if err != nil && !errors.Is(err, disk.ErrDiskFailed) {
+					t.Errorf("KNN error other than disk failure: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	readers.Wait()
+	close(stop)
+	flipper.Wait()
+
+	for di := 0; di < 4; di++ {
+		ix.HealDisk(di)
+	}
+	if _, _, err := ix.KNN(make([]float64, d), 3); err != nil {
+		t.Fatalf("healed index still failing: %v", err)
+	}
+	if err := ix.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBrowserConcurrentWithReaders: an open Browser must not block
+// queries (only writers), must emit globally sorted results, and writers
+// must proceed once it closes.
+func TestBrowserConcurrentWithReaders(t *testing.T) {
+	const d = 4
+	ix, err := Open(Options{Dim: d, Disks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := data.Uniform(300, d, 21)
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+
+	q := make([]float64, d)
+	b, err := ix.Browse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Readers keep working while the browser is open (no writer is
+	// pending yet, so shard read locks are granted immediately).
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(30 + g)))
+			for i := 0; i < 50; i++ {
+				if _, _, err := ix.KNN(randPoint(rng, d), 2); !tolerableQueryErr(err) {
+					t.Errorf("KNN during browse: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// A writer started mid-browse blocks until the browser closes.
+	inserted := make(chan error, 1)
+	go func() {
+		_, err := ix.Insert(make([]float64, d))
+		inserted <- err
+	}()
+
+	prev := -1.0
+	count := 0
+	for {
+		n, ok := b.Next()
+		if !ok {
+			break
+		}
+		if n.Dist < prev {
+			t.Fatalf("browser emitted out of order: %v after %v", n.Dist, prev)
+		}
+		prev = n.Dist
+		count++
+	}
+	if count != len(pts) {
+		t.Fatalf("browser returned %d results, want %d", count, len(pts))
+	}
+	b.Close()
+	if err := <-inserted; err != nil {
+		t.Fatalf("insert after browse: %v", err)
+	}
+	if got := ix.Len(); got != len(pts)+1 {
+		t.Fatalf("Len = %d, want %d", got, len(pts)+1)
+	}
+}
+
+// TestConcurrentSaveConsistency: snapshots taken during writes must each
+// be internally consistent — they load cleanly and pass integrity
+// checks, holding some prefix of the mutation history.
+func TestConcurrentSaveConsistency(t *testing.T) {
+	const d = 4
+	ix, err := Open(Options{Dim: d, Disks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := data.Uniform(200, d, 31)
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+
+	inserts := stressIters(200, 60)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(32))
+		for i := 0; i < inserts; i++ {
+			if _, err := ix.Insert(randPoint(rng, d)); err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+		}
+	}()
+
+	var snaps []*bytes.Buffer
+	for {
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		snaps = append(snaps, &buf)
+		select {
+		case <-done:
+			goto verify
+		default:
+		}
+	}
+verify:
+	for i, buf := range snaps {
+		loaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("snapshot %d does not load: %v", i, err)
+		}
+		if err := loaded.CheckIntegrity(); err != nil {
+			t.Fatalf("snapshot %d integrity: %v", i, err)
+		}
+		if n := loaded.Len(); n < len(pts) || n > len(pts)+inserts {
+			t.Fatalf("snapshot %d holds %d vectors, expected within [%d, %d]",
+				i, n, len(pts), len(pts)+inserts)
+		}
+	}
+}

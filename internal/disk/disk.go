@@ -11,6 +11,11 @@
 // speed-up reported in the experiments.
 //
 // Disks can be failed and healed to test error propagation.
+//
+// An Array is safe for concurrent use: ReadBatch may run from any number
+// of goroutines, and Fail/Heal/Failed/TotalReads are atomic — the
+// failure flags and the lifetime block counters are the only shared
+// state, and both are lock-free.
 package disk
 
 import (
@@ -119,6 +124,19 @@ func (a *Array) Heal(disk int) { a.failed[disk].Store(false) }
 
 // Failed reports whether the disk is failed.
 func (a *Array) Failed(disk int) bool { return a.failed[disk].Load() }
+
+// FailedDisks returns the currently failed disks in ascending order. Like
+// Fail and Heal it is lock-free; a concurrent Fail/Heal may or may not be
+// reflected.
+func (a *Array) FailedDisks() []int {
+	var out []int
+	for d := 0; d < a.n; d++ {
+		if a.failed[d].Load() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
 
 // TotalReads returns the lifetime per-disk block counters.
 func (a *Array) TotalReads() []int64 {

@@ -209,3 +209,69 @@ func BenchmarkReadBatch16Disks(b *testing.B) {
 		a.ReadBatch(refs)
 	}
 }
+
+func TestFailedDisks(t *testing.T) {
+	a := NewArray(4, Params{})
+	if got := a.FailedDisks(); got != nil {
+		t.Fatalf("FailedDisks on healthy array = %v", got)
+	}
+	a.Fail(3)
+	a.Fail(1)
+	got := a.FailedDisks()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("FailedDisks = %v, want [1 3]", got)
+	}
+	a.Heal(1)
+	got = a.FailedDisks()
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("FailedDisks after heal = %v, want [3]", got)
+	}
+}
+
+// Regression: failing and healing disks while batches are in flight must
+// be race-free, and every batch either succeeds or reports ErrDiskFailed.
+func TestConcurrentFailHealDuringBatches(t *testing.T) {
+	a := NewArray(4, Params{Seek: time.Microsecond, Transfer: time.Microsecond})
+	refs := make([]PageRef, 16)
+	for i := range refs {
+		refs[i] = PageRef{Disk: i % 4, Blocks: 1}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := i % 4
+			a.Fail(d)
+			a.FailedDisks()
+			a.Heal(d)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := a.ReadBatch(refs); err != nil && !errors.Is(err, ErrDiskFailed) {
+					t.Errorf("unexpected batch error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	for d := 0; d < 4; d++ {
+		a.Heal(d)
+	}
+	if _, err := a.ReadBatch(refs); err != nil {
+		t.Fatalf("healed array still failing: %v", err)
+	}
+}

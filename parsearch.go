@@ -20,6 +20,17 @@
 //
 // The returned QueryStats carry the paper's cost metrics: pages read per
 // disk, the bottleneck disk, and the speed-up over a sequential search.
+//
+// # Concurrency
+//
+// An Index is safe for concurrent use by any number of goroutines: the
+// query methods (NN, KNN, RangeQuery, PartialMatch, BatchKNN, Browse,
+// ServiceDemands, Save) may run concurrently with each other and with the
+// mutating methods (Insert, Delete, FailDisk, HealDisk, Reorganize,
+// Build). Build and Reorganize replace the index structure as an atomic
+// cutover: a query observes either the old or the new structure, never a
+// half-built one. See DESIGN.md ("Concurrency contract") for the exact
+// guarantees and the lock hierarchy.
 package parsearch
 
 import (
@@ -114,6 +125,7 @@ const (
 )
 
 // Options configure an Index. Zero values select the documented defaults.
+// Options are immutable after Open.
 type Options struct {
 	// Dim is the dimensionality of the feature vectors. Required.
 	Dim int
@@ -142,6 +154,11 @@ type Options struct {
 	CostModel CostModel
 	// Metric selects the similarity measure; default Euclidean.
 	Metric Metric
+	// BatchWorkers caps the number of concurrent query workers of the
+	// BatchKNN scheduler; 0 selects runtime.GOMAXPROCS(0). It bounds
+	// CPU fan-out under heavy batch load, not the per-query disk
+	// parallelism.
+	BatchWorkers int
 }
 
 // vecMetric maps the option value to the internal metric type.
@@ -223,21 +240,59 @@ type cellInfo struct {
 	count int
 }
 
-// Index is a parallel similarity-search index.
-type Index struct {
-	opts      Options
-	params    disk.Params
+// shard is one disk's partition of the index: the disk's X-tree plus the
+// read-write mutex that serializes structural tree mutation against
+// concurrent query traversals. Queries on different disks never contend.
+type shard struct {
+	mu   sync.RWMutex
+	tree *xtree.Tree
+}
+
+// state is the derived index structure — everything Build computes from
+// the stored vectors: the bucketing, the declustering assignment, the
+// per-disk shards, the optional sequential baseline, and the storage-cell
+// accounting. Build and Reorganize construct a replacement state off the
+// lock and cut it in under the index write lock, so queries never observe
+// a half-built index. bucketer and assigner are immutable within a state;
+// cells/cellIndex are mutated by Insert/Delete under Index.meta.
+type state struct {
 	bucketer  core.Bucketer
 	assigner  core.Assigner
-	array     *disk.Array
-	trees     []*xtree.Tree
-	baseline  *xtree.Tree
-	points    []vec.Point // index = ID; nil entries are deleted (tombstones)
-	live      int         // number of non-tombstone points
-	adaptive  *core.AdaptiveSplitter
+	shards    []*shard
+	baseline  *shard // nil unless Options.Baseline
 	cells     []cellInfo
 	cellIndex map[string]int
-	mu        sync.RWMutex
+}
+
+// Index is a parallel similarity-search index, safe for concurrent use
+// (see the package comment).
+//
+// Lock hierarchy (always acquired in this order, never the reverse):
+//
+//	mu (R by queries and point mutations, W by Build/Reorganize cutover)
+//	→ meta (point table, live count, cell loads, quantile estimators)
+//	→ shard.mu per disk (R by tree traversals, W by tree mutation)
+type Index struct {
+	opts   Options
+	params disk.Params
+	array  *disk.Array
+
+	// mu is the cutover lock: queries and single-point mutations hold
+	// it in read mode; Build and Reorganize take it in write mode only
+	// for the moment they swap in a freshly built state, so a rebuild
+	// is atomic without blocking readers while it is computed.
+	mu sync.RWMutex
+	st *state
+
+	// meta guards the point table and everything maintained per point:
+	// the ID space, the live count, the storage-cell loads of the
+	// current state, the adaptive quantile estimators, and the
+	// mutation version counter.
+	meta     sync.Mutex
+	points   []vec.Point // index = ID; nil entries are deleted (tombstones)
+	live     int         // number of non-tombstone points
+	adaptive *core.AdaptiveSplitter
+	version  uint64 // bumped by every mutation; Reorganize's conflict check
 }
 
 // Open validates the options and returns an empty index.
@@ -272,6 +327,9 @@ func Open(opts Options) (*Index, error) {
 	if _, err := opts.Metric.vecMetric(); err != nil {
 		return nil, err
 	}
+	if opts.BatchWorkers < 0 {
+		return nil, fmt.Errorf("parsearch: %d batch workers", opts.BatchWorkers)
+	}
 	params := disk.DefaultParams()
 	if opts.DiskParams != nil {
 		if err := opts.DiskParams.validate(); err != nil {
@@ -285,54 +343,69 @@ func Open(opts Options) (*Index, error) {
 	}
 
 	ix := &Index{opts: opts, params: params}
-	ix.bucketer = core.NewMidpointSplitter(opts.Dim)
-	assigner, err := ix.makeAssigner(ix.bucketer)
+	ix.array = disk.NewArray(opts.Disks, params)
+	st, err := ix.emptyState()
 	if err != nil {
 		return nil, err
 	}
-	ix.assigner = assigner
-	ix.array = disk.NewArray(opts.Disks, params)
-	ix.trees = make([]*xtree.Tree, opts.Disks)
-	cfg := ix.treeConfig()
-	for i := range ix.trees {
-		ix.trees[i] = xtree.New(cfg)
-	}
-	if opts.Baseline {
-		ix.baseline = xtree.New(cfg)
-	}
-	ix.cellIndex = make(map[string]int)
+	ix.st = st
 	return ix, nil
 }
 
-// splitValues returns the current per-dimension split values of the
-// bucketer (both splitter implementations expose them).
-func (ix *Index) splitValues() []float64 {
-	return ix.bucketer.(interface{ Splits() []float64 }).Splits()
+// emptyState returns the derived structure of an index with no data: a
+// midpoint bucketing, the configured strategy, and empty trees.
+func (ix *Index) emptyState() (*state, error) {
+	st := &state{
+		bucketer:  core.NewMidpointSplitter(ix.opts.Dim),
+		cellIndex: make(map[string]int),
+	}
+	assigner, err := ix.makeAssigner(st.bucketer)
+	if err != nil {
+		return nil, err
+	}
+	st.assigner = assigner
+	cfg := ix.treeConfig()
+	st.shards = make([]*shard, ix.opts.Disks)
+	for i := range st.shards {
+		st.shards[i] = &shard{tree: xtree.New(cfg)}
+	}
+	if ix.opts.Baseline {
+		st.baseline = &shard{tree: xtree.New(cfg)}
+	}
+	return st, nil
 }
 
-// assignCell places point i and returns its disk together with the
-// storage cell it lands in.
-func (ix *Index) assignCell(i int, p vec.Point) (diskNo int, key string, rect vec.Rect) {
-	if rec, ok := ix.assigner.(*core.Recursive); ok {
+// splitValues returns the current per-dimension split values of the
+// state's bucketer (both splitter implementations expose them).
+func splitValues(st *state) []float64 {
+	return st.bucketer.(interface{ Splits() []float64 }).Splits()
+}
+
+// assignCell places point i under the given state and returns its disk
+// together with the storage cell it lands in. The state's bucketer and
+// assigner are immutable, so no lock is needed beyond pinning st.
+func (ix *Index) assignCell(st *state, i int, p vec.Point) (diskNo int, key string, rect vec.Rect) {
+	if rec, ok := st.assigner.(*core.Recursive); ok {
 		c := rec.AssignCell(p)
 		return c.Disk, c.Key(), c.Rect
 	}
-	diskNo = ix.assigner.Assign(i, p)
-	b := ix.bucketer.Bucket(p)
+	diskNo = st.assigner.Assign(i, p)
+	b := st.bucketer.Bucket(p)
 	// Round robin scatters a quadrant over every disk; the disk is part
 	// of the cell identity so each disk keeps its own pages per quadrant.
 	key = fmt.Sprintf("%d#%d", b, diskNo)
-	return diskNo, key, core.QuadrantRect(b, ix.splitValues())
+	return diskNo, key, core.QuadrantRect(b, splitValues(st))
 }
 
-// addToCell records one point in its storage cell.
-func (ix *Index) addToCell(key string, diskNo int, rect vec.Rect) {
-	if idx, ok := ix.cellIndex[key]; ok {
-		ix.cells[idx].count++
+// addToCell records one point in its storage cell. Caller holds meta (or
+// exclusively owns st during a build).
+func addToCell(st *state, key string, diskNo int, rect vec.Rect) {
+	if idx, ok := st.cellIndex[key]; ok {
+		st.cells[idx].count++
 		return
 	}
-	ix.cellIndex[key] = len(ix.cells)
-	ix.cells = append(ix.cells, cellInfo{rect: rect, disk: diskNo, count: 1})
+	st.cellIndex[key] = len(st.cells)
+	st.cells = append(st.cells, cellInfo{rect: rect, disk: diskNo, count: 1})
 }
 
 func (ix *Index) treeConfig() xtree.Config {
@@ -369,21 +442,33 @@ func (ix *Index) makeAssigner(b core.Bucketer) (core.Assigner, error) {
 }
 
 // Strategy returns the name of the active declustering strategy.
-func (ix *Index) Strategy() string { return ix.assigner.Name() }
+func (ix *Index) Strategy() string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.st.assigner.Name()
+}
 
 // Disks returns the number of disks.
 func (ix *Index) Disks() int { return ix.opts.Disks }
 
 // Len returns the number of indexed (non-deleted) vectors.
 func (ix *Index) Len() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	ix.meta.Lock()
+	defer ix.meta.Unlock()
+	return ix.live
+}
+
+// liveCount returns the live count under meta.
+func (ix *Index) liveCount() int {
+	ix.meta.Lock()
+	defer ix.meta.Unlock()
 	return ix.live
 }
 
 // FailDisk marks a simulated disk as failed: queries whose page reads
 // touch it return an error (wrapping disk.ErrDiskFailed) until HealDisk
-// is called. Used for failure-injection testing.
+// is called. Used for failure-injection testing. The failure flag is
+// atomic; FailDisk is safe to call during running queries.
 func (ix *Index) FailDisk(d int) error {
 	if d < 0 || d >= ix.opts.Disks {
 		return fmt.Errorf("parsearch: no disk %d", d)
@@ -401,15 +486,203 @@ func (ix *Index) HealDisk(d int) error {
 	return nil
 }
 
+// DiskFailed reports whether disk d is currently failed.
+func (ix *Index) DiskFailed(d int) bool {
+	if d < 0 || d >= ix.opts.Disks {
+		return false
+	}
+	return ix.array.Failed(d)
+}
+
 // DiskLoads returns the number of vectors stored on each disk.
 func (ix *Index) DiskLoads() []int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	loads := make([]int, len(ix.trees))
-	for i, t := range ix.trees {
-		loads[i] = t.Len()
+	loads := make([]int, len(ix.st.shards))
+	for i, sh := range ix.st.shards {
+		sh.mu.RLock()
+		loads[i] = sh.tree.Len()
+		sh.mu.RUnlock()
 	}
 	return loads
+}
+
+// CellLoads returns, per disk, the sum of the point counts of the disk's
+// storage cells. By construction it equals DiskLoads after any
+// interleaving of operations; CheckIntegrity verifies exactly that.
+func (ix *Index) CellLoads() []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := ix.st
+	ix.meta.Lock()
+	defer ix.meta.Unlock()
+	loads := make([]int, len(st.shards))
+	for _, c := range st.cells {
+		loads[c.disk] += c.count
+	}
+	return loads
+}
+
+// CheckIntegrity verifies the cross-structure invariants of the index and
+// returns the first violation found, or nil:
+//
+//   - the live count equals the number of non-tombstone points,
+//   - every disk's X-tree passes its structural invariant check,
+//   - every disk's tree size equals the sum of its cell loads,
+//   - the tree sizes sum to the live count,
+//   - the baseline tree (if any) holds exactly the live points.
+//
+// It takes the same locks as a writer, so the check is atomic with
+// respect to concurrent mutations.
+func (ix *Index) CheckIntegrity() error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := ix.st
+	ix.meta.Lock()
+	defer ix.meta.Unlock()
+
+	stored := 0
+	for _, p := range ix.points {
+		if p != nil {
+			stored++
+		}
+	}
+	if stored != ix.live {
+		return fmt.Errorf("parsearch: %d stored points but live count %d", stored, ix.live)
+	}
+	cellLoads := make([]int, len(st.shards))
+	for _, c := range st.cells {
+		if c.count < 0 {
+			return fmt.Errorf("parsearch: negative cell load %d on disk %d", c.count, c.disk)
+		}
+		cellLoads[c.disk] += c.count
+	}
+	total := 0
+	for d, sh := range st.shards {
+		sh.mu.RLock()
+		n := sh.tree.Len()
+		err := sh.tree.CheckInvariants()
+		sh.mu.RUnlock()
+		if err != nil {
+			return fmt.Errorf("parsearch: disk %d: %w", d, err)
+		}
+		if cellLoads[d] != n {
+			return fmt.Errorf("parsearch: disk %d holds %d vectors but cell loads sum to %d", d, n, cellLoads[d])
+		}
+		total += n
+	}
+	if total != ix.live {
+		return fmt.Errorf("parsearch: trees hold %d vectors, live count %d", total, ix.live)
+	}
+	if st.baseline != nil {
+		st.baseline.mu.RLock()
+		n := st.baseline.tree.Len()
+		err := st.baseline.tree.CheckInvariants()
+		st.baseline.mu.RUnlock()
+		if err != nil {
+			return fmt.Errorf("parsearch: baseline: %w", err)
+		}
+		if n != ix.live {
+			return fmt.Errorf("parsearch: baseline holds %d vectors, live count %d", n, ix.live)
+		}
+	}
+	return nil
+}
+
+// buildState constructs a fresh derived state (and the cloned point
+// table) from the given vectors. It reads only immutable index fields, so
+// it runs without any lock — Build and Reorganize call it off the lock
+// and cut the result in atomically.
+func (ix *Index) buildState(points [][]float64) (st *state, pts []vec.Point, live int, err error) {
+	for i, p := range points {
+		if p != nil && len(p) != ix.opts.Dim {
+			return nil, nil, 0, fmt.Errorf("parsearch: point %d has dimension %d, want %d", i, len(p), ix.opts.Dim)
+		}
+	}
+	pts = make([]vec.Point, len(points))
+	var livePoints []vec.Point
+	for i, p := range points {
+		if p == nil {
+			continue
+		}
+		pts[i] = vec.Clone(p)
+		livePoints = append(livePoints, pts[i])
+		live++
+	}
+
+	st = &state{cellIndex: make(map[string]int)}
+	// Choose the bucketing per the configured extensions.
+	if ix.opts.QuantileSplits && live > 0 {
+		st.bucketer = core.NewQuantileSplitter(livePoints, 0.5)
+	} else {
+		st.bucketer = core.NewMidpointSplitter(ix.opts.Dim)
+	}
+	if ix.opts.Recursive {
+		st.assigner = core.BuildRecursive(livePoints, st.bucketer, ix.opts.Disks,
+			core.DefaultRecursiveConfig(ix.opts.Disks))
+	} else {
+		assigner, err := ix.makeAssigner(st.bucketer)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		st.assigner = assigner
+	}
+
+	// Partition into per-disk trees and bucket cells. Bucket-based
+	// strategies store data per bucket, so no page spans two buckets
+	// (the paper's storage layout); round robin has no spatial
+	// grouping — each disk indexes its arrival-order sample as a whole.
+	// With a single disk there is nothing to decluster: the "parallel"
+	// index degenerates to the original sequential X-tree, so the plain
+	// layout applies (bucket grouping would only fragment pages).
+	_, isRR := st.assigner.(*core.RoundRobin)
+	plain := isRR || ix.opts.Disks == 1
+	groups := make([]map[string][]xtree.Entry, ix.opts.Disks)
+	for d := range groups {
+		groups[d] = make(map[string][]xtree.Entry)
+	}
+	for i, p := range pts {
+		if p == nil {
+			continue
+		}
+		d, key, rect := ix.assignCell(st, i, p)
+		addToCell(st, key, d, rect)
+		groups[d][key] = append(groups[d][key], xtree.Entry{Point: p, ID: i})
+	}
+	cfg := ix.treeConfig()
+	st.shards = make([]*shard, ix.opts.Disks)
+	for d := range st.shards {
+		keys := make([]string, 0, len(groups[d]))
+		for key := range groups[d] {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys) // deterministic build
+		st.shards[d] = &shard{tree: xtree.New(cfg)}
+		if plain {
+			var all []xtree.Entry
+			for _, key := range keys {
+				all = append(all, groups[d][key]...)
+			}
+			st.shards[d].tree.BulkLoad(all)
+			continue
+		}
+		parts := make([][]xtree.Entry, 0, len(keys))
+		for _, key := range keys {
+			parts = append(parts, groups[d][key])
+		}
+		st.shards[d].tree.BulkLoadGrouped(parts)
+	}
+	if ix.opts.Baseline {
+		entries := make([]xtree.Entry, 0, live)
+		for i, p := range pts {
+			if p != nil {
+				entries = append(entries, xtree.Entry{Point: p, ID: i})
+			}
+		}
+		st.baseline = &shard{tree: xtree.New(cfg)}
+		st.baseline.tree.BulkLoad(entries)
+	}
+	return st, pts, live, nil
 }
 
 // Build indexes the given vectors, replacing any previous content. Vector
@@ -418,121 +691,57 @@ func (ix *Index) DiskLoads() []int {
 // Options.QuantileSplits the quadrant splits are placed at the
 // per-dimension medians of the data; with Options.Recursive overloaded
 // disks are recursively declustered (both extensions of §4.3).
+//
+// The new structure is computed off the lock — queries keep running
+// against the old contents meanwhile — and swapped in as an atomic
+// cutover. A concurrent Insert or Delete serializes either before the
+// cutover (its effect is replaced, as if it preceded Build) or after it.
 func (ix *Index) Build(points [][]float64) error {
+	st, pts, live, err := ix.buildState(points)
+	if err != nil {
+		return err
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-
-	for i, p := range points {
-		if p != nil && len(p) != ix.opts.Dim {
-			return fmt.Errorf("parsearch: point %d has dimension %d, want %d", i, len(p), ix.opts.Dim)
-		}
-	}
-	ix.points = make([]vec.Point, len(points))
-	ix.live = 0
-	var livePoints []vec.Point
-	for i, p := range points {
-		if p == nil {
-			continue
-		}
-		ix.points[i] = vec.Clone(p)
-		livePoints = append(livePoints, ix.points[i])
-		ix.live++
-	}
-
-	// Choose the bucketing per the configured extensions.
-	if ix.opts.QuantileSplits && ix.live > 0 {
-		ix.bucketer = core.NewQuantileSplitter(livePoints, 0.5)
-	} else {
-		ix.bucketer = core.NewMidpointSplitter(ix.opts.Dim)
-	}
-	if ix.opts.Recursive {
-		ix.assigner = core.BuildRecursive(livePoints, ix.bucketer, ix.opts.Disks,
-			core.DefaultRecursiveConfig(ix.opts.Disks))
-	} else {
-		assigner, err := ix.makeAssigner(ix.bucketer)
-		if err != nil {
-			return err
-		}
-		ix.assigner = assigner
-	}
-
-	// Partition into per-disk trees and bucket cells. Bucket-based
-	// strategies store data per bucket, so no page spans two buckets
-	// (the paper's storage layout); round robin has no spatial
-	// grouping — each disk indexes its arrival-order sample as a whole.
-	ix.cells = nil
-	ix.cellIndex = make(map[string]int)
-	// With a single disk there is nothing to decluster: the "parallel"
-	// index degenerates to the original sequential X-tree, so the plain
-	// layout applies (bucket grouping would only fragment pages).
-	_, isRR := ix.assigner.(*core.RoundRobin)
-	plain := isRR || ix.opts.Disks == 1
-	groups := make([]map[string][]xtree.Entry, ix.opts.Disks)
-	for d := range groups {
-		groups[d] = make(map[string][]xtree.Entry)
-	}
-	for i, p := range ix.points {
-		if p == nil {
-			continue
-		}
-		d, key, rect := ix.assignCell(i, p)
-		ix.addToCell(key, d, rect)
-		groups[d][key] = append(groups[d][key], xtree.Entry{Point: p, ID: i})
-	}
-	cfg := ix.treeConfig()
-	for d := range ix.trees {
-		keys := make([]string, 0, len(groups[d]))
-		for key := range groups[d] {
-			keys = append(keys, key)
-		}
-		sort.Strings(keys) // deterministic build
-		ix.trees[d] = xtree.New(cfg)
-		if plain {
-			var all []xtree.Entry
-			for _, key := range keys {
-				all = append(all, groups[d][key]...)
-			}
-			ix.trees[d].BulkLoad(all)
-			continue
-		}
-		parts := make([][]xtree.Entry, 0, len(keys))
-		for _, key := range keys {
-			parts = append(parts, groups[d][key])
-		}
-		ix.trees[d].BulkLoadGrouped(parts)
-	}
-	if ix.opts.Baseline {
-		entries := make([]xtree.Entry, 0, ix.live)
-		for i, p := range ix.points {
-			if p != nil {
-				entries = append(entries, xtree.Entry{Point: p, ID: i})
-			}
-		}
-		ix.baseline = xtree.New(cfg)
-		ix.baseline.BulkLoad(entries)
-	}
+	ix.meta.Lock()
+	defer ix.meta.Unlock()
+	ix.st = st
+	ix.points = pts
+	ix.live = live
+	ix.version++
 	return nil
 }
 
-// Insert adds one vector dynamically and returns its ID.
+// Insert adds one vector dynamically and returns its ID. Point mutations
+// are serialized with each other but run concurrently with queries.
 func (ix *Index) Insert(p []float64) (int, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if len(p) != ix.opts.Dim {
 		return 0, fmt.Errorf("parsearch: inserting dimension %d, want %d", len(p), ix.opts.Dim)
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := ix.st
+	ix.meta.Lock()
+	defer ix.meta.Unlock()
+
 	id := len(ix.points)
 	point := vec.Clone(p)
 	ix.points = append(ix.points, point)
 	ix.live++
+	ix.version++
 	if ix.opts.QuantileSplits {
 		ix.observer().Observe(point)
 	}
-	d, key, rect := ix.assignCell(id, point)
-	ix.addToCell(key, d, rect)
-	ix.trees[d].Insert(point, id)
-	if ix.baseline != nil {
-		ix.baseline.Insert(point, id)
+	d, key, rect := ix.assignCell(st, id, point)
+	addToCell(st, key, d, rect)
+	sh := st.shards[d]
+	sh.mu.Lock()
+	sh.tree.Insert(point, id)
+	sh.mu.Unlock()
+	if st.baseline != nil {
+		st.baseline.mu.Lock()
+		st.baseline.tree.Insert(point, id)
+		st.baseline.mu.Unlock()
 	}
 	return id, nil
 }
@@ -540,24 +749,35 @@ func (ix *Index) Insert(p []float64) (int, error) {
 // Delete removes the vector with the given ID. The ID is not reused;
 // subsequent inserts continue from the highest ID ever assigned.
 func (ix *Index) Delete(id int) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := ix.st
+	ix.meta.Lock()
+	defer ix.meta.Unlock()
+
 	if id < 0 || id >= len(ix.points) || ix.points[id] == nil {
 		return fmt.Errorf("parsearch: no vector with id %d", id)
 	}
 	p := ix.points[id]
-	d, key, _ := ix.assignCell(id, p)
-	if !ix.trees[d].Delete(p, id) {
+	d, key, _ := ix.assignCell(st, id, p)
+	sh := st.shards[d]
+	sh.mu.Lock()
+	ok := sh.tree.Delete(p, id)
+	sh.mu.Unlock()
+	if !ok {
 		return fmt.Errorf("parsearch: internal inconsistency: id %d not found on disk %d", id, d)
 	}
-	if ix.baseline != nil {
-		ix.baseline.Delete(p, id)
+	if st.baseline != nil {
+		st.baseline.mu.Lock()
+		st.baseline.tree.Delete(p, id)
+		st.baseline.mu.Unlock()
 	}
-	if idx, ok := ix.cellIndex[key]; ok && ix.cells[idx].count > 0 {
-		ix.cells[idx].count--
+	if idx, ok := st.cellIndex[key]; ok && st.cells[idx].count > 0 {
+		st.cells[idx].count--
 	}
 	ix.points[id] = nil
 	ix.live--
+	ix.version++
 	return nil
 }
 
@@ -578,6 +798,7 @@ func (ix *Index) NN(q []float64) (Neighbor, QueryStats, error) {
 func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	st := ix.st
 
 	var stats QueryStats
 	if len(q) != ix.opts.Dim {
@@ -586,23 +807,26 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 	if k < 1 {
 		return nil, stats, fmt.Errorf("parsearch: k = %d", k)
 	}
-	if ix.live == 0 {
+	if ix.liveCount() == 0 {
 		return nil, stats, ErrEmpty
 	}
 
 	// Phase 1: every disk finds its local k nearest neighbors, one
 	// goroutine per disk (the union of the local results contains the
-	// global result).
+	// global result). Each goroutine holds only its own disk's read
+	// lock, so a concurrent insert on one disk never blocks the
+	// searches on the others.
 	m := ix.metric()
-	type local struct{ res []knn.Result }
-	locals := make([]local, len(ix.trees))
+	locals := make([][]knn.Result, len(st.shards))
 	var wg sync.WaitGroup
-	for d := range ix.trees {
+	for d := range st.shards {
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			res, _ := knn.HSMetric(ix.trees[d], q, k, m)
-			locals[d] = local{res: res}
+			sh := st.shards[d]
+			sh.mu.RLock()
+			locals[d], _ = knn.HSMetric(sh.tree, q, k, m)
+			sh.mu.RUnlock()
 		}(d)
 	}
 	wg.Wait()
@@ -610,11 +834,16 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 	// Merge to the global k nearest.
 	var merged []knn.Result
 	for _, l := range locals {
-		merged = append(merged, l.res...)
+		merged = append(merged, l...)
 	}
 	sortResults(merged)
 	if len(merged) > k {
 		merged = merged[:k]
+	}
+	if len(merged) == 0 {
+		// Concurrent deletions emptied the index between the live
+		// check and the search.
+		return nil, stats, ErrEmpty
 	}
 	rk := merged[len(merged)-1].Dist
 
@@ -624,8 +853,8 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 	// disks). The cost model selects what a "page" is: the disk's own
 	// X-tree leaf pages (real system) or the quadrant buckets (the
 	// paper's idealized storage).
-	stats.PagesPerDisk = make([]int, len(ix.trees))
-	refs, cells := ix.sphereRefs(q, rk, stats.PagesPerDisk)
+	stats.PagesPerDisk = make([]int, len(st.shards))
+	refs, cells := ix.sphereRefs(st, q, rk, stats.PagesPerDisk)
 	stats.Cells = cells
 	batch, err := ix.array.ReadBatch(refs)
 	if err != nil {
@@ -637,8 +866,10 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 	stats.SequentialTime = batch.SequentialTime.Seconds()
 	stats.Speedup = batch.Speedup()
 
-	if ix.baseline != nil {
-		pages, leaves := knn.SphereLeafPagesMetric(ix.baseline, q, rk, m)
+	if st.baseline != nil {
+		st.baseline.mu.RLock()
+		pages, leaves := knn.SphereLeafPagesMetric(st.baseline.tree, q, rk, m)
+		st.baseline.mu.RUnlock()
 		stats.SeqPages = pages
 		stats.BaselineTime = ix.params.SimulateCost(leaves, pages).Seconds()
 		if stats.ParallelTime > 0 {
@@ -657,15 +888,18 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 // requires, per the configured cost model: the disks' own X-tree leaf
 // pages (real system) or the quadrant bucket pages (the paper's
 // idealized storage of §3). perDisk is incremented with the page counts;
-// the returned refs feed the disk array.
-func (ix *Index) sphereRefs(q vec.Point, rk float64, perDisk []int) (refs []disk.PageRef, cells int) {
+// the returned refs feed the disk array. Each disk's leaves are
+// enumerated under that disk's read lock; the cell scan of the bucket
+// model runs under meta.
+func (ix *Index) sphereRefs(st *state, q vec.Point, rk float64, perDisk []int) (refs []disk.PageRef, cells int) {
 	m := ix.metric()
 	rank := m.ToRank(rk)
 	switch ix.opts.CostModel {
 	case BucketPages:
 		leafCap := ix.treeConfig().LeafCapacity
-		for i := range ix.cells {
-			c := &ix.cells[i]
+		ix.meta.Lock()
+		for i := range st.cells {
+			c := &st.cells[i]
 			if c.count == 0 || m.RankMinDist(c.rect, q) > rank {
 				continue
 			}
@@ -674,9 +908,11 @@ func (ix *Index) sphereRefs(q vec.Point, rk float64, perDisk []int) (refs []disk
 			perDisk[c.disk] += pages
 			refs = append(refs, disk.PageRef{Disk: c.disk, Blocks: pages})
 		}
+		ix.meta.Unlock()
 	default: // TreePages
-		for d, t := range ix.trees {
-			for _, leaf := range t.Leaves() {
+		for d, sh := range st.shards {
+			sh.mu.RLock()
+			for _, leaf := range sh.tree.Leaves() {
 				if m.RankMinDist(leaf.Rect(), q) > rank {
 					continue
 				}
@@ -684,6 +920,7 @@ func (ix *Index) sphereRefs(q vec.Point, rk float64, perDisk []int) (refs []disk
 				perDisk[d] += leaf.Super()
 				refs = append(refs, disk.PageRef{Disk: d, Blocks: leaf.Super()})
 			}
+			sh.mu.RUnlock()
 		}
 	}
 	return refs, cells
@@ -709,9 +946,12 @@ func sortResults(rs []knn.Result) {
 // assignments are point-based and return an error, as do dimensions too
 // large to enumerate.
 func (ix *Index) VerifyDeclustering(max int) ([]string, error) {
-	ba, ok := ix.assigner.(*core.BucketAssigner)
+	ix.mu.RLock()
+	assigner := ix.st.assigner
+	ix.mu.RUnlock()
+	ba, ok := assigner.(*core.BucketAssigner)
 	if !ok {
-		return nil, fmt.Errorf("parsearch: strategy %q is not bucket-based", ix.assigner.Name())
+		return nil, fmt.Errorf("parsearch: strategy %q is not bucket-based", assigner.Name())
 	}
 	if ix.opts.Dim >= 25 {
 		return nil, fmt.Errorf("parsearch: dimension %d too large for exhaustive verification", ix.opts.Dim)

@@ -23,6 +23,7 @@ import (
 func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	st := ix.st
 
 	var stats QueryStats
 	if len(min) != ix.opts.Dim || len(max) != ix.opts.Dim {
@@ -34,33 +35,38 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 			return nil, stats, fmt.Errorf("parsearch: range min > max in dimension %d", i)
 		}
 	}
-	if ix.live == 0 {
+	if ix.liveCount() == 0 {
 		return nil, stats, ErrEmpty
 	}
 	rect := vec.NewRect(min, max)
 	center := rect.Center()
 
-	// Phase 1: all disks search in parallel.
-	found := make([][]xtree.Entry, len(ix.trees))
+	// Phase 1: all disks search in parallel, each under its own disk's
+	// read lock.
+	found := make([][]xtree.Entry, len(st.shards))
 	var wg sync.WaitGroup
-	for d := range ix.trees {
+	for d := range st.shards {
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			found[d], _ = ix.trees[d].RangeSearch(rect)
+			sh := st.shards[d]
+			sh.mu.RLock()
+			found[d], _ = sh.tree.RangeSearch(rect)
+			sh.mu.RUnlock()
 		}(d)
 	}
 	wg.Wait()
 
 	// Phase 2: page accounting — every disk reads its pages
 	// intersecting the query box.
-	stats.PagesPerDisk = make([]int, len(ix.trees))
+	stats.PagesPerDisk = make([]int, len(st.shards))
 	var refs []disk.PageRef
 	switch ix.opts.CostModel {
 	case BucketPages:
 		leafCap := ix.treeConfig().LeafCapacity
-		for i := range ix.cells {
-			c := &ix.cells[i]
+		ix.meta.Lock()
+		for i := range st.cells {
+			c := &st.cells[i]
 			if c.count == 0 || !c.rect.Intersects(rect) {
 				continue
 			}
@@ -69,9 +75,11 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 			stats.PagesPerDisk[c.disk] += pages
 			refs = append(refs, disk.PageRef{Disk: c.disk, Blocks: pages})
 		}
+		ix.meta.Unlock()
 	default: // TreePages
-		for d, t := range ix.trees {
-			for _, leaf := range t.Leaves() {
+		for d, sh := range st.shards {
+			sh.mu.RLock()
+			for _, leaf := range sh.tree.Leaves() {
 				if !leaf.Rect().Intersects(rect) {
 					continue
 				}
@@ -79,6 +87,7 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 				stats.PagesPerDisk[d] += leaf.Super()
 				refs = append(refs, disk.PageRef{Disk: d, Blocks: leaf.Super()})
 			}
+			sh.mu.RUnlock()
 		}
 	}
 	batch, err := ix.array.ReadBatch(refs)
@@ -91,14 +100,16 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 	stats.SequentialTime = batch.SequentialTime.Seconds()
 	stats.Speedup = batch.Speedup()
 
-	if ix.baseline != nil {
+	if st.baseline != nil {
 		pages, leaves := 0, 0
-		for _, leaf := range ix.baseline.Leaves() {
+		st.baseline.mu.RLock()
+		for _, leaf := range st.baseline.tree.Leaves() {
 			if leaf.Rect().Intersects(rect) {
 				pages += leaf.Super()
 				leaves++
 			}
 		}
+		st.baseline.mu.RUnlock()
 		stats.SeqPages = pages
 		stats.BaselineTime = ix.params.SimulateCost(leaves, pages).Seconds()
 		if stats.ParallelTime > 0 {

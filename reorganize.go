@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"parsearch/internal/core"
+	"parsearch/internal/vec"
 )
 
 // Reorganization implements the dynamic side of the paper's §4.3
@@ -20,7 +21,7 @@ import (
 const imbalanceThreshold = 2.0
 
 // observer returns the index's adaptive splitter, creating it on first
-// use. Only meaningful with QuantileSplits.
+// use. Only meaningful with QuantileSplits. Caller holds meta.
 func (ix *Index) observer() *core.AdaptiveSplitter {
 	if ix.adaptive == nil {
 		ix.adaptive = core.NewAdaptiveSplitter(ix.opts.Dim, 0.5, imbalanceThreshold)
@@ -33,8 +34,8 @@ func (ix *Index) observer() *core.AdaptiveSplitter {
 // rebalance the disks. Always false unless Options.QuantileSplits is
 // set.
 func (ix *Index) NeedsReorganization() bool {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	ix.meta.Lock()
+	defer ix.meta.Unlock()
 	if !ix.opts.QuantileSplits || ix.adaptive == nil {
 		return false
 	}
@@ -46,16 +47,52 @@ func (ix *Index) NeedsReorganization() bool {
 // data. IDs are preserved. It is the explicit form of the paper's
 // reorganization step; call it when NeedsReorganization reports true (or
 // on a maintenance schedule).
+//
+// The rebuild runs off the lock against a consistent copy of the point
+// table, so queries and point mutations keep running meanwhile; the
+// finished structure is cut in atomically. If vectors were inserted or
+// deleted while the rebuild was in flight, the conflict is detected via
+// the mutation version counter and the index is rebuilt once more under
+// the write lock — no concurrent mutation is ever lost.
 func (ix *Index) Reorganize() error {
-	ix.mu.Lock()
-	points := make([][]float64, len(ix.points))
-	for i, p := range ix.points {
-		points[i] = p // Build clones; tombstones stay nil
-	}
-	ix.adaptive = nil
-	ix.mu.Unlock()
-	if err := ix.Build(points); err != nil {
+	ix.meta.Lock()
+	points := snapshotPoints(ix.points)
+	v := ix.version
+	ix.meta.Unlock()
+
+	st, pts, live, err := ix.buildState(points)
+	if err != nil {
 		return fmt.Errorf("parsearch: reorganizing: %w", err)
 	}
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.meta.Lock()
+	defer ix.meta.Unlock()
+	if ix.version != v {
+		// The point table changed while the optimistic rebuild ran.
+		// Rebuild from the current table under the locks: slower (it
+		// blocks queries for the duration), but atomic and lossless.
+		st, pts, live, err = ix.buildState(snapshotPoints(ix.points))
+		if err != nil {
+			return fmt.Errorf("parsearch: reorganizing: %w", err)
+		}
+	}
+	ix.st = st
+	ix.points = pts
+	ix.live = live
+	ix.adaptive = nil
+	ix.version++
 	return nil
+}
+
+// snapshotPoints copies the point table's slice (the vectors themselves
+// are immutable once stored, so sharing them is safe). Build clones;
+// tombstones stay nil. Caller holds meta.
+func snapshotPoints(points []vec.Point) [][]float64 {
+	out := make([][]float64, len(points))
+	for i, p := range points {
+		out[i] = p
+	}
+	return out
 }

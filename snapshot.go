@@ -9,6 +9,8 @@ import (
 	"io"
 	"math"
 	"time"
+
+	"parsearch/internal/vec"
 )
 
 // Snapshot format: a little-endian binary stream holding the index
@@ -22,10 +24,16 @@ const (
 	snapshotVersion = 1
 )
 
-// Save writes a snapshot of the index (options and vectors) to w.
+// Save writes a snapshot of the index (options and vectors) to w. The
+// point table is copied atomically under the metadata lock, so the
+// snapshot is a consistent point-in-time view even while concurrent
+// inserts and deletes are running — and writing to w happens off the
+// lock, so a slow writer never stalls the index.
 func (ix *Index) Save(w io.Writer) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	ix.meta.Lock()
+	points := make([]vec.Point, len(ix.points))
+	copy(points, ix.points)
+	ix.meta.Unlock()
 
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
@@ -65,14 +73,14 @@ func (ix *Index) Save(w io.Writer) error {
 		return err
 	}
 
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(ix.points))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(points))); err != nil {
 		return fmt.Errorf("parsearch: writing snapshot: %w", err)
 	}
 	// Each slot is a presence byte followed by the coordinates; deleted
 	// IDs (tombstones) are a single zero byte, so IDs stay stable across
 	// save/load.
 	buf := make([]byte, 8*ix.opts.Dim)
-	for _, p := range ix.points {
+	for _, p := range points {
 		if p == nil {
 			if err := bw.WriteByte(0); err != nil {
 				return fmt.Errorf("parsearch: writing snapshot: %w", err)
