@@ -35,6 +35,19 @@ type BatchStats struct {
 	// Utilization is the mean disk busy-fraction over the makespan
 	// (1.0 = perfectly balanced).
 	Utilization float64
+	// Degraded reports that at least one query of the batch was
+	// degraded — unreachable data could have affected its answer (see
+	// QueryStats.Degraded).
+	Degraded bool
+	// Unreachable is the total number of pages the batch needed whose
+	// primary and replica disks were both failed.
+	Unreachable int
+	// Rerouted is the total number of pages served by replica disks
+	// because the primary was failed.
+	Rerouted int
+	// Retries is the number of read retries the fault model's transient
+	// errors caused across the whole batch.
+	Retries int
 	// PerQuery holds each query's own cost statistics: PerQuery[i]
 	// describes queries[i]. Page counts are exact regardless of how the
 	// scheduler interleaved the workers; times are derived from the
@@ -86,6 +99,8 @@ func fillQueryCost(qs *QueryStats, refs []disk.PageRef, params disk.Params, disk
 // each disk would spend answering a k-NN query — the input for capacity
 // planning and queueing simulation (see internal/sim and the
 // ext-queueing experiment). demands[i][d] is query i's demand on disk d.
+// Capacity planning models the healthy system: failure flags and
+// replica rerouting are ignored.
 func (ix *Index) ServiceDemands(queries [][]float64, k int) ([][]float64, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -97,6 +112,7 @@ func (ix *Index) ServiceDemands(queries [][]float64, k int) ([][]float64, error)
 		return nil, ErrEmpty
 	}
 	m := ix.metric()
+	routes := healthyPlan(st)
 	demands := make([][]float64, len(queries))
 	for i, q := range queries {
 		if len(q) != ix.opts.Dim {
@@ -118,15 +134,15 @@ func (ix *Index) ServiceDemands(queries [][]float64, k int) ([][]float64, error)
 		}
 		rk := merged[len(merged)-1].Dist
 
-		perDisk := make([]int, len(st.shards))
+		qs := QueryStats{PagesPerDisk: make([]int, len(st.shards))}
 		reads := make([]int, len(st.shards))
-		refs, _ := ix.sphereRefs(st, q, rk, perDisk)
+		refs := ix.sphereRefs(st, routes, q, rk, &qs)
 		for _, ref := range refs {
 			reads[ref.Disk]++
 		}
 		row := make([]float64, len(st.shards))
 		for d := range row {
-			row[d] = ix.params.SimulateCost(reads[d], perDisk[d]).Seconds()
+			row[d] = ix.params.SimulateCost(reads[d], qs.PagesPerDisk[d]).Seconds()
 		}
 		demands[i] = row
 	}
@@ -164,6 +180,10 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 		return nil, stats, nil
 	}
 
+	// Plan the failure routing once for the whole batch: every query of
+	// the batch sees the same consistent failure snapshot (see KNN).
+	routes, degraded := ix.plan(st)
+
 	// Result phase: the worker pool answers the queries and computes
 	// each query's page refs and per-query statistics. Everything is
 	// stored per query index, so the final aggregation is a
@@ -184,7 +204,11 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 			for i := range next {
 				q := queries[i]
 				var merged []knn.Result
-				for _, sh := range st.shards {
+				for d := range routes {
+					sh := routes[d].sh
+					if sh == nil {
+						continue
+					}
 					sh.mu.RLock()
 					res, _ := knn.HSMetric(sh.tree, q, k, m)
 					sh.mu.RUnlock()
@@ -195,8 +219,13 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 					merged = merged[:k]
 				}
 				if len(merged) == 0 {
-					// Concurrent deletions emptied the index.
-					errs[i] = ErrEmpty
+					if degraded {
+						// Every live copy of the data is unreachable.
+						errs[i] = ErrUnavailable
+					} else {
+						// Concurrent deletions emptied the index.
+						errs[i] = ErrEmpty
+					}
 					continue
 				}
 				rk := merged[len(merged)-1].Dist
@@ -207,8 +236,10 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 				results[i] = out
 
 				qs := QueryStats{PagesPerDisk: make([]int, len(st.shards))}
-				refs, cells := ix.sphereRefs(st, q, rk, qs.PagesPerDisk)
-				qs.Cells = cells
+				refs := ix.sphereRefs(st, routes, q, rk, &qs)
+				// Per-query degraded refinement as in KNN: only when the
+				// dead data could have changed this query's answer.
+				qs.Degraded = qs.Unreachable > 0 || (degraded && len(merged) < k)
 				fillQueryCost(&qs, refs, ix.params, len(st.shards))
 				perQuery[i] = qs
 				refsPerQuery[i] = refs
@@ -235,12 +266,16 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 		for d, pages := range perQuery[i].PagesPerDisk {
 			stats.PagesPerDisk[d] += pages
 		}
+		stats.Unreachable += perQuery[i].Unreachable
+		stats.Rerouted += perQuery[i].Rerouted
+		stats.Degraded = stats.Degraded || perQuery[i].Degraded
 	}
 	batch, err := ix.array.ReadBatch(refs)
 	if err != nil {
 		return nil, stats, fmt.Errorf("parsearch: %w", err)
 	}
 	stats.TotalPages = batch.Total
+	stats.Retries = batch.Retries
 	stats.MakespanSeconds = batch.ParallelTime.Seconds()
 	if stats.MakespanSeconds > 0 {
 		stats.QueriesPerSecond = float64(stats.Queries) / stats.MakespanSeconds

@@ -68,3 +68,17 @@ func TestGoldenFigures(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenFailureSweep locks down the fault-tolerance sweep at a small
+// scale: the speedup and availability columns are pure functions of the
+// seeded data and the simulated service-time model, so the table is
+// fully deterministic. It doubles as the regression test for the
+// degraded-mode contract — any silent change to the routing or the
+// availability accounting shows up as a diff.
+func TestGoldenFailureSweep(t *testing.T) {
+	out, errOut, code := runCLI(t, "-run", "ext-failures", "-scale", "0.02", "-queries", "6")
+	if code != 0 || errOut != "" {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	checkGolden(t, "failures", normalize(out))
+}

@@ -34,9 +34,12 @@ func stressIters(full, short int) int {
 
 // tolerableQueryErr reports whether a query error is an expected outcome
 // of the concurrent workload: an index transiently emptied by deletions,
-// or a read hitting an injected disk failure.
+// a read hitting an injected disk failure (mid-query flip), data whose
+// every copy is on a failed disk, or an exhausted transient-fault retry
+// budget. Anything else — and any silent wrong result — is a bug.
 func tolerableQueryErr(err error) bool {
-	return err == nil || errors.Is(err, ErrEmpty) || errors.Is(err, disk.ErrDiskFailed)
+	return err == nil || errors.Is(err, ErrEmpty) || errors.Is(err, disk.ErrDiskFailed) ||
+		errors.Is(err, ErrUnavailable) || errors.Is(err, ErrTransient)
 }
 
 // writerLog records the mutations one writer performed, for the final
@@ -57,6 +60,7 @@ func TestStressMixedWorkload(t *testing.T) {
 		{"tree-pages", Options{Dim: 6, Disks: 4}},
 		{"bucket-pages-baseline", Options{Dim: 5, Disks: 3, CostModel: BucketPages, Baseline: true}},
 		{"quantile-recursive", Options{Dim: 4, Disks: 4, QuantileSplits: true, Recursive: true}},
+		{"replicated", Options{Dim: 5, Disks: 4, Replication: 1}},
 	} {
 		t.Run(cfg.name, func(t *testing.T) {
 			runMixedWorkload(t, cfg.opts)
@@ -608,6 +612,143 @@ func TestFailHealDuringQueries(t *testing.T) {
 	if err := ix.CheckIntegrity(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// checkFailureOutcome classifies one query outcome under concurrent
+// failure flips: a tolerable classified error, or honest results —
+// every neighbor a real point at its true distance, in sorted order,
+// and, when not flagged Degraded, exactly the linear-scan ground truth.
+// Anything else is the silent-wrong-answer bug this test hunts.
+func checkFailureOutcome(t *testing.T, expected map[int][]float64, q []float64, k int,
+	got []Neighbor, degraded bool, err error, m vec.Metric) {
+	t.Helper()
+	if err != nil {
+		if !tolerableQueryErr(err) {
+			t.Errorf("unclassified query error: %v", err)
+		}
+		return
+	}
+	prev := scanHit{id: -1, dist: -1}
+	for _, nb := range got {
+		p, ok := expected[nb.ID]
+		if !ok {
+			t.Errorf("result id %d is not a live point", nb.ID)
+			return
+		}
+		if want := m.FromRank(m.RankDist(q, p)); nb.Dist != want {
+			t.Errorf("result id %d at dist %v, true dist %v", nb.ID, nb.Dist, want)
+			return
+		}
+		if nb.Dist < prev.dist || (nb.Dist == prev.dist && nb.ID <= prev.id) {
+			t.Errorf("results out of order: (id %d, %v) after (id %d, %v)",
+				nb.ID, nb.Dist, prev.id, prev.dist)
+			return
+		}
+		prev = scanHit{id: nb.ID, dist: nb.Dist}
+	}
+	if degraded {
+		return // best-effort results, honestly flagged
+	}
+	want := linearScanKNN(expected, q, k, m)
+	if len(got) != len(want) {
+		t.Errorf("non-degraded query returned %d neighbors, want %d", len(got), len(want))
+		return
+	}
+	for j := range got {
+		if got[j].ID != want[j].id || got[j].Dist != want[j].dist {
+			t.Errorf("non-degraded query wrong at %d: got (id %d, %v), want (id %d, %v)",
+				j, got[j].ID, got[j].Dist, want[j].id, want[j].dist)
+			return
+		}
+	}
+}
+
+// TestFailureFlipsNeverSilentlyWrong flips disk failures (including
+// chained primary+replica pairs) while seeded KNN/BatchKNN traffic runs
+// on a replicated index. Every query must either match the linear-scan
+// ground truth exactly, carry the Degraded flag, or report a classified
+// error — a plausible-but-wrong result without the flag fails the test.
+// Meant for `go test -race`.
+func TestFailureFlipsNeverSilentlyWrong(t *testing.T) {
+	const d, n, disks = 5, 900, 6
+	ix, err := Open(Options{Dim: d, Disks: disks, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := data.Uniform(n, d, 61)
+	raw := make([][]float64, n)
+	expected := make(map[int][]float64, n)
+	for i, p := range pts {
+		raw[i] = p
+		expected[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Euclidean.vecMetric()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var flipper, readers sync.WaitGroup
+	flipper.Add(1)
+	go func() {
+		defer flipper.Done()
+		rng := rand.New(rand.NewSource(62))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			di := rng.Intn(disks)
+			ix.FailDisk(di)
+			if rng.Intn(2) == 0 {
+				// Kill the chained replica too: the shard's data has no
+				// live copy, forcing the degraded path.
+				ix.FailDisk(ix.ReplicaDisk(di))
+			}
+			ix.HealDisk((di + 1) % disks)
+			ix.HealDisk(di)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(70 + g)))
+			for i := 0; i < stressIters(250, 80); i++ {
+				q := randPoint(rng, d)
+				k := 1 + rng.Intn(6)
+				if rng.Intn(3) == 0 {
+					batch := [][]float64{q, randPoint(rng, d)}
+					res, stats, err := ix.BatchKNN(batch, k)
+					if err != nil {
+						checkFailureOutcome(t, expected, q, k, nil, false, err, m)
+						continue
+					}
+					for j, qr := range batch {
+						checkFailureOutcome(t, expected, qr, k, res[j], stats.Degraded, nil, m)
+					}
+				} else {
+					res, stats, err := ix.KNN(q, k)
+					checkFailureOutcome(t, expected, q, k, res, stats.Degraded, err, m)
+				}
+			}
+		}(g)
+	}
+	readers.Wait()
+	close(stop)
+	flipper.Wait()
+
+	for di := 0; di < disks; di++ {
+		ix.HealDisk(di)
+	}
+	if err := ix.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	verifyFinalState(t, ix, expected, Options{Dim: d, Disks: disks})
 }
 
 // TestBrowserConcurrentWithReaders: an open Browser must not block

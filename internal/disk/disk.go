@@ -10,12 +10,16 @@
 // next to the sequential cost (Total / SequentialTime), whose ratio is the
 // speed-up reported in the experiments.
 //
-// Disks can be failed and healed to test error propagation.
+// Disks can be failed and healed to test error propagation, and a
+// FaultModel injects transient read errors and latency spikes with a
+// seeded RNG; ReadBatch absorbs transient errors with a bounded,
+// backoff-charged retry per read (see FaultModel).
 //
 // An Array is safe for concurrent use: ReadBatch may run from any number
 // of goroutines, and Fail/Heal/Failed/TotalReads are atomic — the
-// failure flags and the lifetime block counters are the only shared
-// state, and both are lock-free.
+// failure flags, the installed fault model, and the lifetime block
+// counters are the only shared state, and all are lock-free (the fault
+// model's per-disk RNGs use short per-disk critical sections).
 package disk
 
 import (
@@ -71,6 +75,9 @@ type BatchResult struct {
 	// SequentialTime is the simulated time had a single disk performed
 	// every read.
 	SequentialTime time.Duration
+	// Retries is the number of read retries transient faults caused
+	// across all disks (0 unless a FaultModel is installed).
+	Retries int
 }
 
 // Speedup returns SequentialTime / ParallelTime, the paper's headline
@@ -92,6 +99,7 @@ type Array struct {
 
 	failed []atomic.Bool
 	reads  []atomic.Int64 // lifetime block counters
+	faults atomic.Pointer[faultState]
 }
 
 // NewArray returns an array of n disks with the given service model.
@@ -116,14 +124,39 @@ func (a *Array) Disks() int { return a.n }
 // Params returns the service model.
 func (a *Array) Params() Params { return a.params }
 
-// Fail marks a disk as failed; subsequent reads from it error.
-func (a *Array) Fail(disk int) { a.failed[disk].Store(true) }
+// checkDisk returns a descriptive error when no such disk exists.
+func (a *Array) checkDisk(disk int) error {
+	if disk < 0 || disk >= a.n {
+		return fmt.Errorf("disk: no disk %d in an array of %d (want [0, %d])", disk, a.n, a.n-1)
+	}
+	return nil
+}
 
-// Heal clears a disk's failure.
-func (a *Array) Heal(disk int) { a.failed[disk].Store(false) }
+// Fail marks a disk as failed; subsequent reads from it error. It
+// returns a descriptive error when no such disk exists.
+func (a *Array) Fail(disk int) error {
+	if err := a.checkDisk(disk); err != nil {
+		return err
+	}
+	a.failed[disk].Store(true)
+	return nil
+}
 
-// Failed reports whether the disk is failed.
-func (a *Array) Failed(disk int) bool { return a.failed[disk].Load() }
+// Heal clears a disk's failure. It returns a descriptive error when no
+// such disk exists.
+func (a *Array) Heal(disk int) error {
+	if err := a.checkDisk(disk); err != nil {
+		return err
+	}
+	a.failed[disk].Store(false)
+	return nil
+}
+
+// Failed reports whether the disk is failed; out-of-range disks are
+// reported as not failed.
+func (a *Array) Failed(disk int) bool {
+	return disk >= 0 && disk < a.n && a.failed[disk].Load()
+}
 
 // FailedDisks returns the currently failed disks in ascending order. Like
 // Fail and Heal it is lock-free; a concurrent Fail/Heal may or may not be
@@ -157,7 +190,13 @@ func (a *Array) ResetCounters() {
 // ReadBatch executes the given page reads, one goroutine per involved
 // disk, and returns the cost accounting. Reads on failed disks make the
 // whole batch return an error (wrapping ErrDiskFailed) alongside the
-// accounting of the disks that did succeed.
+// accounting of the disks that did succeed; with several disks failing,
+// the per-disk errors are aggregated with errors.Join so callers can
+// route around every failure, not just the lowest-numbered one. With a
+// FaultModel installed, transient read errors are retried up to
+// MaxRetries times per read (charging exponential backoff plus the
+// re-read as service time); a read that stays broken makes its disk
+// report an error wrapping ErrTransient.
 func (a *Array) ReadBatch(refs []PageRef) (BatchResult, error) {
 	res := BatchResult{
 		PerDisk:      make([]int, a.n),
@@ -174,8 +213,10 @@ func (a *Array) ReadBatch(refs []PageRef) (BatchResult, error) {
 		byDisk[ref.Disk] = append(byDisk[ref.Disk], ref)
 	}
 
+	fs := a.faults.Load()
 	times := make([]time.Duration, a.n)
 	errs := make([]error, a.n)
+	retries := make([]int, a.n)
 	var wg sync.WaitGroup
 	for d := 0; d < a.n; d++ {
 		if len(byDisk[d]) == 0 {
@@ -191,7 +232,30 @@ func (a *Array) ReadBatch(refs []PageRef) (BatchResult, error) {
 			var t time.Duration
 			blocks, reads := 0, 0
 			for _, ref := range byDisk[d] {
-				t += a.params.Seek + time.Duration(ref.Blocks)*a.params.Transfer
+				cost := a.params.Seek + time.Duration(ref.Blocks)*a.params.Transfer
+				t += cost
+				if fs != nil {
+					if fs.spike(d) {
+						t += fs.model.SpikeLatency
+					}
+					attempt := 0
+					for fs.transient(d) {
+						if attempt == fs.model.MaxRetries {
+							errs[d] = fmt.Errorf("disk %d: read of %d blocks still failing after %d retries: %w",
+								d, ref.Blocks, attempt, ErrTransient)
+							break
+						}
+						t += fs.model.RetryBackoff << attempt
+						attempt++
+						t += cost // the re-read
+					}
+					retries[d] += attempt
+					if errs[d] != nil {
+						// Like a failed disk, a disk that gave up on a
+						// read contributes no accounting.
+						return
+					}
+				}
 				blocks += ref.Blocks
 				reads++
 			}
@@ -206,11 +270,8 @@ func (a *Array) ReadBatch(refs []PageRef) (BatchResult, error) {
 	}
 	wg.Wait()
 
-	var firstErr error
 	for d := 0; d < a.n; d++ {
-		if errs[d] != nil && firstErr == nil {
-			firstErr = errs[d]
-		}
+		res.Retries += retries[d]
 		res.Total += res.PerDisk[d]
 		res.SequentialTime += times[d]
 		if res.PerDisk[d] > res.MaxPerDisk {
@@ -220,7 +281,7 @@ func (a *Array) ReadBatch(refs []PageRef) (BatchResult, error) {
 			res.ParallelTime = times[d]
 		}
 	}
-	return res, firstErr
+	return res, errors.Join(errs...)
 }
 
 // SimulateCost converts block counts into simulated time without touching

@@ -1,0 +1,134 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrTransient is wrapped by ReadBatch errors when a page read keeps
+// failing transiently after exhausting its retry budget. Unlike
+// ErrDiskFailed it does not indicate a dead disk: the next batch may
+// well succeed.
+var ErrTransient = errors.New("transient read error")
+
+// FaultModel configures injectable faults for every disk of an Array,
+// complementing the permanent Fail/Heal flags with the transient
+// misbehaviour of real hardware:
+//
+//   - transient read errors, absorbed by a bounded retry with
+//     exponential backoff (the backoff is charged as simulated service
+//     time, so flaky disks are measurably slower);
+//   - latency spikes, charged as extra service time on the affected
+//     read.
+//
+// All randomness comes from per-disk RNGs seeded from Seed, so a
+// single-threaded sequence of batches is exactly reproducible.
+// Concurrent batches share the per-disk RNGs (their interleaving is
+// scheduler-dependent), but every draw is still from the seeded
+// sequence. The zero FaultModel disables fault injection.
+type FaultModel struct {
+	// TransientProb is the per-read probability of a transient error.
+	TransientProb float64
+	// MaxRetries bounds the retries of one page read; a read that still
+	// fails after MaxRetries retries makes its disk report an error
+	// wrapping ErrTransient.
+	MaxRetries int
+	// RetryBackoff is the simulated wait charged before the first
+	// retry, doubling on every further attempt.
+	RetryBackoff time.Duration
+	// SpikeProb is the per-read probability of a latency spike.
+	SpikeProb float64
+	// SpikeLatency is the extra service time charged per spike.
+	SpikeLatency time.Duration
+	// Seed seeds the per-disk RNGs (disk d uses Seed+d).
+	Seed int64
+}
+
+// enabled reports whether the model injects any fault at all.
+func (m FaultModel) enabled() bool {
+	return m.TransientProb > 0 || m.SpikeProb > 0
+}
+
+// validate returns a descriptive error for out-of-range parameters.
+func (m FaultModel) validate() error {
+	if m.TransientProb < 0 || m.TransientProb > 1 {
+		return fmt.Errorf("disk: transient probability %v outside [0, 1]", m.TransientProb)
+	}
+	if m.SpikeProb < 0 || m.SpikeProb > 1 {
+		return fmt.Errorf("disk: spike probability %v outside [0, 1]", m.SpikeProb)
+	}
+	if m.MaxRetries < 0 {
+		return fmt.Errorf("disk: %d retries", m.MaxRetries)
+	}
+	if m.RetryBackoff < 0 || m.SpikeLatency < 0 {
+		return fmt.Errorf("disk: negative fault durations %+v", m)
+	}
+	return nil
+}
+
+// faultState is the installed fault model plus its per-disk RNG state.
+// It is swapped in and out of the Array atomically as one unit, so a
+// batch sees one consistent model for its whole run.
+type faultState struct {
+	model FaultModel
+	mu    []sync.Mutex
+	rngs  []*rand.Rand
+}
+
+func newFaultState(m FaultModel, disks int) *faultState {
+	fs := &faultState{
+		model: m,
+		mu:    make([]sync.Mutex, disks),
+		rngs:  make([]*rand.Rand, disks),
+	}
+	for d := range fs.rngs {
+		fs.rngs[d] = rand.New(rand.NewSource(m.Seed + int64(d)))
+	}
+	return fs
+}
+
+// roll draws one uniform float for disk d.
+func (fs *faultState) roll(d int) float64 {
+	fs.mu[d].Lock()
+	v := fs.rngs[d].Float64()
+	fs.mu[d].Unlock()
+	return v
+}
+
+// transient reports whether the next read attempt on disk d fails
+// transiently.
+func (fs *faultState) transient(d int) bool {
+	return fs.model.TransientProb > 0 && fs.roll(d) < fs.model.TransientProb
+}
+
+// spike reports whether the read on disk d suffers a latency spike.
+func (fs *faultState) spike(d int) bool {
+	return fs.model.SpikeProb > 0 && fs.roll(d) < fs.model.SpikeProb
+}
+
+// SetFaults installs (or, with a zero model, removes) the fault model.
+// The model takes effect for batches that start after the call; batches
+// already in flight finish under the model they started with.
+func (a *Array) SetFaults(m FaultModel) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	if !m.enabled() {
+		a.faults.Store(nil)
+		return nil
+	}
+	a.faults.Store(newFaultState(m, a.n))
+	return nil
+}
+
+// Faults returns the installed fault model (the zero model when fault
+// injection is off).
+func (a *Array) Faults() FaultModel {
+	if fs := a.faults.Load(); fs != nil {
+		return fs.model
+	}
+	return FaultModel{}
+}

@@ -1,0 +1,230 @@
+package disk
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFailHealOutOfRange(t *testing.T) {
+	a := NewArray(4, Params{})
+	for _, d := range []int{-1, 4, 99} {
+		if err := a.Fail(d); err == nil {
+			t.Errorf("Fail(%d) on a 4-disk array should error", d)
+		}
+		if err := a.Heal(d); err == nil {
+			t.Errorf("Heal(%d) on a 4-disk array should error", d)
+		}
+		if a.Failed(d) {
+			t.Errorf("Failed(%d) on a 4-disk array should be false", d)
+		}
+	}
+	if err := a.Fail(3); err != nil {
+		t.Fatalf("Fail(3): %v", err)
+	}
+	if !a.Failed(3) {
+		t.Fatal("disk 3 should be failed")
+	}
+	if err := a.Heal(3); err != nil {
+		t.Fatalf("Heal(3): %v", err)
+	}
+	if a.Failed(3) {
+		t.Fatal("disk 3 should be healed")
+	}
+}
+
+// Every failed disk must be reported, not just the lowest-numbered one:
+// callers route around failures per disk.
+func TestReadBatchAggregatesAllFailures(t *testing.T) {
+	a := NewArray(4, Params{})
+	a.Fail(0)
+	a.Fail(2)
+	_, err := a.ReadBatch([]PageRef{
+		{Disk: 0, Blocks: 1},
+		{Disk: 1, Blocks: 1},
+		{Disk: 2, Blocks: 1},
+	})
+	if err == nil {
+		t.Fatal("batch touching two failed disks must error")
+	}
+	if !errors.Is(err, ErrDiskFailed) {
+		t.Fatalf("error %v does not wrap ErrDiskFailed", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"disk 0", "disk 2"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("aggregated error %q does not name %s", msg, want)
+		}
+	}
+	if strings.Contains(msg, "disk 1") {
+		t.Errorf("aggregated error %q blames the healthy disk 1", msg)
+	}
+}
+
+func TestSetFaultsValidation(t *testing.T) {
+	a := NewArray(2, Params{})
+	for _, m := range []FaultModel{
+		{TransientProb: -0.1},
+		{TransientProb: 1.5},
+		{SpikeProb: 2},
+		{MaxRetries: -1},
+		{RetryBackoff: -time.Millisecond},
+		{SpikeLatency: -time.Millisecond},
+	} {
+		if err := a.SetFaults(m); err == nil {
+			t.Errorf("SetFaults(%+v) should error", m)
+		}
+	}
+	if err := a.SetFaults(FaultModel{TransientProb: 0.5, MaxRetries: 3}); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	if got := a.Faults().TransientProb; got != 0.5 {
+		t.Fatalf("Faults().TransientProb = %v", got)
+	}
+	// The zero model clears fault injection.
+	if err := a.SetFaults(FaultModel{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Faults(); got != (FaultModel{}) {
+		t.Fatalf("faults not cleared: %+v", got)
+	}
+}
+
+// Moderate transient error rates are absorbed by the retry budget: the
+// batch succeeds, retries are counted, and the retried reads cost extra
+// simulated time.
+func TestTransientFaultsRetried(t *testing.T) {
+	p := Params{Seek: 10 * time.Millisecond, Transfer: time.Millisecond}
+	a := NewArray(2, p)
+	refs := make([]PageRef, 64)
+	for i := range refs {
+		refs[i] = PageRef{Disk: i % 2, Blocks: 1}
+	}
+	clean, err := a.ReadBatch(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetFaults(FaultModel{
+		TransientProb: 0.3,
+		MaxRetries:    16,
+		RetryBackoff:  time.Millisecond,
+		Seed:          1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := a.ReadBatch(refs)
+	if err != nil {
+		t.Fatalf("retry budget should absorb a 30%% transient rate: %v", err)
+	}
+	if faulty.Retries == 0 {
+		t.Fatal("expected retries at a 30% transient rate over 64 reads")
+	}
+	if faulty.Total != clean.Total {
+		t.Fatalf("retried batch read %d blocks, want %d", faulty.Total, clean.Total)
+	}
+	if faulty.ParallelTime <= clean.ParallelTime {
+		t.Fatalf("retries cost no time: faulty %v vs clean %v", faulty.ParallelTime, clean.ParallelTime)
+	}
+}
+
+// A read that keeps failing past the retry budget surfaces as
+// ErrTransient, with the healthy disks' accounting intact.
+func TestTransientFaultsExhaustRetries(t *testing.T) {
+	a := NewArray(2, Params{})
+	if err := a.SetFaults(FaultModel{TransientProb: 1, MaxRetries: 2, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.ReadBatch([]PageRef{{Disk: 0, Blocks: 1}, {Disk: 1, Blocks: 1}})
+	if err == nil {
+		t.Fatal("a certain transient fault must exhaust the retries")
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("error %v does not wrap ErrTransient", err)
+	}
+	if errors.Is(err, ErrDiskFailed) {
+		t.Fatalf("transient exhaustion %v must not masquerade as a dead disk", err)
+	}
+	if res.PerDisk[0] != 0 || res.PerDisk[1] != 0 {
+		t.Fatalf("gave-up disks must contribute no accounting: %v", res.PerDisk)
+	}
+}
+
+// Latency spikes are charged deterministically when certain.
+func TestLatencySpikes(t *testing.T) {
+	p := Params{Seek: 10 * time.Millisecond, Transfer: time.Millisecond}
+	a := NewArray(1, p)
+	if err := a.SetFaults(FaultModel{SpikeProb: 1, SpikeLatency: 5 * time.Millisecond, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.ReadBatch([]PageRef{
+		{Disk: 0, Blocks: 1},
+		{Disk: 0, Blocks: 1},
+		{Disk: 0, Blocks: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 reads at 11ms each, plus 3 certain spikes of 5ms.
+	if want := 48 * time.Millisecond; res.ParallelTime != want {
+		t.Fatalf("ParallelTime = %v, want %v", res.ParallelTime, want)
+	}
+}
+
+// The same seed must reproduce the same faults, retries, and times.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() BatchResult {
+		a := NewArray(3, Params{Seek: time.Millisecond, Transfer: time.Millisecond})
+		if err := a.SetFaults(FaultModel{
+			TransientProb: 0.4,
+			MaxRetries:    20,
+			RetryBackoff:  time.Millisecond,
+			SpikeProb:     0.2,
+			SpikeLatency:  4 * time.Millisecond,
+			Seed:          42,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		refs := make([]PageRef, 90)
+		for i := range refs {
+			refs[i] = PageRef{Disk: i % 3, Blocks: 1 + i%2}
+		}
+		res, err := a.ReadBatch(refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("seeded runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// Fault injection under concurrent batches must be race-free and every
+// batch must either succeed or report a classified error.
+func TestConcurrentFaultyBatches(t *testing.T) {
+	a := NewArray(4, Params{})
+	if err := a.SetFaults(FaultModel{TransientProb: 0.3, MaxRetries: 2, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]PageRef, 16)
+	for i := range refs {
+		refs[i] = PageRef{Disk: i % 4, Blocks: 1}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := a.ReadBatch(refs); err != nil && !errors.Is(err, ErrTransient) {
+					t.Errorf("unexpected batch error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

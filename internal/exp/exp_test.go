@@ -20,6 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-knn", "abl-indirect", "abl-fold", "abl-quantile",
 		"abl-costmodel", "abl-supernode", "abl-greedy", "abl-quality",
 		"ext-partialmatch", "ext-throughput", "ext-queueing", "ext-model", "ext-hilbert2d",
+		"ext-failures",
 	}
 	for _, id := range append(wantFigures, wantAblations...) {
 		if _, ok := Get(id); !ok {
@@ -312,6 +313,38 @@ func TestExtModelShape(t *testing.T) {
 	measP := r.Series[2].Y
 	if measP[len(measP)-1] < 3*measP[0] {
 		t.Errorf("measured pages did not grow: %v", measP)
+	}
+}
+
+// The failure sweep must show the fault-tolerance story: without
+// replication availability collapses with the first failure; with
+// chained replication it stays 1.0 (the sweep never kills a chained
+// pair) while the speedup monotonically degrades.
+func TestExtFailuresShape(t *testing.T) {
+	r := mustRun(t, "ext-failures", quickCfg())
+	if len(r.Series) != 4 {
+		t.Fatalf("%d series", len(r.Series))
+	}
+	availR0 := r.Series[1].Y
+	speedR1 := r.Series[2].Y
+	availR1 := r.Series[3].Y
+	if availR0[0] != 1 {
+		t.Errorf("healthy r=0 availability %v, want 1", availR0[0])
+	}
+	for i := 1; i < len(availR0); i++ {
+		if availR0[i] != 0 {
+			t.Errorf("%v failed disks, r=0: availability %v, want 0 without replication", r.X[i], availR0[i])
+		}
+	}
+	for i, a := range availR1 {
+		if a != 1 {
+			t.Errorf("%v failed disks, r=1: availability %v, want 1 (no chained pair fails)", r.X[i], a)
+		}
+	}
+	for i := 1; i < len(speedR1); i++ {
+		if speedR1[i] > speedR1[i-1] {
+			t.Errorf("r=1 speedup rose from %v to %v with an extra failed disk", speedR1[i-1], speedR1[i])
+		}
 	}
 }
 

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+
+	"parsearch"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ext-failures", Figure: "extension",
+		Title: "Fault tolerance: speedup and availability as disks fail",
+		Run:   runExtFailures,
+	})
+}
+
+// failureDisks is the progressive failure order of the sweep: spaced
+// disks on an 8-disk array, so no chained primary/replica pair dies
+// together and the replicated configuration keeps every page reachable.
+var failureDisks = []int{0, 2, 4, 6}
+
+// runExtFailures sweeps 0..4 failed disks on an 8-disk array and
+// measures, with and without replicated declustering, the surviving
+// speedup and the availability — the fraction of 10-NN queries that
+// are error-free and exact (not degraded). Without replication every
+// failure makes some data unreachable, so availability collapses;
+// with chained replication the queries stay exact while the speedup
+// gracefully degrades (the replica disks absorb the failed disks'
+// reads on top of their own).
+func runExtFailures(cfg Config) Result {
+	cfg.validate()
+	const disks = 8
+	pts, queries := uniformWorkload(cfg)
+
+	var x []float64
+	for f := 0; f <= len(failureDisks); f++ {
+		x = append(x, float64(f))
+	}
+	notes := []string{fmt.Sprintf("N = %d uniform points, d = %d, %d disks, 10-NN; failing disks %v in order",
+		len(pts), uniformDim, disks, failureDisks)}
+
+	var series []Series
+	for _, repl := range []int{0, 1} {
+		ix := build(parsearch.Options{Dim: uniformDim, Disks: disks, Replication: repl}, pts)
+		speed := Series{Name: fmt.Sprintf("speedup r=%d", repl)}
+		avail := Series{Name: fmt.Sprintf("avail r=%d", repl)}
+		for f := 0; f <= len(failureDisks); f++ {
+			if f > 0 {
+				if err := ix.FailDisk(failureDisks[f-1]); err != nil {
+					panic(fmt.Sprintf("exp: %v", err))
+				}
+			}
+			var sumSpeed float64
+			exact, answered := 0, 0
+			for _, q := range queries {
+				_, stats, err := ix.KNN(q, 10)
+				if err != nil {
+					continue
+				}
+				answered++
+				sumSpeed += stats.Speedup
+				if !stats.Degraded {
+					exact++
+				}
+			}
+			if answered > 0 {
+				speed.Y = append(speed.Y, sumSpeed/float64(answered))
+			} else {
+				speed.Y = append(speed.Y, 0)
+			}
+			avail.Y = append(avail.Y, float64(exact)/float64(len(queries)))
+		}
+		series = append(series, speed, avail)
+	}
+	notes = append(notes,
+		"expected: r=0 availability collapses with the first failure; r=1 stays 1.0 with degrading speedup")
+	return Result{
+		ID: "ext-failures", Title: "speedup and availability under disk failures",
+		XLabel: "failed disks", X: x,
+		Series: series,
+		Notes:  notes,
+	}
+}

@@ -159,6 +159,18 @@ type Options struct {
 	// CPU fan-out under heavy batch load, not the per-query disk
 	// parallelism.
 	BatchWorkers int
+	// Replication is the number of extra copies every storage cell
+	// keeps (0 or 1). With Replication = 1 each disk's cells are stored
+	// twice: on their primary disk (the declustering's choice) and on
+	// the chained replica disk (primary+1 mod Disks), so queries keep
+	// returning exact results through any single disk failure — at a
+	// degraded speed-up, since the replica disk serves double load.
+	// Requires Disks >= 2. See README "Failure semantics".
+	Replication int
+	// Faults configures fault injection on the simulated disks
+	// (transient read errors with bounded retry, latency spikes); nil
+	// disables it. It can also be changed at runtime with SetFaults.
+	Faults *FaultModel
 }
 
 // vecMetric maps the option value to the internal metric type.
@@ -230,6 +242,24 @@ type QueryStats struct {
 	// Speedup is SequentialTime / ParallelTime, the paper's headline
 	// metric.
 	Speedup float64
+	// Degraded reports that unreachable data (no live copy on any disk)
+	// could have affected this query's answer: the results are
+	// best-effort — exact over the reachable data, but points on the
+	// unreachable disks may be missing. When Degraded is false the
+	// results are provably exact, even with disks failed: either every
+	// shard had a live copy, or the unreachable pages lie outside the
+	// query's NN-sphere (or box). Always false with
+	// Options.Replication = 1 and at most one failed disk.
+	Degraded bool
+	// Unreachable is the number of pages the query needed whose primary
+	// and replica disks were both failed (0 on healthy paths).
+	Unreachable int
+	// Rerouted is the number of pages served by a replica disk because
+	// the primary was failed.
+	Rerouted int
+	// Retries is the number of read retries the fault model's transient
+	// errors caused (0 without fault injection).
+	Retries int
 }
 
 // cellInfo is one storage cell: a quadrant (or recursive sub-quadrant)
@@ -256,9 +286,13 @@ type shard struct {
 // a half-built index. bucketer and assigner are immutable within a state;
 // cells/cellIndex are mutated by Insert/Delete under Index.meta.
 type state struct {
-	bucketer  core.Bucketer
-	assigner  core.Assigner
-	shards    []*shard
+	bucketer core.Bucketer
+	assigner core.Assigner
+	shards   []*shard
+	// replicas are the replica trees, indexed by the disk *hosting*
+	// them: replicas[r] holds a copy of the data whose primary disk is
+	// r-1 mod n (chained declustering). nil unless Options.Replication.
+	replicas  []*shard
 	baseline  *shard // nil unless Options.Baseline
 	cells     []cellInfo
 	cellIndex map[string]int
@@ -330,6 +364,12 @@ func Open(opts Options) (*Index, error) {
 	if opts.BatchWorkers < 0 {
 		return nil, fmt.Errorf("parsearch: %d batch workers", opts.BatchWorkers)
 	}
+	if opts.Replication < 0 || opts.Replication > 1 {
+		return nil, fmt.Errorf("parsearch: replication %d, want 0 or 1", opts.Replication)
+	}
+	if opts.Replication == 1 && opts.Disks < 2 {
+		return nil, fmt.Errorf("parsearch: replication needs at least 2 disks, have %d", opts.Disks)
+	}
 	params := disk.DefaultParams()
 	if opts.DiskParams != nil {
 		if err := opts.DiskParams.validate(); err != nil {
@@ -344,6 +384,11 @@ func Open(opts Options) (*Index, error) {
 
 	ix := &Index{opts: opts, params: params}
 	ix.array = disk.NewArray(opts.Disks, params)
+	if opts.Faults != nil {
+		if err := ix.array.SetFaults(opts.Faults.diskFaults()); err != nil {
+			return nil, fmt.Errorf("parsearch: %w", err)
+		}
+	}
 	st, err := ix.emptyState()
 	if err != nil {
 		return nil, err
@@ -368,6 +413,12 @@ func (ix *Index) emptyState() (*state, error) {
 	st.shards = make([]*shard, ix.opts.Disks)
 	for i := range st.shards {
 		st.shards[i] = &shard{tree: xtree.New(cfg)}
+	}
+	if ix.opts.Replication > 0 {
+		st.replicas = make([]*shard, ix.opts.Disks)
+		for i := range st.replicas {
+			st.replicas[i] = &shard{tree: xtree.New(cfg)}
+		}
 	}
 	if ix.opts.Baseline {
 		st.baseline = &shard{tree: xtree.New(cfg)}
@@ -465,24 +516,24 @@ func (ix *Index) liveCount() int {
 	return ix.live
 }
 
-// FailDisk marks a simulated disk as failed: queries whose page reads
-// touch it return an error (wrapping disk.ErrDiskFailed) until HealDisk
-// is called. Used for failure-injection testing. The failure flag is
-// atomic; FailDisk is safe to call during running queries.
+// FailDisk marks a simulated disk as failed. Queries starting after
+// the call route the disk's page reads to the chained replica (with
+// Options.Replication = 1) or return best-effort results flagged
+// Degraded; only a failure flipped mid-query surfaces as an error
+// (wrapping disk.ErrDiskFailed) until HealDisk is called. The failure
+// flag is atomic; FailDisk is safe to call during running queries.
 func (ix *Index) FailDisk(d int) error {
-	if d < 0 || d >= ix.opts.Disks {
-		return fmt.Errorf("parsearch: no disk %d", d)
+	if err := ix.array.Fail(d); err != nil {
+		return fmt.Errorf("parsearch: %w", err)
 	}
-	ix.array.Fail(d)
 	return nil
 }
 
 // HealDisk clears a disk failure injected with FailDisk.
 func (ix *Index) HealDisk(d int) error {
-	if d < 0 || d >= ix.opts.Disks {
-		return fmt.Errorf("parsearch: no disk %d", d)
+	if err := ix.array.Heal(d); err != nil {
+		return fmt.Errorf("parsearch: %w", err)
 	}
-	ix.array.Heal(d)
 	return nil
 }
 
@@ -530,6 +581,8 @@ func (ix *Index) CellLoads() []int {
 //   - every disk's X-tree passes its structural invariant check,
 //   - every disk's tree size equals the sum of its cell loads,
 //   - the tree sizes sum to the live count,
+//   - with Options.Replication, every replica tree passes the same
+//     invariant check and holds exactly its primary disk's vectors,
 //   - the baseline tree (if any) holds exactly the live points.
 //
 // It takes the same locks as a writer, so the check is atomic with
@@ -558,6 +611,7 @@ func (ix *Index) CheckIntegrity() error {
 		cellLoads[c.disk] += c.count
 	}
 	total := 0
+	treeLens := make([]int, len(st.shards))
 	for d, sh := range st.shards {
 		sh.mu.RLock()
 		n := sh.tree.Len()
@@ -569,10 +623,32 @@ func (ix *Index) CheckIntegrity() error {
 		if cellLoads[d] != n {
 			return fmt.Errorf("parsearch: disk %d holds %d vectors but cell loads sum to %d", d, n, cellLoads[d])
 		}
+		treeLens[d] = n
 		total += n
 	}
 	if total != ix.live {
 		return fmt.Errorf("parsearch: trees hold %d vectors, live count %d", total, ix.live)
+	}
+	if (st.replicas != nil) != (ix.opts.Replication > 0) {
+		return fmt.Errorf("parsearch: replica trees present = %v with replication %d",
+			st.replicas != nil, ix.opts.Replication)
+	}
+	if st.replicas != nil {
+		n := len(st.shards)
+		for h, rsh := range st.replicas {
+			src := (h - 1 + n) % n
+			rsh.mu.RLock()
+			rn := rsh.tree.Len()
+			err := rsh.tree.CheckInvariants()
+			rsh.mu.RUnlock()
+			if err != nil {
+				return fmt.Errorf("parsearch: replica of disk %d on disk %d: %w", src, h, err)
+			}
+			if rn != treeLens[src] {
+				return fmt.Errorf("parsearch: replica of disk %d on disk %d holds %d vectors, primary holds %d",
+					src, h, rn, treeLens[src])
+			}
+		}
 	}
 	if st.baseline != nil {
 		st.baseline.mu.RLock()
@@ -652,25 +728,15 @@ func (ix *Index) buildState(points [][]float64) (st *state, pts []vec.Point, liv
 	cfg := ix.treeConfig()
 	st.shards = make([]*shard, ix.opts.Disks)
 	for d := range st.shards {
-		keys := make([]string, 0, len(groups[d]))
-		for key := range groups[d] {
-			keys = append(keys, key)
+		st.shards[d] = loadShard(cfg, groups[d], plain)
+	}
+	if ix.opts.Replication > 0 {
+		// Chained replication: disk r hosts a second, independently
+		// packed tree over the data whose primary is disk r-1.
+		st.replicas = make([]*shard, ix.opts.Disks)
+		for d := range groups {
+			st.replicas[replicaOf(d, ix.opts.Disks)] = loadShard(cfg, groups[d], plain)
 		}
-		sort.Strings(keys) // deterministic build
-		st.shards[d] = &shard{tree: xtree.New(cfg)}
-		if plain {
-			var all []xtree.Entry
-			for _, key := range keys {
-				all = append(all, groups[d][key]...)
-			}
-			st.shards[d].tree.BulkLoad(all)
-			continue
-		}
-		parts := make([][]xtree.Entry, 0, len(keys))
-		for _, key := range keys {
-			parts = append(parts, groups[d][key])
-		}
-		st.shards[d].tree.BulkLoadGrouped(parts)
 	}
 	if ix.opts.Baseline {
 		entries := make([]xtree.Entry, 0, live)
@@ -683,6 +749,32 @@ func (ix *Index) buildState(points [][]float64) (st *state, pts []vec.Point, liv
 		st.baseline.tree.BulkLoad(entries)
 	}
 	return st, pts, live, nil
+}
+
+// loadShard bulk-loads one disk's share of the data — grouped by
+// storage cell so no page spans two cells, or flat for the plain layout
+// — into a fresh tree. Cell keys are sorted for a deterministic build.
+func loadShard(cfg xtree.Config, groups map[string][]xtree.Entry, plain bool) *shard {
+	keys := make([]string, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	sh := &shard{tree: xtree.New(cfg)}
+	if plain {
+		var all []xtree.Entry
+		for _, key := range keys {
+			all = append(all, groups[key]...)
+		}
+		sh.tree.BulkLoad(all)
+		return sh
+	}
+	parts := make([][]xtree.Entry, 0, len(keys))
+	for _, key := range keys {
+		parts = append(parts, groups[key])
+	}
+	sh.tree.BulkLoadGrouped(parts)
+	return sh
 }
 
 // Build indexes the given vectors, replacing any previous content. Vector
@@ -738,6 +830,12 @@ func (ix *Index) Insert(p []float64) (int, error) {
 	sh.mu.Lock()
 	sh.tree.Insert(point, id)
 	sh.mu.Unlock()
+	if st.replicas != nil {
+		rsh := st.replicas[replicaOf(d, ix.opts.Disks)]
+		rsh.mu.Lock()
+		rsh.tree.Insert(point, id)
+		rsh.mu.Unlock()
+	}
 	if st.baseline != nil {
 		st.baseline.mu.Lock()
 		st.baseline.tree.Insert(point, id)
@@ -766,6 +864,16 @@ func (ix *Index) Delete(id int) error {
 	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("parsearch: internal inconsistency: id %d not found on disk %d", id, d)
+	}
+	if st.replicas != nil {
+		r := replicaOf(d, ix.opts.Disks)
+		rsh := st.replicas[r]
+		rsh.mu.Lock()
+		ok := rsh.tree.Delete(p, id)
+		rsh.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("parsearch: internal inconsistency: id %d not found in disk %d's replica on disk %d", id, d, r)
+		}
 	}
 	if st.baseline != nil {
 		st.baseline.mu.Lock()
@@ -811,23 +919,33 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 		return nil, stats, ErrEmpty
 	}
 
-	// Phase 1: every disk finds its local k nearest neighbors, one
-	// goroutine per disk (the union of the local results contains the
-	// global result). Each goroutine holds only its own disk's read
-	// lock, so a concurrent insert on one disk never blocks the
+	// Plan the failure routing once: the same snapshot of the failure
+	// flags drives the search and the I/O accounting, so the query sees
+	// one consistent failure state.
+	routes, degraded := ix.plan(st)
+
+	// Phase 1: every live shard finds its local k nearest neighbors,
+	// one goroutine per shard (the union of the local results contains
+	// the global result over the reachable data). A failed disk's
+	// search runs against the chained replica instead; shards with no
+	// live copy are skipped. Each goroutine holds only its own tree's
+	// read lock, so a concurrent insert on one disk never blocks the
 	// searches on the others.
 	m := ix.metric()
 	locals := make([][]knn.Result, len(st.shards))
 	var wg sync.WaitGroup
-	for d := range st.shards {
+	for d := range routes {
+		sh := routes[d].sh
+		if sh == nil {
+			continue
+		}
 		wg.Add(1)
-		go func(d int) {
+		go func(d int, sh *shard) {
 			defer wg.Done()
-			sh := st.shards[d]
 			sh.mu.RLock()
 			locals[d], _ = knn.HSMetric(sh.tree, q, k, m)
 			sh.mu.RUnlock()
-		}(d)
+		}(d, sh)
 	}
 	wg.Wait()
 
@@ -841,6 +959,10 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 		merged = merged[:k]
 	}
 	if len(merged) == 0 {
+		if degraded {
+			// Every live copy of the data is on a failed disk.
+			return nil, stats, ErrUnavailable
+		}
 		// Concurrent deletions emptied the index between the live
 		// check and the search.
 		return nil, stats, ErrEmpty
@@ -852,16 +974,24 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 	// intersecting the NN-sphere should be distributed over different
 	// disks). The cost model selects what a "page" is: the disk's own
 	// X-tree leaf pages (real system) or the quadrant buckets (the
-	// paper's idealized storage).
+	// paper's idealized storage). Reads are charged to the disk the
+	// routing selected; pages with no live copy are counted as
+	// Unreachable instead of being read.
 	stats.PagesPerDisk = make([]int, len(st.shards))
-	refs, cells := ix.sphereRefs(st, q, rk, stats.PagesPerDisk)
-	stats.Cells = cells
+	refs := ix.sphereRefs(st, routes, q, rk, &stats)
+	// Degraded only when the dead data could have changed the answer:
+	// unreachable pages intersect the NN-sphere (a dead point could be
+	// closer than rk), or the merge came up short of k (any dead point
+	// would have made the cut). Otherwise every dead page lies strictly
+	// outside the sphere and the results are provably exact.
+	stats.Degraded = stats.Unreachable > 0 || (degraded && len(merged) < k)
 	batch, err := ix.array.ReadBatch(refs)
 	if err != nil {
 		return nil, stats, fmt.Errorf("parsearch: %w", err)
 	}
 	stats.MaxPages = batch.MaxPerDisk
 	stats.TotalPages = batch.Total
+	stats.Retries = batch.Retries
 	stats.ParallelTime = batch.ParallelTime.Seconds()
 	stats.SequentialTime = batch.SequentialTime.Seconds()
 	stats.Speedup = batch.Speedup()
@@ -885,13 +1015,15 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 }
 
 // sphereRefs collects the page reads a query with NN-sphere radius rk
-// requires, per the configured cost model: the disks' own X-tree leaf
-// pages (real system) or the quadrant bucket pages (the paper's
-// idealized storage of §3). perDisk is incremented with the page counts;
-// the returned refs feed the disk array. Each disk's leaves are
-// enumerated under that disk's read lock; the cell scan of the bucket
-// model runs under meta.
-func (ix *Index) sphereRefs(st *state, q vec.Point, rk float64, perDisk []int) (refs []disk.PageRef, cells int) {
+// requires, per the configured cost model: the pages of the trees the
+// routing actually searches (real system) or the quadrant bucket pages
+// (the paper's idealized storage of §3). Page counts, intersected
+// cells, and the degraded-mode accounting (Unreachable, Rerouted) are
+// recorded into qs; the returned refs feed the disk array and only name
+// disks the routing selected as live. Each tree's leaves are enumerated
+// under its read lock; the cell scan of the bucket model runs under
+// meta.
+func (ix *Index) sphereRefs(st *state, routes []route, q vec.Point, rk float64, qs *QueryStats) (refs []disk.PageRef) {
 	m := ix.metric()
 	rank := m.ToRank(rk)
 	switch ix.opts.CostModel {
@@ -904,26 +1036,48 @@ func (ix *Index) sphereRefs(st *state, q vec.Point, rk float64, perDisk []int) (
 				continue
 			}
 			pages := (c.count + leafCap - 1) / leafCap
-			cells++
-			perDisk[c.disk] += pages
-			refs = append(refs, disk.PageRef{Disk: c.disk, Blocks: pages})
+			qs.Cells++
+			rt := routes[c.disk]
+			if rt.sh == nil {
+				qs.Unreachable += pages
+				continue
+			}
+			if rt.rerouted {
+				qs.Rerouted += pages
+			}
+			qs.PagesPerDisk[rt.disk] += pages
+			refs = append(refs, disk.PageRef{Disk: rt.disk, Blocks: pages})
 		}
 		ix.meta.Unlock()
 	default: // TreePages
-		for d, sh := range st.shards {
+		for d := range routes {
+			rt := routes[d]
+			sh, charge := rt.sh, rt.disk
+			if sh == nil {
+				// No live copy: enumerate the primary tree's pages
+				// anyway so the shortfall is visible as Unreachable.
+				sh, charge = st.shards[d], -1
+			}
 			sh.mu.RLock()
 			for _, leaf := range sh.tree.Leaves() {
 				if m.RankMinDist(leaf.Rect(), q) > rank {
 					continue
 				}
-				cells++
-				perDisk[d] += leaf.Super()
-				refs = append(refs, disk.PageRef{Disk: d, Blocks: leaf.Super()})
+				qs.Cells++
+				if charge < 0 {
+					qs.Unreachable += leaf.Super()
+					continue
+				}
+				if rt.rerouted {
+					qs.Rerouted += leaf.Super()
+				}
+				qs.PagesPerDisk[charge] += leaf.Super()
+				refs = append(refs, disk.PageRef{Disk: charge, Blocks: leaf.Super()})
 			}
 			sh.mu.RUnlock()
 		}
 	}
-	return refs, cells
+	return refs
 }
 
 // sortResults orders by distance, breaking ties by ID.

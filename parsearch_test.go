@@ -369,8 +369,10 @@ func TestConcurrentQueries(t *testing.T) {
 func TestDiskFailurePropagates(t *testing.T) {
 	ix := buildTestIndex(t, Options{Dim: 4, Disks: 4}, 2000)
 	q := []float64{0.5, 0.5, 0.5, 0.5}
-	if _, _, err := ix.KNN(q, 5); err != nil {
+	if _, stats, err := ix.KNN(q, 5); err != nil {
 		t.Fatalf("healthy query failed: %v", err)
+	} else if stats.Degraded || stats.Unreachable != 0 {
+		t.Errorf("healthy query reported degraded stats: %+v", stats)
 	}
 	if err := ix.FailDisk(99); err == nil {
 		t.Error("failing an unknown disk should error")
@@ -378,14 +380,22 @@ func TestDiskFailurePropagates(t *testing.T) {
 	if err := ix.FailDisk(2); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ix.KNN(q, 5); err == nil {
-		t.Error("query over a failed disk should error")
+	// Without replication a pre-failed disk no longer errors the query:
+	// it returns best-effort results flagged Degraded.
+	if _, stats, err := ix.KNN(q, 5); err != nil {
+		t.Errorf("degraded query should succeed best-effort: %v", err)
+	} else if !stats.Degraded {
+		t.Error("query over a failed, unreplicated disk should be flagged Degraded")
+	} else if stats.Unreachable == 0 {
+		t.Error("degraded query should count its unreachable pages")
 	}
 	if err := ix.HealDisk(2); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ix.KNN(q, 5); err != nil {
+	if _, stats, err := ix.KNN(q, 5); err != nil {
 		t.Errorf("healed disk still failing: %v", err)
+	} else if stats.Degraded {
+		t.Error("query after heal still flagged Degraded")
 	}
 	if err := ix.HealDisk(-1); err == nil {
 		t.Error("healing an unknown disk should error")

@@ -41,24 +41,35 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 	rect := vec.NewRect(min, max)
 	center := rect.Center()
 
-	// Phase 1: all disks search in parallel, each under its own disk's
-	// read lock.
+	// Plan the failure routing once (see KNN): one consistent failure
+	// snapshot drives the search and the I/O accounting.
+	routes, _ := ix.plan(st)
+
+	// Phase 1: all live shards search in parallel, each under its own
+	// tree's read lock. A failed disk's search runs against the chained
+	// replica instead; shards with no live copy are skipped, making the
+	// results best-effort (flagged Degraded).
 	found := make([][]xtree.Entry, len(st.shards))
 	var wg sync.WaitGroup
-	for d := range st.shards {
+	for d := range routes {
+		sh := routes[d].sh
+		if sh == nil {
+			continue
+		}
 		wg.Add(1)
-		go func(d int) {
+		go func(d int, sh *shard) {
 			defer wg.Done()
-			sh := st.shards[d]
 			sh.mu.RLock()
 			found[d], _ = sh.tree.RangeSearch(rect)
 			sh.mu.RUnlock()
-		}(d)
+		}(d, sh)
 	}
 	wg.Wait()
 
 	// Phase 2: page accounting — every disk reads its pages
-	// intersecting the query box.
+	// intersecting the query box. Reads are charged to the disk the
+	// routing selected; pages with no live copy are counted as
+	// Unreachable instead of being read.
 	stats.PagesPerDisk = make([]int, len(st.shards))
 	var refs []disk.PageRef
 	switch ix.opts.CostModel {
@@ -72,30 +83,57 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 			}
 			pages := (c.count + leafCap - 1) / leafCap
 			stats.Cells++
-			stats.PagesPerDisk[c.disk] += pages
-			refs = append(refs, disk.PageRef{Disk: c.disk, Blocks: pages})
+			rt := routes[c.disk]
+			if rt.sh == nil {
+				stats.Unreachable += pages
+				continue
+			}
+			if rt.rerouted {
+				stats.Rerouted += pages
+			}
+			stats.PagesPerDisk[rt.disk] += pages
+			refs = append(refs, disk.PageRef{Disk: rt.disk, Blocks: pages})
 		}
 		ix.meta.Unlock()
 	default: // TreePages
-		for d, sh := range st.shards {
+		for d := range routes {
+			rt := routes[d]
+			sh, charge := rt.sh, rt.disk
+			if sh == nil {
+				// No live copy: enumerate the primary tree's pages
+				// anyway so the shortfall is visible as Unreachable.
+				sh, charge = st.shards[d], -1
+			}
 			sh.mu.RLock()
 			for _, leaf := range sh.tree.Leaves() {
 				if !leaf.Rect().Intersects(rect) {
 					continue
 				}
 				stats.Cells++
-				stats.PagesPerDisk[d] += leaf.Super()
-				refs = append(refs, disk.PageRef{Disk: d, Blocks: leaf.Super()})
+				if charge < 0 {
+					stats.Unreachable += leaf.Super()
+					continue
+				}
+				if rt.rerouted {
+					stats.Rerouted += leaf.Super()
+				}
+				stats.PagesPerDisk[charge] += leaf.Super()
+				refs = append(refs, disk.PageRef{Disk: charge, Blocks: leaf.Super()})
 			}
 			sh.mu.RUnlock()
 		}
 	}
+	// Degraded only when dead pages intersect the box — a dead point
+	// could then be inside it; dead pages fully outside the box cannot
+	// hold matches, so the results are provably exact.
+	stats.Degraded = stats.Unreachable > 0
 	batch, err := ix.array.ReadBatch(refs)
 	if err != nil {
 		return nil, stats, fmt.Errorf("parsearch: %w", err)
 	}
 	stats.MaxPages = batch.MaxPerDisk
 	stats.TotalPages = batch.Total
+	stats.Retries = batch.Retries
 	stats.ParallelTime = batch.ParallelTime.Seconds()
 	stats.SequentialTime = batch.SequentialTime.Seconds()
 	stats.Speedup = batch.Speedup()

@@ -51,6 +51,9 @@ func (ix *Index) Save(w io.Writer) error {
 	if ix.opts.Baseline {
 		flags |= 4
 	}
+	if ix.opts.Replication > 0 {
+		flags |= 8
+	}
 	header := []interface{}{
 		uint32(snapshotVersion),
 		uint32(ix.opts.Dim),
@@ -206,6 +209,7 @@ func Load(r io.Reader) (*Index, error) {
 		QuantileSplits: flags&1 != 0,
 		Recursive:      flags&2 != 0,
 		Baseline:       flags&4 != 0,
+		Replication:    int(flags & 8 >> 3),
 		DiskParams:     &params,
 		CostModel:      CostModel(costModel),
 	})
