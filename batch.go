@@ -1,9 +1,11 @@
 package parsearch
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parsearch/internal/disk"
@@ -158,11 +160,25 @@ func (ix *Index) ServiceDemands(queries [][]float64, k int) ([][]float64, error)
 // deterministic for a given index state regardless of the worker count
 // or scheduling order.
 func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats, error) {
+	return ix.BatchKNNContext(context.Background(), queries, k)
+}
+
+// BatchKNNContext is BatchKNN with a context, which may carry a
+// per-request tracer (see WithTracer). Batch traces share one query
+// sequence number; per-item events carry the batch index in Item.
+func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int) (_ [][]Neighbor, stats BatchStats, err error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	st := ix.st
 
-	var stats BatchStats
+	sp := ix.newSpan(ctx, "batch")
+	defer func() {
+		if err != nil {
+			ix.reg.QueryErrors.Inc()
+			sp.errEvent(err)
+		}
+	}()
+
 	if k < 1 {
 		return nil, stats, fmt.Errorf("parsearch: k = %d", k)
 	}
@@ -183,6 +199,7 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 	// Plan the failure routing once for the whole batch: every query of
 	// the batch sees the same consistent failure snapshot (see KNN).
 	routes, degraded := ix.plan(st)
+	sp.planEvents(routes, degraded)
 
 	// Result phase: the worker pool answers the queries and computes
 	// each query's page refs and per-query statistics. Everything is
@@ -195,6 +212,7 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 	refsPerQuery := make([][]disk.PageRef, len(queries))
 	errs := make([]error, len(queries))
 	m := ix.metric()
+	var nodeVisits atomic.Int64
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -204,16 +222,19 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 			for i := range next {
 				q := queries[i]
 				var merged []knn.Result
+				var acc knn.Accounting
 				for d := range routes {
 					sh := routes[d].sh
 					if sh == nil {
 						continue
 					}
 					sh.mu.RLock()
-					res, _ := knn.HSMetric(sh.tree, q, k, m)
+					res, a := knn.HSMetric(sh.tree, q, k, m)
 					sh.mu.RUnlock()
+					acc.Add(a)
 					merged = append(merged, res...)
 				}
+				nodeVisits.Add(int64(acc.DirAccesses + acc.LeafAccesses))
 				sortResults(merged)
 				if len(merged) > k {
 					merged = merged[:k]
@@ -243,6 +264,9 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 				fillQueryCost(&qs, refs, ix.params, len(st.shards))
 				perQuery[i] = qs
 				refsPerQuery[i] = refs
+				sp.emit(TraceEvent{Stage: StageSearch, Disk: -1, Item: i, K: k,
+					Results: len(out), Pages: qs.TotalPages, Radius: rk,
+					Degraded: qs.Degraded})
 			}
 		}()
 	}
@@ -282,5 +306,38 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 		stats.Utilization = batch.SequentialTime.Seconds() /
 			(stats.MakespanSeconds * float64(len(st.shards)))
 	}
+	sp.ioEvents(batch)
+	ix.recordBatch(&stats, batch, nodeVisits.Load())
+	sp.emit(TraceEvent{Stage: StageDone, Disk: -1, Item: -1, K: k,
+		Results: stats.Queries, Pages: stats.TotalPages, Degraded: stats.Degraded})
 	return results, stats, nil
+}
+
+// recordBatch folds a finished batch into the metrics registry: the
+// batch counts as one QueriesBatch call and len(PerQuery) BatchQueries;
+// pages and fault counters are charged from the aggregated batch so the
+// registry totals match the sum of the per-query stats.
+func (ix *Index) recordBatch(bs *BatchStats, batch disk.BatchResult, nodeVisits int64) {
+	ix.reg.QueriesBatch.Inc()
+	ix.reg.BatchQueries.Add(int64(bs.Queries))
+	ix.reg.NodeVisits.Add(nodeVisits)
+	ix.reg.PagesRead.Add(int64(bs.TotalPages))
+	ix.reg.Retries.Add(int64(bs.Retries))
+	ix.reg.Rerouted.Add(int64(bs.Rerouted))
+	ix.reg.Unreachable.Add(int64(bs.Unreachable))
+	for d, pages := range bs.PagesPerDisk {
+		ix.reg.PagesPerDisk.Add(d, int64(pages))
+	}
+	for d, t := range batch.Times {
+		ix.reg.ServiceTimePerDisk.Add(d, t.Nanoseconds())
+	}
+	for i := range bs.PerQuery {
+		qs := &bs.PerQuery[i]
+		ix.reg.CellsVisited.Add(int64(qs.Cells))
+		if qs.Degraded {
+			ix.reg.DegradedQueries.Inc()
+		}
+		ix.reg.QueryPages.Observe(int64(qs.TotalPages))
+		ix.reg.QueryTimeNs.Observe(int64(qs.ParallelTime * 1e9))
+	}
 }

@@ -7,6 +7,7 @@
 package parsearch_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -209,4 +210,106 @@ func BenchmarkExtHilbert2D(b *testing.B) {
 
 func BenchmarkAblTreeQuality(b *testing.B) {
 	runExperiment(b, "abl-quality", 0, "insOverlap@d16")
+}
+
+// --- Observability benchmarks -------------------------------------
+//
+// The harness workloads (see internal/exp.RunBench and the
+// cmd/experiments bench subcommand), wrapped as testing.B benchmarks:
+// `go test -bench 'Observability|Traced'` gives the same ns/op view as
+// BENCH_parsearch.json, and the Traced/Untraced pair bounds the cost
+// of the tracing layer itself.
+
+// benchIndex builds the harness's 16-disk index at reduced scale.
+func obsBenchIndex(b *testing.B, opts parsearch.Options, n int) (*parsearch.Index, [][]float64) {
+	b.Helper()
+	ix, err := parsearch.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := newBenchRand()
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, opts.Dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	if err := ix.Build(pts); err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]float64, 16)
+	for i := range queries {
+		q := make([]float64, opts.Dim)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		queries[i] = q
+	}
+	return ix, queries
+}
+
+func benchKNNLoop(b *testing.B, ix *parsearch.Index, queries [][]float64) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.KNN(queries[i%len(queries)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := ix.Metrics()
+	if m.QueriesKNN > 0 {
+		b.ReportMetric(float64(m.PagesRead)/float64(m.QueriesKNN), "pages/query")
+		b.ReportMetric(m.Balance, "balance@16disks")
+	}
+}
+
+func BenchmarkObservabilityKNN16Untraced(b *testing.B) {
+	ix, queries := obsBenchIndex(b, parsearch.Options{Dim: 8, Disks: 16}, 4000)
+	benchKNNLoop(b, ix, queries)
+}
+
+func BenchmarkObservabilityKNN16Traced(b *testing.B) {
+	ix, queries := obsBenchIndex(b, parsearch.Options{Dim: 8, Disks: 16}, 4000)
+	var events int64
+	tr := parsearch.TracerFunc(func(parsearch.TraceEvent) { events++ })
+	ctx := parsearch.WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.KNNContext(ctx, queries[i%len(queries)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if events == 0 {
+		b.Fatal("tracer saw no events")
+	}
+}
+
+func BenchmarkObservabilityRange16(b *testing.B) {
+	ix, queries := obsBenchIndex(b, parsearch.Options{Dim: 8, Disks: 16}, 4000)
+	lo, hi := make([]float64, 8), make([]float64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := queries[i%len(queries)]
+		for j := range lo {
+			lo[j], hi[j] = c[j]-0.2, c[j]+0.2
+		}
+		if _, _, err := ix.RangeQuery(lo, hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObservabilityBatch16(b *testing.B) {
+	ix, queries := obsBenchIndex(b, parsearch.Options{Dim: 8, Disks: 16}, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.BatchKNN(queries, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := ix.Metrics()
+	b.ReportMetric(float64(m.PagesRead)/float64(m.BatchQueries), "pages/query")
 }

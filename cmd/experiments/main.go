@@ -7,9 +7,17 @@
 //	experiments -list
 //	experiments -run fig12
 //	experiments -run all [-scale 0.5] [-queries 10] [-seed 42]
+//
+// The bench subcommand runs the benchmark-regression harness (see
+// internal/exp.RunBench) and writes the machine-readable report CI
+// diffs against the committed baseline:
+//
+//	experiments bench [-profile short|full] [-out BENCH_parsearch.json]
+//	                  [-baseline BENCH_parsearch.json] [-threshold 0.25] [-seed 42]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +36,9 @@ func main() {
 // run executes the command against the given argument list and streams;
 // it returns the process exit code. Split from main for testability.
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "bench" {
+		return runBench(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the available experiments")
@@ -77,5 +88,72 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	return 0
+}
+
+// runBench implements the bench subcommand: measure, write the report,
+// and optionally gate against a baseline (exit 1 on regression).
+func runBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	profile := fs.String("profile", "short", "bench profile: short or full")
+	out := fs.String("out", "", "write the JSON report to this file ('-' or empty = stdout)")
+	baseline := fs.String("baseline", "", "baseline BENCH_parsearch.json to gate against")
+	threshold := fs.Float64("threshold", 0.25, "allowed fractional ns/op growth vs the baseline")
+	seed := fs.Int64("seed", 42, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	p, ok := exp.BenchProfiles[*profile]
+	if !ok {
+		fmt.Fprintf(stderr, "experiments: unknown bench profile %q (short, full)\n", *profile)
+		return 1
+	}
+	report, err := exp.RunBench(p, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
+		return 1
+	}
+	blob, err := exp.MarshalBenchReport(report)
+	if err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
+		return 1
+	}
+	if *out == "" || *out == "-" {
+		stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
+		return 1
+	}
+	for _, w := range report.Workloads {
+		fmt.Fprintf(stderr, "bench %-8s %12d ns/op %10.1f pages/query  balance %.3f\n",
+			w.Name, w.NsPerOp, w.PagesPerQuery, w.Balance)
+	}
+
+	if *baseline == "" {
+		return 0
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(stderr, "experiments: reading baseline: %v\n", err)
+		return 1
+	}
+	var base exp.BenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(stderr, "experiments: parsing baseline: %v\n", err)
+		return 1
+	}
+	if base.Profile != report.Profile {
+		fmt.Fprintf(stderr, "experiments: baseline profile %q does not match run profile %q — not comparing\n",
+			base.Profile, report.Profile)
+		return 0
+	}
+	if regressions := exp.CompareBench(base, report, *threshold); len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(stderr, "experiments: REGRESSION %s\n", r)
+		}
+		return 1
+	}
+	fmt.Fprintln(stderr, "bench: no regressions vs baseline")
 	return 0
 }

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"parsearch/internal/exp"
 )
 
 func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
@@ -70,5 +73,78 @@ func TestRunCheapExperimentWithTSV(t *testing.T) {
 func TestBadFlags(t *testing.T) {
 	if _, _, code := runCLI(t, "-bogus"); code == 0 {
 		t.Error("expected nonzero exit for unknown flag")
+	}
+}
+
+func TestBenchSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "BENCH_parsearch.json")
+
+	// A profile small enough for a unit test does not exist by name, so
+	// use short but verify only the report structure, not timings.
+	_, errOut, code := runCLI(t, "bench", "-profile", "nope")
+	if code == 0 || !strings.Contains(errOut, "unknown bench profile") {
+		t.Fatalf("bad profile: code %d, stderr %q", code, errOut)
+	}
+
+	_, errOut, code = runCLI(t, "bench", "-profile", "short", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("bench run failed (%d): %s", code, errOut)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report exp.BenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Disks != exp.BenchDisks || len(report.Workloads) != 3 {
+		t.Fatalf("report %+v", report)
+	}
+	for _, w := range report.Workloads {
+		if w.Balance <= 0 || w.Balance > 1 {
+			t.Errorf("%s balance %v", w.Name, w.Balance)
+		}
+	}
+
+	// Gating against its own report passes; against a forged faster
+	// baseline it fails with a regression message.
+	_, errOut, code = runCLI(t, "bench", "-profile", "short", "-out", "-", "-baseline", outPath)
+	if code != 0 {
+		t.Fatalf("self-baseline gate failed (%d): %s", code, errOut)
+	}
+	forged := report
+	forged.Workloads = append([]exp.BenchWorkload(nil), report.Workloads...)
+	for i := range forged.Workloads {
+		forged.Workloads[i].NsPerOp = 1 // impossibly fast baseline
+	}
+	blob, err := exp.MarshalBenchReport(forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forgedPath := filepath.Join(dir, "forged.json")
+	if err := os.WriteFile(forgedPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code = runCLI(t, "bench", "-baseline", forgedPath)
+	if code != 1 || !strings.Contains(errOut, "REGRESSION") {
+		t.Fatalf("forged baseline: code %d, stderr %q", code, errOut)
+	}
+
+	// A baseline from a different profile is reported, not compared.
+	mismatched := report
+	mismatched.Profile = "full"
+	blob, err = exp.MarshalBenchReport(mismatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatchPath := filepath.Join(dir, "mismatch.json")
+	if err := os.WriteFile(mismatchPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code = runCLI(t, "bench", "-baseline", mismatchPath)
+	if code != 0 || !strings.Contains(errOut, "does not match") {
+		t.Fatalf("profile mismatch: code %d, stderr %q", code, errOut)
 	}
 }

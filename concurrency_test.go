@@ -16,6 +16,7 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"parsearch/internal/data"
@@ -76,6 +77,11 @@ func runMixedWorkload(t *testing.T, opts Options) {
 	)
 	writerOps := stressIters(400, 120)
 
+	// The whole stress run is traced: the counting tracer receives the
+	// concurrent per-disk span events of every reader, so the race
+	// detector covers the tracing layer under full mixed load.
+	var traceEvents atomic.Int64
+	opts.Tracer = TracerFunc(func(TraceEvent) { traceEvents.Add(1) })
 	ix, err := Open(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -248,6 +254,20 @@ func runMixedWorkload(t *testing.T, opts Options) {
 	}
 
 	verifyFinalState(t, ix, expected, opts)
+
+	if traceEvents.Load() == 0 {
+		t.Error("tracer saw no events across the stress run")
+	}
+	// The registry absorbed the workload without tearing: per-disk page
+	// totals sum to the cumulative count.
+	s := ix.Metrics()
+	var perDisk int64
+	for _, v := range s.PagesPerDisk {
+		perDisk += v
+	}
+	if perDisk != s.PagesRead {
+		t.Errorf("per-disk pages sum to %d, PagesRead is %d", perDisk, s.PagesRead)
+	}
 }
 
 // verifyFinalState checks the quiesced index exactly against the

@@ -447,3 +447,48 @@ func TestIndexFaultInjection(t *testing.T) {
 		t.Fatalf("cleared fault model: err %v, retries %d", err, stats.Retries)
 	}
 }
+
+// TestRetriesCountAttemptsNotSleeps: QueryStats.Retries counts re-read
+// attempts, decoupled from backoff charging — a zero-length
+// RetryBackoff must report exactly the retries a backed-off model does
+// (fault injection is seed-deterministic and independent of the
+// backoff), while only the backed-off run pays the wait as service
+// time. Regression test for retry accounting that keyed off the
+// charged sleep instead of the attempt.
+func TestRetriesCountAttemptsNotSleeps(t *testing.T) {
+	const dim, disks, n = 5, 4, 1200
+	model := func(backoff time.Duration) *FaultModel {
+		return &FaultModel{TransientProb: 0.35, MaxRetries: 32, RetryBackoff: backoff, Seed: 29}
+	}
+	slow, _ := buildFaultIndex(t, Options{Dim: dim, Disks: disks, Faults: model(time.Millisecond)}, n)
+	fast, _ := buildFaultIndex(t, Options{Dim: dim, Disks: disks, Faults: model(0)}, n)
+
+	totalRetries := 0
+	for qi, q := range data.Uniform(8, dim, 41) {
+		_, sSlow, err := slow.KNN(q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sFast, err := fast.KNN(q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sFast.Retries != sSlow.Retries {
+			t.Errorf("query %d: zero-backoff Retries = %d, with backoff = %d — accounting depends on the sleep",
+				qi, sFast.Retries, sSlow.Retries)
+		}
+		totalRetries += sFast.Retries
+		if sFast.Retries > 0 && sFast.SequentialTime >= sSlow.SequentialTime {
+			t.Errorf("query %d: zero-backoff service time %v not below backed-off %v despite %d retries",
+				qi, sFast.SequentialTime, sSlow.SequentialTime, sFast.Retries)
+		}
+	}
+	if totalRetries == 0 {
+		t.Fatal("no retries recorded at a 35% transient rate — test is vacuous")
+	}
+
+	// The metrics registry sees the same attempt counts.
+	if got := fast.Metrics().Retries; got != int64(totalRetries) {
+		t.Errorf("registry Retries = %d, want %d", got, totalRetries)
+	}
+}

@@ -2,7 +2,12 @@ package parsearch
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
 	"testing"
+
+	"parsearch/internal/data"
 )
 
 // Fuzzing the snapshot loader: arbitrary bytes must never panic — they
@@ -37,6 +42,108 @@ func FuzzLoad(f *testing.F) {
 		q := make([]float64, loaded.opts.Dim)
 		if _, _, err := loaded.KNN(q, 1); err != nil {
 			t.Fatalf("loaded index cannot be queried: %v", err)
+		}
+	})
+}
+
+// metricsSnapshotPayload builds a snapshot of a queried index (so the
+// metrics section carries real counts) and returns its payload with
+// the trailing CRC-32 stripped.
+func metricsSnapshotPayload(f *testing.F) []byte {
+	f.Helper()
+	ix, err := Open(Options{Dim: 3, Disks: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	pts := data.Uniform(64, 3, 5)
+	raw := make([][]float64, len(pts))
+	for i := range pts {
+		raw[i] = pts[i]
+	}
+	if err := ix.Build(raw); err != nil {
+		f.Fatal(err)
+	}
+	for _, q := range data.Uniform(4, 3, 6) {
+		if _, _, err := ix.KNN(q, 3); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	blob, err := ix.reg.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	payload := buf.Bytes()[:buf.Len()-4]
+	if got := binary.LittleEndian.Uint32(payload[len(payload)-4-len(blob):]); got != uint32(len(blob)) {
+		f.Fatalf("metrics length prefix reads %d, blob is %d bytes", got, len(blob))
+	}
+	return payload
+}
+
+// FuzzSnapshotRoundtrip fuzzes the metrics-bearing snapshot bits
+// introduced with the observability layer (header flag 16 and the
+// length-prefixed metrics section). The harness appends a valid
+// CRC-32 to the fuzzed payload so mutations reach the parser instead
+// of dying at the checksum. A payload that loads must yield a
+// self-consistent metrics snapshot, and Save→Load must preserve it.
+func FuzzSnapshotRoundtrip(f *testing.F) {
+	payload := metricsSnapshotPayload(f)
+	f.Add(payload)
+
+	// Flag bit 16 cleared but the metrics section left in place: the
+	// loader must reject it as trailing bytes.
+	noFlag := append([]byte(nil), payload...)
+	noFlag[len(snapshotMagic)+16] &^= flagMetrics
+	f.Add(noFlag)
+
+	// A corrupted byte near the end of the metrics blob: the codec's
+	// validation must reject it without panicking.
+	badLen := append([]byte(nil), payload...)
+	badLen[len(badLen)-8] ^= 0xFF
+	f.Add(badLen)
+
+	// Truncated mid-metrics, and a corrupted counter inside the blob.
+	f.Add(payload[:len(payload)-7])
+	corrupt := append([]byte(nil), payload...)
+	corrupt[len(corrupt)-3] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		full := make([]byte, len(b)+4)
+		copy(full, b)
+		binary.LittleEndian.PutUint32(full[len(b):], crc32.ChecksumIEEE(b))
+		loaded, err := Load(bytes.NewReader(full))
+		if err != nil {
+			return
+		}
+		s := loaded.Metrics()
+		if len(s.PagesPerDisk) != loaded.opts.Disks || len(s.ServiceTimePerDiskNs) != loaded.opts.Disks {
+			t.Fatalf("loaded metrics sized for %d/%d disks, index has %d",
+				len(s.PagesPerDisk), len(s.ServiceTimePerDiskNs), loaded.opts.Disks)
+		}
+		for _, v := range s.PagesPerDisk {
+			if v < 0 {
+				t.Fatalf("loaded negative per-disk pages: %v", s.PagesPerDisk)
+			}
+		}
+		if s.QueryPages.Count < 0 || s.QueryPages.Sum < 0 {
+			t.Fatalf("loaded negative histogram: %+v", s.QueryPages)
+		}
+		// Counters that loaded once must survive another round-trip
+		// bit-for-bit.
+		var again bytes.Buffer
+		if err := loaded.Save(&again); err != nil {
+			t.Fatalf("re-saving loaded index: %v", err)
+		}
+		reloaded, err := Load(bytes.NewReader(again.Bytes()))
+		if err != nil {
+			t.Fatalf("re-loading saved index: %v", err)
+		}
+		if got := reloaded.Metrics(); !reflect.DeepEqual(got, s) {
+			t.Fatalf("metrics changed across round-trip:\n got %+v\nwant %+v", got, s)
 		}
 	})
 }

@@ -75,8 +75,14 @@ type BatchResult struct {
 	// SequentialTime is the simulated time had a single disk performed
 	// every read.
 	SequentialTime time.Duration
-	// Retries is the number of read retries transient faults caused
-	// across all disks (0 unless a FaultModel is installed).
+	// Times is the simulated service time each disk spent on its share
+	// of the batch (ParallelTime is its maximum, SequentialTime its
+	// sum) — the per-disk view observability consumers aggregate.
+	Times []time.Duration
+	// Retries is the number of re-read attempts transient faults caused
+	// across all disks (0 unless a FaultModel is installed). Retries
+	// counts attempts, not backoff sleeps: a retry performed under a
+	// zero-length RetryBackoff still counts.
 	Retries int
 }
 
@@ -238,18 +244,24 @@ func (a *Array) ReadBatch(refs []PageRef) (BatchResult, error) {
 					if fs.spike(d) {
 						t += fs.model.SpikeLatency
 					}
-					attempt := 0
+					// Retry accounting counts re-read attempts; the
+					// backoff charge is a separate, purely temporal
+					// concern (zero-length backoff still retries — and
+					// still counts).
+					attempts := 0
 					for fs.transient(d) {
-						if attempt == fs.model.MaxRetries {
+						if attempts == fs.model.MaxRetries {
 							errs[d] = fmt.Errorf("disk %d: read of %d blocks still failing after %d retries: %w",
-								d, ref.Blocks, attempt, ErrTransient)
+								d, ref.Blocks, attempts, ErrTransient)
 							break
 						}
-						t += fs.model.RetryBackoff << attempt
-						attempt++
+						if backoff := fs.model.RetryBackoff; backoff > 0 {
+							t += backoff << attempts // doubling wait, charged as service time
+						}
+						attempts++
 						t += cost // the re-read
 					}
-					retries[d] += attempt
+					retries[d] += attempts
 					if errs[d] != nil {
 						// Like a failed disk, a disk that gave up on a
 						// read contributes no accounting.
@@ -270,6 +282,7 @@ func (a *Array) ReadBatch(refs []PageRef) (BatchResult, error) {
 	}
 	wg.Wait()
 
+	res.Times = times
 	for d := 0; d < a.n; d++ {
 		res.Retries += retries[d]
 		res.Total += res.PerDisk[d]

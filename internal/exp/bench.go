@@ -1,0 +1,221 @@
+package exp
+
+// The benchmark-regression harness: reproducible wall-clock and
+// page-cost measurements of the three query paths, emitted as the
+// machine-readable BENCH_parsearch.json that CI diffs against the
+// committed baseline. Unlike the figure experiments (simulated disk
+// time), these measure real ns/op of the engine code, so thresholds
+// are generous; the page counts and the balance coefficient are
+// deterministic and tighten the comparison.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"parsearch"
+	"parsearch/internal/data"
+)
+
+// BenchProfile sizes a benchmark run. Reps runs each workload several
+// times and keeps the fastest (best-of), damping scheduler noise.
+type BenchProfile struct {
+	Name    string `json:"name"`
+	Points  int    `json:"points"`
+	Queries int    `json:"queries"`
+	K       int    `json:"k"`
+	Reps    int    `json:"reps"`
+}
+
+// BenchProfiles are the named run sizes: "short" for the per-PR CI
+// gate, "full" for the recorded EXPERIMENTS.md numbers.
+var BenchProfiles = map[string]BenchProfile{
+	"short": {Name: "short", Points: 6000, Queries: 48, K: 10, Reps: 3},
+	"full":  {Name: "full", Points: 40000, Queries: 200, K: 10, Reps: 5},
+}
+
+// BenchDisks is the disk configuration the harness measures — the
+// paper's largest array.
+const BenchDisks = 16
+
+// benchDim matches the uniform-data experiments (see uniformDim).
+const benchDim = uniformDim
+
+// BenchWorkload is one measured workload of a bench run.
+type BenchWorkload struct {
+	// Name identifies the workload: knn16, range16, batch16.
+	Name string `json:"name"`
+	// NsPerOp is the best-of-reps wall-clock time per query (per batch
+	// item for the batch workload).
+	NsPerOp int64 `json:"ns_per_op"`
+	// PagesPerQuery is the deterministic average page cost.
+	PagesPerQuery float64 `json:"pages_per_query"`
+	// Balance is the per-disk balance coefficient (mean/max of
+	// per-disk page totals, 1.0 = perfectly even) over the whole
+	// workload, read from the metrics registry.
+	Balance float64 `json:"balance"`
+}
+
+// BenchReport is the schema of BENCH_parsearch.json.
+type BenchReport struct {
+	Profile    string          `json:"profile"`
+	Disks      int             `json:"disks"`
+	Dim        int             `json:"dim"`
+	Points     int             `json:"points"`
+	Queries    int             `json:"queries"`
+	K          int             `json:"k"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Workloads  []BenchWorkload `json:"workloads"`
+}
+
+// Workload returns the named workload, or nil.
+func (r *BenchReport) Workload(name string) *BenchWorkload {
+	for i := range r.Workloads {
+		if r.Workloads[i].Name == name {
+			return &r.Workloads[i]
+		}
+	}
+	return nil
+}
+
+// RunBench measures the knn/range/batch workloads of the profile on a
+// BenchDisks-disk index and returns the report.
+func RunBench(p BenchProfile, seed int64) (BenchReport, error) {
+	if p.Points < 1 || p.Queries < 1 || p.K < 1 || p.Reps < 1 {
+		return BenchReport{}, fmt.Errorf("exp: invalid bench profile %+v", p)
+	}
+	ix, err := parsearch.Open(parsearch.Options{Dim: benchDim, Disks: BenchDisks})
+	if err != nil {
+		return BenchReport{}, err
+	}
+	pts := data.Uniform(p.Points, benchDim, seed)
+	raw := make([][]float64, len(pts))
+	for i := range pts {
+		raw[i] = pts[i]
+	}
+	if err := ix.Build(raw); err != nil {
+		return BenchReport{}, err
+	}
+	queries := make([][]float64, p.Queries)
+	for i, q := range data.Uniform(p.Queries, benchDim, seed+1) {
+		queries[i] = q
+	}
+	// Range boxes sized to select a small fraction of the space.
+	boxes := make([][2][]float64, p.Queries)
+	for i, c := range data.Uniform(p.Queries, benchDim, seed+2) {
+		lo, hi := make([]float64, benchDim), make([]float64, benchDim)
+		for j := range lo {
+			lo[j], hi[j] = c[j]-0.2, c[j]+0.2
+		}
+		boxes[i] = [2][]float64{lo, hi}
+	}
+
+	report := BenchReport{
+		Profile: p.Name, Disks: BenchDisks, Dim: benchDim,
+		Points: p.Points, Queries: p.Queries, K: p.K,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	type workload struct {
+		name string
+		ops  int // ns/op divisor per rep
+		run  func() (pages int, err error)
+	}
+	workloads := []workload{
+		{"knn16", p.Queries, func() (int, error) {
+			pages := 0
+			for _, q := range queries {
+				_, stats, err := ix.KNN(q, p.K)
+				if err != nil {
+					return 0, err
+				}
+				pages += stats.TotalPages
+			}
+			return pages, nil
+		}},
+		{"range16", p.Queries, func() (int, error) {
+			pages := 0
+			for _, b := range boxes {
+				_, stats, err := ix.RangeQuery(b[0], b[1])
+				if err != nil {
+					return 0, err
+				}
+				pages += stats.TotalPages
+			}
+			return pages, nil
+		}},
+		{"batch16", p.Queries, func() (int, error) {
+			_, stats, err := ix.BatchKNN(queries, p.K)
+			if err != nil {
+				return 0, err
+			}
+			return stats.TotalPages, nil
+		}},
+	}
+
+	for _, w := range workloads {
+		// The balance coefficient comes from the registry's cumulative
+		// per-disk pages, reset per workload so workloads don't bleed
+		// into each other.
+		ix.ResetMetrics()
+		best := time.Duration(0)
+		pages := 0
+		for rep := 0; rep < p.Reps; rep++ {
+			start := time.Now()
+			pg, err := w.run()
+			elapsed := time.Since(start)
+			if err != nil {
+				return BenchReport{}, fmt.Errorf("exp: bench %s: %w", w.name, err)
+			}
+			pages = pg
+			if rep == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		m := ix.Metrics()
+		report.Workloads = append(report.Workloads, BenchWorkload{
+			Name:          w.name,
+			NsPerOp:       best.Nanoseconds() / int64(w.ops),
+			PagesPerQuery: float64(pages) / float64(w.ops),
+			Balance:       m.Balance,
+		})
+	}
+	return report, nil
+}
+
+// CompareBench diffs a fresh report against a baseline: a workload
+// regresses when its ns/op grows by more than nsThreshold (fractional,
+// e.g. 0.25 = +25%) or its deterministic page cost grows at all beyond
+// rounding. Workloads present in only one report are ignored (the
+// suite may grow). It returns a line per regression.
+func CompareBench(baseline, current BenchReport, nsThreshold float64) []string {
+	var regressions []string
+	for _, b := range baseline.Workloads {
+		c := current.Workload(b.Name)
+		if c == nil || b.NsPerOp <= 0 {
+			continue
+		}
+		if ratio := float64(c.NsPerOp) / float64(b.NsPerOp); ratio > 1+nsThreshold {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d ns/op vs baseline %d (%.0f%% > %.0f%% threshold)",
+				b.Name, c.NsPerOp, b.NsPerOp, (ratio-1)*100, nsThreshold*100))
+		}
+		if c.PagesPerQuery > b.PagesPerQuery*1.01+0.5 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.1f pages/query vs baseline %.1f (page cost is deterministic)",
+				b.Name, c.PagesPerQuery, b.PagesPerQuery))
+		}
+	}
+	return regressions
+}
+
+// MarshalBenchReport renders the report as the committed JSON format
+// (indented, trailing newline).
+func MarshalBenchReport(r BenchReport) ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// tinyProfile keeps the harness test fast.
+func tinyProfile() BenchProfile {
+	return BenchProfile{Name: "tiny", Points: 600, Queries: 6, K: 4, Reps: 2}
+}
+
+func TestRunBenchReport(t *testing.T) {
+	report, err := RunBench(tinyProfile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Disks != BenchDisks || report.Profile != "tiny" {
+		t.Fatalf("report header %+v", report)
+	}
+	for _, name := range []string{"knn16", "range16", "batch16"} {
+		w := report.Workload(name)
+		if w == nil {
+			t.Fatalf("workload %s missing from report", name)
+		}
+		if w.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op %d", name, w.NsPerOp)
+		}
+		// The tiny range workload can select zero pages (balance 0);
+		// whenever pages were read the coefficient must be in (0, 1].
+		if w.Balance < 0 || w.Balance > 1 || (w.PagesPerQuery > 0 && w.Balance == 0) {
+			t.Errorf("%s: balance %v inconsistent with %v pages/query", name, w.Balance, w.PagesPerQuery)
+		}
+	}
+	if report.Workload("knn16").PagesPerQuery <= 0 {
+		t.Error("knn16 measured no pages")
+	}
+
+	// Page costs are deterministic: a second run agrees exactly.
+	again, err := RunBench(tinyProfile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range report.Workloads {
+		a := again.Workload(w.Name)
+		if a.PagesPerQuery != w.PagesPerQuery || a.Balance != w.Balance {
+			t.Errorf("%s: pages %v/%v balance %v/%v across identical runs",
+				w.Name, w.PagesPerQuery, a.PagesPerQuery, w.Balance, a.Balance)
+		}
+	}
+
+	// The report round-trips through its JSON form.
+	blob, err := MarshalBenchReport(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded BenchReport
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Workloads) != len(report.Workloads) {
+		t.Fatalf("decoded %d workloads, want %d", len(decoded.Workloads), len(report.Workloads))
+	}
+
+	if _, err := RunBench(BenchProfile{}, 1); err == nil {
+		t.Error("zero profile accepted")
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	base := BenchReport{Workloads: []BenchWorkload{
+		{Name: "knn16", NsPerOp: 1000, PagesPerQuery: 50},
+		{Name: "range16", NsPerOp: 400, PagesPerQuery: 8},
+	}}
+	ok := BenchReport{Workloads: []BenchWorkload{
+		{Name: "knn16", NsPerOp: 1200, PagesPerQuery: 50}, // +20% < 25%
+		{Name: "range16", NsPerOp: 300, PagesPerQuery: 8},
+		{Name: "batch16", NsPerOp: 9999, PagesPerQuery: 1}, // new workload: ignored
+	}}
+	if regs := CompareBench(base, ok, 0.25); len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+
+	bad := BenchReport{Workloads: []BenchWorkload{
+		{Name: "knn16", NsPerOp: 1300, PagesPerQuery: 50},  // +30% > 25%
+		{Name: "range16", NsPerOp: 400, PagesPerQuery: 12}, // page cost grew
+	}}
+	regs := CompareBench(base, bad, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("%d regressions, want 2: %v", len(regs), regs)
+	}
+}

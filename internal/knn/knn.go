@@ -37,6 +37,14 @@ type Accounting struct {
 	PageAccesses int
 }
 
+// Add accumulates another query's accounting into a — the aggregation
+// step of multi-disk (and multi-query) instrumentation.
+func (a *Accounting) Add(o Accounting) {
+	a.DirAccesses += o.DirAccesses
+	a.LeafAccesses += o.LeafAccesses
+	a.PageAccesses += o.PageAccesses
+}
+
 func (a *Accounting) visit(n *xtree.Node) {
 	if n.IsLeaf() {
 		a.LeafAccesses++

@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 46, 47}, {1 << 47, 47}, {1 << 62, 47},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 || s.Sum != 1206 {
+		t.Fatalf("count %d sum %d, want 6 / 1206", s.Count, s.Sum)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != s.Count {
+		t.Fatalf("buckets sum to %d, count %d", total, s.Count)
+	}
+	if s.Mean != 201 {
+		t.Fatalf("mean %v, want 201", s.Mean)
+	}
+	// The median observation is 3 (ranked 1,2,3,100,100,1000 → rank 2),
+	// which lives in bucket [2,4): quantile reports the upper edge.
+	if q := s.Quantile(0.5); q != 4 {
+		t.Fatalf("p50 = %d, want 4", q)
+	}
+	if q := s.Quantile(1); q != 1024 {
+		t.Fatalf("p100 = %d, want 1024", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+func TestBalanceCoefficient(t *testing.T) {
+	cases := []struct {
+		loads []int64
+		want  float64
+	}{
+		{[]int64{4, 4, 4, 4}, 1},
+		{[]int64{8, 0, 0, 0}, 0.25},
+		{[]int64{0, 0}, 0},
+		{nil, 0},
+		{[]int64{2, 4}, 0.75},
+	}
+	for _, c := range cases {
+		if got := BalanceCoefficient(c.loads); got != c.want {
+			t.Errorf("BalanceCoefficient(%v) = %v, want %v", c.loads, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotReflectsUpdates(t *testing.T) {
+	r := NewRegistry(4)
+	r.QueriesKNN.Add(3)
+	r.PagesRead.Add(100)
+	r.PagesPerDisk.Add(0, 25)
+	r.PagesPerDisk.Add(2, 25)
+	r.PagesPerDisk.Add(-1, 99) // ignored
+	r.PagesPerDisk.Add(4, 99)  // ignored
+	r.ServiceTimePerDisk.Add(1, 1e6)
+	r.QueryPages.Observe(50)
+
+	s := r.Snapshot()
+	if s.QueriesKNN != 3 || s.PagesRead != 100 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if !reflect.DeepEqual(s.PagesPerDisk, []int64{25, 0, 25, 0}) {
+		t.Fatalf("pages per disk %v", s.PagesPerDisk)
+	}
+	if s.Balance != 0.5 {
+		t.Fatalf("balance %v, want 0.5", s.Balance)
+	}
+	if s.QueryPages.Count != 1 || s.QueryPages.Sum != 50 {
+		t.Fatalf("query pages histogram %+v", s.QueryPages)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := NewRegistry(3)
+	r.QueriesKNN.Add(7)
+	r.QueriesRange.Add(2)
+	r.QueriesBatch.Inc()
+	r.BatchQueries.Add(12)
+	r.QueryErrors.Add(1)
+	r.DegradedQueries.Add(4)
+	r.PagesRead.Add(12345)
+	r.CellsVisited.Add(99)
+	r.NodeVisits.Add(1024)
+	r.Retries.Add(5)
+	r.Rerouted.Add(6)
+	r.Unreachable.Add(7)
+	r.PagesPerDisk.Add(0, 10)
+	r.PagesPerDisk.Add(2, 30)
+	r.ServiceTimePerDisk.Add(1, 5e8)
+	for i := int64(1); i < 100; i *= 3 {
+		r.QueryPages.Observe(i)
+		r.QueryTimeNs.Observe(i * 1000)
+	}
+
+	b, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewRegistry(3)
+	if err := fresh.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Snapshot(), fresh.Snapshot()) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", r.Snapshot(), fresh.Snapshot())
+	}
+
+	// A second marshal of the decoded registry is byte-identical.
+	b2, err := fresh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, b2) {
+		t.Fatal("re-marshal differs")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	r := NewRegistry(2)
+	r.QueriesKNN.Add(5)
+	r.QueryPages.Observe(10)
+	good, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reject := func(name string, b []byte) {
+		t.Helper()
+		fresh := NewRegistry(2)
+		if err := fresh.UnmarshalBinary(b); err == nil {
+			t.Errorf("%s: corrupted encoding accepted", name)
+		}
+	}
+	reject("empty", nil)
+	reject("truncated", good[:len(good)-3])
+	reject("trailing", append(append([]byte{}, good...), 0))
+
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xFF
+	reject("magic", bad)
+
+	// Negative counter: flip the sign bit of the first scalar.
+	bad = append([]byte{}, good...)
+	bad[12+7] |= 0x80
+	reject("negative counter", bad)
+
+	// Wrong disk count.
+	reject("disk count", func() []byte {
+		r3 := NewRegistry(3)
+		b, _ := r3.MarshalBinary()
+		return b
+	}())
+
+	// Histogram bucket/count mismatch: bump the first histogram's count
+	// without touching its buckets. The first histogram starts after the
+	// 12-byte header, 12 scalars, and two 2-disk arrays.
+	histOff := 12 + 12*8 + 2*2*8
+	bad = append([]byte{}, good...)
+	bad[histOff]++
+	reject("histogram mismatch", bad)
+}
+
+func TestPerDiskValuesCopy(t *testing.T) {
+	p := NewPerDisk(2)
+	p.Add(0, 5)
+	v := p.Values()
+	v[0] = 99
+	if got := p.Values()[0]; got != 5 {
+		t.Fatalf("Values leaked internal state: %d", got)
+	}
+}

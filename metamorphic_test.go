@@ -1,0 +1,213 @@
+package parsearch
+
+// Metamorphic tests for the k-NN engine: transformations of the input
+// vector set with a known, provable effect on query answers. Each
+// relation runs with and without replication, since the replicated
+// read path routes through different shards.
+//
+//   - Permuting the input order changes IDs but not the answer set.
+//   - Duplicating every point doubles each neighbor distance's
+//     multiplicity in a 2k query.
+//   - The disk count is a pure layout choice: answers are identical
+//     (IDs included) for any number of disks.
+//   - For k ∈ {1, 5, n} the engine equals the brute-force linear scan.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"parsearch/internal/data"
+)
+
+// buildFrom builds an index over the given points (IDs = positions).
+func buildFrom(t *testing.T, opts Options, pts [][]float64) *Index {
+	t.Helper()
+	ix, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// uniformPoints converts data.Uniform output to the Build input type.
+func uniformPoints(n, dim int, seed int64) [][]float64 {
+	pts := data.Uniform(n, dim, seed)
+	raw := make([][]float64, n)
+	for i := range pts {
+		raw[i] = pts[i]
+	}
+	return raw
+}
+
+// replicationVariants names the two read paths every relation must
+// hold on.
+var replicationVariants = []struct {
+	name  string
+	value int
+}{
+	{"replication=0", 0},
+	{"replication=1", 1},
+}
+
+func TestMetamorphicPermutationInvariance(t *testing.T) {
+	const dim, disks, n, k = 5, 4, 900, 8
+	for _, rv := range replicationVariants {
+		t.Run(rv.name, func(t *testing.T) {
+			pts := uniformPoints(n, dim, 61)
+			perm := make([][]float64, n)
+			order := rand.New(rand.NewSource(7)).Perm(n)
+			for i, j := range order {
+				perm[j] = pts[i]
+			}
+			opts := Options{Dim: dim, Disks: disks, Replication: rv.value}
+			orig := buildFrom(t, opts, pts)
+			shuf := buildFrom(t, opts, perm)
+
+			for qi, q := range data.Uniform(6, dim, 62) {
+				a, _, err := orig.KNN(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, _, err := shuf.KNN(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a) != k || len(b) != k {
+					t.Fatalf("query %d: %d/%d neighbors, want %d", qi, len(a), len(b), k)
+				}
+				// IDs are positions, so they differ; the (distance,
+				// point) sequence must not. Uniform random coordinates
+				// make exact distance ties impossible outside
+				// duplicates, so the sorted orders align one-to-one.
+				for j := range a {
+					if a[j].Dist != b[j].Dist {
+						t.Fatalf("query %d neighbor %d: dist %v vs %v after permutation",
+							qi, j, a[j].Dist, b[j].Dist)
+					}
+					for c := range a[j].Point {
+						if a[j].Point[c] != b[j].Point[c] {
+							t.Fatalf("query %d neighbor %d: points differ after permutation", qi, j)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMetamorphicDuplicateInsertion(t *testing.T) {
+	const dim, disks, n, k = 4, 3, 500, 6
+	for _, rv := range replicationVariants {
+		t.Run(rv.name, func(t *testing.T) {
+			pts := uniformPoints(n, dim, 63)
+			doubled := append(append([][]float64{}, pts...), pts...)
+			opts := Options{Dim: dim, Disks: disks, Replication: rv.value}
+			single := buildFrom(t, opts, pts)
+			dup := buildFrom(t, opts, doubled)
+
+			for qi, q := range data.Uniform(5, dim, 64) {
+				a, _, err := single.KNN(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, _, err := dup.KNN(q, 2*k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(b) != 2*k {
+					t.Fatalf("query %d: %d neighbors from doubled index, want %d", qi, len(b), 2*k)
+				}
+				// Every distance of the k nearest appears exactly twice
+				// in the 2k nearest of the doubled set.
+				for j := 0; j < k; j++ {
+					if b[2*j].Dist != a[j].Dist || b[2*j+1].Dist != a[j].Dist {
+						t.Fatalf("query %d: dists %v/%v at doubled rank %d, want %v twice",
+							qi, b[2*j].Dist, b[2*j+1].Dist, j, a[j].Dist)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMetamorphicDiskCountInvariance(t *testing.T) {
+	const dim, n, k = 5, 700, 7
+	for _, rv := range replicationVariants {
+		t.Run(rv.name, func(t *testing.T) {
+			pts := uniformPoints(n, dim, 65)
+			diskCounts := []int{2, 3, 5, 8, 16}
+			queries := data.Uniform(5, dim, 66)
+
+			type answer struct {
+				id   int
+				dist float64
+			}
+			var want [][]answer
+			for ci, disks := range diskCounts {
+				ix := buildFrom(t, Options{Dim: dim, Disks: disks, Replication: rv.value}, pts)
+				for qi, q := range queries {
+					res, _, err := ix.KNN(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := make([]answer, len(res))
+					for j, nb := range res {
+						got[j] = answer{nb.ID, nb.Dist}
+					}
+					if ci == 0 {
+						want = append(want, got)
+						continue
+					}
+					// IDs are input positions, independent of the
+					// layout — ties break by ID, so equality is exact.
+					for j := range got {
+						if got[j] != want[qi][j] {
+							t.Fatalf("disks=%d query %d neighbor %d: %+v, want %+v (from disks=%d)",
+								disks, qi, j, got[j], want[qi][j], diskCounts[0])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMetamorphicBruteForceEquality(t *testing.T) {
+	const dim, disks, n = 6, 4, 400
+	m, err := Euclidean.vecMetric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rv := range replicationVariants {
+		for _, k := range []int{1, 5, n} {
+			t.Run(fmt.Sprintf("%s/k=%d", rv.name, k), func(t *testing.T) {
+				pts := uniformPoints(n, dim, 67)
+				truth := make(map[int][]float64, n)
+				for id, p := range pts {
+					truth[id] = p
+				}
+				ix := buildFrom(t, Options{Dim: dim, Disks: disks, Replication: rv.value}, pts)
+				for qi, q := range data.Uniform(4, dim, 68) {
+					got, _, err := ix.KNN(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := linearScanKNN(truth, q, k, m)
+					if len(got) != len(want) {
+						t.Fatalf("query %d: %d neighbors, want %d", qi, len(got), len(want))
+					}
+					for j := range got {
+						if got[j].ID != want[j].id || got[j].Dist != want[j].dist {
+							t.Fatalf("query %d neighbor %d: (id %d, %v), want (id %d, %v)",
+								qi, j, got[j].ID, got[j].Dist, want[j].id, want[j].dist)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -34,15 +34,18 @@
 package parsearch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parsearch/internal/core"
 	"parsearch/internal/disk"
 	"parsearch/internal/knn"
+	"parsearch/internal/metrics"
 	"parsearch/internal/vec"
 	"parsearch/internal/xtree"
 )
@@ -171,6 +174,12 @@ type Options struct {
 	// (transient read errors with bounded retry, latency spikes); nil
 	// disables it. It can also be changed at runtime with SetFaults.
 	Faults *FaultModel
+	// Tracer, when non-nil, receives structured span events for every
+	// query (plan, per-disk fan-out, merge, I/O, retry/reroute
+	// decisions). It must be safe for concurrent use; a per-request
+	// tracer can instead be carried in a context via WithTracer and the
+	// *Context query methods. See README "Observability".
+	Tracer Tracer
 }
 
 // vecMetric maps the option value to the internal metric type.
@@ -311,6 +320,11 @@ type Index struct {
 	params disk.Params
 	array  *disk.Array
 
+	// reg is the engine-wide metrics registry (see Metrics); querySeq
+	// numbers traced queries. Both are updated lock-free.
+	reg      *metrics.Registry
+	querySeq atomic.Uint64
+
 	// mu is the cutover lock: queries and single-point mutations hold
 	// it in read mode; Build and Reorganize take it in write mode only
 	// for the moment they swap in a freshly built state, so a rebuild
@@ -384,6 +398,7 @@ func Open(opts Options) (*Index, error) {
 
 	ix := &Index{opts: opts, params: params}
 	ix.array = disk.NewArray(opts.Disks, params)
+	ix.reg = metrics.NewRegistry(opts.Disks)
 	if opts.Faults != nil {
 		if err := ix.array.SetFaults(opts.Faults.diskFaults()); err != nil {
 			return nil, fmt.Errorf("parsearch: %w", err)
@@ -894,7 +909,13 @@ var ErrEmpty = errors.New("parsearch: index is empty")
 
 // NN returns the nearest neighbor of q.
 func (ix *Index) NN(q []float64) (Neighbor, QueryStats, error) {
-	res, stats, err := ix.KNN(q, 1)
+	return ix.NNContext(context.Background(), q)
+}
+
+// NNContext is NN with a context, which may carry a per-request tracer
+// (see WithTracer).
+func (ix *Index) NNContext(ctx context.Context, q []float64) (Neighbor, QueryStats, error) {
+	res, stats, err := ix.KNNContext(ctx, q, 1)
 	if err != nil {
 		return Neighbor{}, stats, err
 	}
@@ -904,11 +925,25 @@ func (ix *Index) NN(q []float64) (Neighbor, QueryStats, error) {
 // KNN returns the k nearest neighbors of q, searching all disks in
 // parallel, together with the query's cost statistics.
 func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
+	return ix.KNNContext(context.Background(), q, k)
+}
+
+// KNNContext is KNN with a context, which may carry a per-request
+// tracer (see WithTracer). The context is not used for cancellation:
+// the simulated disks complete a planned read batch atomically.
+func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) (_ []Neighbor, stats QueryStats, err error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	st := ix.st
 
-	var stats QueryStats
+	sp := ix.newSpan(ctx, "knn")
+	defer func() {
+		if err != nil {
+			ix.reg.QueryErrors.Inc()
+			sp.errEvent(err)
+		}
+	}()
+
 	if len(q) != ix.opts.Dim {
 		return nil, stats, fmt.Errorf("parsearch: query dimension %d, want %d", len(q), ix.opts.Dim)
 	}
@@ -923,6 +958,7 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 	// flags drives the search and the I/O accounting, so the query sees
 	// one consistent failure state.
 	routes, degraded := ix.plan(st)
+	sp.planEvents(routes, degraded)
 
 	// Phase 1: every live shard finds its local k nearest neighbors,
 	// one goroutine per shard (the union of the local results contains
@@ -933,6 +969,7 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 	// searches on the others.
 	m := ix.metric()
 	locals := make([][]knn.Result, len(st.shards))
+	accs := make([]knn.Accounting, len(st.shards))
 	var wg sync.WaitGroup
 	for d := range routes {
 		sh := routes[d].sh
@@ -943,11 +980,18 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 		go func(d int, sh *shard) {
 			defer wg.Done()
 			sh.mu.RLock()
-			locals[d], _ = knn.HSMetric(sh.tree, q, k, m)
+			locals[d], accs[d] = knn.HSMetric(sh.tree, q, k, m)
 			sh.mu.RUnlock()
+			sp.emit(TraceEvent{Stage: StageSearch, Disk: d, Item: -1, K: k,
+				Results: len(locals[d]), Pages: accs[d].PageAccesses})
 		}(d, sh)
 	}
 	wg.Wait()
+	var visits int64
+	for d := range accs {
+		visits += int64(accs[d].DirAccesses + accs[d].LeafAccesses)
+	}
+	ix.reg.NodeVisits.Add(visits)
 
 	// Merge to the global k nearest.
 	var merged []knn.Result
@@ -968,6 +1012,8 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 		return nil, stats, ErrEmpty
 	}
 	rk := merged[len(merged)-1].Dist
+	sp.emit(TraceEvent{Stage: StageMerge, Disk: -1, Item: -1, K: k,
+		Results: len(merged), Radius: rk})
 
 	// Phase 2: cost accounting — every disk must read its pages
 	// intersecting the NN-sphere of radius rk (§3.2: the partitions
@@ -995,6 +1041,8 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 	stats.ParallelTime = batch.ParallelTime.Seconds()
 	stats.SequentialTime = batch.SequentialTime.Seconds()
 	stats.Speedup = batch.Speedup()
+	sp.ioEvents(batch)
+	ix.recordQuery(&ix.reg.QueriesKNN, &stats, batch)
 
 	if st.baseline != nil {
 		st.baseline.mu.RLock()
@@ -1011,6 +1059,8 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 	for i, r := range merged {
 		out[i] = Neighbor{ID: r.Entry.ID, Point: r.Entry.Point, Dist: r.Dist}
 	}
+	sp.emit(TraceEvent{Stage: StageDone, Disk: -1, Item: -1, K: k,
+		Results: len(out), Pages: stats.TotalPages, Degraded: stats.Degraded})
 	return out, stats, nil
 }
 

@@ -1,6 +1,7 @@
 package parsearch
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -21,11 +22,24 @@ import (
 // expresses the partial-match queries of [DS 82] and [KP 88] on top of
 // this.
 func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) {
+	return ix.RangeQueryContext(context.Background(), min, max)
+}
+
+// RangeQueryContext is RangeQuery with a context, which may carry a
+// per-request tracer (see WithTracer).
+func (ix *Index) RangeQueryContext(ctx context.Context, min, max []float64) (_ []Neighbor, stats QueryStats, err error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	st := ix.st
 
-	var stats QueryStats
+	sp := ix.newSpan(ctx, "range")
+	defer func() {
+		if err != nil {
+			ix.reg.QueryErrors.Inc()
+			sp.errEvent(err)
+		}
+	}()
+
 	if len(min) != ix.opts.Dim || len(max) != ix.opts.Dim {
 		return nil, stats, fmt.Errorf("parsearch: range bounds have dimensions %d/%d, want %d",
 			len(min), len(max), ix.opts.Dim)
@@ -43,13 +57,15 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 
 	// Plan the failure routing once (see KNN): one consistent failure
 	// snapshot drives the search and the I/O accounting.
-	routes, _ := ix.plan(st)
+	routes, degraded := ix.plan(st)
+	sp.planEvents(routes, degraded)
 
 	// Phase 1: all live shards search in parallel, each under its own
 	// tree's read lock. A failed disk's search runs against the chained
 	// replica instead; shards with no live copy are skipped, making the
 	// results best-effort (flagged Degraded).
 	found := make([][]xtree.Entry, len(st.shards))
+	visits := make([]int, len(st.shards))
 	var wg sync.WaitGroup
 	for d := range routes {
 		sh := routes[d].sh
@@ -60,11 +76,18 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 		go func(d int, sh *shard) {
 			defer wg.Done()
 			sh.mu.RLock()
-			found[d], _ = sh.tree.RangeSearch(rect)
+			found[d], visits[d] = sh.tree.RangeSearch(rect)
 			sh.mu.RUnlock()
+			sp.emit(TraceEvent{Stage: StageSearch, Disk: d, Item: -1,
+				Results: len(found[d]), Pages: visits[d]})
 		}(d, sh)
 	}
 	wg.Wait()
+	var totalVisits int64
+	for _, v := range visits {
+		totalVisits += int64(v)
+	}
+	ix.reg.NodeVisits.Add(totalVisits)
 
 	// Phase 2: page accounting — every disk reads its pages
 	// intersecting the query box. Reads are charged to the disk the
@@ -137,6 +160,8 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 	stats.ParallelTime = batch.ParallelTime.Seconds()
 	stats.SequentialTime = batch.SequentialTime.Seconds()
 	stats.Speedup = batch.Speedup()
+	sp.ioEvents(batch)
+	ix.recordQuery(&ix.reg.QueriesRange, &stats, batch)
 
 	if st.baseline != nil {
 		pages, leaves := 0, 0
@@ -162,6 +187,8 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sp.emit(TraceEvent{Stage: StageDone, Disk: -1, Item: -1,
+		Results: len(out), Pages: stats.TotalPages, Degraded: stats.Degraded})
 	return out, stats, nil
 }
 
@@ -173,6 +200,12 @@ var Wildcard = math.NaN()
 // eps is the matching tolerance per specified dimension. It returns the
 // vectors matching every specified dimension within eps.
 func (ix *Index) PartialMatch(spec []float64, eps float64) ([]Neighbor, QueryStats, error) {
+	return ix.PartialMatchContext(context.Background(), spec, eps)
+}
+
+// PartialMatchContext is PartialMatch with a context, which may carry a
+// per-request tracer (see WithTracer).
+func (ix *Index) PartialMatchContext(ctx context.Context, spec []float64, eps float64) ([]Neighbor, QueryStats, error) {
 	if len(spec) != ix.opts.Dim {
 		return nil, QueryStats{}, fmt.Errorf("parsearch: partial-match spec has dimension %d, want %d",
 			len(spec), ix.opts.Dim)
@@ -194,5 +227,5 @@ func (ix *Index) PartialMatch(spec []float64, eps float64) ([]Neighbor, QuerySta
 	if specified == 0 {
 		return nil, QueryStats{}, fmt.Errorf("parsearch: partial-match query specifies no dimension")
 	}
-	return ix.RangeQuery(min, max)
+	return ix.RangeQueryContext(ctx, min, max)
 }

@@ -10,6 +10,7 @@ import (
 	"math"
 	"time"
 
+	"parsearch/internal/core"
 	"parsearch/internal/vec"
 )
 
@@ -19,9 +20,21 @@ import (
 // deterministically by Build on load, so the snapshot stays small and
 // version-independent. A CRC-32 of the payload guards against
 // truncation and corruption.
+//
+// Snapshots written since the observability layer also carry the
+// metrics registry (header flag bit 16): a uint32-length-prefixed
+// metrics blob (see internal/metrics codec) between the point table
+// and the checksum, so cumulative counters survive Save/Load. Readers
+// skip the section cleanly when the bit is unset (older snapshots).
 const (
 	snapshotMagic   = "PARSRCH1"
 	snapshotVersion = 1
+
+	flagQuantile    = 1
+	flagRecursive   = 2
+	flagBaseline    = 4
+	flagReplication = 8
+	flagMetrics     = 16
 )
 
 // Save writes a snapshot of the index (options and vectors) to w. The
@@ -41,18 +54,22 @@ func (ix *Index) Save(w io.Writer) error {
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return fmt.Errorf("parsearch: writing snapshot: %w", err)
 	}
-	var flags uint8
+	metricsBlob, err := ix.reg.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("parsearch: encoding snapshot metrics: %w", err)
+	}
+	var flags uint8 = flagMetrics
 	if ix.opts.QuantileSplits {
-		flags |= 1
+		flags |= flagQuantile
 	}
 	if ix.opts.Recursive {
-		flags |= 2
+		flags |= flagRecursive
 	}
 	if ix.opts.Baseline {
-		flags |= 4
+		flags |= flagBaseline
 	}
 	if ix.opts.Replication > 0 {
-		flags |= 8
+		flags |= flagReplication
 	}
 	header := []interface{}{
 		uint32(snapshotVersion),
@@ -99,6 +116,12 @@ func (ix *Index) Save(w io.Writer) error {
 		if _, err := bw.Write(buf); err != nil {
 			return fmt.Errorf("parsearch: writing snapshot: %w", err)
 		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(metricsBlob))); err != nil {
+		return fmt.Errorf("parsearch: writing snapshot metrics: %w", err)
+	}
+	if _, err := bw.Write(metricsBlob); err != nil {
+		return fmt.Errorf("parsearch: writing snapshot metrics: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("parsearch: writing snapshot: %w", err)
@@ -161,8 +184,14 @@ func Load(r io.Reader) (*Index, error) {
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
 		return nil, fmt.Errorf("parsearch: reading snapshot: %w", err)
 	}
-	if dim == 0 || count > (1<<34) {
+	// Bound every header field that sizes an allocation BEFORE
+	// allocating: a forged dim or disk count must fail here, not OOM in
+	// make() below (or in Open's registry/array construction).
+	if dim == 0 || dim > core.MaxDim || count > (1<<34) {
 		return nil, fmt.Errorf("parsearch: implausible snapshot (dim %d, %d points)", dim, count)
+	}
+	if disks == 0 || disks > (1<<16) {
+		return nil, fmt.Errorf("parsearch: implausible snapshot (%d disks)", disks)
 	}
 	// Every slot needs at least its presence byte, so a forged count
 	// larger than the remaining payload cannot be honest — reject it
@@ -192,6 +221,24 @@ func Load(r io.Reader) (*Index, error) {
 			return nil, fmt.Errorf("parsearch: invalid presence byte %d at point %d", presence, i)
 		}
 	}
+	// The metrics section (flag bit 16) restores the cumulative
+	// counters; older snapshots without the bit skip it. The blob is
+	// only installed after the rebuilt index exists, and only if it
+	// passes the codec's full validation.
+	var metricsBlob []byte
+	if flags&flagMetrics != 0 {
+		var blobLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &blobLen); err != nil {
+			return nil, fmt.Errorf("parsearch: reading snapshot metrics length: %w", err)
+		}
+		if uint64(blobLen) > uint64(br.Len()) {
+			return nil, fmt.Errorf("parsearch: snapshot metrics section claims %d bytes in %d", blobLen, br.Len())
+		}
+		metricsBlob = make([]byte, blobLen)
+		if _, err := io.ReadFull(br, metricsBlob); err != nil {
+			return nil, fmt.Errorf("parsearch: reading snapshot metrics: %w", err)
+		}
+	}
 	if br.Len() != 0 {
 		return nil, fmt.Errorf("parsearch: %d trailing bytes in snapshot", br.Len())
 	}
@@ -206,10 +253,10 @@ func Load(r io.Reader) (*Index, error) {
 		Disks:          int(disks),
 		Kind:           Kind(kind),
 		PageSize:       int(pageSize),
-		QuantileSplits: flags&1 != 0,
-		Recursive:      flags&2 != 0,
-		Baseline:       flags&4 != 0,
-		Replication:    int(flags & 8 >> 3),
+		QuantileSplits: flags&flagQuantile != 0,
+		Recursive:      flags&flagRecursive != 0,
+		Baseline:       flags&flagBaseline != 0,
+		Replication:    int(flags & flagReplication >> 3),
 		DiskParams:     &params,
 		CostModel:      CostModel(costModel),
 	})
@@ -218,6 +265,11 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	if err := ix.Build(points); err != nil {
 		return nil, fmt.Errorf("parsearch: rebuilding from snapshot: %w", err)
+	}
+	if metricsBlob != nil {
+		if err := ix.reg.UnmarshalBinary(metricsBlob); err != nil {
+			return nil, fmt.Errorf("parsearch: snapshot metrics invalid: %w", err)
+		}
 	}
 	return ix, nil
 }

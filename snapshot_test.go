@@ -168,3 +168,50 @@ func TestSnapshotPreservesUnusualOptions(t *testing.T) {
 		t.Errorf("strategy %q after reload", loaded.Strategy())
 	}
 }
+
+// TestSnapshotMetricsPersist: cumulative metrics ride along in the
+// snapshot (flag bit 16) — a loaded index continues counting from
+// where the saved one stopped, and further queries add on top.
+func TestSnapshotMetricsPersist(t *testing.T) {
+	const dim, disks = 4, 3
+	ix := buildTestIndex(t, Options{Dim: dim, Disks: disks}, 500)
+	queries := data.Uniform(5, dim, 31)
+	for _, q := range queries {
+		if _, _, err := ix.KNN(q, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := ix.Metrics()
+	if before.QueriesKNN != int64(len(queries)) || before.PagesRead == 0 {
+		t.Fatalf("pre-save metrics: %+v", before)
+	}
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := loaded.Metrics()
+	if after.QueriesKNN != before.QueriesKNN || after.PagesRead != before.PagesRead {
+		t.Fatalf("loaded metrics %+v, want %+v", after, before)
+	}
+	if after.QueryPages.Count != before.QueryPages.Count || after.QueryPages.Sum != before.QueryPages.Sum {
+		t.Fatalf("loaded histogram %+v, want %+v", after.QueryPages, before.QueryPages)
+	}
+	for d := range before.PagesPerDisk {
+		if after.PagesPerDisk[d] != before.PagesPerDisk[d] {
+			t.Fatalf("loaded per-disk pages %v, want %v", after.PagesPerDisk, before.PagesPerDisk)
+		}
+	}
+
+	// The restored counters keep counting.
+	if _, _, err := loaded.KNN(queries[0], 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Metrics().QueriesKNN; got != before.QueriesKNN+1 {
+		t.Fatalf("post-load QueriesKNN = %d, want %d", got, before.QueriesKNN+1)
+	}
+}

@@ -1,0 +1,261 @@
+package parsearch
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"time"
+
+	"parsearch/internal/disk"
+	"parsearch/internal/metrics"
+)
+
+// This file is the observability layer of the engine: structured
+// per-query tracing (Tracer / TraceEvent, installed via Options.Tracer
+// or carried in a context) and the metrics registry every query path
+// updates (Index.Metrics, PublishExpvar). See README "Observability".
+
+// The trace stages, in the order a query emits them. A k-NN query
+// traces plan → (reroute | unreachable)* → search per disk → merge →
+// io → (retry)? → done; range queries skip merge; batch queries emit
+// one search event per batch item (Item ≥ 0) around the shared plan
+// and io events. Errors surface as a final "error" event.
+const (
+	StagePlan        = "plan"        // failure routing decided
+	StageReroute     = "reroute"     // Disk's reads will be served by its replica
+	StageUnreachable = "unreachable" // Disk has no live copy; its data is invisible
+	StageSearch      = "search"      // one disk's (or batch item's) local search finished
+	StageMerge       = "merge"       // local results merged to the global k
+	StageIO          = "io"          // the disk array executed the page reads
+	StageRetry       = "retry"       // transient faults forced re-read attempts
+	StageDone        = "done"        // query finished successfully
+	StageError       = "error"       // query returned an error
+)
+
+// TraceEvent is one span event of a query's execution. Numeric fields
+// not meaningful for a stage are zero; Disk and Item are -1 when the
+// event is not scoped to a disk or batch item.
+type TraceEvent struct {
+	// Query is the engine-wide query sequence number (one per traced
+	// KNN/NN/RangeQuery/PartialMatch/BatchKNN call).
+	Query uint64
+	// Op is the query kind: "knn", "range", or "batch".
+	Op string
+	// Stage is one of the Stage* constants.
+	Stage string
+	// Disk scopes per-disk events (search, reroute, unreachable); -1
+	// otherwise. For a reroute it names the failed primary disk.
+	Disk int
+	// Item scopes batch events to a query index within the batch; -1
+	// otherwise.
+	Item int
+	// K is the query's k (0 for range queries).
+	K int
+	// Results counts neighbors: a disk's local candidates at search, the
+	// merged total at merge, the final count at done.
+	Results int
+	// Pages counts disk blocks: a disk's visited tree pages at search,
+	// the executed total at io and done.
+	Pages int
+	// Retries is the number of re-read attempts at the retry stage.
+	Retries int
+	// Rerouted and Degraded mirror the QueryStats fields as soon as they
+	// are known (plan and done).
+	Rerouted bool
+	Degraded bool
+	// Radius is the NN-sphere radius at merge (0 elsewhere).
+	Radius float64
+	// Elapsed is the wall-clock time since the query started.
+	Elapsed time.Duration
+	// Err is the error text at the error stage, "" otherwise.
+	Err string
+}
+
+// String formats the event for logs.
+func (ev TraceEvent) String() string {
+	s := fmt.Sprintf("q%d %s/%s", ev.Query, ev.Op, ev.Stage)
+	if ev.Disk >= 0 {
+		s += fmt.Sprintf(" disk=%d", ev.Disk)
+	}
+	if ev.Item >= 0 {
+		s += fmt.Sprintf(" item=%d", ev.Item)
+	}
+	if ev.Err != "" {
+		s += " err=" + ev.Err
+	}
+	return s
+}
+
+// Tracer receives the span events of traced queries. Implementations
+// must be safe for concurrent use: the per-disk fan-out emits search
+// events from one goroutine per disk, and concurrent queries interleave
+// their events. A nil Tracer (the default) disables tracing with no
+// per-query cost beyond one pointer check.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(TraceEvent)
+
+// Event calls f(ev).
+func (f TracerFunc) Event(ev TraceEvent) { f(ev) }
+
+// tracerKey carries a Tracer in a context.
+type tracerKey struct{}
+
+// WithTracer returns a context carrying the tracer. A context tracer
+// takes precedence over Options.Tracer for queries run through the
+// *Context methods (KNNContext, RangeQueryContext, BatchKNNContext),
+// scoping a trace to one request instead of the whole index.
+func WithTracer(ctx context.Context, t Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// ContextTracer returns the tracer carried by ctx, or nil.
+func ContextTracer(ctx context.Context) Tracer {
+	t, _ := ctx.Value(tracerKey{}).(Tracer)
+	return t
+}
+
+// tracerFor resolves the tracer of one query: the context's, else the
+// index-wide Options.Tracer, else nil.
+func (ix *Index) tracerFor(ctx context.Context) Tracer {
+	if t := ContextTracer(ctx); t != nil {
+		return t
+	}
+	return ix.opts.Tracer
+}
+
+// span is the per-query emitting state: a resolved tracer plus the
+// query identity every event shares. The zero span (tracer nil) makes
+// every emit a no-op, so untraced queries pay one nil check per stage.
+type span struct {
+	tr    Tracer
+	query uint64
+	op    string
+	start time.Time
+}
+
+// newSpan starts a span for one query; it assigns the query sequence
+// number only when a tracer is attached.
+func (ix *Index) newSpan(ctx context.Context, op string) span {
+	tr := ix.tracerFor(ctx)
+	if tr == nil {
+		return span{}
+	}
+	return span{tr: tr, query: ix.querySeq.Add(1), op: op, start: time.Now()}
+}
+
+// emit sends one event, filling the span-wide fields. Safe to call
+// concurrently from the per-disk fan-out goroutines (Tracer
+// implementations must tolerate that; see Tracer).
+func (s *span) emit(ev TraceEvent) {
+	if s.tr == nil {
+		return
+	}
+	ev.Query = s.query
+	ev.Op = s.op
+	ev.Elapsed = time.Since(s.start)
+	s.tr.Event(ev)
+}
+
+// on reports whether the span traces (events would be delivered).
+func (s *span) on() bool { return s.tr != nil }
+
+// planEvents emits the routing decisions of a freshly planned query:
+// one reroute event per failed primary with a live replica, one
+// unreachable event per shard with no live copy, then the plan summary.
+func (s *span) planEvents(routes []route, degraded bool) {
+	if s.tr == nil {
+		return
+	}
+	for d := range routes {
+		switch {
+		case routes[d].sh == nil:
+			s.emit(TraceEvent{Stage: StageUnreachable, Disk: d, Item: -1})
+		case routes[d].rerouted:
+			s.emit(TraceEvent{Stage: StageReroute, Disk: d, Item: -1, Rerouted: true})
+		}
+	}
+	s.emit(TraceEvent{Stage: StagePlan, Disk: -1, Item: -1, Degraded: degraded})
+}
+
+// ioEvents emits the io (and, when retries happened, retry) events of
+// an executed read batch.
+func (s *span) ioEvents(batch disk.BatchResult) {
+	if s.tr == nil {
+		return
+	}
+	s.emit(TraceEvent{Stage: StageIO, Disk: -1, Item: -1, Pages: batch.Total, Retries: batch.Retries})
+	if batch.Retries > 0 {
+		s.emit(TraceEvent{Stage: StageRetry, Disk: -1, Item: -1, Retries: batch.Retries})
+	}
+}
+
+// errEvent emits the error event for a failed query.
+func (s *span) errEvent(err error) {
+	if s.tr == nil || err == nil {
+		return
+	}
+	s.emit(TraceEvent{Stage: StageError, Disk: -1, Item: -1, Err: err.Error()})
+}
+
+// Metrics returns a snapshot of the index's cumulative metrics: query
+// counts by kind, page reads (total, per disk, and as a histogram),
+// simulated per-disk service time, fault-path counters (retries,
+// reroutes, unreachable pages, degraded queries), and the per-disk
+// balance coefficient over the lifetime page reads. Counters persist
+// across Save/Load (the snapshot carries them) and accumulate until
+// ResetMetrics.
+func (ix *Index) Metrics() metrics.Snapshot {
+	return ix.reg.Snapshot()
+}
+
+// ResetMetrics zeroes the metrics registry (the disk array's lifetime
+// block counters included), e.g. between benchmark phases.
+func (ix *Index) ResetMetrics() {
+	ix.reg = metrics.NewRegistry(ix.opts.Disks)
+	ix.array.ResetCounters()
+}
+
+// PublishExpvar publishes the index's metrics under the given expvar
+// name (rendered as JSON on /debug/vars). expvar names are global and
+// permanent, so publishing the same name twice — even from different
+// indexes — returns an error instead of panicking; the variable keeps
+// reading the live registry of the index it was published from.
+func (ix *Index) PublishExpvar(name string) error {
+	if name == "" {
+		return fmt.Errorf("parsearch: empty expvar name")
+	}
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("parsearch: expvar %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() interface{} {
+		return ix.Metrics()
+	}))
+	return nil
+}
+
+// recordQuery folds one finished query's statistics into the registry.
+// kind selects the query counter; batch carries the executed I/O (its
+// per-disk service times feed the per-disk time accumulators).
+func (ix *Index) recordQuery(kind *metrics.Counter, qs *QueryStats, batch disk.BatchResult) {
+	kind.Inc()
+	ix.reg.PagesRead.Add(int64(qs.TotalPages))
+	ix.reg.CellsVisited.Add(int64(qs.Cells))
+	ix.reg.Retries.Add(int64(qs.Retries))
+	ix.reg.Rerouted.Add(int64(qs.Rerouted))
+	ix.reg.Unreachable.Add(int64(qs.Unreachable))
+	if qs.Degraded {
+		ix.reg.DegradedQueries.Inc()
+	}
+	for d, pages := range qs.PagesPerDisk {
+		ix.reg.PagesPerDisk.Add(d, int64(pages))
+	}
+	for d, t := range batch.Times {
+		ix.reg.ServiceTimePerDisk.Add(d, t.Nanoseconds())
+	}
+	ix.reg.QueryPages.Observe(int64(qs.TotalPages))
+	ix.reg.QueryTimeNs.Observe(int64(qs.ParallelTime * 1e9))
+}
