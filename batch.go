@@ -50,6 +50,16 @@ type BatchStats struct {
 	// Retries is the number of read retries the fault model's transient
 	// errors caused across the whole batch.
 	Retries int
+	// SearchPages is the total number of index pages the batch's
+	// per-disk searches traversed; PagesSavedByBound the pages the
+	// shared bound pruned (see QueryStats). Within a batch item the
+	// shards are searched sequentially, so both totals are
+	// deterministic for a given index state.
+	SearchPages       int
+	PagesSavedByBound int
+	// BoundTightenings counts how often the batch's searches lowered
+	// their per-query shared bounds.
+	BoundTightenings int
 	// PerQuery holds each query's own cost statistics: PerQuery[i]
 	// describes queries[i]. Page counts are exact regardless of how the
 	// scheduler interleaved the workers; times are derived from the
@@ -221,20 +231,30 @@ func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int
 			defer wg.Done()
 			for i := range next {
 				q := queries[i]
-				var merged []knn.Result
-				var acc knn.Accounting
+				// One shared bound per batch item, seeded on the home
+				// shard and consulted across the remaining shards. A
+				// worker searches its item's shards sequentially, so the
+				// bound's trajectory — and with it the pages saved — is
+				// deterministic, unlike the parallel fan-out of KNN.
+				sr := newShardSearch(ix, &sp, st, q, k, m)
+				sr.item, sr.emit = i, false
+				seed := -1
+				if sr.bound != nil {
+					if d := ix.homeDisk(st, q); routes[d].sh != nil {
+						seed = d
+						sr.search(routes[d], d)
+					}
+				}
 				for d := range routes {
-					sh := routes[d].sh
-					if sh == nil {
+					if routes[d].sh == nil || d == seed {
 						continue
 					}
-					sh.mu.RLock()
-					res, a := knn.HSMetric(sh.tree, q, k, m)
-					sh.mu.RUnlock()
-					acc.Add(a)
-					merged = append(merged, res...)
+					sr.search(routes[d], d)
 				}
-				nodeVisits.Add(int64(acc.DirAccesses + acc.LeafAccesses))
+				var merged []knn.Result
+				for _, l := range sr.locals {
+					merged = append(merged, l...)
+				}
 				sortResults(merged)
 				if len(merged) > k {
 					merged = merged[:k]
@@ -257,6 +277,7 @@ func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int
 				results[i] = out
 
 				qs := QueryStats{PagesPerDisk: make([]int, len(st.shards))}
+				nodeVisits.Add(sr.record(&qs))
 				refs := ix.sphereRefs(st, routes, q, rk, &qs)
 				// Per-query degraded refinement as in KNN: only when the
 				// dead data could have changed this query's answer.
@@ -292,6 +313,9 @@ func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int
 		}
 		stats.Unreachable += perQuery[i].Unreachable
 		stats.Rerouted += perQuery[i].Rerouted
+		stats.SearchPages += perQuery[i].SearchPages
+		stats.PagesSavedByBound += perQuery[i].PagesSavedByBound
+		stats.BoundTightenings += perQuery[i].BoundTightenings
 		stats.Degraded = stats.Degraded || perQuery[i].Degraded
 	}
 	batch, err := ix.array.ReadBatch(refs)
@@ -325,6 +349,9 @@ func (ix *Index) recordBatch(bs *BatchStats, batch disk.BatchResult, nodeVisits 
 	ix.reg.Retries.Add(int64(bs.Retries))
 	ix.reg.Rerouted.Add(int64(bs.Rerouted))
 	ix.reg.Unreachable.Add(int64(bs.Unreachable))
+	ix.reg.SearchPages.Add(int64(bs.SearchPages))
+	ix.reg.PagesSavedByBound.Add(int64(bs.PagesSavedByBound))
+	ix.reg.BoundTightenings.Add(int64(bs.BoundTightenings))
 	for d, pages := range bs.PagesPerDisk {
 		ix.reg.PagesPerDisk.Add(d, int64(pages))
 	}

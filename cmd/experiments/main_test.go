@@ -99,7 +99,7 @@ func TestBenchSubcommand(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if report.Disks != exp.BenchDisks || len(report.Workloads) != 3 {
+	if report.Disks != exp.BenchDisks || len(report.Workloads) != 4 {
 		t.Fatalf("report %+v", report)
 	}
 	for _, w := range report.Workloads {

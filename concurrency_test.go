@@ -771,6 +771,141 @@ func TestFailureFlipsNeverSilentlyWrong(t *testing.T) {
 	verifyFinalState(t, ix, expected, Options{Dim: d, Disks: disks})
 }
 
+// TestSharedBoundStressConcurrent hammers the cooperative-pruning path
+// under the race detector: concurrent KNN/NN traffic (shared bound
+// active, per-query) races Insert/Delete writers and a FailDisk /
+// HealDisk flipper, with a counting tracer attached so the
+// bound_tightened events of every disk goroutine flow through user
+// code concurrently. The final quiesced index must still answer
+// exactly, and the bound must have been observably active.
+func TestSharedBoundStressConcurrent(t *testing.T) {
+	const d, n, disks = 6, 700, 5
+	var events, tightened atomic.Int64
+	opts := Options{Dim: d, Disks: disks, Replication: 1,
+		Tracer: TracerFunc(func(ev TraceEvent) {
+			events.Add(1)
+			if ev.Stage == StageBoundTightened {
+				tightened.Add(1)
+			}
+		})}
+	ix, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := data.Uniform(n, d, 81)
+	raw := make([][]float64, n)
+	for i, p := range pts {
+		raw[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var flipper, readers, writers sync.WaitGroup
+	flipper.Add(1)
+	go func() {
+		defer flipper.Done()
+		rng := rand.New(rand.NewSource(82))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			di := rng.Intn(disks)
+			ix.FailDisk(di)
+			ix.HealDisk(di)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(90 + g)))
+			for i := 0; i < stressIters(250, 80); i++ {
+				q := randPoint(rng, d)
+				if rng.Intn(4) == 0 {
+					if _, _, err := ix.NN(q); !tolerableQueryErr(err) {
+						t.Errorf("NN: %v", err)
+						return
+					}
+					continue
+				}
+				_, stats, err := ix.KNN(q, 1+rng.Intn(6))
+				if !tolerableQueryErr(err) {
+					t.Errorf("KNN: %v", err)
+					return
+				}
+				if err == nil && stats.SearchPages <= 0 {
+					t.Errorf("successful KNN visited %d search pages", stats.SearchPages)
+					return
+				}
+			}
+		}(g)
+	}
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(95 + w)))
+			var own []int
+			for i := 0; i < stressIters(200, 60); i++ {
+				if len(own) > 0 && rng.Intn(3) == 0 {
+					j := rng.Intn(len(own))
+					id := own[j]
+					own = append(own[:j], own[j+1:]...)
+					if err := ix.Delete(id); err != nil {
+						t.Errorf("Delete(%d): %v", id, err)
+						return
+					}
+					continue
+				}
+				id, err := ix.Insert(randPoint(rng, d))
+				if err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				own = append(own, id)
+			}
+		}(w)
+	}
+	writers.Wait()
+	readers.Wait()
+	close(stop)
+	flipper.Wait()
+	for di := 0; di < disks; di++ {
+		ix.HealDisk(di)
+	}
+
+	if err := ix.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if events.Load() == 0 {
+		t.Error("tracer saw no events")
+	}
+	if tightened.Load() == 0 {
+		t.Error("no bound_tightened events across the stress run")
+	}
+	m := ix.Metrics()
+	if m.SearchPages <= 0 || m.BoundTightenings <= 0 {
+		t.Errorf("registry search pages %d, tightenings %d", m.SearchPages, m.BoundTightenings)
+	}
+	if m.PagesSavedByBound < 0 {
+		t.Errorf("registry saved pages %d", m.PagesSavedByBound)
+	}
+
+	// Quiesced, the index must agree with the independent path again.
+	q := randPoint(rand.New(rand.NewSource(83)), d)
+	res, stats, err := ix.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 || stats.SearchPages+stats.PagesSavedByBound <= 0 {
+		t.Fatalf("quiesced KNN: %d results, stats %+v", len(res), stats)
+	}
+}
+
 // TestBrowserConcurrentWithReaders: an open Browser must not block
 // queries (only writers), must emit globally sorted results, and writers
 // must proceed once it closes.

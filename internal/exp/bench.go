@@ -55,6 +55,14 @@ type BenchWorkload struct {
 	// per-disk page totals, 1.0 = perfectly even) over the whole
 	// workload, read from the metrics registry.
 	Balance float64 `json:"balance"`
+	// SearchPagesPerQuery is the average number of tree pages the k-NN
+	// searches actually visited; SavedPagesPerQuery is the average
+	// number the cooperative cross-disk bound pruned away (zero when
+	// the bound is disabled and for range queries). Their sum is the
+	// deterministic independent-search cost; the split between them is
+	// timing-dependent on the parallel path (see CompareBench).
+	SearchPagesPerQuery float64 `json:"search_pages_per_query,omitempty"`
+	SavedPagesPerQuery  float64 `json:"saved_pages_per_query,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_parsearch.json.
@@ -89,12 +97,24 @@ func RunBench(p BenchProfile, seed int64) (BenchReport, error) {
 	if err != nil {
 		return BenchReport{}, err
 	}
+	// A second index, identical except for the disabled cooperative
+	// bound, anchors the shared-vs-independent pair: both builds are
+	// deterministic, so the trees match and the two knn16 workloads
+	// traverse the same pages — minus what the shared bound prunes.
+	ixIndep, err := parsearch.Open(parsearch.Options{
+		Dim: benchDim, Disks: BenchDisks, DisableSharedBound: true})
+	if err != nil {
+		return BenchReport{}, err
+	}
 	pts := data.Uniform(p.Points, benchDim, seed)
 	raw := make([][]float64, len(pts))
 	for i := range pts {
 		raw[i] = pts[i]
 	}
 	if err := ix.Build(raw); err != nil {
+		return BenchReport{}, err
+	}
+	if err := ixIndep.Build(raw); err != nil {
 		return BenchReport{}, err
 	}
 	queries := make([][]float64, p.Queries)
@@ -117,40 +137,53 @@ func RunBench(p BenchProfile, seed int64) (BenchReport, error) {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
+	type benchCost struct {
+		pages, search, saved int
+	}
+	knnRun := func(on *parsearch.Index) (benchCost, error) {
+		var c benchCost
+		for _, q := range queries {
+			_, stats, err := on.KNN(q, p.K)
+			if err != nil {
+				return benchCost{}, err
+			}
+			c.pages += stats.TotalPages
+			c.search += stats.SearchPages
+			c.saved += stats.PagesSavedByBound
+		}
+		return c, nil
+	}
 	type workload struct {
 		name string
+		ix   *parsearch.Index
 		ops  int // ns/op divisor per rep
-		run  func() (pages int, err error)
+		run  func() (benchCost, error)
 	}
 	workloads := []workload{
-		{"knn16", p.Queries, func() (int, error) {
-			pages := 0
-			for _, q := range queries {
-				_, stats, err := ix.KNN(q, p.K)
-				if err != nil {
-					return 0, err
-				}
-				pages += stats.TotalPages
-			}
-			return pages, nil
+		{"knn16", ix, p.Queries, func() (benchCost, error) {
+			return knnRun(ix)
 		}},
-		{"range16", p.Queries, func() (int, error) {
-			pages := 0
+		{"knn16-indep", ixIndep, p.Queries, func() (benchCost, error) {
+			return knnRun(ixIndep)
+		}},
+		{"range16", ix, p.Queries, func() (benchCost, error) {
+			var c benchCost
 			for _, b := range boxes {
 				_, stats, err := ix.RangeQuery(b[0], b[1])
 				if err != nil {
-					return 0, err
+					return benchCost{}, err
 				}
-				pages += stats.TotalPages
+				c.pages += stats.TotalPages
+				c.search += stats.SearchPages
 			}
-			return pages, nil
+			return c, nil
 		}},
-		{"batch16", p.Queries, func() (int, error) {
+		{"batch16", ix, p.Queries, func() (benchCost, error) {
 			_, stats, err := ix.BatchKNN(queries, p.K)
 			if err != nil {
-				return 0, err
+				return benchCost{}, err
 			}
-			return stats.TotalPages, nil
+			return benchCost{stats.TotalPages, stats.SearchPages, stats.PagesSavedByBound}, nil
 		}},
 	}
 
@@ -158,27 +191,29 @@ func RunBench(p BenchProfile, seed int64) (BenchReport, error) {
 		// The balance coefficient comes from the registry's cumulative
 		// per-disk pages, reset per workload so workloads don't bleed
 		// into each other.
-		ix.ResetMetrics()
+		w.ix.ResetMetrics()
 		best := time.Duration(0)
-		pages := 0
+		var cost benchCost
 		for rep := 0; rep < p.Reps; rep++ {
 			start := time.Now()
-			pg, err := w.run()
+			c, err := w.run()
 			elapsed := time.Since(start)
 			if err != nil {
 				return BenchReport{}, fmt.Errorf("exp: bench %s: %w", w.name, err)
 			}
-			pages = pg
+			cost = c
 			if rep == 0 || elapsed < best {
 				best = elapsed
 			}
 		}
-		m := ix.Metrics()
+		m := w.ix.Metrics()
 		report.Workloads = append(report.Workloads, BenchWorkload{
-			Name:          w.name,
-			NsPerOp:       best.Nanoseconds() / int64(w.ops),
-			PagesPerQuery: float64(pages) / float64(w.ops),
-			Balance:       m.Balance,
+			Name:                w.name,
+			NsPerOp:             best.Nanoseconds() / int64(w.ops),
+			PagesPerQuery:       float64(cost.pages) / float64(w.ops),
+			Balance:             m.Balance,
+			SearchPagesPerQuery: float64(cost.search) / float64(w.ops),
+			SavedPagesPerQuery:  float64(cost.saved) / float64(w.ops),
 		})
 	}
 	return report, nil
@@ -189,6 +224,20 @@ func RunBench(p BenchProfile, seed int64) (BenchReport, error) {
 // e.g. 0.25 = +25%) or its deterministic page cost grows at all beyond
 // rounding. Workloads present in only one report are ignored (the
 // suite may grow). It returns a line per regression.
+//
+// Search-page costs get a looser check than executed pages: on the
+// parallel k-NN path the visited/saved split depends on goroutine
+// timing (only the sum is deterministic), so the per-run visited count
+// may wander a little. It still must not grow past the baseline by
+// more than 10% + 1 page — the independent cost bounds it from above.
+//
+// Beyond the baseline diff, the current report must prove the
+// cooperative bound is alive: every workload with an "-indep" sibling
+// (same queries, shared bound disabled) must visit strictly fewer
+// search pages than the sibling, and the pair's visited+saved total
+// must equal the sibling's visited total — the phantom accounting
+// guarantees the equality exactly, so any drift is a correctness bug,
+// not noise.
 func CompareBench(baseline, current BenchReport, nsThreshold float64) []string {
 	var regressions []string
 	for _, b := range baseline.Workloads {
@@ -205,6 +254,28 @@ func CompareBench(baseline, current BenchReport, nsThreshold float64) []string {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: %.1f pages/query vs baseline %.1f (page cost is deterministic)",
 				b.Name, c.PagesPerQuery, b.PagesPerQuery))
+		}
+		if c.SearchPagesPerQuery > b.SearchPagesPerQuery*1.10+1 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.1f search pages/query vs baseline %.1f (bound pruning got weaker)",
+				b.Name, c.SearchPagesPerQuery, b.SearchPagesPerQuery))
+		}
+	}
+	for _, c := range current.Workloads {
+		indep := current.Workload(c.Name + "-indep")
+		if indep == nil {
+			continue
+		}
+		if c.SearchPagesPerQuery >= indep.SearchPagesPerQuery {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.1f search pages/query, independent sibling %.1f (cooperative pruning saved nothing)",
+				c.Name, c.SearchPagesPerQuery, indep.SearchPagesPerQuery))
+		}
+		sum := c.SearchPagesPerQuery + c.SavedPagesPerQuery
+		if diff := sum - indep.SearchPagesPerQuery; diff > 1e-6 || diff < -1e-6 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: visited+saved = %.3f pages/query, independent sibling visited %.3f (must match exactly)",
+				c.Name, sum, indep.SearchPagesPerQuery))
 		}
 	}
 	return regressions

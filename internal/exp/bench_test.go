@@ -18,7 +18,7 @@ func TestRunBenchReport(t *testing.T) {
 	if report.Disks != BenchDisks || report.Profile != "tiny" {
 		t.Fatalf("report header %+v", report)
 	}
-	for _, name := range []string{"knn16", "range16", "batch16"} {
+	for _, name := range []string{"knn16", "knn16-indep", "range16", "batch16"} {
 		w := report.Workload(name)
 		if w == nil {
 			t.Fatalf("workload %s missing from report", name)
@@ -36,7 +36,33 @@ func TestRunBenchReport(t *testing.T) {
 		t.Error("knn16 measured no pages")
 	}
 
-	// Page costs are deterministic: a second run agrees exactly.
+	// The shared-vs-independent pair: same trees and queries, so the
+	// executed page cost matches, the shared side visits strictly fewer
+	// search pages, and its visited+saved total equals the independent
+	// visited total exactly (phantom accounting).
+	shared, indep := report.Workload("knn16"), report.Workload("knn16-indep")
+	if shared.PagesPerQuery != indep.PagesPerQuery {
+		t.Errorf("executed pages differ: shared %v, independent %v",
+			shared.PagesPerQuery, indep.PagesPerQuery)
+	}
+	if shared.SavedPagesPerQuery <= 0 {
+		t.Errorf("shared bound saved %v pages/query, want > 0", shared.SavedPagesPerQuery)
+	}
+	if shared.SearchPagesPerQuery >= indep.SearchPagesPerQuery {
+		t.Errorf("shared visited %v search pages/query, independent %v",
+			shared.SearchPagesPerQuery, indep.SearchPagesPerQuery)
+	}
+	if got := shared.SearchPagesPerQuery + shared.SavedPagesPerQuery; got != indep.SearchPagesPerQuery {
+		t.Errorf("visited+saved = %v, independent visited %v", got, indep.SearchPagesPerQuery)
+	}
+	if indep.SavedPagesPerQuery != 0 || indep.SearchPagesPerQuery <= 0 {
+		t.Errorf("independent workload measured search %v saved %v",
+			indep.SearchPagesPerQuery, indep.SavedPagesPerQuery)
+	}
+
+	// Page costs are deterministic: a second run agrees exactly. On the
+	// parallel shared-bound path only the visited+saved sum is
+	// deterministic (the split depends on goroutine timing).
 	again, err := RunBench(tinyProfile(), 42)
 	if err != nil {
 		t.Fatal(err)
@@ -46,6 +72,11 @@ func TestRunBenchReport(t *testing.T) {
 		if a.PagesPerQuery != w.PagesPerQuery || a.Balance != w.Balance {
 			t.Errorf("%s: pages %v/%v balance %v/%v across identical runs",
 				w.Name, w.PagesPerQuery, a.PagesPerQuery, w.Balance, a.Balance)
+		}
+		if a.SearchPagesPerQuery+a.SavedPagesPerQuery != w.SearchPagesPerQuery+w.SavedPagesPerQuery {
+			t.Errorf("%s: visited+saved %v/%v across identical runs", w.Name,
+				a.SearchPagesPerQuery+a.SavedPagesPerQuery,
+				w.SearchPagesPerQuery+w.SavedPagesPerQuery)
 		}
 	}
 
@@ -88,5 +119,50 @@ func TestCompareBench(t *testing.T) {
 	regs := CompareBench(base, bad, 0.25)
 	if len(regs) != 2 {
 		t.Fatalf("%d regressions, want 2: %v", len(regs), regs)
+	}
+}
+
+func TestCompareBenchSharedBoundPair(t *testing.T) {
+	base := BenchReport{Workloads: []BenchWorkload{
+		{Name: "knn16", NsPerOp: 1000, PagesPerQuery: 50, SearchPagesPerQuery: 30, SavedPagesPerQuery: 10},
+		{Name: "knn16-indep", NsPerOp: 1100, PagesPerQuery: 50, SearchPagesPerQuery: 40},
+	}}
+
+	// The visited/saved split may wander a little between runs; the
+	// pair's invariants still hold.
+	ok := BenchReport{Workloads: []BenchWorkload{
+		{Name: "knn16", NsPerOp: 1000, PagesPerQuery: 50, SearchPagesPerQuery: 32, SavedPagesPerQuery: 8},
+		{Name: "knn16-indep", NsPerOp: 1100, PagesPerQuery: 50, SearchPagesPerQuery: 40},
+	}}
+	if regs := CompareBench(base, ok, 0.25); len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+
+	// Weaker pruning: visited pages grew past the 10% + 1 tolerance.
+	weaker := BenchReport{Workloads: []BenchWorkload{
+		{Name: "knn16", NsPerOp: 1000, PagesPerQuery: 50, SearchPagesPerQuery: 39, SavedPagesPerQuery: 1},
+		{Name: "knn16-indep", NsPerOp: 1100, PagesPerQuery: 50, SearchPagesPerQuery: 40},
+	}}
+	if regs := CompareBench(base, weaker, 0.25); len(regs) != 1 {
+		t.Errorf("weaker pruning: %d regressions, want 1: %v", len(regs), regs)
+	}
+
+	// Dead bound: the shared side visits as much as its sibling. Both
+	// the strict-inequality and (here) the exact-sum check fire.
+	dead := BenchReport{Workloads: []BenchWorkload{
+		{Name: "knn16", NsPerOp: 1000, PagesPerQuery: 50, SearchPagesPerQuery: 30, SavedPagesPerQuery: 10},
+		{Name: "knn16-indep", NsPerOp: 1100, PagesPerQuery: 50, SearchPagesPerQuery: 30},
+	}}
+	if regs := CompareBench(base, dead, 0.25); len(regs) != 2 {
+		t.Errorf("dead bound: %d regressions, want 2: %v", len(regs), regs)
+	}
+
+	// Broken accounting: visited+saved drifts from the sibling's total.
+	drift := BenchReport{Workloads: []BenchWorkload{
+		{Name: "knn16", NsPerOp: 1000, PagesPerQuery: 50, SearchPagesPerQuery: 30, SavedPagesPerQuery: 9},
+		{Name: "knn16-indep", NsPerOp: 1100, PagesPerQuery: 50, SearchPagesPerQuery: 40},
+	}}
+	if regs := CompareBench(base, drift, 0.25); len(regs) != 1 {
+		t.Errorf("accounting drift: %d regressions, want 1: %v", len(regs), regs)
 	}
 }

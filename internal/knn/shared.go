@@ -1,0 +1,148 @@
+package knn
+
+// Cooperative cross-disk pruning for the parallel NN algorithm: the
+// shards of a declustered index share one global upper bound on the
+// k-th-best distance, so every disk can stop expanding priority-queue
+// nodes that only the *merged* result would discard. The bound is a
+// lock-free atomic (see Bound); HSShared is the HS search consulting
+// and tightening it.
+//
+// Exactness argument: the shared bound only ever holds a distance that
+// k candidates somewhere in the index have already achieved (each shard
+// publishes its local k-th-best distance, and the global k-th-best is
+// at most the minimum of the local ones). A node pruned because its
+// MINDIST strictly exceeds the bound can only contain points strictly
+// farther than k already-known candidates, so none of its points can
+// enter the merged global top k — under any tie-breaking rule. The
+// bound is monotonically non-increasing, so the argument holds even
+// though other shards keep tightening it concurrently.
+
+import (
+	"container/heap"
+	"math"
+	"sync/atomic"
+
+	"parsearch/internal/vec"
+	"parsearch/internal/xtree"
+)
+
+// Bound is a lock-free shared upper bound on the squared (rank)
+// distance of the current global k-th-best candidate of one query. It
+// encodes the float64 as its IEEE-754 bit pattern in an atomic uint64
+// (distances are non-negative, so the encoding is order-preserving);
+// Tighten lowers it with a compare-and-swap loop, making the bound
+// monotonically non-increasing under any number of concurrent writers.
+//
+// Memory ordering: Go's sync/atomic operations are sequentially
+// consistent, so a Load observing a tightened value also observes every
+// write that happened before the corresponding Tighten. The algorithm
+// needs far less — a stale (larger) bound only costs pruning
+// opportunity, never correctness, because the bound is monotone and
+// every published value is a distance k real candidates have achieved.
+type Bound struct {
+	bits atomic.Uint64
+}
+
+// NewBound returns a bound initialized to +inf (nothing known yet).
+func NewBound() *Bound {
+	b := &Bound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// Load returns the current bound.
+func (b *Bound) Load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// Tighten lowers the bound to d if d improves it and reports whether it
+// did. Concurrent Tighten calls never lose the minimum: the CAS retries
+// until d is installed or a smaller value is already in place.
+func (b *Bound) Tighten(d float64) bool {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= d {
+			return false
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(d)) {
+			return true
+		}
+	}
+}
+
+// SharedStats reports what the shared bound did for one HSShared call.
+type SharedStats struct {
+	// Saved accounts the nodes the shared bound pruned: visits the
+	// independent HS search would have performed but the cooperative
+	// search skipped. Adding Saved to the returned Accounting yields
+	// exactly the independent search's Accounting.
+	Saved Accounting
+	// Tightened counts how many times this search lowered the shared
+	// bound.
+	Tightened int
+}
+
+// HSShared is HSMetric consulting a shared bound before expanding each
+// priority-queue node, and tightening it whenever the local k-best
+// improves — the cooperative variant of the parallel NN algorithm,
+// where every disk prunes against the global candidate distance instead
+// of only its own.
+//
+// The returned neighbors are byte-identical to HSMetric's: pruned nodes
+// are still traversed in accounting-only "phantom" mode (their visits
+// charged to SharedStats.Saved instead of the Accounting), so the local
+// candidate stream — and with it every tie-break — matches the
+// independent search exactly, and Saved is exactly the page count the
+// bound saved. Once one node is pruned, every later node would be too
+// (pops come in MINDIST order while the bound only decreases), so the
+// phantom tail never flips back and never publishes: all its candidates
+// are provably farther than the bound it was pruned by.
+//
+// onTighten, when non-nil, is called with the new squared bound after
+// each successful tightening.
+func HSShared(t *xtree.Tree, q vec.Point, k int, m vec.Metric, b *Bound, onTighten func(sqBound float64)) ([]Result, Accounting, SharedStats) {
+	checkQuery(t, q, k)
+	var acc Accounting
+	var ss SharedStats
+	best := kBest{k: k, metric: m}
+	if t.Root() == nil {
+		return nil, acc, ss
+	}
+	pq := nodeQueue{{node: t.Root(), sqMinDist: m.RankMinDist(t.Root().Rect(), q)}}
+	phantom := false
+	for len(pq) > 0 {
+		item := heap.Pop(&pq).(nodeItem)
+		if item.sqMinDist > best.bound() {
+			break
+		}
+		if !phantom && item.sqMinDist > b.Load() {
+			phantom = true
+		}
+		n := item.node
+		if phantom {
+			ss.Saved.visit(n)
+		} else {
+			acc.visit(n)
+		}
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				best.offer(e, m.RankDist(q, e.Point))
+			}
+			if !phantom {
+				if d := best.bound(); !math.IsInf(d, 1) && b.Tighten(d) {
+					ss.Tightened++
+					if onTighten != nil {
+						onTighten(d)
+					}
+				}
+			}
+			continue
+		}
+		for _, c := range n.Children() {
+			if d := m.RankMinDist(c.Rect(), q); d <= best.bound() {
+				heap.Push(&pq, nodeItem{node: c, sqMinDist: d})
+			}
+		}
+	}
+	return best.results(), acc, ss
+}

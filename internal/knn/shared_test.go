@@ -1,0 +1,189 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"parsearch/internal/vec"
+	"parsearch/internal/xtree"
+)
+
+func TestBoundTighten(t *testing.T) {
+	b := NewBound()
+	if !math.IsInf(b.Load(), 1) {
+		t.Fatalf("fresh bound %v, want +inf", b.Load())
+	}
+	if !b.Tighten(2.5) {
+		t.Fatal("first Tighten reported no improvement")
+	}
+	if b.Load() != 2.5 {
+		t.Fatalf("bound %v, want 2.5", b.Load())
+	}
+	if b.Tighten(3.0) {
+		t.Fatal("Tighten loosened the bound")
+	}
+	if b.Load() != 2.5 {
+		t.Fatalf("bound %v after rejected Tighten, want 2.5", b.Load())
+	}
+	if !b.Tighten(0) {
+		t.Fatal("Tighten to 0 rejected")
+	}
+	if b.Load() != 0 {
+		t.Fatalf("bound %v, want 0", b.Load())
+	}
+}
+
+// TestBoundConcurrentMin hammers one bound from many goroutines: the
+// final value must be the minimum ever offered (no lost updates).
+func TestBoundConcurrentMin(t *testing.T) {
+	b := NewBound()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				b.Tighten(1 + rng.Float64()*1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := b.Load()
+	// Replay all streams to find the true minimum.
+	want := math.Inf(1)
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < per; i++ {
+			if v := 1 + rng.Float64()*1000; v < want {
+				want = v
+			}
+		}
+	}
+	if got != want {
+		t.Fatalf("concurrent bound %v, want minimum %v", got, want)
+	}
+}
+
+func sharedTestTree(n, dim int, seed int64) (*xtree.Tree, []xtree.Entry) {
+	rng := rand.New(rand.NewSource(seed))
+	tr := xtree.New(xtree.DefaultConfig(dim))
+	entries := make([]xtree.Entry, n)
+	for i := 0; i < n; i++ {
+		p := make(vec.Point, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		tr.Insert(p, i)
+		entries[i] = xtree.Entry{Point: p, ID: i}
+	}
+	return tr, entries
+}
+
+// TestHSSharedMatchesHS checks the core exactness contract on a single
+// tree: with any pre-tightened bound, HSShared returns byte-identical
+// results to HSMetric, and real + saved accounting equals HSMetric's.
+func TestHSSharedMatchesHS(t *testing.T) {
+	for _, m := range []vec.Metric{vec.L2, vec.L1, vec.LInf} {
+		tr, entries := sharedTestTree(600, 6, 7)
+		rng := rand.New(rand.NewSource(8))
+		for qi := 0; qi < 20; qi++ {
+			q := make(vec.Point, 6)
+			for j := range q {
+				q[j] = rng.Float64()
+			}
+			for _, k := range []int{1, 5, 50} {
+				want, wantAcc := HSMetric(tr, q, k, m)
+				// Pre-tighten the bound with another sample's k-th
+				// distance, simulating a seed shard's publish.
+				b := NewBound()
+				if lin := LinearMetric(entries[:200], q, k, m); len(lin) == k {
+					b.Tighten(m.ToRank(lin[k-1].Dist))
+				}
+				got, acc, ss := HSShared(tr, q, k, m, b, nil)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("metric %v k=%d query %d: HSShared results differ from HSMetric", m, k, qi)
+				}
+				total := acc
+				total.Add(ss.Saved)
+				if total != wantAcc {
+					t.Fatalf("metric %v k=%d query %d: real %+v + saved %+v != independent %+v",
+						m, k, qi, acc, ss.Saved, wantAcc)
+				}
+			}
+		}
+	}
+}
+
+// TestHSSharedInfiniteBoundIsIndependent: with an untouched (+inf)
+// bound nothing is pruned and the accounting matches HSMetric exactly.
+func TestHSSharedInfiniteBoundIsIndependent(t *testing.T) {
+	tr, _ := sharedTestTree(400, 4, 3)
+	q := vec.Point{0.3, 0.7, 0.1, 0.9}
+	want, wantAcc := HSMetric(tr, q, 10, vec.L2)
+	got, acc, ss := HSShared(tr, q, 10, vec.L2, NewBound(), nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("results differ with an infinite bound")
+	}
+	if acc != wantAcc {
+		t.Fatalf("accounting %+v, want %+v", acc, wantAcc)
+	}
+	if ss.Saved.PageAccesses != 0 || ss.Saved.DirAccesses != 0 || ss.Saved.LeafAccesses != 0 {
+		t.Fatalf("infinite bound saved %+v, want zero", ss.Saved)
+	}
+	// The search itself must have published its improving k-best.
+	if ss.Tightened == 0 {
+		t.Fatal("search never tightened the bound")
+	}
+}
+
+// TestHSSharedZeroBoundSavesEverythingAfterRoot: a bound of 0 (perfect
+// knowledge, k results at distance 0 elsewhere) prunes every node whose
+// MINDIST is positive, yet the results still equal the independent ones.
+func TestHSSharedZeroBoundSavesEverything(t *testing.T) {
+	tr, _ := sharedTestTree(400, 4, 3)
+	q := vec.Point{2, 2, 2, 2} // outside the data cube: all MINDISTs positive
+	b := NewBound()
+	b.Tighten(0)
+	want, wantAcc := HSMetric(tr, q, 3, vec.L2)
+	got, acc, ss := HSShared(tr, q, 3, vec.L2, b, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("results differ with a zero bound")
+	}
+	if acc.PageAccesses != 0 {
+		t.Fatalf("zero bound still read %d pages", acc.PageAccesses)
+	}
+	if acc.PageAccesses+ss.Saved.PageAccesses != wantAcc.PageAccesses {
+		t.Fatalf("real %d + saved %d != independent %d",
+			acc.PageAccesses, ss.Saved.PageAccesses, wantAcc.PageAccesses)
+	}
+	if ss.Tightened != 0 {
+		t.Fatal("phantom search published the bound")
+	}
+}
+
+// TestHSSharedOnTighten checks the callback fires once per successful
+// tightening with monotonically decreasing values.
+func TestHSSharedOnTighten(t *testing.T) {
+	tr, _ := sharedTestTree(500, 4, 11)
+	q := vec.Point{0.5, 0.5, 0.5, 0.5}
+	var seen []float64
+	_, _, ss := HSShared(tr, q, 5, vec.L2, NewBound(), func(sq float64) {
+		seen = append(seen, sq)
+	})
+	if len(seen) != ss.Tightened {
+		t.Fatalf("%d callbacks, stats say %d tightenings", len(seen), ss.Tightened)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no tightenings observed")
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] >= seen[i-1] {
+			t.Fatalf("bound not strictly decreasing: %v", seen)
+		}
+	}
+}

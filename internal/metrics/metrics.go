@@ -182,6 +182,15 @@ type Registry struct {
 	Rerouted    Counter
 	Unreachable Counter
 
+	// Cooperative-pruning counters, mirroring the QueryStats fields:
+	// SearchPages counts the index pages the per-disk searches actually
+	// traversed, PagesSavedByBound the pages the shared bound of the
+	// parallel k-NN fan-out pruned, and BoundTightenings how often a
+	// disk's search lowered the shared bound.
+	SearchPages       Counter
+	PagesSavedByBound Counter
+	BoundTightenings  Counter
+
 	// PagesPerDisk accumulates the blocks charged to each disk;
 	// ServiceTimePerDisk the simulated service time (nanoseconds) each
 	// disk spent — the per-disk balance view of the paper's cost model.
@@ -224,6 +233,10 @@ type Snapshot struct {
 	Retries     int64 `json:"retries"`
 	Rerouted    int64 `json:"rerouted"`
 	Unreachable int64 `json:"unreachable"`
+
+	SearchPages       int64 `json:"search_pages"`
+	PagesSavedByBound int64 `json:"pages_saved_by_bound"`
+	BoundTightenings  int64 `json:"bound_tightenings"`
 
 	PagesPerDisk         []int64 `json:"pages_per_disk"`
 	ServiceTimePerDiskNs []int64 `json:"service_time_per_disk_ns"`
@@ -273,6 +286,10 @@ func (r *Registry) Snapshot() Snapshot {
 		Rerouted:    r.Rerouted.Value(),
 		Unreachable: r.Unreachable.Value(),
 
+		SearchPages:       r.SearchPages.Value(),
+		PagesSavedByBound: r.PagesSavedByBound.Value(),
+		BoundTightenings:  r.BoundTightenings.Value(),
+
 		PagesPerDisk:         r.PagesPerDisk.Values(),
 		ServiceTimePerDiskNs: r.ServiceTimePerDisk.Values(),
 
@@ -286,19 +303,27 @@ func (r *Registry) Snapshot() Snapshot {
 // The binary encoding: a magic+version prefix, the disk count, the
 // scalar counters in a fixed order, the per-disk arrays, and the two
 // histograms. Everything is little-endian int64s, so the format is
-// fixed-length for a given disk count.
+// fixed-length for a given disk count and version.
+//
+// Version history: v1 had 12 scalar counters; v2 appended the three
+// cooperative-pruning counters. Decoding accepts both (a v1 encoding
+// leaves the newer counters zero), encoding always writes the current
+// version.
 const (
-	codecMagic   = uint32(0x4d545231) // "MTR1"
-	codecVersion = uint32(1)
+	codecMagic     = uint32(0x4d545231) // "MTR1"
+	codecVersion   = uint32(2)
+	codecV1Scalars = 12
 )
 
-// scalars lists the scalar counters in encoding order.
+// scalars lists the scalar counters in encoding order. Append-only:
+// decoding older versions relies on the prefix staying stable.
 func (r *Registry) scalars() []*Counter {
 	return []*Counter{
 		&r.QueriesKNN, &r.QueriesRange, &r.QueriesBatch, &r.BatchQueries,
 		&r.QueryErrors, &r.DegradedQueries,
 		&r.PagesRead, &r.CellsVisited, &r.NodeVisits,
 		&r.Retries, &r.Rerouted, &r.Unreachable,
+		&r.SearchPages, &r.PagesSavedByBound, &r.BoundTightenings,
 	}
 }
 
@@ -380,7 +405,7 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	if version != codecVersion {
+	if version != 1 && version != codecVersion {
 		return fmt.Errorf("metrics: unsupported encoding version %d", version)
 	}
 	disks, err := d.u32()
@@ -392,8 +417,12 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 	}
 
 	scalars := r.scalars()
+	encoded := len(scalars)
+	if version == 1 {
+		encoded = codecV1Scalars
+	}
 	vals := make([]int64, len(scalars))
-	for i := range vals {
+	for i := 0; i < encoded; i++ {
 		v, err := d.i64()
 		if err != nil {
 			return err

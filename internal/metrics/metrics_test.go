@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/binary"
 	"reflect"
 	"sync"
 	"testing"
@@ -127,6 +128,9 @@ func TestBinaryRoundTrip(t *testing.T) {
 	r.Retries.Add(5)
 	r.Rerouted.Add(6)
 	r.Unreachable.Add(7)
+	r.SearchPages.Add(2048)
+	r.PagesSavedByBound.Add(512)
+	r.BoundTightenings.Add(33)
 	r.PagesPerDisk.Add(0, 10)
 	r.PagesPerDisk.Add(2, 30)
 	r.ServiceTimePerDisk.Add(1, 5e8)
@@ -154,6 +158,62 @@ func TestBinaryRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(b, b2) {
 		t.Fatal("re-marshal differs")
+	}
+}
+
+// TestUnmarshalVersion1 decodes a version-1 encoding (12 scalar
+// counters, before the cooperative-pruning counters were appended):
+// the prefix decodes one-to-one and the newer counters stay zero.
+// Snapshots written by older builds must keep loading.
+func TestUnmarshalVersion1(t *testing.T) {
+	r := NewRegistry(2)
+	r.QueriesKNN.Add(7)
+	r.PagesRead.Add(1234)
+	r.PagesPerDisk.Add(1, 9)
+	r.QueryPages.Observe(42)
+	// The newer counters are deliberately non-zero so the splice below
+	// proves they are dropped from (not smuggled through) a v1 blob.
+	r.SearchPages.Add(555)
+	r.PagesSavedByBound.Add(66)
+	r.BoundTightenings.Add(7)
+
+	v2, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build the v1 encoding: same header with version 1, the first
+	// codecV1Scalars counters, then everything after the scalar block.
+	const header = 12
+	v1 := append([]byte{}, v2[:header+codecV1Scalars*8]...)
+	binary.LittleEndian.PutUint32(v1[4:], 1)
+	v1 = append(v1, v2[header+len(r.scalars())*8:]...)
+
+	fresh := NewRegistry(2)
+	if err := fresh.UnmarshalBinary(v1); err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	s := fresh.Snapshot()
+	if s.QueriesKNN != 7 || s.PagesRead != 1234 || s.PagesPerDisk[1] != 9 {
+		t.Fatalf("v1 prefix mismatch: %+v", s)
+	}
+	if s.SearchPages != 0 || s.PagesSavedByBound != 0 || s.BoundTightenings != 0 {
+		t.Fatalf("v1 decode left newer counters non-zero: %+v", s)
+	}
+	// Re-encoding always writes the current version.
+	b2, err := fresh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(b2[4:]); got != codecVersion {
+		t.Fatalf("re-marshal version = %d, want %d", got, codecVersion)
+	}
+
+	// A v1 blob that still carries the full scalar block has trailing
+	// bytes from the v1 reader's point of view: rejected, not guessed at.
+	tooLong := append([]byte{}, v2...)
+	binary.LittleEndian.PutUint32(tooLong[4:], 1)
+	if err := NewRegistry(2).UnmarshalBinary(tooLong); err == nil {
+		t.Fatal("v1 header with v2 payload accepted")
 	}
 }
 
@@ -195,8 +255,8 @@ func TestUnmarshalRejectsCorruption(t *testing.T) {
 
 	// Histogram bucket/count mismatch: bump the first histogram's count
 	// without touching its buckets. The first histogram starts after the
-	// 12-byte header, 12 scalars, and two 2-disk arrays.
-	histOff := 12 + 12*8 + 2*2*8
+	// 12-byte header, the scalar counters, and two 2-disk arrays.
+	histOff := 12 + len(r.scalars())*8 + 2*2*8
 	bad = append([]byte{}, good...)
 	bad[histOff]++
 	reject("histogram mismatch", bad)

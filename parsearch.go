@@ -162,6 +162,14 @@ type Options struct {
 	// CPU fan-out under heavy batch load, not the per-query disk
 	// parallelism.
 	BatchWorkers int
+	// DisableSharedBound turns off cooperative cross-disk pruning: the
+	// parallel k-NN fan-out then runs every disk's search to completion
+	// with only its local k-best bound. Results are identical either
+	// way — the shared bound is exactness-preserving — so this knob
+	// exists to benchmark the savings (QueryStats.PagesSavedByBound,
+	// the knn16-indep workload of the bench harness). See DESIGN.md
+	// "Cooperative pruning".
+	DisableSharedBound bool
 	// Replication is the number of extra copies every storage cell
 	// keeps (0 or 1). With Replication = 1 each disk's cells are stored
 	// twice: on their primary disk (the declustering's choice) and on
@@ -269,6 +277,24 @@ type QueryStats struct {
 	// Retries is the number of read retries the fault model's transient
 	// errors caused (0 without fault injection).
 	Retries int
+	// SearchPages is the number of index pages the per-disk searches
+	// actually traversed while answering the query (the Hjaltason–Samet
+	// fan-out of a k-NN query, the tree walk of a range query) — the
+	// engine's own I/O, as opposed to the cost-model accounting of
+	// PagesPerDisk/TotalPages, which charges the pages the paper's
+	// storage model must read for the final NN-sphere or box.
+	SearchPages int
+	// PagesSavedByBound is the number of search pages the shared bound
+	// of the cooperative k-NN fan-out pruned: pages an independent
+	// per-disk search would have traversed but the cooperative search
+	// skipped. SearchPages + PagesSavedByBound always equals the
+	// independent search's SearchPages exactly. 0 with
+	// Options.DisableSharedBound, and for range queries (a box has no
+	// distance bound to share).
+	PagesSavedByBound int
+	// BoundTightenings counts how often the cooperative fan-out lowered
+	// the shared bound (0 when disabled).
+	BoundTightenings int
 }
 
 // cellInfo is one storage cell: a quadrant (or recursive sub-quadrant)
@@ -919,6 +945,15 @@ func (ix *Index) NNContext(ctx context.Context, q []float64) (Neighbor, QuerySta
 	if err != nil {
 		return Neighbor{}, stats, err
 	}
+	if len(res) == 0 {
+		// Degraded-to-empty edge: a best-effort search over a partially
+		// failed index can come up with no candidates at all. Surface
+		// that as an error instead of indexing an empty slice.
+		if stats.Degraded {
+			return Neighbor{}, stats, ErrUnavailable
+		}
+		return Neighbor{}, stats, ErrEmpty
+	}
 	return res[0], stats, nil
 }
 
@@ -967,31 +1002,40 @@ func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) (_ []Neighb
 	// live copy are skipped. Each goroutine holds only its own tree's
 	// read lock, so a concurrent insert on one disk never blocks the
 	// searches on the others.
+	//
+	// Cooperative pruning (unless Options.DisableSharedBound): the
+	// shards share one lock-free bound on the global k-th-best distance
+	// (knn.Bound). The query's home shard — the disk its quadrant is
+	// declustered to, the likeliest holder of near neighbors — is
+	// probed synchronously first so the bound is tight before the
+	// fan-out starts; every other shard then consults the live bound
+	// before expanding each priority-queue node and tightens it as its
+	// local k-best improves. Pruned work is still accounted exactly
+	// (QueryStats.PagesSavedByBound); results are provably identical to
+	// the independent search (see DESIGN.md "Cooperative pruning").
 	m := ix.metric()
-	locals := make([][]knn.Result, len(st.shards))
-	accs := make([]knn.Accounting, len(st.shards))
+	sr := newShardSearch(ix, &sp, st, q, k, m)
+	seed := -1
+	if sr.bound != nil {
+		if d := ix.homeDisk(st, q); routes[d].sh != nil {
+			seed = d
+			sr.search(routes[d], d)
+		}
+	}
 	var wg sync.WaitGroup
 	for d := range routes {
-		sh := routes[d].sh
-		if sh == nil {
+		if routes[d].sh == nil || d == seed {
 			continue
 		}
 		wg.Add(1)
-		go func(d int, sh *shard) {
+		go func(d int) {
 			defer wg.Done()
-			sh.mu.RLock()
-			locals[d], accs[d] = knn.HSMetric(sh.tree, q, k, m)
-			sh.mu.RUnlock()
-			sp.emit(TraceEvent{Stage: StageSearch, Disk: d, Item: -1, K: k,
-				Results: len(locals[d]), Pages: accs[d].PageAccesses})
-		}(d, sh)
+			sr.search(routes[d], d)
+		}(d)
 	}
 	wg.Wait()
-	var visits int64
-	for d := range accs {
-		visits += int64(accs[d].DirAccesses + accs[d].LeafAccesses)
-	}
-	ix.reg.NodeVisits.Add(visits)
+	locals := sr.locals
+	ix.reg.NodeVisits.Add(sr.record(&stats))
 
 	// Merge to the global k nearest.
 	var merged []knn.Result
@@ -1005,6 +1049,7 @@ func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) (_ []Neighb
 	if len(merged) == 0 {
 		if degraded {
 			// Every live copy of the data is on a failed disk.
+			stats.Degraded = true
 			return nil, stats, ErrUnavailable
 		}
 		// Concurrent deletions emptied the index between the live
@@ -1128,6 +1173,94 @@ func (ix *Index) sphereRefs(st *state, routes []route, q vec.Point, rk float64, 
 		}
 	}
 	return refs
+}
+
+// shardSearch is the per-query state of the k-NN fan-out: the per-disk
+// result and accounting slots, plus the shared bound of the cooperative
+// search (nil with Options.DisableSharedBound). One shardSearch serves
+// one query; search is safe to call concurrently for different disks.
+type shardSearch struct {
+	ix    *Index
+	sp    *span
+	q     vec.Point
+	k     int
+	m     vec.Metric
+	item  int  // batch item for trace events; -1 for single queries
+	emit  bool // emit a per-disk search event (batch items emit their own)
+	bound *knn.Bound
+
+	locals [][]knn.Result
+	accs   []knn.Accounting
+	saved  []knn.Accounting
+	tight  []int
+}
+
+func newShardSearch(ix *Index, sp *span, st *state, q vec.Point, k int, m vec.Metric) *shardSearch {
+	sr := &shardSearch{ix: ix, sp: sp, q: q, k: k, m: m, item: -1, emit: true,
+		locals: make([][]knn.Result, len(st.shards)),
+		accs:   make([]knn.Accounting, len(st.shards)),
+	}
+	if !ix.opts.DisableSharedBound {
+		sr.bound = knn.NewBound()
+		sr.saved = make([]knn.Accounting, len(st.shards))
+		sr.tight = make([]int, len(st.shards))
+	}
+	return sr
+}
+
+// search runs disk d's local search via the given route, under the
+// routed tree's read lock. Bound tightenings are buffered and emitted
+// after the lock is released so no user code (the tracer) ever runs
+// under a shard lock.
+func (sr *shardSearch) search(rt route, d int) {
+	sh := rt.sh
+	var tighs []float64
+	sh.mu.RLock()
+	if sr.bound != nil {
+		var onTighten func(float64)
+		if sr.sp.on() {
+			onTighten = func(sq float64) { tighs = append(tighs, sq) }
+		}
+		var ss knn.SharedStats
+		sr.locals[d], sr.accs[d], ss = knn.HSShared(sh.tree, sr.q, sr.k, sr.m, sr.bound, onTighten)
+		sr.saved[d] = ss.Saved
+		sr.tight[d] = ss.Tightened
+	} else {
+		sr.locals[d], sr.accs[d] = knn.HSMetric(sh.tree, sr.q, sr.k, sr.m)
+	}
+	sh.mu.RUnlock()
+	for _, sq := range tighs {
+		sr.sp.emit(TraceEvent{Stage: StageBoundTightened, Disk: d, Item: sr.item, K: sr.k,
+			Radius: sr.m.FromRank(sq)})
+	}
+	if sr.emit {
+		sr.sp.emit(TraceEvent{Stage: StageSearch, Disk: d, Item: sr.item, K: sr.k,
+			Results: len(sr.locals[d]), Pages: sr.accs[d].PageAccesses})
+	}
+}
+
+// record folds the finished fan-out into the query's stats and returns
+// the node-visit count for the registry (charged by the caller: KNN
+// directly, BatchKNN via its batch-wide accumulator).
+func (sr *shardSearch) record(qs *QueryStats) (nodeVisits int64) {
+	for d := range sr.accs {
+		nodeVisits += int64(sr.accs[d].DirAccesses + sr.accs[d].LeafAccesses)
+		qs.SearchPages += sr.accs[d].PageAccesses
+	}
+	for d := range sr.saved {
+		qs.PagesSavedByBound += sr.saved[d].PageAccesses
+		qs.BoundTightenings += sr.tight[d]
+	}
+	return nodeVisits
+}
+
+// homeDisk returns the disk the declustering assigns the query point's
+// own cell to — the shard likeliest to hold near neighbors, and hence
+// the seeding probe of the cooperative search. Point-based assigners
+// (round robin) have no home quadrant and seed disk 0; any probe warms
+// the bound, correctness never depends on the choice.
+func (ix *Index) homeDisk(st *state, q vec.Point) int {
+	return st.assigner.Assign(0, q)
 }
 
 // sortResults orders by distance, breaking ties by ID.

@@ -88,6 +88,10 @@ func (ix *Index) RangeQueryContext(ctx context.Context, min, max []float64) (_ [
 		totalVisits += int64(v)
 	}
 	ix.reg.NodeVisits.Add(totalVisits)
+	// A box query has no distance bound to share across disks, so the
+	// cooperative-pruning fields stay zero; the traversal cost is still
+	// surfaced uniformly with the k-NN paths.
+	stats.SearchPages = int(totalVisits)
 
 	// Phase 2: page accounting — every disk reads its pages
 	// intersecting the query box. Reads are charged to the disk the

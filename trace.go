@@ -16,10 +16,11 @@ import (
 // updates (Index.Metrics, PublishExpvar). See README "Observability".
 
 // The trace stages, in the order a query emits them. A k-NN query
-// traces plan → (reroute | unreachable)* → search per disk → merge →
-// io → (retry)? → done; range queries skip merge; batch queries emit
-// one search event per batch item (Item ≥ 0) around the shared plan
-// and io events. Errors surface as a final "error" event.
+// traces plan → (reroute | unreachable)* → (bound_tightened | search)*
+// per disk → merge → io → (retry)? → done; range queries skip merge;
+// batch queries emit one search event per batch item (Item ≥ 0) around
+// the shared plan and io events. Errors surface as a final "error"
+// event.
 const (
 	StagePlan        = "plan"        // failure routing decided
 	StageReroute     = "reroute"     // Disk's reads will be served by its replica
@@ -30,6 +31,13 @@ const (
 	StageRetry       = "retry"       // transient faults forced re-read attempts
 	StageDone        = "done"        // query finished successfully
 	StageError       = "error"       // query returned an error
+	// StageBoundTightened is emitted by the cooperative k-NN fan-out
+	// each time a disk's search lowers the shared global bound; Radius
+	// carries the new bound as a metric distance. Events of one disk are
+	// delivered after its search releases the shard lock (tracers never
+	// run under engine locks), so per-disk event groups may interleave
+	// with other disks' tightenings.
+	StageBoundTightened = "bound_tightened"
 )
 
 // TraceEvent is one span event of a query's execution. Numeric fields
@@ -247,6 +255,9 @@ func (ix *Index) recordQuery(kind *metrics.Counter, qs *QueryStats, batch disk.B
 	ix.reg.Retries.Add(int64(qs.Retries))
 	ix.reg.Rerouted.Add(int64(qs.Rerouted))
 	ix.reg.Unreachable.Add(int64(qs.Unreachable))
+	ix.reg.SearchPages.Add(int64(qs.SearchPages))
+	ix.reg.PagesSavedByBound.Add(int64(qs.PagesSavedByBound))
+	ix.reg.BoundTightenings.Add(int64(qs.BoundTightenings))
 	if qs.Degraded {
 		ix.reg.DegradedQueries.Inc()
 	}
