@@ -174,8 +174,12 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 }
 
 // BatchKNNContext is BatchKNN with a context, which may carry a
-// per-request tracer (see WithTracer). Batch traces share one query
-// sequence number; per-item events carry the batch index in Item.
+// per-request tracer (see WithTracer) and a deadline. Batch traces
+// share one query sequence number; per-item events carry the batch
+// index in Item. Cancellation is honored between per-disk searches and
+// between batch items: a cancelled context makes the batch return
+// ctx.Err() without starting further shard searches or the simulated
+// I/O phase.
 func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int) (_ [][]Neighbor, stats BatchStats, err error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -199,6 +203,9 @@ func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int
 	}
 	if ix.liveCount() == 0 {
 		return nil, stats, ErrEmpty
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 	stats.Queries = len(queries)
 	stats.PagesPerDisk = make([]int, len(st.shards))
@@ -230,13 +237,19 @@ func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				// A cancelled batch stops picking up items; the items
+				// already attempted surface the cancellation below.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				q := queries[i]
 				// One shared bound per batch item, seeded on the home
 				// shard and consulted across the remaining shards. A
 				// worker searches its item's shards sequentially, so the
 				// bound's trajectory — and with it the pages saved — is
 				// deterministic, unlike the parallel fan-out of KNN.
-				sr := newShardSearch(ix, &sp, st, q, k, m)
+				sr := newShardSearch(ctx, ix, &sp, st, q, k, m)
 				sr.item, sr.emit = i, false
 				seed := -1
 				if sr.bound != nil {
@@ -296,6 +309,11 @@ func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int
 	}
 	close(next)
 	wg.Wait()
+	// Cancellation during the fan-out takes precedence over per-item
+	// errors: partially searched items must not look like ErrEmpty.
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, stats, err

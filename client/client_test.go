@@ -1,0 +1,181 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parsearch"
+	"parsearch/internal/wire"
+)
+
+// fakeServer answers /v1/knn with a scripted status sequence, then 200.
+func fakeServer(t *testing.T, statuses []int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= len(statuses) {
+			st := statuses[n-1]
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(st)
+			code := wire.CodeUnavailable
+			if st == http.StatusTooManyRequests {
+				code = wire.CodeQueueFull
+			}
+			_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: "scripted", Code: code})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(wire.QueryResponse{
+			Neighbors: []wire.Neighbor{{ID: 1, Point: []float64{0.5}, Dist: 0.25}},
+		})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func fastBackoff() Option { return WithBackoff(time.Millisecond, 5*time.Millisecond) }
+
+func TestRetryOn503(t *testing.T) {
+	ts, calls := fakeServer(t, []int{503, 503})
+	cl := New(ts.URL, fastBackoff())
+	ns, err := cl.KNN(context.Background(), []float64{0.5}, 1)
+	if err != nil {
+		t.Fatalf("after retries: %v", err)
+	}
+	if len(ns) != 1 || ns[0].ID != 1 {
+		t.Errorf("result %+v", ns)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	ts, calls := fakeServer(t, []int{503, 503, 503, 503})
+	cl := New(ts.URL, fastBackoff(), WithMaxRetries(2))
+	_, err := cl.KNN(context.Background(), []float64{0.5}, 1)
+	if !errors.Is(err, parsearch.ErrUnavailable) {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+func TestNoRetryOn429ByDefault(t *testing.T) {
+	ts, calls := fakeServer(t, []int{429})
+	cl := New(ts.URL, fastBackoff())
+	_, err := cl.KNN(context.Background(), []float64{0.5}, 1)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want 429 APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (429 must not be retried)", got)
+	}
+}
+
+func TestRetryOn429OptIn(t *testing.T) {
+	ts, calls := fakeServer(t, []int{429})
+	cl := New(ts.URL, fastBackoff(), WithRetryOn429())
+	if _, err := cl.KNN(context.Background(), []float64{0.5}, 1); err != nil {
+		t.Fatalf("after opt-in retry: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	cases := []struct {
+		code string
+		want error
+	}{
+		{wire.CodeEmpty, parsearch.ErrEmpty},
+		{wire.CodeUnavailable, parsearch.ErrUnavailable},
+		{wire.CodeDraining, parsearch.ErrUnavailable},
+		{wire.CodeDeadline, context.DeadlineExceeded},
+	}
+	for _, c := range cases {
+		ae := &APIError{Status: 500, Code: c.code, Msg: "x"}
+		if !errors.Is(ae, c.want) {
+			t.Errorf("code %s does not map to %v", c.code, c.want)
+		}
+	}
+	if errors.Is(&APIError{Code: wire.CodeBadRequest}, parsearch.ErrEmpty) {
+		t.Error("bad_request wrongly maps to ErrEmpty")
+	}
+}
+
+func TestNoRetryOn400(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: "bad", Code: wire.CodeBadRequest})
+	}))
+	t.Cleanup(ts.Close)
+	cl := New(ts.URL, fastBackoff())
+	_, err := cl.KNN(context.Background(), []float64{0.5}, 1)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1", got)
+	}
+}
+
+func TestRetryOnTransportError(t *testing.T) {
+	// A server that is down for the first attempt cannot be scripted
+	// with httptest alone; instead point at a closed port and verify
+	// the client classifies it retryable, then give up.
+	cl := New("http://127.0.0.1:1", fastBackoff(), WithMaxRetries(2))
+	start := time.Now()
+	_, err := cl.KNN(context.Background(), []float64{0.5}, 1)
+	if err == nil {
+		t.Fatal("expected connection failure")
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("transport failure surfaced as APIError: %v", err)
+	}
+	// Two attempts with >= 0.5ms jittered backoff between them.
+	if time.Since(start) < 500*time.Microsecond {
+		t.Error("no backoff between attempts")
+	}
+}
+
+func TestCallerDeadlineNotRetried(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(200 * time.Millisecond)
+	}))
+	t.Cleanup(ts.Close)
+	cl := New(ts.URL, fastBackoff())
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.KNN(ctx, []float64{0.5}, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 150*time.Millisecond {
+		t.Error("client kept retrying past the caller's deadline")
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	cl := New("http://x", WithBackoff(10*time.Millisecond, 40*time.Millisecond))
+	for n := 0; n < 8; n++ {
+		d := cl.backoff(n)
+		if d < 5*time.Millisecond || d > 40*time.Millisecond {
+			t.Errorf("backoff(%d) = %v outside [5ms, 40ms]", n, d)
+		}
+	}
+}

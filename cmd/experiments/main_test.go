@@ -99,8 +99,11 @@ func TestBenchSubcommand(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if report.Disks != exp.BenchDisks || len(report.Workloads) != 4 {
+	if report.Disks != exp.BenchDisks || len(report.Workloads) != 5 {
 		t.Fatalf("report %+v", report)
+	}
+	if report.Workload("server-knn16") == nil {
+		t.Fatal("report lacks the serving-latency row")
 	}
 	for _, w := range report.Workloads {
 		if w.Balance <= 0 || w.Balance > 1 {

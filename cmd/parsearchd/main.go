@@ -1,0 +1,206 @@
+// Command parsearchd serves a parallel similarity index over HTTP.
+// It loads an index snapshot (or self-populates a synthetic one),
+// mounts the serving API of package server, and drains gracefully on
+// SIGTERM/SIGINT: in-flight queries complete, new requests get 503,
+// then the listener closes.
+//
+// Usage:
+//
+//	parsearchd -snapshot index.snap -listen :7080
+//	parsearchd -points 100000 -dim 10 -disks 16        # synthetic index
+//	parsearchd -snapshot index.snap -coalesce-window 1ms -max-batch 32
+//
+// Endpoints: POST /v1/{knn,range,partialmatch,batch}; GET /healthz,
+// /varz, /statusz. See the server package documentation for the wire
+// format and the admission/coalescing knobs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parsearch"
+	"parsearch/internal/data"
+	"parsearch/server"
+)
+
+// config collects the flag values.
+type config struct {
+	snapshot string
+	listen   string
+
+	// synthetic-index knobs (used when no snapshot is given)
+	points   int
+	dim      int
+	disks    int
+	strategy string
+	seed     int64
+
+	coalesceWindow time.Duration
+	maxBatch       int
+	noCoalesce     bool
+	maxInFlight    int
+	maxQueue       int
+	timeout        time.Duration
+	drainTimeout   time.Duration
+
+	faultProb    float64
+	faultRetries int
+	spikeProb    float64
+	spikeLatency time.Duration
+}
+
+func parseFlags(args []string) (config, error) {
+	var c config
+	fs := flag.NewFlagSet("parsearchd", flag.ContinueOnError)
+	fs.StringVar(&c.snapshot, "snapshot", "", "index snapshot to serve (parsearch.Save format); empty builds a synthetic index")
+	fs.StringVar(&c.listen, "listen", ":7080", "listen address")
+	fs.IntVar(&c.points, "points", 20000, "synthetic index: number of points")
+	fs.IntVar(&c.dim, "dim", 10, "synthetic index: dimensionality")
+	fs.IntVar(&c.disks, "disks", 16, "synthetic index: number of disks")
+	fs.StringVar(&c.strategy, "strategy", "near-optimal", "synthetic index: declustering strategy")
+	fs.Int64Var(&c.seed, "seed", 42, "synthetic index: data seed")
+	fs.DurationVar(&c.coalesceWindow, "coalesce-window", 2*time.Millisecond, "KNN coalescing window")
+	fs.IntVar(&c.maxBatch, "max-batch", 16, "max coalesced batch size")
+	fs.BoolVar(&c.noCoalesce, "no-coalesce", false, "disable KNN request coalescing")
+	fs.IntVar(&c.maxInFlight, "max-in-flight", 64, "admission: max concurrent requests")
+	fs.IntVar(&c.maxQueue, "max-queue", 128, "admission: max queued requests (excess gets 429)")
+	fs.DurationVar(&c.timeout, "timeout", 10*time.Second, "default per-request deadline")
+	fs.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+	fs.Float64Var(&c.faultProb, "fault-prob", 0, "fault injection: per-read transient error probability")
+	fs.IntVar(&c.faultRetries, "fault-retries", 3, "fault injection: max retries per page read")
+	fs.Float64Var(&c.spikeProb, "spike-prob", 0, "fault injection: per-read latency spike probability")
+	fs.DurationVar(&c.spikeLatency, "spike-latency", 20*time.Millisecond, "fault injection: extra service time per spike")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	return c, nil
+}
+
+// openIndex loads the snapshot, or builds a synthetic uniform index
+// when none is given.
+func openIndex(c config) (*parsearch.Index, error) {
+	if c.snapshot != "" {
+		f, err := os.Open(c.snapshot)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ix, err := parsearch.Load(f)
+		if err != nil {
+			return nil, fmt.Errorf("loading snapshot %s: %w", c.snapshot, err)
+		}
+		return ix, nil
+	}
+	ix, err := parsearch.Open(parsearch.Options{
+		Dim:   c.dim,
+		Disks: c.disks,
+		Kind:  parsearch.Kind(c.strategy),
+	})
+	if err != nil {
+		return nil, err
+	}
+	pts := data.Uniform(c.points, c.dim, c.seed)
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// run is main minus the exit code, separated for tests. ready, when
+// non-nil, receives the bound listen address once serving.
+func run(ctx context.Context, c config, ready chan<- string) error {
+	ix, err := openIndex(c)
+	if err != nil {
+		return err
+	}
+	if c.faultProb > 0 || c.spikeProb > 0 {
+		err := ix.SetFaults(parsearch.FaultModel{
+			TransientProb: c.faultProb,
+			MaxRetries:    c.faultRetries,
+			SpikeProb:     c.spikeProb,
+			SpikeLatency:  c.spikeLatency,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	srv, err := server.New(ix, server.Config{
+		CoalesceWindow:    c.coalesceWindow,
+		MaxBatch:          c.maxBatch,
+		DisableCoalescing: c.noCoalesce,
+		MaxInFlight:       c.maxInFlight,
+		MaxQueue:          c.maxQueue,
+		DefaultTimeout:    c.timeout,
+		ExpvarName:        "parsearch",
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", c.listen)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "parsearchd: serving %d points on %d disks at %s\n",
+		ix.Len(), ix.Disks(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		return err
+	}
+
+	// Drain: first the query layer (in-flight queries complete, new
+	// ones get 503 through the still-open listener), then the HTTP
+	// layer closes idle connections and the listener.
+	fmt.Fprintln(os.Stderr, "parsearchd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), c.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "parsearchd: drain incomplete: %v\n", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "parsearchd: drained, bye")
+	return nil
+}
+
+func main() {
+	c, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, c, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "parsearchd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"parsearch"
+	"parsearch/client"
+	"parsearch/internal/data"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its
+// base URL plus the cancel that plays the role of SIGTERM.
+func startDaemon(t *testing.T, c config) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	c.listen = "127.0.0.1:0"
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, c, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("daemon exited before ready: %v", err)
+		return "", nil, nil
+	}
+}
+
+func baseConfig() config {
+	c, _ := parseFlags(nil)
+	c.points = 1500
+	c.dim = 6
+	c.disks = 8
+	return c
+}
+
+// TestDaemonServesAndDrains boots a synthetic daemon, serves a query,
+// then delivers the shutdown signal mid-flight and verifies the
+// graceful exit: the in-flight query completes, and run returns nil.
+func TestDaemonServesAndDrains(t *testing.T) {
+	c := baseConfig()
+	c.coalesceWindow = 100 * time.Millisecond // holds the last query in flight across the signal
+	base, cancel, done := startDaemon(t, c)
+	defer cancel()
+	cl := client.New(base)
+
+	ns, err := cl.KNN(context.Background(), []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 5 {
+		t.Fatalf("got %d neighbors", len(ns))
+	}
+	if h, err := cl.Health(context.Background()); err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+
+	// Park one query in the coalescing window, then signal.
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := cl.KNN(context.Background(), []float64{0.4, 0.4, 0.4, 0.4, 0.4, 0.4}, 3)
+		inflight <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	if err := <-inflight; err != nil {
+		t.Errorf("in-flight query failed during drain: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after signal")
+	}
+	// The listener is gone: a further request fails at the transport.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestDaemonServesSnapshot round-trips an index through a snapshot
+// file and the -snapshot flag.
+func TestDaemonServesSnapshot(t *testing.T) {
+	ix, err := parsearch.Open(parsearch.Options{Dim: 4, Disks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := data.Uniform(600, 4, 9)
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := baseConfig()
+	c.snapshot = path
+	base, cancel, done := startDaemon(t, c)
+	defer cancel()
+	cl := client.New(base)
+
+	q := []float64{0.5, 0.5, 0.5, 0.5}
+	served, err := cl.KNN(context.Background(), q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := ix.KNN(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if served[i].ID != direct[i].ID || served[i].Dist != direct[i].Dist {
+			t.Fatalf("snapshot-served neighbor %d = %+v, direct %+v", i, served[i], direct[i])
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("run: %v", err)
+	}
+}
+
+// TestDaemonBadFlags pins flag validation surfacing as errors, not
+// panics.
+func TestDaemonBadFlags(t *testing.T) {
+	if _, err := parseFlags([]string{"-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	c := baseConfig()
+	c.snapshot = filepath.Join(t.TempDir(), "missing.snap")
+	err := run(context.Background(), c, nil)
+	if err == nil || !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing snapshot: err = %v, want not-exist", err)
+	}
+	c = baseConfig()
+	c.strategy = "not-a-strategy"
+	if err := run(context.Background(), c, nil); err == nil {
+		t.Error("bad strategy accepted")
+	}
+}

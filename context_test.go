@@ -1,0 +1,105 @@
+package parsearch
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"parsearch/internal/data"
+)
+
+// Regression tests for context cancellation in the query paths: a
+// cancelled context must surface ctx.Err() promptly — before the shard
+// fan-out and the simulated I/O phase — instead of completing the query
+// for a client that is gone.
+
+func cancelTestIndex(t *testing.T) (*Index, [][]float64) {
+	t.Helper()
+	const d, n = 6, 800
+	pts := data.Uniform(n, d, 99)
+	raw := make([][]float64, n)
+	for i, p := range pts {
+		raw[i] = p
+	}
+	ix, err := Open(Options{Dim: d, Disks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float64, 8)
+	for i, q := range data.Uniform(8, d, 100) {
+		queries[i] = q
+	}
+	return ix, queries
+}
+
+func TestKNNContextPreCancelled(t *testing.T) {
+	ix, queries := cancelTestIndex(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	start := time.Now()
+	_, _, err := ix.KNNContext(ctx, queries[0], 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("KNNContext on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancelled KNN took %v, want a prompt return", elapsed)
+	}
+
+	// No simulated I/O may have been charged for the cancelled query.
+	if m := ix.Metrics(); m.PagesRead != 0 {
+		t.Errorf("cancelled KNN read %d pages, want 0", m.PagesRead)
+	}
+	if m := ix.Metrics(); m.QueryErrors != 1 {
+		t.Errorf("QueryErrors = %d, want 1", m.QueryErrors)
+	}
+}
+
+func TestBatchKNNContextPreCancelled(t *testing.T) {
+	ix, queries := cancelTestIndex(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	_, _, err := ix.BatchKNNContext(ctx, queries, 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BatchKNNContext on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if m := ix.Metrics(); m.PagesRead != 0 {
+		t.Errorf("cancelled batch read %d pages, want 0", m.PagesRead)
+	}
+}
+
+func TestRangeQueryContextPreCancelled(t *testing.T) {
+	ix, _ := cancelTestIndex(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	min := []float64{0, 0, 0, 0, 0, 0}
+	max := []float64{1, 1, 1, 1, 1, 1}
+	_, _, err := ix.RangeQueryContext(ctx, min, max)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RangeQueryContext on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if m := ix.Metrics(); m.PagesRead != 0 {
+		t.Errorf("cancelled range query read %d pages, want 0", m.PagesRead)
+	}
+}
+
+// TestKNNContextDeadline drives a deadline that expires mid-run: the
+// query must return the deadline error, never a partial result.
+func TestKNNContextDeadline(t *testing.T) {
+	ix, queries := cancelTestIndex(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, _, err := ix.KNNContext(ctx, queries[0], 5)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatalf("expired deadline returned %d results alongside the error", len(res))
+	}
+}

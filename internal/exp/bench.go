@@ -9,13 +9,18 @@ package exp
 // deterministic and tighten the comparison.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"runtime"
 	"time"
 
 	"parsearch"
+	"parsearch/client"
 	"parsearch/internal/data"
+	"parsearch/server"
 )
 
 // BenchProfile sizes a benchmark run. Reps runs each workload several
@@ -131,6 +136,24 @@ func RunBench(p BenchProfile, seed int64) (BenchReport, error) {
 		boxes[i] = [2][]float64{lo, hi}
 	}
 
+	// The serving row runs the same k-NN workload through the full HTTP
+	// path — decode, admission, engine, JSON encode — over a loopback
+	// listener, so the report tracks serving overhead next to the
+	// library numbers. Coalescing is disabled: a serial driver would
+	// only measure the coalescing window, not the serving cost.
+	hsrv, err := server.New(ix, server.Config{DisableCoalescing: true})
+	if err != nil {
+		return BenchReport{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return BenchReport{}, err
+	}
+	hs := &http.Server{Handler: hsrv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	cl := client.New("http://" + ln.Addr().String())
+
 	report := BenchReport{
 		Profile: p.Name, Disks: BenchDisks, Dim: benchDim,
 		Points: p.Points, Queries: p.Queries, K: p.K,
@@ -184,6 +207,22 @@ func RunBench(p BenchProfile, seed int64) (BenchReport, error) {
 				return benchCost{}, err
 			}
 			return benchCost{stats.TotalPages, stats.SearchPages, stats.PagesSavedByBound}, nil
+		}},
+		{"server-knn16", ix, p.Queries, func() (benchCost, error) {
+			// The client discards per-query stats, so the page costs
+			// come from the registry delta around the rep.
+			before := ix.Metrics()
+			for _, q := range queries {
+				if _, err := cl.KNN(context.Background(), q, p.K); err != nil {
+					return benchCost{}, err
+				}
+			}
+			after := ix.Metrics()
+			return benchCost{
+				pages:  int(after.PagesRead - before.PagesRead),
+				search: int(after.SearchPages - before.SearchPages),
+				saved:  int(after.PagesSavedByBound - before.PagesSavedByBound),
+			}, nil
 		}},
 	}
 

@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeQueryRequest drives the serving layer's request decoder
+// with arbitrary operation names and bodies. The decoder must never
+// panic, and every accepted request must satisfy the invariants the
+// engine relies on: exact dimensionality, finite components, positive
+// k, ordered range bounds, at least one specified partial-match
+// dimension. A NaN/Inf smuggled past validation would poison the
+// priority queues of the k-NN search; a dimension mismatch would index
+// out of bounds.
+func FuzzDecodeQueryRequest(f *testing.F) {
+	seeds := []struct {
+		op   string
+		body string
+	}{
+		{OpKNN, `{"query":[0.1,0.2,0.3],"k":5}`},
+		{OpKNN, `{"query":[0.1,0.2],"k":5}`},
+		{OpKNN, `{"query":[1e999,0,0],"k":1}`},
+		{OpKNN, `{"query":["NaN",0,0],"k":1}`},
+		{OpRange, `{"min":[0,0,0],"max":[1,1,1]}`},
+		{OpRange, `{"min":[1,0,0],"max":[0,1,1]}`},
+		{OpPartialMatch, `{"spec":[0.5,null,0.25],"eps":0.1}`},
+		{OpPartialMatch, `{"spec":[null,null,null],"eps":0.1}`},
+		{OpBatch, `{"queries":[[0,1,0],[1,0,1]],"k":2}`},
+		{OpBatch, `{"queries":[[0,1,0],[1,0]],"k":2}`},
+		{"nope", `{}`},
+		{OpKNN, `{`},
+		{OpKNN, `[]`},
+		{OpKNN, `null`},
+	}
+	for _, s := range seeds {
+		f.Add(s.op, []byte(s.body))
+	}
+	const dim = 3
+	f.Fuzz(func(t *testing.T, op string, body []byte) {
+		v, err := DecodeQueryRequest(op, body, dim)
+		if err != nil {
+			return
+		}
+		checkFinite := func(name string, vec []float64) {
+			if len(vec) != dim {
+				t.Fatalf("%s: accepted dimension %d, want %d (body %q)", name, len(vec), dim, body)
+			}
+			for _, x := range vec {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("%s: accepted non-finite component (body %q)", name, body)
+				}
+			}
+		}
+		switch req := v.(type) {
+		case KNNRequest:
+			checkFinite("knn query", req.Query)
+			if req.K < 1 {
+				t.Fatalf("accepted k = %d (body %q)", req.K, body)
+			}
+		case RangeRequest:
+			checkFinite("range min", req.Min)
+			checkFinite("range max", req.Max)
+			for i := range req.Min {
+				if req.Min[i] > req.Max[i] {
+					t.Fatalf("accepted inverted bounds (body %q)", body)
+				}
+			}
+		case PartialMatchRequest:
+			if len(req.Spec) != dim {
+				t.Fatalf("accepted spec dimension %d (body %q)", len(req.Spec), body)
+			}
+			specified := 0
+			for _, p := range req.Spec {
+				if p == nil {
+					continue
+				}
+				specified++
+				if math.IsNaN(*p) || math.IsInf(*p, 0) {
+					t.Fatalf("accepted non-finite spec component (body %q)", body)
+				}
+			}
+			if specified == 0 {
+				t.Fatalf("accepted all-wildcard spec (body %q)", body)
+			}
+			if math.IsNaN(req.Eps) || req.Eps < 0 {
+				t.Fatalf("accepted eps %v (body %q)", req.Eps, body)
+			}
+		case BatchRequest:
+			if len(req.Queries) == 0 || req.K < 1 {
+				t.Fatalf("accepted empty batch or k = %d (body %q)", req.K, body)
+			}
+			for _, q := range req.Queries {
+				checkFinite("batch query", q)
+			}
+		default:
+			t.Fatalf("decoder returned unknown type %T", v)
+		}
+	})
+}

@@ -1,0 +1,275 @@
+// Package wire defines the JSON wire format of the parsearch serving
+// layer: the request and response bodies of the /v1 endpoints, shared
+// by the server and the typed client, plus the validating request
+// decoder the server runs on every body.
+//
+// Decoding is strict about the things the engine would otherwise have
+// to police per query: every vector must have exactly the index's
+// dimensionality and only finite components (no NaN/Inf — JSON cannot
+// carry them literally, but a decoder must not rely on that), k must be
+// positive, range bounds must be ordered, and a partial-match spec must
+// specify at least one dimension. A request failing validation is a
+// client error (HTTP 400), never a panic or an engine error.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// The /v1 operation names, doubling as the request-decoder dispatch
+// keys: each one is the path suffix of its endpoint.
+const (
+	OpKNN          = "knn"
+	OpRange        = "range"
+	OpPartialMatch = "partialmatch"
+	OpBatch        = "batch"
+)
+
+// KNNRequest is the body of POST /v1/knn.
+type KNNRequest struct {
+	Query []float64 `json:"query"`
+	K     int       `json:"k"`
+}
+
+// RangeRequest is the body of POST /v1/range.
+type RangeRequest struct {
+	Min []float64 `json:"min"`
+	Max []float64 `json:"max"`
+}
+
+// PartialMatchRequest is the body of POST /v1/partialmatch. Wildcard
+// dimensions are JSON nulls (NaN is not representable in JSON); the
+// server maps them to parsearch.Wildcard.
+type PartialMatchRequest struct {
+	Spec []*float64 `json:"spec"`
+	Eps  float64    `json:"eps"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Queries [][]float64 `json:"queries"`
+	K       int         `json:"k"`
+}
+
+// Neighbor mirrors parsearch.Neighbor on the wire. Dist is NaN for
+// partial-match results (the engine reports the distance to the query
+// box center, undefined under wildcards); JSON cannot carry NaN, so a
+// non-finite distance travels as null and is restored to NaN on decode.
+type Neighbor struct {
+	ID    int       `json:"id"`
+	Point []float64 `json:"point"`
+	Dist  float64   `json:"dist"`
+}
+
+// wireNeighbor is the JSON shape of Neighbor: Dist nullable.
+type wireNeighbor struct {
+	ID    int       `json:"id"`
+	Point []float64 `json:"point"`
+	Dist  *float64  `json:"dist"`
+}
+
+// MarshalJSON emits a non-finite Dist as null.
+func (n Neighbor) MarshalJSON() ([]byte, error) {
+	a := wireNeighbor{ID: n.ID, Point: n.Point}
+	if !math.IsNaN(n.Dist) && !math.IsInf(n.Dist, 0) {
+		a.Dist = &n.Dist
+	}
+	return json.Marshal(a)
+}
+
+// UnmarshalJSON restores a null Dist to NaN.
+func (n *Neighbor) UnmarshalJSON(data []byte) error {
+	var a wireNeighbor
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	n.ID, n.Point = a.ID, a.Point
+	if a.Dist == nil {
+		n.Dist = math.NaN()
+	} else {
+		n.Dist = *a.Dist
+	}
+	return nil
+}
+
+// QueryResponse is the body of a successful single-query response
+// (/v1/knn, /v1/range, /v1/partialmatch). Stats carries the engine's
+// QueryStats verbatim (its exported field names are the JSON keys).
+type QueryResponse struct {
+	Neighbors []Neighbor      `json:"neighbors"`
+	Stats     json.RawMessage `json:"stats,omitempty"`
+}
+
+// BatchResponse is the body of a successful /v1/batch response.
+type BatchResponse struct {
+	Results [][]Neighbor    `json:"results"`
+	Stats   json.RawMessage `json:"stats,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response. Code is the
+// machine-readable classification the client maps back to sentinel
+// errors; Error is human-readable.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// The error codes of ErrorResponse.Code.
+const (
+	CodeBadRequest  = "bad_request" // malformed or invalid request body
+	CodeEmpty       = "empty"       // parsearch.ErrEmpty: the index holds no vectors
+	CodeUnavailable = "unavailable" // parsearch.ErrUnavailable: no live copy reachable
+	CodeQueueFull   = "queue_full"  // admission queue at capacity (HTTP 429)
+	CodeDraining    = "draining"    // server is draining for shutdown (HTTP 503)
+	CodeDeadline    = "deadline"    // request deadline expired in queue or in flight
+	CodeInternal    = "internal"    // unexpected engine failure
+)
+
+// Health is the body of GET /healthz.
+type Health struct {
+	// Status is "ok" (all disks live), "rerouted" (failures fully
+	// covered by replicas), "degraded" (some data unreachable), or
+	// "draining" (shutdown in progress). The endpoint answers HTTP 200
+	// for the first two and 503 for the rest, so load balancers pull a
+	// degraded or draining instance out of rotation.
+	Status string `json:"status"`
+	Disks  int    `json:"disks"`
+	// FailedDisks lists the disks currently failed; Unreachable the
+	// subset whose data has no live replica.
+	FailedDisks []int `json:"failed_disks,omitempty"`
+	Unreachable []int `json:"unreachable,omitempty"`
+	Draining    bool  `json:"draining"`
+}
+
+// checkVector validates one request vector: exact dimensionality and
+// finite components.
+func checkVector(name string, v []float64, dim int) error {
+	if len(v) != dim {
+		return fmt.Errorf("wire: %s has dimension %d, want %d", name, len(v), dim)
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("wire: %s component %d is not finite", name, i)
+		}
+	}
+	return nil
+}
+
+// decode unmarshals into dst, classifying syntax errors uniformly.
+func decode(data []byte, dst any) error {
+	if err := json.Unmarshal(data, dst); err != nil {
+		return fmt.Errorf("wire: invalid request body: %w", err)
+	}
+	return nil
+}
+
+// DecodeKNN decodes and validates a /v1/knn body against the index
+// dimensionality.
+func DecodeKNN(data []byte, dim int) (KNNRequest, error) {
+	var req KNNRequest
+	if err := decode(data, &req); err != nil {
+		return KNNRequest{}, err
+	}
+	if err := checkVector("query", req.Query, dim); err != nil {
+		return KNNRequest{}, err
+	}
+	if req.K < 1 {
+		return KNNRequest{}, fmt.Errorf("wire: k = %d, want >= 1", req.K)
+	}
+	return req, nil
+}
+
+// DecodeRange decodes and validates a /v1/range body.
+func DecodeRange(data []byte, dim int) (RangeRequest, error) {
+	var req RangeRequest
+	if err := decode(data, &req); err != nil {
+		return RangeRequest{}, err
+	}
+	if err := checkVector("min", req.Min, dim); err != nil {
+		return RangeRequest{}, err
+	}
+	if err := checkVector("max", req.Max, dim); err != nil {
+		return RangeRequest{}, err
+	}
+	for i := range req.Min {
+		if req.Min[i] > req.Max[i] {
+			return RangeRequest{}, fmt.Errorf("wire: min > max in dimension %d", i)
+		}
+	}
+	return req, nil
+}
+
+// DecodePartialMatch decodes and validates a /v1/partialmatch body.
+// Null spec entries are wildcards; at least one dimension must be
+// specified, and specified values must be finite.
+func DecodePartialMatch(data []byte, dim int) (PartialMatchRequest, error) {
+	var req PartialMatchRequest
+	if err := decode(data, &req); err != nil {
+		return PartialMatchRequest{}, err
+	}
+	if len(req.Spec) != dim {
+		return PartialMatchRequest{}, fmt.Errorf("wire: spec has dimension %d, want %d", len(req.Spec), dim)
+	}
+	specified := 0
+	for i, v := range req.Spec {
+		if v == nil {
+			continue
+		}
+		if math.IsNaN(*v) || math.IsInf(*v, 0) {
+			return PartialMatchRequest{}, fmt.Errorf("wire: spec component %d is not finite", i)
+		}
+		specified++
+	}
+	if specified == 0 {
+		return PartialMatchRequest{}, fmt.Errorf("wire: partial-match spec specifies no dimension")
+	}
+	if math.IsNaN(req.Eps) || math.IsInf(req.Eps, 0) || req.Eps < 0 {
+		return PartialMatchRequest{}, fmt.Errorf("wire: invalid tolerance %v", req.Eps)
+	}
+	return req, nil
+}
+
+// DecodeBatch decodes and validates a /v1/batch body. maxQueries
+// bounds the batch size (0 = unbounded) so a single request cannot
+// monopolize the engine.
+func DecodeBatch(data []byte, dim, maxQueries int) (BatchRequest, error) {
+	var req BatchRequest
+	if err := decode(data, &req); err != nil {
+		return BatchRequest{}, err
+	}
+	if len(req.Queries) == 0 {
+		return BatchRequest{}, fmt.Errorf("wire: batch holds no queries")
+	}
+	if maxQueries > 0 && len(req.Queries) > maxQueries {
+		return BatchRequest{}, fmt.Errorf("wire: batch holds %d queries, limit %d", len(req.Queries), maxQueries)
+	}
+	for i, q := range req.Queries {
+		if err := checkVector(fmt.Sprintf("query %d", i), q, dim); err != nil {
+			return BatchRequest{}, err
+		}
+	}
+	if req.K < 1 {
+		return BatchRequest{}, fmt.Errorf("wire: k = %d, want >= 1", req.K)
+	}
+	return req, nil
+}
+
+// DecodeQueryRequest dispatches a request body to the decoder of the
+// given operation (one of the Op* constants) — the single entry point
+// the fuzz harness drives. Unknown operations are an error.
+func DecodeQueryRequest(op string, data []byte, dim int) (any, error) {
+	switch op {
+	case OpKNN:
+		return DecodeKNN(data, dim)
+	case OpRange:
+		return DecodeRange(data, dim)
+	case OpPartialMatch:
+		return DecodePartialMatch(data, dim)
+	case OpBatch:
+		return DecodeBatch(data, dim, 0)
+	default:
+		return nil, fmt.Errorf("wire: unknown operation %q", op)
+	}
+}

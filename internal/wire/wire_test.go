@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeKNN(t *testing.T) {
+	req, err := DecodeKNN([]byte(`{"query":[0.1,0.2,0.3],"k":5}`), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.K != 5 || len(req.Query) != 3 {
+		t.Fatalf("decoded %+v", req)
+	}
+
+	bad := []string{
+		`{"query":[0.1,0.2],"k":5}`,     // wrong dim
+		`{"query":[0.1,0.2,0.3],"k":0}`, // k < 1
+		`{"query":[0.1,0.2,0.3]}`,       // k missing
+		`{"query":[1e999,0,0],"k":1}`,   // overflows float64
+		`{`,                             // malformed
+		`[]`,                            // wrong shape
+	}
+	for _, body := range bad {
+		if _, err := DecodeKNN([]byte(body), 3); err == nil {
+			t.Errorf("DecodeKNN(%q) accepted", body)
+		}
+	}
+}
+
+func TestDecodeRange(t *testing.T) {
+	if _, err := DecodeRange([]byte(`{"min":[0,0],"max":[1,1]}`), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRange([]byte(`{"min":[1,0],"max":[0,1]}`), 2); err == nil ||
+		!strings.Contains(err.Error(), "min > max") {
+		t.Errorf("inverted bounds: err = %v", err)
+	}
+	if _, err := DecodeRange([]byte(`{"min":[0],"max":[1,1]}`), 2); err == nil {
+		t.Error("short min accepted")
+	}
+}
+
+func TestDecodePartialMatch(t *testing.T) {
+	req, err := DecodePartialMatch([]byte(`{"spec":[0.5,null,0.25],"eps":0.1}`), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Spec[1] != nil || req.Spec[0] == nil || *req.Spec[0] != 0.5 {
+		t.Fatalf("decoded spec %v", req.Spec)
+	}
+
+	bad := []string{
+		`{"spec":[null,null,null],"eps":0.1}`, // no specified dimension
+		`{"spec":[0.5,null],"eps":0.1}`,       // wrong dim
+		`{"spec":[0.5,null,0.2],"eps":-1}`,    // negative eps
+	}
+	for _, body := range bad {
+		if _, err := DecodePartialMatch([]byte(body), 3); err == nil {
+			t.Errorf("DecodePartialMatch(%q) accepted", body)
+		}
+	}
+}
+
+func TestDecodeBatch(t *testing.T) {
+	req, err := DecodeBatch([]byte(`{"queries":[[0,1],[1,0]],"k":2}`), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Queries) != 2 {
+		t.Fatalf("decoded %+v", req)
+	}
+	if _, err := DecodeBatch([]byte(`{"queries":[[0,1],[1,0],[0,0]],"k":2}`), 2, 2); err == nil {
+		t.Error("over-limit batch accepted")
+	}
+	if _, err := DecodeBatch([]byte(`{"queries":[],"k":2}`), 2, 0); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := DecodeBatch([]byte(`{"queries":[[0,1],[1]],"k":2}`), 2, 0); err == nil {
+		t.Error("ragged batch accepted")
+	}
+}
+
+func TestDecodeQueryRequestDispatch(t *testing.T) {
+	if _, err := DecodeQueryRequest(OpKNN, []byte(`{"query":[0.1,0.2],"k":1}`), 2); err != nil {
+		t.Errorf("knn dispatch: %v", err)
+	}
+	if _, err := DecodeQueryRequest("nope", []byte(`{}`), 2); err == nil {
+		t.Error("unknown op accepted")
+	}
+}

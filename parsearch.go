@@ -543,6 +543,13 @@ func (ix *Index) Strategy() string {
 // Disks returns the number of disks.
 func (ix *Index) Disks() int { return ix.opts.Disks }
 
+// Dim returns the dimensionality of the indexed vectors.
+func (ix *Index) Dim() int { return ix.opts.Dim }
+
+// Replication returns the configured number of extra copies per
+// storage cell (0 or 1; see Options.Replication).
+func (ix *Index) Replication() int { return ix.opts.Replication }
+
 // Len returns the number of indexed (non-deleted) vectors.
 func (ix *Index) Len() int {
 	ix.meta.Lock()
@@ -964,8 +971,12 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 }
 
 // KNNContext is KNN with a context, which may carry a per-request
-// tracer (see WithTracer). The context is not used for cancellation:
-// the simulated disks complete a planned read batch atomically.
+// tracer (see WithTracer) and a deadline. Cancellation is honored at
+// the fan-out granularity: the query checks ctx between per-disk
+// searches and before the simulated I/O phase, so a cancelled context
+// returns ctx.Err() promptly without charging further disk reads. A
+// disk search already underway completes (the simulated disks execute
+// a planned read batch atomically).
 func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) (_ []Neighbor, stats QueryStats, err error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -987,6 +998,9 @@ func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) (_ []Neighb
 	}
 	if ix.liveCount() == 0 {
 		return nil, stats, ErrEmpty
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 
 	// Plan the failure routing once: the same snapshot of the failure
@@ -1014,7 +1028,7 @@ func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) (_ []Neighb
 	// (QueryStats.PagesSavedByBound); results are provably identical to
 	// the independent search (see DESIGN.md "Cooperative pruning").
 	m := ix.metric()
-	sr := newShardSearch(ix, &sp, st, q, k, m)
+	sr := newShardSearch(ctx, ix, &sp, st, q, k, m)
 	seed := -1
 	if sr.bound != nil {
 		if d := ix.homeDisk(st, q); routes[d].sh != nil {
@@ -1034,6 +1048,13 @@ func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) (_ []Neighb
 		}(d)
 	}
 	wg.Wait()
+	// A context cancelled during the fan-out leaves some disks
+	// unsearched; partial results would be silently wrong, so surface
+	// the cancellation before merging (and before the I/O phase burns
+	// simulated disk time for a client that is gone).
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	locals := sr.locals
 	ix.reg.NodeVisits.Add(sr.record(&stats))
 
@@ -1182,6 +1203,7 @@ func (ix *Index) sphereRefs(st *state, routes []route, q vec.Point, rk float64, 
 type shardSearch struct {
 	ix    *Index
 	sp    *span
+	ctx   context.Context
 	q     vec.Point
 	k     int
 	m     vec.Metric
@@ -1195,8 +1217,8 @@ type shardSearch struct {
 	tight  []int
 }
 
-func newShardSearch(ix *Index, sp *span, st *state, q vec.Point, k int, m vec.Metric) *shardSearch {
-	sr := &shardSearch{ix: ix, sp: sp, q: q, k: k, m: m, item: -1, emit: true,
+func newShardSearch(ctx context.Context, ix *Index, sp *span, st *state, q vec.Point, k int, m vec.Metric) *shardSearch {
+	sr := &shardSearch{ix: ix, sp: sp, ctx: ctx, q: q, k: k, m: m, item: -1, emit: true,
 		locals: make([][]knn.Result, len(st.shards)),
 		accs:   make([]knn.Accounting, len(st.shards)),
 	}
@@ -1209,10 +1231,16 @@ func newShardSearch(ix *Index, sp *span, st *state, q vec.Point, k int, m vec.Me
 }
 
 // search runs disk d's local search via the given route, under the
-// routed tree's read lock. Bound tightenings are buffered and emitted
-// after the lock is released so no user code (the tracer) ever runs
-// under a shard lock.
+// routed tree's read lock. A cancelled query context skips the disk
+// entirely — the fan-out checks cancellation between per-disk searches
+// so a disconnected client stops burning traversal work; the caller
+// surfaces ctx.Err() after the fan-out. Bound tightenings are buffered
+// and emitted after the lock is released so no user code (the tracer)
+// ever runs under a shard lock.
 func (sr *shardSearch) search(rt route, d int) {
+	if sr.ctx.Err() != nil {
+		return
+	}
 	sh := rt.sh
 	var tighs []float64
 	sh.mu.RLock()

@@ -26,7 +26,10 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 }
 
 // RangeQueryContext is RangeQuery with a context, which may carry a
-// per-request tracer (see WithTracer).
+// per-request tracer (see WithTracer) and a deadline. A cancelled
+// context returns ctx.Err() before the shard fan-out and again before
+// the simulated I/O phase, so a disconnected client stops burning disk
+// time.
 func (ix *Index) RangeQueryContext(ctx context.Context, min, max []float64) (_ []Neighbor, stats QueryStats, err error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -51,6 +54,9 @@ func (ix *Index) RangeQueryContext(ctx context.Context, min, max []float64) (_ [
 	}
 	if ix.liveCount() == 0 {
 		return nil, stats, ErrEmpty
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 	rect := vec.NewRect(min, max)
 	center := rect.Center()
@@ -154,6 +160,9 @@ func (ix *Index) RangeQueryContext(ctx context.Context, min, max []float64) (_ [
 	// could then be inside it; dead pages fully outside the box cannot
 	// hold matches, so the results are provably exact.
 	stats.Degraded = stats.Unreachable > 0
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	batch, err := ix.array.ReadBatch(refs)
 	if err != nil {
 		return nil, stats, fmt.Errorf("parsearch: %w", err)

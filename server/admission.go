@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission control: every query request must win an in-flight slot
+// before it touches the engine. MaxInFlight slots bound the concurrent
+// engine work; up to MaxQueue requests may wait for a slot, each until
+// its own context deadline. A request arriving with the queue at
+// capacity is rejected immediately (HTTP 429) — the server sheds load
+// instead of accumulating an unbounded backlog; a request arriving
+// while the server drains is rejected with errDraining (HTTP 503).
+//
+// The drain handshake (see Server.Shutdown) is the usual
+// flag-then-wait two-step: requests register in the in-flight
+// WaitGroup under the same mutex Shutdown uses to flip the draining
+// flag, so Shutdown's Wait observes every admitted request and no
+// request slips in after the flag is up.
+
+var (
+	// errQueueFull rejects a request when the wait queue is at
+	// capacity (mapped to HTTP 429).
+	errQueueFull = errors.New("server: admission queue is full")
+	// errDraining rejects a request during graceful shutdown (mapped
+	// to HTTP 503).
+	errDraining = errors.New("server: draining")
+)
+
+// admission is the slot semaphore plus the bounded wait queue.
+type admission struct {
+	slots chan struct{} // buffered MaxInFlight: a token in the channel is a held slot
+	queue chan struct{} // buffered MaxQueue: a token is a waiting request
+	drain chan struct{} // closed when the server starts draining
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		slots: make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, maxQueue),
+		drain: make(chan struct{}),
+	}
+}
+
+// acquire wins an in-flight slot, waiting in the bounded queue if
+// necessary. It fails fast with errQueueFull when the queue is at
+// capacity, errDraining when the server drains before a slot frees,
+// and ctx.Err() when the request's own deadline expires first.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case <-a.drain:
+		return errDraining
+	default:
+	}
+	// Fast path: a slot is free.
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// Slow path: join the bounded queue (or bounce).
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return errQueueFull
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-a.drain:
+		return errDraining
+	}
+}
+
+// release frees the slot of a finished request.
+func (a *admission) release() { <-a.slots }
+
+// inFlight returns the number of held slots and waiting requests
+// (advisory; the values race with concurrent requests).
+func (a *admission) inFlight() (slots, queued int) {
+	return len(a.slots), len(a.queue)
+}
+
+// drainGate serializes the draining flag against in-flight
+// registration; see the package comment on the handshake.
+type drainGate struct {
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// enter registers one admitted request; it fails when the server is
+// already draining (the caller releases its admission slot and answers
+// 503).
+func (g *drainGate) enter() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return errDraining
+	}
+	g.inflight.Add(1)
+	return nil
+}
+
+// exit deregisters a finished request.
+func (g *drainGate) exit() { g.inflight.Done() }
+
+// close flips the draining flag; it reports whether this call was the
+// one that flipped it.
+func (g *drainGate) close() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.draining = true
+	return true
+}
+
+// isDraining reports the flag.
+func (g *drainGate) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// wait blocks until every registered request has exited or ctx
+// expires.
+func (g *drainGate) wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		g.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

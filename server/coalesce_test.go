@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"parsearch/client"
+)
+
+// newLocalServer mounts the server on an httptest listener torn down
+// with the test, returning its base URL.
+func newLocalServer(t *testing.T, srv *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func errForLen(got, want int) error {
+	return fmt.Errorf("got %d neighbors, want %d", got, want)
+}
+
+// TestCoalescingProperty is the satellite property test of the
+// coalescer: N concurrent same-k requests produce results
+// byte-identical to N independent KNN calls, every request is answered
+// through a coalesced batch, and no batch ever exceeds the configured
+// MaxBatch. The tight MaxBatch forces the size-triggered flush path
+// (detach-by-filling-request) as well as the timer path.
+func TestCoalescingProperty(t *testing.T) {
+	const (
+		dim      = 6
+		k        = 8
+		requests = 48
+		maxBatch = 4
+	)
+	ix := testIndex(t, dim, 1500, 8, 0)
+	srv, err := New(ix, Config{CoalesceWindow: 10 * time.Millisecond, MaxBatch: maxBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newLocalServer(t, srv)
+	cl := client.New(ts)
+
+	// Ground truth: N independent library calls.
+	want := make([]string, requests)
+	for i := range want {
+		ns, _, err := ix.KNN(randQuery(dim, i), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = string(b)
+	}
+
+	var wg sync.WaitGroup
+	got := make([]string, requests)
+	errs := make([]error, requests)
+	start := make(chan struct{})
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			ns, err := cl.KNN(context.Background(), randQuery(dim, i), k)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			b, _ := json.Marshal(ns)
+			got[i] = string(b)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Errorf("request %d: coalesced result differs from independent KNN\ngot:  %.120s\nwant: %.120s",
+				i, got[i], want[i])
+		}
+	}
+
+	st := srv.Stats()
+	if st.CoalescedQueries != requests {
+		t.Errorf("CoalescedQueries = %d, want %d (every request must go through the coalescer)",
+			st.CoalescedQueries, requests)
+	}
+	if st.MaxCoalescedBatch > maxBatch {
+		t.Errorf("MaxCoalescedBatch = %d exceeds MaxBatch %d", st.MaxCoalescedBatch, maxBatch)
+	}
+	if st.CoalescedBatches >= requests {
+		t.Errorf("CoalescedBatches = %d for %d requests: no coalescing happened",
+			st.CoalescedBatches, requests)
+	}
+	// Conservation: the batches partition the requests exactly.
+	minBatches := int64(requests / maxBatch)
+	if st.CoalescedBatches < minBatches {
+		t.Errorf("CoalescedBatches = %d below floor %d: some batch exceeded MaxBatch",
+			st.CoalescedBatches, minBatches)
+	}
+}
+
+// TestCoalescerMixedK pins the grouping key: concurrent requests with
+// different k never share a batch (a batch has one k), yet all answer
+// correctly.
+func TestCoalescerMixedK(t *testing.T) {
+	const dim = 6
+	ix := testIndex(t, dim, 1000, 8, 0)
+	srv, err := New(ix, Config{CoalesceWindow: 10 * time.Millisecond, MaxBatch: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newLocalServer(t, srv)
+	cl := client.New(ts)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 24)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := 1 + i%3 // three distinct ks
+			ns, err := cl.KNN(context.Background(), randQuery(dim, i), k)
+			if err == nil && len(ns) != k {
+				err = errForLen(len(ns), k)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+		}
+	}
+	if st := srv.Stats(); st.CoalescedBatches < 3 {
+		t.Errorf("CoalescedBatches = %d, want >= 3 (one per distinct k)", st.CoalescedBatches)
+	}
+}
+
+// TestCoalescerRequesterTimeout pins the detach semantics: a waiter
+// whose context expires mid-window gets its deadline error while the
+// batch still answers the other waiters.
+func TestCoalescerRequesterTimeout(t *testing.T) {
+	const dim = 6
+	ix := testIndex(t, dim, 800, 8, 0)
+	srv, err := New(ix, Config{CoalesceWindow: 200 * time.Millisecond, MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newLocalServer(t, srv)
+	impatient := client.New(ts, client.WithMaxRetries(1), client.WithTimeout(20*time.Millisecond))
+	patient := client.New(ts)
+
+	var wg sync.WaitGroup
+	var patientErr, impatientErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, patientErr = patient.KNN(context.Background(), randQuery(dim, 0), 5)
+	}()
+	go func() {
+		defer wg.Done()
+		_, impatientErr = impatient.KNN(context.Background(), randQuery(dim, 1), 5)
+	}()
+	wg.Wait()
+
+	if patientErr != nil {
+		t.Errorf("patient waiter: %v", patientErr)
+	}
+	if impatientErr == nil {
+		t.Error("impatient waiter: expected a deadline error")
+	}
+}

@@ -1,0 +1,570 @@
+// Package server exposes a parsearch.Index over HTTP/JSON — the
+// query-serving subsystem of the engine. The daemon wrapping it is
+// cmd/parsearchd; the typed client is package client.
+//
+// Endpoints:
+//
+//	POST /v1/knn          {"query":[...], "k":10}
+//	POST /v1/range        {"min":[...], "max":[...]}
+//	POST /v1/partialmatch {"spec":[0.5, null, ...], "eps":0.1}
+//	POST /v1/batch        {"queries":[[...], ...], "k":10}
+//	GET  /healthz         liveness + degraded/unreachable-disk state
+//	GET  /varz            expvar dump (Index.PublishExpvar registry)
+//	GET  /statusz         index config + serving stats + metrics snapshot
+//
+// The request pipeline layers three mechanisms over the engine:
+//
+//   - Coalescing: concurrent single-query /v1/knn requests with the
+//     same k are merged into one BatchKNN call (see coalesce.go).
+//   - Admission control: at most MaxInFlight requests touch the engine
+//     concurrently; up to MaxQueue more wait, each bounded by its own
+//     deadline. Beyond that the server answers 429 (see admission.go).
+//   - Graceful drain: Shutdown stops admitting (503), lets every
+//     in-flight request — including pending coalescing windows —
+//     complete, then returns. Zero requests are dropped mid-flight.
+//
+// Every request runs through the engine's *Context query variants, so
+// deadlines propagate into the shard fan-out, the configured tracer
+// sees every query, and the metrics registry counts network traffic
+// exactly like library traffic.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"parsearch"
+	"parsearch/internal/wire"
+)
+
+// Config are the serving knobs. The zero value selects the documented
+// defaults.
+type Config struct {
+	// CoalesceWindow is how long an open coalescing group waits for
+	// further same-k KNN requests before flushing; default 2ms.
+	CoalesceWindow time.Duration
+	// MaxBatch caps the size of one coalesced batch; default 16.
+	MaxBatch int
+	// DisableCoalescing routes every /v1/knn request directly to
+	// KNNContext.
+	DisableCoalescing bool
+	// MaxInFlight is the number of requests allowed to use the engine
+	// concurrently; default 64.
+	MaxInFlight int
+	// MaxQueue is the number of requests allowed to wait for an
+	// in-flight slot; requests beyond it are answered 429. Default 128.
+	MaxQueue int
+	// DefaultTimeout is the per-request deadline applied when the
+	// incoming request context carries none; default 10s. Expired
+	// requests are answered 504.
+	DefaultTimeout time.Duration
+	// MaxBatchRequest caps the query count of one /v1/batch body;
+	// default 1024.
+	MaxBatchRequest int
+	// MaxBodyBytes caps a request body; default 8 MiB.
+	MaxBodyBytes int64
+	// Tracer, when non-nil, receives the engine's span events for
+	// every served query (attached via parsearch.WithTracer).
+	Tracer parsearch.Tracer
+	// ExpvarName publishes the index metrics under this expvar name
+	// ("" skips publishing; /varz then still dumps whatever is
+	// published process-wide). Publishing an already-taken name is not
+	// an error — the first publisher wins, matching PublishExpvar's
+	// global-registry semantics.
+	ExpvarName string
+}
+
+// withDefaults fills the zero knobs.
+func (c Config) withDefaults() Config {
+	if c.CoalesceWindow <= 0 {
+		c.CoalesceWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 128
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxBatchRequest <= 0 {
+		c.MaxBatchRequest = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// maxInt64 is an atomic running maximum.
+type maxInt64 struct{ v atomic.Int64 }
+
+func (m *maxInt64) max(n int64) {
+	for {
+		cur := m.v.Load()
+		if n <= cur || m.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// serverStats are the serving-layer counters (the engine's own query
+// metrics live in the index registry).
+type serverStats struct {
+	requests         atomic.Int64 // admitted query requests, by outcome below
+	rejectedQueue    atomic.Int64 // 429: queue full
+	rejectedDraining atomic.Int64 // 503: draining
+	deadlineExpired  atomic.Int64 // 504: deadline hit in queue or in flight
+	coalescedQueries atomic.Int64 // KNN requests answered via a coalesced batch
+	coalescedBatches atomic.Int64 // BatchKNN calls the coalescer issued
+	maxCoalesced     maxInt64     // largest coalesced batch observed
+}
+
+// Stats is a snapshot of the serving-layer counters.
+type Stats struct {
+	// Requests counts query requests admitted past admission control.
+	Requests int64 `json:"requests"`
+	// RejectedQueueFull counts 429s; RejectedDraining 503s issued
+	// during drain; DeadlineExpired 504s.
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+	DeadlineExpired   int64 `json:"deadline_expired"`
+	// CoalescedQueries counts /v1/knn requests served through a
+	// coalesced batch; CoalescedBatches the BatchKNN calls that served
+	// them. CoalescedBatches < CoalescedQueries means coalescing is
+	// actually merging traffic.
+	CoalescedQueries int64 `json:"coalesced_queries"`
+	CoalescedBatches int64 `json:"coalesced_batches"`
+	// MaxCoalescedBatch is the largest coalesced batch observed; it
+	// never exceeds Config.MaxBatch.
+	MaxCoalescedBatch int64 `json:"max_coalesced_batch"`
+	// InFlight and Queued are instantaneous gauges.
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+	// Draining reports an in-progress Shutdown.
+	Draining bool `json:"draining"`
+}
+
+// Server serves one Index over HTTP. Create with New, mount
+// Handler(), stop with Shutdown.
+type Server struct {
+	ix    *parsearch.Index
+	cfg   Config
+	adm   *admission
+	gate  *drainGate
+	coal  *coalescer
+	mux   *http.ServeMux
+	stats serverStats
+}
+
+// New returns a server over the index. The configuration is validated
+// and defaulted; see Config.
+func New(ix *parsearch.Index, cfg Config) (*Server, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("server: nil index")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MaxBatch > cfg.MaxBatchRequest {
+		return nil, fmt.Errorf("server: MaxBatch %d exceeds MaxBatchRequest %d", cfg.MaxBatch, cfg.MaxBatchRequest)
+	}
+	s := &Server{
+		ix:   ix,
+		cfg:  cfg,
+		adm:  newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		gate: &drainGate{},
+	}
+	s.coal = newCoalescer(s)
+	if cfg.ExpvarName != "" {
+		// The expvar registry is global and permanent; a taken name
+		// (say, a previous server over the same index) is fine — the
+		// earlier publisher keeps serving its registry.
+		_ = ix.PublishExpvar(cfg.ExpvarName)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/knn", s.handleKNN)
+	mux.HandleFunc("POST /v1/range", s.handleRange)
+	mux.HandleFunc("POST /v1/partialmatch", s.handlePartialMatch)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /varz", expvar.Handler())
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the serving-layer counters.
+func (s *Server) Stats() Stats {
+	inflight, queued := s.adm.inFlight()
+	return Stats{
+		Requests:          s.stats.requests.Load(),
+		RejectedQueueFull: s.stats.rejectedQueue.Load(),
+		RejectedDraining:  s.stats.rejectedDraining.Load(),
+		DeadlineExpired:   s.stats.deadlineExpired.Load(),
+		CoalescedQueries:  s.stats.coalescedQueries.Load(),
+		CoalescedBatches:  s.stats.coalescedBatches.Load(),
+		MaxCoalescedBatch: s.stats.maxCoalesced.v.Load(),
+		InFlight:          int64(inflight),
+		Queued:            int64(queued),
+		Draining:          s.gate.isDraining(),
+	}
+}
+
+// Shutdown drains the server: new requests are rejected with 503
+// immediately, queued requests are woken and rejected, and Shutdown
+// blocks until every in-flight request (including open coalescing
+// windows) has completed or ctx expires. It is the SIGTERM path of
+// cmd/parsearchd and is idempotent. The HTTP listener itself is the
+// caller's to close afterwards (http.Server.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.gate.close() {
+		close(s.adm.drain)
+	}
+	return s.gate.wait(ctx)
+}
+
+// batchCtx is the context coalesced batches run under: the server's
+// tracer, no per-request deadline (the group must complete even during
+// drain; see coalescer.run).
+func (s *Server) batchCtx() context.Context {
+	ctx := context.Background()
+	if s.cfg.Tracer != nil {
+		ctx = parsearch.WithTracer(ctx, s.cfg.Tracer)
+	}
+	return ctx
+}
+
+// reqCtx derives a query context from the request: the default
+// deadline when the client brought none, plus the configured tracer.
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if _, ok := ctx.Deadline(); !ok {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+	}
+	if s.cfg.Tracer != nil {
+		ctx = parsearch.WithTracer(ctx, s.cfg.Tracer)
+	}
+	return ctx, cancel
+}
+
+// enter runs admission control for one query request. On failure the
+// rejection has already been written; callers must return. On success
+// the caller must defer exit().
+func (s *Server) enter(ctx context.Context, w http.ResponseWriter) bool {
+	if err := s.adm.acquire(ctx); err != nil {
+		s.writeAdmissionError(w, err)
+		return false
+	}
+	if err := s.gate.enter(); err != nil {
+		s.adm.release()
+		s.writeAdmissionError(w, err)
+		return false
+	}
+	s.stats.requests.Add(1)
+	return true
+}
+
+// exit releases what enter acquired.
+func (s *Server) exit() {
+	s.gate.exit()
+	s.adm.release()
+}
+
+// writeAdmissionError maps an admission failure to its status code.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.stats.rejectedQueue.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, wire.CodeQueueFull, err)
+	case errors.Is(err, errDraining):
+		s.stats.rejectedDraining.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, err)
+	default: // context deadline or cancellation while queued
+		s.stats.deadlineExpired.Add(1)
+		writeError(w, http.StatusGatewayTimeout, wire.CodeDeadline, err)
+	}
+}
+
+// writeQueryError maps an engine error to its status code.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, parsearch.ErrEmpty):
+		writeError(w, http.StatusNotFound, wire.CodeEmpty, err)
+	case errors.Is(err, parsearch.ErrUnavailable):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, wire.CodeUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.stats.deadlineExpired.Add(1)
+		writeError(w, http.StatusGatewayTimeout, wire.CodeDeadline, err)
+	default:
+		writeError(w, http.StatusInternalServerError, wire.CodeInternal, err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: err.Error(), Code: code})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// readBody reads a bounded request body; a decode-side failure is the
+// client's (400 or 413 via MaxBytesReader).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, fmt.Errorf("server: reading body: %w", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// wireNeighbors converts engine results to the wire form. An empty
+// result stays nil so it round-trips to the library's nil slice —
+// byte-identity with direct calls includes the no-match case.
+func wireNeighbors(ns []parsearch.Neighbor) []wire.Neighbor {
+	if len(ns) == 0 {
+		return nil
+	}
+	out := make([]wire.Neighbor, len(ns))
+	for i, n := range ns {
+		out[i] = wire.Neighbor{ID: n.ID, Point: n.Point, Dist: n.Dist}
+	}
+	return out
+}
+
+// rawStats marshals query statistics for the response; stats are
+// advisory, so a marshal failure degrades to omitting them.
+func rawStats(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodeKNN(body, s.ix.Dim())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	if !s.enter(ctx, w) {
+		return
+	}
+	defer s.exit()
+
+	var (
+		neighbors []parsearch.Neighbor
+		stats     parsearch.QueryStats
+	)
+	if s.cfg.DisableCoalescing {
+		neighbors, stats, err = s.ix.KNNContext(ctx, req.Query, req.K)
+	} else {
+		res := s.coal.submit(ctx, req.Query, req.K)
+		neighbors, stats, err = res.neighbors, res.stats, res.err
+	}
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, wire.QueryResponse{Neighbors: wireNeighbors(neighbors), Stats: rawStats(stats)})
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodeRange(body, s.ix.Dim())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	if !s.enter(ctx, w) {
+		return
+	}
+	defer s.exit()
+
+	neighbors, stats, err := s.ix.RangeQueryContext(ctx, req.Min, req.Max)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, wire.QueryResponse{Neighbors: wireNeighbors(neighbors), Stats: rawStats(stats)})
+}
+
+func (s *Server) handlePartialMatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodePartialMatch(body, s.ix.Dim())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
+	spec := make([]float64, len(req.Spec))
+	for i, v := range req.Spec {
+		if v == nil {
+			spec[i] = parsearch.Wildcard
+		} else {
+			spec[i] = *v
+		}
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	if !s.enter(ctx, w) {
+		return
+	}
+	defer s.exit()
+
+	neighbors, stats, err := s.ix.PartialMatchContext(ctx, spec, req.Eps)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, wire.QueryResponse{Neighbors: wireNeighbors(neighbors), Stats: rawStats(stats)})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodeBatch(body, s.ix.Dim(), s.cfg.MaxBatchRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	if !s.enter(ctx, w) {
+		return
+	}
+	defer s.exit()
+
+	results, stats, err := s.ix.BatchKNNContext(ctx, req.Queries, req.K)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	out := make([][]wire.Neighbor, len(results))
+	for i, ns := range results {
+		out[i] = wireNeighbors(ns)
+	}
+	writeJSON(w, wire.BatchResponse{Results: out, Stats: rawStats(stats)})
+}
+
+// health computes the health view from the fault-routing state: a
+// failed disk whose chained replica is live is "rerouted" (queries
+// stay exact); a failed disk with no live replica makes data
+// unreachable and the instance "degraded".
+func (s *Server) health() wire.Health {
+	h := wire.Health{Status: "ok", Disks: s.ix.Disks(), Draining: s.gate.isDraining()}
+	for d := 0; d < s.ix.Disks(); d++ {
+		if !s.ix.DiskFailed(d) {
+			continue
+		}
+		h.FailedDisks = append(h.FailedDisks, d)
+		if r := s.ix.ReplicaDisk(d); r < 0 || s.ix.DiskFailed(r) {
+			h.Unreachable = append(h.Unreachable, d)
+		}
+	}
+	switch {
+	case h.Draining:
+		h.Status = "draining"
+	case len(h.Unreachable) > 0:
+		h.Status = "degraded"
+	case len(h.FailedDisks) > 0:
+		h.Status = "rerouted"
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Status == "degraded" || h.Status == "draining" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+// statuszPayload is the /statusz document.
+type statuszPayload struct {
+	Index   statuszIndex `json:"index"`
+	Serving statuszServe `json:"serving"`
+	Metrics any          `json:"metrics"`
+}
+
+type statuszIndex struct {
+	Dim         int    `json:"dim"`
+	Disks       int    `json:"disks"`
+	Strategy    string `json:"strategy"`
+	Replication int    `json:"replication"`
+	Points      int    `json:"points"`
+	FailedDisks []int  `json:"failed_disks,omitempty"`
+}
+
+type statuszServe struct {
+	CoalesceWindowMs  float64 `json:"coalesce_window_ms"`
+	MaxBatch          int     `json:"max_batch"`
+	CoalescingEnabled bool    `json:"coalescing_enabled"`
+	MaxInFlight       int     `json:"max_in_flight"`
+	MaxQueue          int     `json:"max_queue"`
+	DefaultTimeoutMs  float64 `json:"default_timeout_ms"`
+	Stats             Stats   `json:"stats"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	writeJSON(w, statuszPayload{
+		Index: statuszIndex{
+			Dim:         s.ix.Dim(),
+			Disks:       s.ix.Disks(),
+			Strategy:    s.ix.Strategy(),
+			Replication: s.ix.Replication(),
+			Points:      s.ix.Len(),
+			FailedDisks: h.FailedDisks,
+		},
+		Serving: statuszServe{
+			CoalesceWindowMs:  float64(s.cfg.CoalesceWindow) / float64(time.Millisecond),
+			MaxBatch:          s.cfg.MaxBatch,
+			CoalescingEnabled: !s.cfg.DisableCoalescing,
+			MaxInFlight:       s.cfg.MaxInFlight,
+			MaxQueue:          s.cfg.MaxQueue,
+			DefaultTimeoutMs:  float64(s.cfg.DefaultTimeout) / float64(time.Millisecond),
+			Stats:             s.Stats(),
+		},
+		Metrics: s.ix.Metrics(),
+	})
+}

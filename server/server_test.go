@@ -1,0 +1,571 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parsearch"
+	"parsearch/client"
+)
+
+// testIndex builds a populated index for serving tests.
+func testIndex(t testing.TB, dim, n, disks, replication int) *parsearch.Index {
+	t.Helper()
+	ix, err := parsearch.Open(parsearch.Options{Dim: dim, Disks: disks, Replication: replication})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	if err := ix.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// randQuery returns a deterministic query vector for index i.
+func randQuery(dim int, i int) []float64 {
+	rng := rand.New(rand.NewSource(int64(1000 + i)))
+	q := make([]float64, dim)
+	for j := range q {
+		q[j] = rng.Float64()
+	}
+	return q
+}
+
+// asJSON pins byte-identity between served and direct results.
+func asJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestServeEndToEnd is the acceptance test of the serving subsystem: a
+// 16-disk index behind an httptest listener, 64 concurrent mixed
+// KNN/range requests through the typed client, results byte-identical
+// to direct library calls, and coalescing observably merging traffic.
+func TestServeEndToEnd(t *testing.T) {
+	const (
+		dim      = 8
+		n        = 2000
+		disks    = 16
+		k        = 10
+		requests = 64
+	)
+	ix := testIndex(t, dim, n, disks, 0)
+	srv, err := New(ix, Config{CoalesceWindow: 20 * time.Millisecond, MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+
+	// Direct library answers first: the ground truth every served
+	// response must match byte for byte.
+	type want struct{ res string }
+	wants := make([]want, requests)
+	for i := range wants {
+		if i%2 == 0 {
+			q := randQuery(dim, i)
+			ns, _, err := ix.KNN(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants[i] = want{asJSON(t, ns)}
+		} else {
+			min, max := rangeBox(dim, i)
+			ns, _, err := ix.RangeQuery(min, max)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants[i] = want{asJSON(t, ns)}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, requests)
+	got := make([]string, requests)
+	start := make(chan struct{})
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			var ns []parsearch.Neighbor
+			var err error
+			if i%2 == 0 {
+				ns, err = cl.KNN(context.Background(), randQuery(dim, i), k)
+			} else {
+				min, max := rangeBox(dim, i)
+				ns, err = cl.Range(context.Background(), min, max)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			b, err := json.Marshal(ns)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = string(b)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if got[i] != wants[i].res {
+			t.Errorf("request %d: served result differs from direct library call\nserved: %.120s\ndirect: %.120s",
+				i, got[i], wants[i].res)
+		}
+	}
+
+	st := srv.Stats()
+	if st.CoalescedQueries != requests/2 {
+		t.Errorf("CoalescedQueries = %d, want %d", st.CoalescedQueries, requests/2)
+	}
+	if st.CoalescedBatches >= st.CoalescedQueries {
+		t.Errorf("no coalescing: %d batches for %d queries", st.CoalescedBatches, st.CoalescedQueries)
+	}
+	if st.MaxCoalescedBatch > 16 {
+		t.Errorf("MaxCoalescedBatch = %d exceeds configured MaxBatch 16", st.MaxCoalescedBatch)
+	}
+	if st.Requests != requests {
+		t.Errorf("Requests = %d, want %d", st.Requests, requests)
+	}
+}
+
+// rangeBox returns a deterministic query box for index i.
+func rangeBox(dim, i int) (min, max []float64) {
+	rng := rand.New(rand.NewSource(int64(5000 + i)))
+	min = make([]float64, dim)
+	max = make([]float64, dim)
+	for j := range min {
+		lo := rng.Float64() * 0.6
+		min[j] = lo
+		max[j] = lo + 0.35
+	}
+	return min, max
+}
+
+// TestShutdownDrains pins the graceful-drain contract: requests in
+// flight when Shutdown begins all complete successfully, requests
+// arriving during the drain are rejected with 503/draining, and
+// Shutdown returns once the in-flight set is empty.
+func TestShutdownDrains(t *testing.T) {
+	const (
+		dim      = 6
+		inflight = 12
+	)
+	ix := testIndex(t, dim, 1200, 8, 0)
+	// A long coalescing window holds the in-flight requests open well
+	// past the Shutdown call without any timing heroics.
+	srv, err := New(ix, Config{CoalesceWindow: 300 * time.Millisecond, MaxBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL, client.WithMaxRetries(1))
+
+	var wg sync.WaitGroup
+	errs := make([]error, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cl.KNN(context.Background(), randQuery(dim, i), 5)
+		}(i)
+	}
+	// Wait until every request is admitted and parked in the window.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := srv.Stats(); st.InFlight >= inflight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never became in-flight: %+v", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Give Shutdown a moment to flip the gate, then verify new
+	// requests bounce with the draining code while the old ones drain.
+	for !srv.Stats().Draining {
+		time.Sleep(time.Millisecond)
+	}
+	_, err = cl.KNN(context.Background(), randQuery(dim, 999), 5)
+	if !errors.Is(err, parsearch.ErrUnavailable) {
+		t.Errorf("request during drain: err = %v, want ErrUnavailable", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Errorf("request during drain: %v, want http 503", err)
+	}
+
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("in-flight request %d failed during drain: %v", i, err)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	if st := srv.Stats(); st.InFlight != 0 {
+		t.Errorf("InFlight = %d after drain", st.InFlight)
+	}
+	// Idempotent: a second Shutdown returns immediately.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+}
+
+// TestQueueOverflow429 pins the load-shedding contract: with one
+// in-flight slot and a one-deep queue, a third concurrent request is
+// answered 429 — a well-formed HTTP rejection, never a dropped
+// connection — and is not retried by the default client policy.
+func TestQueueOverflow429(t *testing.T) {
+	const dim = 6
+	ix := testIndex(t, dim, 800, 8, 0)
+	// The long window parks the first request in flight; coalescing is
+	// confined to it by keying on k, so requests with different k stack
+	// up behind the single slot.
+	srv, err := New(ix, Config{
+		CoalesceWindow: 400 * time.Millisecond,
+		MaxBatch:       64,
+		MaxInFlight:    1,
+		MaxQueue:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+
+	results := make(chan error, 2)
+	go func() {
+		_, err := cl.KNN(context.Background(), randQuery(dim, 0), 3)
+		results <- err
+	}()
+	waitFor(t, func() bool { return srv.Stats().InFlight == 1 })
+
+	go func() {
+		_, err := cl.KNN(context.Background(), randQuery(dim, 1), 4)
+		results <- err
+	}()
+	waitFor(t, func() bool { return srv.Stats().Queued == 1 })
+
+	// Queue full: this one must bounce with 429 immediately.
+	_, err = cl.KNN(context.Background(), randQuery(dim, 2), 5)
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("overflow request: err = %v, want APIError", err)
+	}
+	if ae.Status != http.StatusTooManyRequests || ae.Code != "queue_full" {
+		t.Errorf("overflow request: status %d code %s, want 429 queue_full", ae.Status, ae.Code)
+	}
+
+	// The parked requests complete once their windows flush.
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("parked request %d: %v", i, err)
+		}
+	}
+	if st := srv.Stats(); st.RejectedQueueFull != 1 {
+		t.Errorf("RejectedQueueFull = %d, want 1", st.RejectedQueueFull)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPartialMatchAndBatchEndToEnd covers the two remaining endpoints
+// against direct library calls, including the NaN→null wildcard
+// transport.
+func TestPartialMatchAndBatchEndToEnd(t *testing.T) {
+	const dim = 5
+	ix := testIndex(t, dim, 1500, 8, 0)
+	srv, err := New(ix, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+
+	spec := []float64{0.5, parsearch.Wildcard, 0.5, parsearch.Wildcard, parsearch.Wildcard}
+	direct, _, err := ix.PartialMatch(spec, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := cl.PartialMatch(context.Background(), spec, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partial-match distances are NaN by design (distance to a box
+	// center with wildcard dimensions), so compare NaN-aware instead of
+	// through JSON.
+	if len(direct) == 0 || len(direct) != len(served) {
+		t.Fatalf("partial match: %d served, %d direct", len(served), len(direct))
+	}
+	for i := range direct {
+		d, s := direct[i], served[i]
+		if d.ID != s.ID || asJSON(t, d.Point) != asJSON(t, s.Point) ||
+			(d.Dist != s.Dist && !(math.IsNaN(d.Dist) && math.IsNaN(s.Dist))) {
+			t.Fatalf("partial match %d: served %+v, direct %+v", i, s, d)
+		}
+	}
+
+	queries := make([][]float64, 9)
+	for i := range queries {
+		queries[i] = randQuery(dim, 100+i)
+	}
+	directBatch, _, err := ix.BatchKNN(queries, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servedBatch, err := cl.BatchKNN(context.Background(), queries, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asJSON(t, directBatch) != asJSON(t, servedBatch) {
+		t.Error("batch served result differs from direct call")
+	}
+}
+
+// TestBadRequests pins the 400 mapping of the validating decoder for
+// every endpoint: no body shape may panic the server or reach the
+// engine.
+func TestBadRequests(t *testing.T) {
+	ix := testIndex(t, 4, 200, 4, 0)
+	srv, err := New(ix, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct{ path, body string }{
+		{"/v1/knn", `{"query":[0.1,0.2],"k":5}`},         // wrong dim
+		{"/v1/knn", `{"query":[0.1,0.2,0.3,0.4],"k":0}`}, // bad k
+		{"/v1/knn", `{"query":[1e999,0,0,0],"k":1}`},     // Inf
+		{"/v1/knn", `{`}, // malformed
+		{"/v1/range", `{"min":[1,0,0,0],"max":[0,1,1,1]}`}, // inverted
+		{"/v1/partialmatch", `{"spec":[null,null,null,null],"eps":0.1}`},
+		{"/v1/batch", `{"queries":[],"k":2}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", c.path, err)
+		}
+		var er struct {
+			Code string `json:"code"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Errorf("POST %s %q: undecodable error body: %v", c.path, c.body, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || er.Code != "bad_request" {
+			t.Errorf("POST %s %q: status %d code %s, want 400 bad_request",
+				c.path, c.body, resp.StatusCode, er.Code)
+		}
+	}
+}
+
+// TestHealthzReflectsFaults walks healthz through the fault states:
+// all-live, failed-but-replicated (200, rerouted), failed-unreachable
+// (503, degraded).
+func TestHealthzReflectsFaults(t *testing.T) {
+	ix := testIndex(t, 4, 600, 4, 1)
+	srv, err := New(ix, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	check := func(wantStatus int, wantState string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus || h.Status != wantState {
+			t.Errorf("healthz: %d %q, want %d %q", resp.StatusCode, h.Status, wantStatus, wantState)
+		}
+	}
+
+	check(http.StatusOK, "ok")
+	if err := ix.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	check(http.StatusOK, "rerouted")
+	// Failing the replica of disk 1 makes its data unreachable.
+	if err := ix.FailDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	check(http.StatusServiceUnavailable, "degraded")
+}
+
+// TestStatusz sanity-checks the status document: index geometry,
+// serving knobs, and a metrics snapshot that counts served queries.
+func TestStatusz(t *testing.T) {
+	ix := testIndex(t, 4, 400, 4, 0)
+	srv, err := New(ix, Config{DisableCoalescing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	if _, err := cl.KNN(context.Background(), randQuery(4, 0), 3); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Index struct {
+			Dim   int `json:"dim"`
+			Disks int `json:"disks"`
+		} `json:"index"`
+		Serving struct {
+			MaxInFlight int `json:"max_in_flight"`
+			Stats       struct {
+				Requests int64 `json:"requests"`
+			} `json:"stats"`
+		} `json:"serving"`
+		Metrics struct {
+			QueriesKNN int64 `json:"queries_knn"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Index.Dim != 4 || doc.Index.Disks != 4 {
+		t.Errorf("statusz index geometry %+v", doc.Index)
+	}
+	if doc.Serving.MaxInFlight != 64 {
+		t.Errorf("statusz MaxInFlight = %d, want default 64", doc.Serving.MaxInFlight)
+	}
+	if doc.Serving.Stats.Requests != 1 {
+		t.Errorf("statusz served requests = %d, want 1", doc.Serving.Stats.Requests)
+	}
+	if doc.Metrics.QueriesKNN < 1 {
+		t.Errorf("statusz metrics queries_knn = %d, want >= 1", doc.Metrics.QueriesKNN)
+	}
+}
+
+// TestDeadlinePropagation pins the 504 mapping: a client deadline that
+// expires while the request is queued surfaces as a gateway timeout,
+// not a hang or a 500.
+func TestDeadlinePropagation(t *testing.T) {
+	const dim = 4
+	ix := testIndex(t, dim, 400, 4, 0)
+	srv, err := New(ix, Config{
+		CoalesceWindow: 400 * time.Millisecond,
+		MaxInFlight:    1,
+		MaxQueue:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL, client.WithMaxRetries(1))
+
+	blocker := make(chan error, 1)
+	go func() {
+		_, err := cl.KNN(context.Background(), randQuery(dim, 0), 3)
+		blocker <- err
+	}()
+	waitFor(t, func() bool { return srv.Stats().InFlight == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err = cl.KNN(ctx, randQuery(dim, 1), 4)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("queued request past deadline: err = %v, want DeadlineExceeded", err)
+	}
+	if err := <-blocker; err != nil {
+		t.Errorf("blocking request: %v", err)
+	}
+}
+
+// TestServerValidation covers New's config validation.
+func TestServerValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil index accepted")
+	}
+	ix := testIndex(t, 4, 100, 4, 0)
+	if _, err := New(ix, Config{MaxBatch: 100, MaxBatchRequest: 10}); err == nil {
+		t.Error("MaxBatch > MaxBatchRequest accepted")
+	}
+}
+
+// ExampleServer shows mounting the serving API over a populated index.
+func ExampleServer() {
+	ix, _ := parsearch.Open(parsearch.Options{Dim: 2, Disks: 2})
+	pts := [][]float64{{0.1, 0.1}, {0.2, 0.2}, {0.9, 0.9}, {0.15, 0.12}}
+	_ = ix.Build(pts)
+	srv, _ := New(ix, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cl := client.New(ts.URL)
+	ns, _ := cl.KNN(context.Background(), []float64{0.11, 0.11}, 1)
+	fmt.Printf("nearest at distance %.2f\n", math.Round(ns[0].Dist*100)/100)
+	// Output: nearest at distance 0.01
+}
