@@ -60,6 +60,9 @@ type BatchStats struct {
 	// BoundTightenings counts how often the batch's searches lowered
 	// their per-query shared bounds.
 	BoundTightenings int
+	// DistCompsSaved is the total number of exact distance computations
+	// the SQ8 pre-filter skipped across the batch (see QueryStats).
+	DistCompsSaved int
 	// PerQuery holds each query's own cost statistics: PerQuery[i]
 	// describes queries[i]. Page counts are exact regardless of how the
 	// scheduler interleaved the workers; times are derived from the
@@ -181,6 +184,7 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 // ctx.Err() without starting further shard searches or the simulated
 // I/O phase.
 func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int) (_ [][]Neighbor, stats BatchStats, err error) {
+	start := time.Now()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	st := ix.st
@@ -334,6 +338,7 @@ func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int
 		stats.SearchPages += perQuery[i].SearchPages
 		stats.PagesSavedByBound += perQuery[i].PagesSavedByBound
 		stats.BoundTightenings += perQuery[i].BoundTightenings
+		stats.DistCompsSaved += perQuery[i].DistCompsSaved
 		stats.Degraded = stats.Degraded || perQuery[i].Degraded
 	}
 	batch, err := ix.array.ReadBatch(refs)
@@ -349,7 +354,7 @@ func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int
 			(stats.MakespanSeconds * float64(len(st.shards)))
 	}
 	sp.ioEvents(batch)
-	ix.recordBatch(&stats, batch, nodeVisits.Load())
+	ix.recordBatch(&stats, batch, nodeVisits.Load(), start)
 	sp.emit(TraceEvent{Stage: StageDone, Disk: -1, Item: -1, K: k,
 		Results: stats.Queries, Pages: stats.TotalPages, Degraded: stats.Degraded})
 	return results, stats, nil
@@ -359,7 +364,7 @@ func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int
 // batch counts as one QueriesBatch call and len(PerQuery) BatchQueries;
 // pages and fault counters are charged from the aggregated batch so the
 // registry totals match the sum of the per-query stats.
-func (ix *Index) recordBatch(bs *BatchStats, batch disk.BatchResult, nodeVisits int64) {
+func (ix *Index) recordBatch(bs *BatchStats, batch disk.BatchResult, nodeVisits int64, start time.Time) {
 	ix.reg.QueriesBatch.Inc()
 	ix.reg.BatchQueries.Add(int64(bs.Queries))
 	ix.reg.NodeVisits.Add(nodeVisits)
@@ -370,6 +375,10 @@ func (ix *Index) recordBatch(bs *BatchStats, batch disk.BatchResult, nodeVisits 
 	ix.reg.SearchPages.Add(int64(bs.SearchPages))
 	ix.reg.PagesSavedByBound.Add(int64(bs.PagesSavedByBound))
 	ix.reg.BoundTightenings.Add(int64(bs.BoundTightenings))
+	ix.reg.DistCompsSaved.Add(int64(bs.DistCompsSaved))
+	// One wall-clock observation for the whole call: the histogram
+	// tracks API-call latencies, and the batch is one call.
+	ix.reg.QueryWallNs.Observe(time.Since(start).Nanoseconds())
 	for d, pages := range bs.PagesPerDisk {
 		ix.reg.PagesPerDisk.Add(d, int64(pages))
 	}

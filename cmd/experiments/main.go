@@ -12,7 +12,7 @@
 // internal/exp.RunBench) and writes the machine-readable report CI
 // diffs against the committed baseline:
 //
-//	experiments bench [-profile short|full] [-out BENCH_parsearch.json]
+//	experiments bench [-profile short|full|scale] [-out BENCH_parsearch.json]
 //	                  [-baseline BENCH_parsearch.json] [-threshold 0.25] [-seed 42]
 package main
 
@@ -96,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 func runBench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	profile := fs.String("profile", "short", "bench profile: short or full")
+	profile := fs.String("profile", "short", "bench profile: short, full, or scale")
 	out := fs.String("out", "", "write the JSON report to this file ('-' or empty = stdout)")
 	baseline := fs.String("baseline", "", "baseline BENCH_parsearch.json to gate against")
 	threshold := fs.Float64("threshold", 0.25, "allowed fractional ns/op growth vs the baseline")
@@ -106,7 +106,7 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 	}
 	p, ok := exp.BenchProfiles[*profile]
 	if !ok {
-		fmt.Fprintf(stderr, "experiments: unknown bench profile %q (short, full)\n", *profile)
+		fmt.Fprintf(stderr, "experiments: unknown bench profile %q (short, full, scale)\n", *profile)
 		return 1
 	}
 	report, err := exp.RunBench(p, *seed)
@@ -126,8 +126,8 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	for _, w := range report.Workloads {
-		fmt.Fprintf(stderr, "bench %-8s %12d ns/op %10.1f pages/query  balance %.3f\n",
-			w.Name, w.NsPerOp, w.PagesPerQuery, w.Balance)
+		fmt.Fprintf(stderr, "bench %-8s %12d ns/op %10.1f pages/query  balance %.3f  p99 %dns\n",
+			w.Name, w.NsPerOp, w.PagesPerQuery, w.Balance, w.LatencyP99Ns)
 	}
 
 	if *baseline == "" {

@@ -1,0 +1,43 @@
+package parsearch
+
+import (
+	"os"
+	"testing"
+
+	"parsearch/internal/data"
+)
+
+// TestGenPreSlabGolden regenerates testdata/pre_slab_golden.snap. Run
+// manually with PARSEARCH_GEN_GOLDEN=1; kept out of normal runs so the
+// committed golden bytes stay frozen.
+func TestGenPreSlabGolden(t *testing.T) {
+	if os.Getenv("PARSEARCH_GEN_GOLDEN") == "" {
+		t.Skip("set PARSEARCH_GEN_GOLDEN=1 to regenerate")
+	}
+	ix, err := Open(Options{Dim: 8, Disks: 4, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := data.Uniform(500, 8, 42)
+	// Pre-round to float32 so the golden data is representable exactly
+	// in both the float64 and any future packed load path.
+	for _, p := range pts {
+		for j := range p {
+			p[j] = float64(float32(p[j]))
+		}
+	}
+	if err := ix.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(7); err != nil { // one tombstone for slot coverage
+		t.Fatal(err)
+	}
+	f, err := os.Create("testdata/pre_slab_golden.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ix.Save(f); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,19 +25,25 @@ import (
 
 // BenchProfile sizes a benchmark run. Reps runs each workload several
 // times and keeps the fastest (best-of), damping scheduler noise.
+// Packed builds the measured indexes with Options.Packed (contiguous
+// float32 leaf slabs and batched distance kernels).
 type BenchProfile struct {
 	Name    string `json:"name"`
 	Points  int    `json:"points"`
 	Queries int    `json:"queries"`
 	K       int    `json:"k"`
 	Reps    int    `json:"reps"`
+	Packed  bool   `json:"packed,omitempty"`
 }
 
 // BenchProfiles are the named run sizes: "short" for the per-PR CI
-// gate, "full" for the recorded EXPERIMENTS.md numbers.
+// gate, "full" for the recorded EXPERIMENTS.md numbers, "scale" the
+// million-point packed-storage run whose latency percentiles gate the
+// slab kernels at a size where cache behavior actually shows.
 var BenchProfiles = map[string]BenchProfile{
 	"short": {Name: "short", Points: 6000, Queries: 48, K: 10, Reps: 3},
 	"full":  {Name: "full", Points: 40000, Queries: 200, K: 10, Reps: 5},
+	"scale": {Name: "scale", Points: 1_000_000, Queries: 32, K: 10, Reps: 2, Packed: true},
 }
 
 // BenchDisks is the disk configuration the harness measures — the
@@ -68,6 +74,15 @@ type BenchWorkload struct {
 	// timing-dependent on the parallel path (see CompareBench).
 	SearchPagesPerQuery float64 `json:"search_pages_per_query,omitempty"`
 	SavedPagesPerQuery  float64 `json:"saved_pages_per_query,omitempty"`
+	// LatencyP50Ns/P90Ns/P99Ns are wall-clock latency percentiles over
+	// every query of the workload (all reps pooled), read from the
+	// engine's QueryWallNs histogram. The histogram has power-of-two
+	// buckets, so each value is the upper edge of the bucket holding the
+	// percentile observation — coarse, but stable, which is what a
+	// regression gate wants.
+	LatencyP50Ns int64 `json:"latency_p50_ns,omitempty"`
+	LatencyP90Ns int64 `json:"latency_p90_ns,omitempty"`
+	LatencyP99Ns int64 `json:"latency_p99_ns,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_parsearch.json.
@@ -98,7 +113,7 @@ func RunBench(p BenchProfile, seed int64) (BenchReport, error) {
 	if p.Points < 1 || p.Queries < 1 || p.K < 1 || p.Reps < 1 {
 		return BenchReport{}, fmt.Errorf("exp: invalid bench profile %+v", p)
 	}
-	ix, err := parsearch.Open(parsearch.Options{Dim: benchDim, Disks: BenchDisks})
+	ix, err := parsearch.Open(parsearch.Options{Dim: benchDim, Disks: BenchDisks, Packed: p.Packed})
 	if err != nil {
 		return BenchReport{}, err
 	}
@@ -107,7 +122,7 @@ func RunBench(p BenchProfile, seed int64) (BenchReport, error) {
 	// deterministic, so the trees match and the two knn16 workloads
 	// traverse the same pages — minus what the shared bound prunes.
 	ixIndep, err := parsearch.Open(parsearch.Options{
-		Dim: benchDim, Disks: BenchDisks, DisableSharedBound: true})
+		Dim: benchDim, Disks: BenchDisks, Packed: p.Packed, DisableSharedBound: true})
 	if err != nil {
 		return BenchReport{}, err
 	}
@@ -253,6 +268,9 @@ func RunBench(p BenchProfile, seed int64) (BenchReport, error) {
 			Balance:             m.Balance,
 			SearchPagesPerQuery: float64(cost.search) / float64(w.ops),
 			SavedPagesPerQuery:  float64(cost.saved) / float64(w.ops),
+			LatencyP50Ns:        m.QueryWallNs.Quantile(0.50),
+			LatencyP90Ns:        m.QueryWallNs.Quantile(0.90),
+			LatencyP99Ns:        m.QueryWallNs.Quantile(0.99),
 		})
 	}
 	return report, nil
@@ -298,6 +316,14 @@ func CompareBench(baseline, current BenchReport, nsThreshold float64) []string {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: %.1f search pages/query vs baseline %.1f (bound pruning got weaker)",
 				b.Name, c.SearchPagesPerQuery, b.SearchPagesPerQuery))
+		}
+		// The latency percentiles live on power-of-two bucket edges, so
+		// they only move in 2x steps: allow one step of wall-clock noise
+		// and flag anything beyond (> 4x means at least two buckets up).
+		if b.LatencyP99Ns > 0 && c.LatencyP99Ns > 4*b.LatencyP99Ns {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: p99 latency %d ns vs baseline %d ns (more than two histogram buckets up)",
+				b.Name, c.LatencyP99Ns, b.LatencyP99Ns))
 		}
 	}
 	for _, c := range current.Workloads {

@@ -22,6 +22,7 @@ type Browser struct {
 	metric vec.Metric
 	queue  browseQueue
 	acc    Accounting
+	sc     scratch
 }
 
 // browseItem is either a tree node or a data entry, keyed by (squared)
@@ -84,12 +85,35 @@ func (b *Browser) Next() (Result, bool) {
 		}
 		b.acc.visit(item.node)
 		if item.node.IsLeaf() {
-			for _, e := range item.node.Entries() {
+			entries := item.node.Entries()
+			if s := item.node.PageSlab(); s != nil {
+				// Packed leaf: batch all entry distances in one kernel
+				// call; the values (and so the emission order) are
+				// bitwise identical to the scalar path. Browsing emits
+				// every entry eventually, so the SQ8 pre-filter does
+				// not apply here — exact distances are always needed.
+				out := b.sc.grow(s.Len())
+				s.DistsToPage(b.query, b.metric, out)
+				for i, e := range entries {
+					heap.Push(&b.queue, browseItem{entry: e, sqDist: out[i]})
+				}
+				continue
+			}
+			for _, e := range entries {
 				heap.Push(&b.queue, browseItem{entry: e, sqDist: b.metric.RankDist(b.query, e.Point)})
 			}
 			continue
 		}
-		for _, c := range item.node.Children() {
+		children := item.node.Children()
+		if rs := item.node.ChildRects(); rs != nil {
+			out := b.sc.grow(rs.Len())
+			rs.MinDistsToPage(b.query, b.metric, out)
+			for i, c := range children {
+				heap.Push(&b.queue, browseItem{node: c, sqDist: out[i]})
+			}
+			continue
+		}
+		for _, c := range children {
 			heap.Push(&b.queue, browseItem{node: c, sqDist: b.metric.RankMinDist(c.Rect(), b.query)})
 		}
 	}

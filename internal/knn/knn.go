@@ -35,6 +35,9 @@ type Accounting struct {
 	// PageAccesses counts disk blocks: every visited node costs its
 	// supernode multiplier.
 	PageAccesses int
+	// DistCompsSkipped counts exact distance computations the SQ8
+	// pre-filter proved unnecessary (0 without quantization).
+	DistCompsSkipped int
 }
 
 // Add accumulates another query's accounting into a — the aggregation
@@ -43,6 +46,7 @@ func (a *Accounting) Add(o Accounting) {
 	a.DirAccesses += o.DirAccesses
 	a.LeafAccesses += o.LeafAccesses
 	a.PageAccesses += o.PageAccesses
+	a.DistCompsSkipped += o.DistCompsSkipped
 }
 
 func (a *Accounting) visit(n *xtree.Node) {
@@ -163,6 +167,7 @@ func HSMetric(t *xtree.Tree, q vec.Point, k int, m vec.Metric) ([]Result, Accoun
 	if t.Root() == nil {
 		return nil, acc
 	}
+	var sc scratch
 	pq := nodeQueue{{node: t.Root(), sqMinDist: m.RankMinDist(t.Root().Rect(), q)}}
 	for len(pq) > 0 {
 		item := heap.Pop(&pq).(nodeItem)
@@ -172,16 +177,10 @@ func HSMetric(t *xtree.Tree, q vec.Point, k int, m vec.Metric) ([]Result, Accoun
 		n := item.node
 		acc.visit(n)
 		if n.IsLeaf() {
-			for _, e := range n.Entries() {
-				best.offer(e, m.RankDist(q, e.Point))
-			}
+			acc.DistCompsSkipped += scanLeaf(n, q, m, &best, &sc)
 			continue
 		}
-		for _, c := range n.Children() {
-			if d := m.RankMinDist(c.Rect(), q); d <= best.bound() {
-				heap.Push(&pq, nodeItem{node: c, sqMinDist: d})
-			}
-		}
+		pushChildren(&pq, n, q, m, best.bound(), &sc)
 	}
 	return best.results(), acc
 }
@@ -199,13 +198,12 @@ func RKV(t *xtree.Tree, q vec.Point, k int) ([]Result, Accounting) {
 	if t.Root() == nil {
 		return nil, acc
 	}
+	var sc scratch
 	var visit func(n *xtree.Node)
 	visit = func(n *xtree.Node) {
 		acc.visit(n)
 		if n.IsLeaf() {
-			for _, e := range n.Entries() {
-				best.offer(e, vec.SqDist(q, e.Point))
-			}
+			acc.DistCompsSkipped += scanLeaf(n, q, vec.L2, &best, &sc)
 			return
 		}
 		children := n.Children()

@@ -108,6 +108,7 @@ func HSShared(t *xtree.Tree, q vec.Point, k int, m vec.Metric, b *Bound, onTight
 	if t.Root() == nil {
 		return nil, acc, ss
 	}
+	var sc scratch
 	pq := nodeQueue{{node: t.Root(), sqMinDist: m.RankMinDist(t.Root().Rect(), q)}}
 	phantom := false
 	for len(pq) > 0 {
@@ -125,8 +126,16 @@ func HSShared(t *xtree.Tree, q vec.Point, k int, m vec.Metric, b *Bound, onTight
 			acc.visit(n)
 		}
 		if n.IsLeaf() {
-			for _, e := range n.Entries() {
-				best.offer(e, m.RankDist(q, e.Point))
+			// The SQ8 skip decisions depend only on the local candidate
+			// stream (best.bound()), which phantom mode preserves, so
+			// charging phantom skips to Saved keeps the exact-sum
+			// invariant: acc + Saved equals the independent search's
+			// accounting field for field.
+			skipped := scanLeaf(n, q, m, &best, &sc)
+			if phantom {
+				ss.Saved.DistCompsSkipped += skipped
+			} else {
+				acc.DistCompsSkipped += skipped
 			}
 			if !phantom {
 				if d := best.bound(); !math.IsInf(d, 1) && b.Tighten(d) {
@@ -138,11 +147,7 @@ func HSShared(t *xtree.Tree, q vec.Point, k int, m vec.Metric, b *Bound, onTight
 			}
 			continue
 		}
-		for _, c := range n.Children() {
-			if d := m.RankMinDist(c.Rect(), q); d <= best.bound() {
-				heap.Push(&pq, nodeItem{node: c, sqMinDist: d})
-			}
-		}
+		pushChildren(&pq, n, q, m, best.bound(), &sc)
 	}
 	return best.results(), acc, ss
 }

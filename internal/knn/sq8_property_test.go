@@ -1,0 +1,73 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"parsearch/internal/vec"
+	"parsearch/internal/xtree"
+)
+
+// TestSQ8PropertyEquivalence is the SQ8 property battery: on 1000
+// seeded random instances (dimension, size, metric, k all varied), the
+// quantized pre-filter plus exact re-ranking must return results
+// identical to the unquantized packed path — same neighbors, same
+// distances, same tie-breaks, same page accounting — while actually
+// skipping exact distance computations somewhere across the batch. The
+// skips may not change page visits: the pre-filter only replaces exact
+// distance computations inside leaves the search visits anyway.
+func TestSQ8PropertyEquivalence(t *testing.T) {
+	metrics := []vec.Metric{vec.L2, vec.L1, vec.LInf}
+	totalSkipped := 0
+	for inst := 0; inst < 1000; inst++ {
+		r := rand.New(rand.NewSource(int64(inst)))
+		dim := 2 + r.Intn(7)
+		n := 40 + r.Intn(160)
+		m := metrics[inst%len(metrics)]
+
+		cfg := xtree.DefaultConfig(dim)
+		cfg.Packed = true
+		packed := xtree.New(cfg)
+		qcfg := cfg
+		qcfg.Quantize = true
+		quant := xtree.New(qcfg)
+		for i := 0; i < n; i++ {
+			p := make(vec.Point, dim)
+			for j := range p {
+				p[j] = float64(float32(r.Float64() * 10))
+			}
+			packed.Insert(p, i)
+			quant.Insert(p, i)
+		}
+		q := make(vec.Point, dim)
+		for j := range q {
+			q[j] = float64(float32(r.Float64() * 10))
+		}
+		k := 1 + r.Intn(8)
+
+		want, wantAcc := HSMetric(packed, q, k, m)
+		got, gotAcc := HSMetric(quant, q, k, m)
+		if len(got) != len(want) {
+			t.Fatalf("inst %d (dim=%d n=%d m=%v k=%d): %d results, want %d",
+				inst, dim, n, m, k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Entry.ID != want[i].Entry.ID || got[i].Dist != want[i].Dist {
+				t.Fatalf("inst %d (dim=%d n=%d m=%v k=%d) result %d: got ID=%d d=%v, want ID=%d d=%v",
+					inst, dim, n, m, k, i, got[i].Entry.ID, got[i].Dist, want[i].Entry.ID, want[i].Dist)
+			}
+		}
+		if gotAcc.PageAccesses != wantAcc.PageAccesses ||
+			gotAcc.LeafAccesses != wantAcc.LeafAccesses ||
+			gotAcc.DirAccesses != wantAcc.DirAccesses {
+			t.Fatalf("inst %d: page accounting differs: quantized %+v, packed %+v", inst, gotAcc, wantAcc)
+		}
+		if wantAcc.DistCompsSkipped != 0 {
+			t.Fatalf("inst %d: unquantized tree skipped %d distance comps", inst, wantAcc.DistCompsSkipped)
+		}
+		totalSkipped += gotAcc.DistCompsSkipped
+	}
+	if totalSkipped == 0 {
+		t.Fatal("SQ8 pre-filter never skipped an exact distance computation across 1000 instances")
+	}
+}

@@ -56,6 +56,7 @@ func (r *Registry) Install(s Snapshot) error {
 		{"search_pages", s.SearchPages, &r.SearchPages},
 		{"pages_saved_by_bound", s.PagesSavedByBound, &r.PagesSavedByBound},
 		{"bound_tightenings", s.BoundTightenings, &r.BoundTightenings},
+		{"dist_comps_saved", s.DistCompsSaved, &r.DistCompsSaved},
 	}
 	for _, c := range scalars {
 		if err := nonNegative(c.name, c.v); err != nil {
@@ -88,8 +89,13 @@ func (r *Registry) Install(s Snapshot) error {
 	}{
 		{"query_pages", s.QueryPages, &r.QueryPages},
 		{"query_time_ns", s.QueryTimeNs, &r.QueryTimeNs},
+		{"query_wall_ns", s.QueryWallNs, &r.QueryWallNs},
 	}
 	for _, h := range hists {
+		if h.s.Buckets == nil && h.s.Count == 0 && h.s.Sum == 0 {
+			// Histogram absent from an older document: installs as zeros.
+			continue
+		}
 		if len(h.s.Buckets) != HistBuckets {
 			return fmt.Errorf("metrics: %s has %d buckets, want %d",
 				h.name, len(h.s.Buckets), HistBuckets)
@@ -122,7 +128,11 @@ func (r *Registry) Install(s Snapshot) error {
 	for _, h := range hists {
 		h.dst.count.Store(h.s.Count)
 		h.dst.sum.Store(h.s.Sum)
-		for i, v := range h.s.Buckets {
+		for i := range h.dst.buckets {
+			var v int64
+			if i < len(h.s.Buckets) {
+				v = h.s.Buckets[i]
+			}
 			h.dst.buckets[i].Store(v)
 		}
 	}

@@ -191,6 +191,11 @@ type Registry struct {
 	PagesSavedByBound Counter
 	BoundTightenings  Counter
 
+	// DistCompsSaved counts the exact distance computations the SQ8
+	// pre-filter of packed quantized indexes skipped
+	// (QueryStats.DistCompsSaved).
+	DistCompsSaved Counter
+
 	// PagesPerDisk accumulates the blocks charged to each disk;
 	// ServiceTimePerDisk the simulated service time (nanoseconds) each
 	// disk spent — the per-disk balance view of the paper's cost model.
@@ -198,9 +203,12 @@ type Registry struct {
 	ServiceTimePerDisk *PerDisk
 
 	// QueryPages observes each query's total page count; QueryTimeNs
-	// each query's simulated parallel time in nanoseconds.
+	// each query's simulated parallel time in nanoseconds; QueryWallNs
+	// each query's real wall-clock latency in nanoseconds (the source
+	// of the bench harness's latency percentiles).
 	QueryPages  Histogram
 	QueryTimeNs Histogram
+	QueryWallNs Histogram
 }
 
 // NewRegistry returns an empty registry for an index over disks disks.
@@ -237,6 +245,7 @@ type Snapshot struct {
 	SearchPages       int64 `json:"search_pages"`
 	PagesSavedByBound int64 `json:"pages_saved_by_bound"`
 	BoundTightenings  int64 `json:"bound_tightenings"`
+	DistCompsSaved    int64 `json:"dist_comps_saved"`
 
 	PagesPerDisk         []int64 `json:"pages_per_disk"`
 	ServiceTimePerDiskNs []int64 `json:"service_time_per_disk_ns"`
@@ -250,6 +259,7 @@ type Snapshot struct {
 
 	QueryPages  HistogramSnapshot `json:"query_pages"`
 	QueryTimeNs HistogramSnapshot `json:"query_time_ns"`
+	QueryWallNs HistogramSnapshot `json:"query_wall_ns"`
 }
 
 // BalanceCoefficient computes mean/max over per-disk loads: 1.0 is a
@@ -289,30 +299,34 @@ func (r *Registry) Snapshot() Snapshot {
 		SearchPages:       r.SearchPages.Value(),
 		PagesSavedByBound: r.PagesSavedByBound.Value(),
 		BoundTightenings:  r.BoundTightenings.Value(),
+		DistCompsSaved:    r.DistCompsSaved.Value(),
 
 		PagesPerDisk:         r.PagesPerDisk.Values(),
 		ServiceTimePerDiskNs: r.ServiceTimePerDisk.Values(),
 
 		QueryPages:  r.QueryPages.Snapshot(),
 		QueryTimeNs: r.QueryTimeNs.Snapshot(),
+		QueryWallNs: r.QueryWallNs.Snapshot(),
 	}
 	s.Balance = BalanceCoefficient(s.PagesPerDisk)
 	return s
 }
 
 // The binary encoding: a magic+version prefix, the disk count, the
-// scalar counters in a fixed order, the per-disk arrays, and the two
+// scalar counters in a fixed order, the per-disk arrays, and the
 // histograms. Everything is little-endian int64s, so the format is
 // fixed-length for a given disk count and version.
 //
-// Version history: v1 had 12 scalar counters; v2 appended the three
-// cooperative-pruning counters. Decoding accepts both (a v1 encoding
-// leaves the newer counters zero), encoding always writes the current
-// version.
+// Version history: v1 had 12 scalar counters and 2 histograms; v2
+// appended the three cooperative-pruning counters; v3 appended the
+// DistCompsSaved counter and the QueryWallNs histogram. Decoding
+// accepts all of them (older encodings leave the newer fields zero),
+// encoding always writes the current version.
 const (
 	codecMagic     = uint32(0x4d545231) // "MTR1"
-	codecVersion   = uint32(2)
+	codecVersion   = uint32(3)
 	codecV1Scalars = 12
+	codecV2Scalars = 15
 )
 
 // scalars lists the scalar counters in encoding order. Append-only:
@@ -324,7 +338,14 @@ func (r *Registry) scalars() []*Counter {
 		&r.PagesRead, &r.CellsVisited, &r.NodeVisits,
 		&r.Retries, &r.Rerouted, &r.Unreachable,
 		&r.SearchPages, &r.PagesSavedByBound, &r.BoundTightenings,
+		&r.DistCompsSaved,
 	}
+}
+
+// histograms lists the histograms in encoding order, append-only like
+// scalars (v1/v2 encoded only the first two).
+func (r *Registry) histograms() []*Histogram {
+	return []*Histogram{&r.QueryPages, &r.QueryTimeNs, &r.QueryWallNs}
 }
 
 // MarshalBinary encodes the registry's current values.
@@ -342,7 +363,7 @@ func (r *Registry) MarshalBinary() ([]byte, error) {
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
 		}
 	}
-	for _, h := range []*Histogram{&r.QueryPages, &r.QueryTimeNs} {
+	for _, h := range r.histograms() {
 		s := h.Snapshot()
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Count))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Sum))
@@ -405,7 +426,7 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	if version != 1 && version != codecVersion {
+	if version < 1 || version > codecVersion {
 		return fmt.Errorf("metrics: unsupported encoding version %d", version)
 	}
 	disks, err := d.u32()
@@ -418,8 +439,11 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 
 	scalars := r.scalars()
 	encoded := len(scalars)
-	if version == 1 {
+	switch version {
+	case 1:
 		encoded = codecV1Scalars
+	case 2:
+		encoded = codecV2Scalars
 	}
 	vals := make([]int64, len(scalars))
 	for i := 0; i < encoded; i++ {
@@ -450,7 +474,11 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 		count, sum int64
 		buckets    []int64
 	}
-	hists := make([]histVals, 2)
+	encodedHists := len(r.histograms())
+	if version < 3 {
+		encodedHists = 2
+	}
+	hists := make([]histVals, encodedHists)
 	for h := range hists {
 		var hv histVals
 		if hv.count, err = d.i64(); err != nil {
@@ -503,7 +531,16 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 			dst.vals[i].Store(v)
 		}
 	}
-	for h, dst := range []*Histogram{&r.QueryPages, &r.QueryTimeNs} {
+	for h, dst := range r.histograms() {
+		if h >= len(hists) {
+			// Histogram absent from an older encoding: reset to zero.
+			dst.count.Store(0)
+			dst.sum.Store(0)
+			for i := range dst.buckets {
+				dst.buckets[i].Store(0)
+			}
+			continue
+		}
 		dst.count.Store(hists[h].count)
 		dst.sum.Store(hists[h].sum)
 		for i, v := range hists[h].buckets {

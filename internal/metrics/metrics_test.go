@@ -177,16 +177,19 @@ func TestUnmarshalVersion1(t *testing.T) {
 	r.PagesSavedByBound.Add(66)
 	r.BoundTightenings.Add(7)
 
-	v2, err := r.MarshalBinary()
+	v3, err := r.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Hand-build the v1 encoding: same header with version 1, the first
-	// codecV1Scalars counters, then everything after the scalar block.
+	// codecV1Scalars counters, then everything after the scalar block
+	// minus the third histogram (v1 carried only two).
 	const header = 12
-	v1 := append([]byte{}, v2[:header+codecV1Scalars*8]...)
+	const histBlock = 8 + 8 + 4 + HistBuckets*8
+	v1 := append([]byte{}, v3[:header+codecV1Scalars*8]...)
 	binary.LittleEndian.PutUint32(v1[4:], 1)
-	v1 = append(v1, v2[header+len(r.scalars())*8:]...)
+	tail := v3[header+len(r.scalars())*8 : len(v3)-histBlock]
+	v1 = append(v1, tail...)
 
 	fresh := NewRegistry(2)
 	if err := fresh.UnmarshalBinary(v1); err != nil {
@@ -210,10 +213,52 @@ func TestUnmarshalVersion1(t *testing.T) {
 
 	// A v1 blob that still carries the full scalar block has trailing
 	// bytes from the v1 reader's point of view: rejected, not guessed at.
-	tooLong := append([]byte{}, v2...)
+	tooLong := append([]byte{}, v3...)
 	binary.LittleEndian.PutUint32(tooLong[4:], 1)
 	if err := NewRegistry(2).UnmarshalBinary(tooLong); err == nil {
 		t.Fatal("v1 header with v2 payload accepted")
+	}
+}
+
+// TestUnmarshalVersion2 decodes a version-2 encoding (15 scalars, two
+// histograms, before DistCompsSaved and QueryWallNs): the prefix
+// decodes one-to-one and the v3 additions stay zero.
+func TestUnmarshalVersion2(t *testing.T) {
+	r := NewRegistry(2)
+	r.QueriesKNN.Add(3)
+	r.SearchPages.Add(555)
+	r.PagesSavedByBound.Add(66)
+	r.BoundTightenings.Add(7)
+	r.QueryPages.Observe(42)
+	r.QueryTimeNs.Observe(9000)
+	// v3-only fields, deliberately non-zero so the splice proves they
+	// are dropped from a v2 blob.
+	r.DistCompsSaved.Add(123)
+	r.QueryWallNs.Observe(5e6)
+
+	v3, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const header = 12
+	const histBlock = 8 + 8 + 4 + HistBuckets*8
+	v2 := append([]byte{}, v3[:header+codecV2Scalars*8]...)
+	binary.LittleEndian.PutUint32(v2[4:], 2)
+	v2 = append(v2, v3[header+len(r.scalars())*8:len(v3)-histBlock]...)
+
+	fresh := NewRegistry(2)
+	if err := fresh.UnmarshalBinary(v2); err != nil {
+		t.Fatalf("v2 decode: %v", err)
+	}
+	s := fresh.Snapshot()
+	if s.QueriesKNN != 3 || s.SearchPages != 555 || s.PagesSavedByBound != 66 || s.BoundTightenings != 7 {
+		t.Fatalf("v2 prefix mismatch: %+v", s)
+	}
+	if s.QueryPages.Count != 1 || s.QueryTimeNs.Count != 1 {
+		t.Fatalf("v2 histograms lost: %+v", s)
+	}
+	if s.DistCompsSaved != 0 || s.QueryWallNs.Count != 0 {
+		t.Fatalf("v2 decode left v3 fields non-zero: %+v", s)
 	}
 }
 

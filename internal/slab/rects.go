@@ -1,0 +1,127 @@
+package slab
+
+import (
+	"math"
+
+	"parsearch/internal/vec"
+)
+
+// RectSlab is the packed form of a directory page: the n child MBRs
+// stored as dimension-major float32 min/max columns, so the batched
+// MINDIST kernel streams two contiguous columns per dimension. MBR
+// coordinates are coordinates of stored points, which packed mode rounds
+// to float32 at ingest, so the float32 copy is lossless and the batched
+// MINDIST matches vec.Metric.RankMinDist bit for bit.
+type RectSlab struct {
+	dim, n   int
+	min, max []float32
+}
+
+// BuildRects packs the given rectangles (all of dimension dim). Returns
+// nil for an empty input.
+func BuildRects(dim int, rects []vec.Rect) *RectSlab {
+	n := len(rects)
+	if n == 0 {
+		return nil
+	}
+	rs := &RectSlab{dim: dim, n: n,
+		min: make([]float32, dim*n), max: make([]float32, dim*n)}
+	for j := 0; j < dim; j++ {
+		minCol := rs.min[j*n : (j+1)*n]
+		maxCol := rs.max[j*n : (j+1)*n]
+		for i := range rects {
+			minCol[i] = float32(rects[i].Min[j])
+			maxCol[i] = float32(rects[i].Max[j])
+		}
+	}
+	return rs
+}
+
+// Len returns the number of rectangles in the slab.
+func (rs *RectSlab) Len() int { return rs.n }
+
+// RectAt writes rectangle i's bounds (widened to float64) into min and
+// max, which must have length Dim. Used by invariant checks to compare
+// the packed copy against the source rectangles.
+func (rs *RectSlab) RectAt(i int, min, max []float64) {
+	for j := 0; j < rs.dim; j++ {
+		min[j] = float64(rs.min[j*rs.n+i])
+		max[j] = float64(rs.max[j*rs.n+i])
+	}
+}
+
+// MinDistsToPage computes the rank MINDIST (vec.Metric.RankMinDist) from
+// q to every rectangle of the page into out[:rs.Len()], accumulating per
+// rectangle in ascending dimension order exactly like the scalar kernel.
+func (rs *RectSlab) MinDistsToPage(q vec.Point, m vec.Metric, out []float64) {
+	n := rs.n
+	out = out[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	switch m {
+	case vec.L2:
+		for j := 0; j < rs.dim; j++ {
+			qj := q[j]
+			minCol := rs.min[j*n : (j+1)*n]
+			maxCol := rs.max[j*n : (j+1)*n]
+			for i := range minCol {
+				switch lo, hi := float64(minCol[i]), float64(maxCol[i]); {
+				case qj < lo:
+					d := lo - qj
+					out[i] += d * d
+				case qj > hi:
+					d := qj - hi
+					out[i] += d * d
+				}
+			}
+		}
+	case vec.L1:
+		for j := 0; j < rs.dim; j++ {
+			qj := q[j]
+			minCol := rs.min[j*n : (j+1)*n]
+			maxCol := rs.max[j*n : (j+1)*n]
+			for i := range minCol {
+				switch lo, hi := float64(minCol[i]), float64(maxCol[i]); {
+				case qj < lo:
+					out[i] += lo - qj
+				case qj > hi:
+					out[i] += qj - hi
+				}
+			}
+		}
+	case vec.LInf:
+		for j := 0; j < rs.dim; j++ {
+			qj := q[j]
+			minCol := rs.min[j*n : (j+1)*n]
+			maxCol := rs.max[j*n : (j+1)*n]
+			for i := range minCol {
+				var d float64
+				switch lo, hi := float64(minCol[i]), float64(maxCol[i]); {
+				case qj < lo:
+					d = lo - qj
+				case qj > hi:
+					d = qj - hi
+				}
+				if d > out[i] {
+					out[i] = d
+				}
+			}
+		}
+	default:
+		panic("slab: unknown metric")
+	}
+}
+
+// Representable reports whether every coordinate of p survives a
+// float64→float32→float64 round trip, i.e. satisfies packed mode's
+// rounding-at-ingest contract. NaN coordinates are representable (NaN
+// round-trips to NaN).
+func Representable(p vec.Point) bool {
+	for _, x := range p {
+		if float64(float32(x)) != x && !math.IsNaN(x) {
+			return false
+		}
+	}
+	return true
+}

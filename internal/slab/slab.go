@@ -1,0 +1,275 @@
+// Package slab implements the packed storage layout of the engine: one
+// contiguous float32 slab per X-tree page, laid out dimension-major, with
+// batched distance kernels that compute all distances of a page in one
+// tight loop, plus an optional 8-bit scalar quantization (SQ8) side table
+// whose per-point lower bounds let k-NN skip exact distance computations.
+//
+// Exactness contract: packed mode rounds every coordinate to float32 at
+// ingest, so the float64 value stored in the tree is float32-representable
+// and the slab's float32 copy is lossless. The batched kernels widen each
+// float32 back to float64 and accumulate per point in ascending dimension
+// order — the same floating-point operation sequence as the scalar
+// vec.Metric.RankDist — so batched and scalar distances are bitwise
+// identical, and the packed engine returns byte-identical results to the
+// float64 reference path.
+package slab
+
+import (
+	"math"
+
+	"parsearch/internal/vec"
+)
+
+// lbShave is the relative safety margin applied to SQ8 lower bounds.
+// The per-dimension reconstruction error is measured exactly at encode
+// time (errMax), but the query-time bound arithmetic itself rounds; the
+// accumulated relative error over <= MaxDim dimensions is O(d*eps) ~
+// 1e-14, so shaving 1e-9 keeps the computed bound strictly below the
+// computed exact distance whenever the true bound is below the true
+// distance. See DESIGN.md "Packed storage" for the proof sketch.
+const lbShave = 1e-9
+
+// Slab is the packed payload of one leaf page: n points of dimension dim
+// stored dimension-major (coordinate j of point i at data[j*n+i]), so
+// the batched kernels stream each dimension's column contiguously. When
+// built with quantization it additionally carries SQ8 codes (same
+// layout) with per-dimension affine decode parameters and the measured
+// maximum reconstruction error. A Slab is immutable after Build; leaf
+// mutations rebuild the slab.
+type Slab struct {
+	dim, n int
+	data   []float32
+
+	// SQ8 side table (nil codes when not quantized). A coordinate v in
+	// dimension j decodes as off[j] + float64(code)*scale[j]; the true
+	// value differs from the decoded one by at most errMax[j] (measured,
+	// not estimated, during encode).
+	codes  []uint8
+	off    []float64
+	scale  []float64
+	errMax []float64
+}
+
+// Build packs the given points (all of dimension dim, coordinates
+// float32-representable) into a slab. With quantize it also encodes the
+// SQ8 side table. Build(_, nil/empty, _) returns nil.
+func Build(dim int, pts []vec.Point, quantize bool) *Slab {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	s := &Slab{dim: dim, n: n, data: make([]float32, dim*n)}
+	for j := 0; j < dim; j++ {
+		col := s.data[j*n : (j+1)*n]
+		for i, p := range pts {
+			col[i] = float32(p[j])
+		}
+	}
+	if quantize {
+		s.encodeSQ8(pts)
+	}
+	return s
+}
+
+// encodeSQ8 fills the slab's quantization side table from the source
+// points. Codes map [min, max] of each dimension affinely onto 0..255;
+// constant dimensions get scale 0 and decode exactly.
+func (s *Slab) encodeSQ8(pts []vec.Point) {
+	dim, n := s.dim, s.n
+	s.codes = make([]uint8, dim*n)
+	s.off = make([]float64, dim)
+	s.scale = make([]float64, dim)
+	s.errMax = make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		lo, hi := pts[0][j], pts[0][j]
+		for _, p := range pts[1:] {
+			if p[j] < lo {
+				lo = p[j]
+			}
+			if p[j] > hi {
+				hi = p[j]
+			}
+		}
+		s.off[j] = lo
+		s.scale[j] = (hi - lo) / 255
+		col := s.codes[j*n : (j+1)*n]
+		for i, p := range pts {
+			var code float64
+			if s.scale[j] > 0 {
+				code = math.Round((p[j] - lo) / s.scale[j])
+				if code < 0 {
+					code = 0
+				} else if code > 255 {
+					code = 255
+				}
+			}
+			col[i] = uint8(code)
+			// Measure the actual reconstruction error with the exact
+			// decode formula the query path uses, so errMax is a true
+			// bound by construction rather than an estimate.
+			dec := s.off[j] + code*s.scale[j]
+			if e := math.Abs(p[j] - dec); e > s.errMax[j] {
+				s.errMax[j] = e
+			}
+		}
+	}
+}
+
+// Len returns the number of points in the slab.
+func (s *Slab) Len() int { return s.n }
+
+// Dim returns the dimensionality of the slab's points.
+func (s *Slab) Dim() int { return s.dim }
+
+// Quantized reports whether the slab carries an SQ8 side table.
+func (s *Slab) Quantized() bool { return s.codes != nil }
+
+// DistsToPage computes the rank distance (vec.Metric.RankDist) from q to
+// every point of the page into out[:s.Len()], one dimension-major pass
+// per dimension. The per-point accumulation order is ascending dimension
+// order, matching the scalar kernels bit for bit.
+func (s *Slab) DistsToPage(q vec.Point, m vec.Metric, out []float64) {
+	n := s.n
+	out = out[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	switch m {
+	case vec.L2:
+		for j := 0; j < s.dim; j++ {
+			qj := q[j]
+			col := s.data[j*n : (j+1)*n]
+			for i, v := range col {
+				d := qj - float64(v)
+				out[i] += d * d
+			}
+		}
+	case vec.L1:
+		for j := 0; j < s.dim; j++ {
+			qj := q[j]
+			col := s.data[j*n : (j+1)*n]
+			for i, v := range col {
+				out[i] += math.Abs(qj - float64(v))
+			}
+		}
+	case vec.LInf:
+		for j := 0; j < s.dim; j++ {
+			qj := q[j]
+			col := s.data[j*n : (j+1)*n]
+			for i, v := range col {
+				if d := math.Abs(qj - float64(v)); d > out[i] {
+					out[i] = d
+				}
+			}
+		}
+	default:
+		panic("slab: unknown metric")
+	}
+}
+
+// DistTo computes the rank distance from q to point i alone (strided
+// column access), bitwise identical to the batched kernel's out[i]. The
+// SQ8 path uses it to re-rank exactly the points its pre-filter kept.
+func (s *Slab) DistTo(i int, q vec.Point, m vec.Metric) float64 {
+	n := s.n
+	switch m {
+	case vec.L2:
+		var sum float64
+		for j := 0; j < s.dim; j++ {
+			d := q[j] - float64(s.data[j*n+i])
+			sum += d * d
+		}
+		return sum
+	case vec.L1:
+		var sum float64
+		for j := 0; j < s.dim; j++ {
+			sum += math.Abs(q[j] - float64(s.data[j*n+i]))
+		}
+		return sum
+	case vec.LInf:
+		var sum float64
+		for j := 0; j < s.dim; j++ {
+			if d := math.Abs(q[j] - float64(s.data[j*n+i])); d > sum {
+				sum = d
+			}
+		}
+		return sum
+	default:
+		panic("slab: unknown metric")
+	}
+}
+
+// LowerBounds computes, from the SQ8 codes alone, a lower bound on the
+// rank distance from q to every point into out[:s.Len()]. The bound is
+// sound: out[i] <= DistTo(i, q, m) always holds (see lbShave), so a
+// point whose bound exceeds the current kth-best distance can be skipped
+// without computing its exact distance. Panics when the slab is not
+// quantized.
+func (s *Slab) LowerBounds(q vec.Point, m vec.Metric, out []float64) {
+	if s.codes == nil {
+		panic("slab: LowerBounds on unquantized slab")
+	}
+	n := s.n
+	out = out[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	switch m {
+	case vec.L2:
+		for j := 0; j < s.dim; j++ {
+			qj, off, sc, em := q[j], s.off[j], s.scale[j], s.errMax[j]
+			col := s.codes[j*n : (j+1)*n]
+			for i, c := range col {
+				if d := math.Abs(qj-(off+float64(c)*sc)) - em; d > 0 {
+					out[i] += d * d
+				}
+			}
+		}
+	case vec.L1:
+		for j := 0; j < s.dim; j++ {
+			qj, off, sc, em := q[j], s.off[j], s.scale[j], s.errMax[j]
+			col := s.codes[j*n : (j+1)*n]
+			for i, c := range col {
+				if d := math.Abs(qj-(off+float64(c)*sc)) - em; d > 0 {
+					out[i] += d
+				}
+			}
+		}
+	case vec.LInf:
+		for j := 0; j < s.dim; j++ {
+			qj, off, sc, em := q[j], s.off[j], s.scale[j], s.errMax[j]
+			col := s.codes[j*n : (j+1)*n]
+			for i, c := range col {
+				if d := math.Abs(qj-(off+float64(c)*sc)) - em; d > out[i] {
+					out[i] = d
+				}
+			}
+		}
+	default:
+		panic("slab: unknown metric")
+	}
+	for i := range out {
+		out[i] -= out[i] * lbShave
+	}
+}
+
+// InRect reports, for every point of the page, whether it lies inside
+// [min, max] (boundary inclusive, like vec.Rect.Contains) into
+// out[:s.Len()].
+func (s *Slab) InRect(min, max vec.Point, out []bool) {
+	n := s.n
+	out = out[:n]
+	for i := range out {
+		out[i] = true
+	}
+	for j := 0; j < s.dim; j++ {
+		lo, hi := min[j], max[j]
+		col := s.data[j*n : (j+1)*n]
+		for i, v := range col {
+			f := float64(v)
+			if f < lo || f > hi {
+				out[i] = false
+			}
+		}
+	}
+}

@@ -55,6 +55,9 @@ func (t *Tree) BulkLoad(entries []Entry) {
 		level = next
 	}
 	t.root = level[0]
+	if t.cfg.Packed {
+		t.packSubtree(t.root)
+	}
 }
 
 // BulkLoadGrouped builds the tree like BulkLoad but with the guarantee
@@ -108,6 +111,9 @@ func (t *Tree) BulkLoadGrouped(groups [][]Entry) {
 		level = next
 	}
 	t.root = level[0]
+	if t.cfg.Packed {
+		t.packSubtree(t.root)
+	}
 }
 
 // partitionEntries recursively splits entries into groups of at most cap,

@@ -38,6 +38,9 @@ func (t *Tree) Delete(p vec.Point, id int) bool {
 			t.root = t.root.children[0]
 		}
 	}
+	if t.cfg.Packed && t.root != nil {
+		t.refreshPacked(t.root)
+	}
 
 	// Reinsert entries orphaned by dissolved nodes.
 	for _, e := range orphans {
@@ -53,6 +56,7 @@ func (t *Tree) remove(n *Node, p vec.Point, id int, orphans *[]Entry) bool {
 	if n.leaf {
 		for i, e := range n.entries {
 			if e.ID == id && vec.Equal(e.Point, p) {
+				n.packDirty = true
 				n.entries = append(n.entries[:i], n.entries[i+1:]...)
 				if len(n.entries) > 0 {
 					n.recomputeRect()
@@ -69,6 +73,7 @@ func (t *Tree) remove(n *Node, p vec.Point, id int, orphans *[]Entry) bool {
 		if !t.remove(c, p, id, orphans) {
 			continue
 		}
+		n.packDirty = true
 		if t.underfull(c) {
 			// Dissolve the child: collect its entries for
 			// reinsertion and drop it.

@@ -15,10 +15,28 @@ func (t *Tree) RangeSearch(r vec.Rect) ([]Entry, int) {
 	}
 	var out []Entry
 	accesses := 0
+	var hits []bool // packed-mode scratch, grown to the largest leaf
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		accesses++
 		if n.leaf {
+			if s := n.slab; s != nil {
+				// Packed leaf: one batched containment pass over the
+				// slab columns instead of per-entry Contains calls.
+				// Identical semantics (boundary inclusive, float32
+				// values are the stored float64 values exactly).
+				if cap(hits) < s.Len() {
+					hits = make([]bool, s.Len())
+				}
+				hits = hits[:s.Len()]
+				s.InRect(r.Min, r.Max, hits)
+				for i, in := range hits {
+					if in {
+						out = append(out, n.entries[i])
+					}
+				}
+				return
+			}
 			for _, e := range n.entries {
 				if r.Contains(e.Point) {
 					out = append(out, e)
@@ -151,6 +169,9 @@ func (t *Tree) CheckInvariants() error {
 	}
 	if count != t.size {
 		return fmt.Errorf("xtree: %d entries found, size says %d", count, t.size)
+	}
+	if t.cfg.Packed {
+		return t.checkPacked(t.root)
 	}
 	return nil
 }

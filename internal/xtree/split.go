@@ -19,7 +19,7 @@ func (t *Tree) splitLeaf(n *Node) *Node {
 	copy(right, n.entries[k:])
 	n.entries = n.entries[:k]
 
-	sibling := &Node{leaf: true, entries: right, super: 1}
+	sibling := &Node{leaf: true, entries: right, super: 1, packDirty: true}
 	n.history |= 1 << uint(axis)
 	sibling.history = n.history
 	n.recomputeRect()
@@ -170,7 +170,7 @@ func (t *Tree) finishDirSplit(n *Node, k, axis int) *Node {
 	copy(right, n.children[k:])
 	n.children = n.children[:k]
 
-	sibling := &Node{leaf: false, children: right, super: superFor(len(right), t.cfg.DirCapacity)}
+	sibling := &Node{leaf: false, children: right, super: superFor(len(right), t.cfg.DirCapacity), packDirty: true}
 	n.super = superFor(len(n.children), t.cfg.DirCapacity)
 	n.history |= 1 << uint(axis)
 	sibling.history = n.history

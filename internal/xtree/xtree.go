@@ -19,6 +19,7 @@ package xtree
 import (
 	"fmt"
 
+	"parsearch/internal/slab"
 	"parsearch/internal/vec"
 )
 
@@ -52,6 +53,13 @@ type Config struct {
 	// overlap-minimal split for the split to count as balanced
 	// (X-tree paper: 0.35).
 	MinFanout float64
+	// Packed maintains a contiguous float32 slab cache per node (see
+	// pack.go and the slab package) for batched distance kernels.
+	// Callers must only insert float32-representable coordinates.
+	Packed bool
+	// Quantize additionally builds the SQ8 side table of every leaf
+	// slab. Only meaningful with Packed.
+	Quantize bool
 }
 
 // PageSize is the block size used by the paper's experiments (4 KBytes).
@@ -141,6 +149,13 @@ type Node struct {
 	children []*Node // directory payload
 	history  uint64  // bitmask of dimensions this node's region was split along
 	super    int     // capacity multiplier; 1 = normal node
+
+	// Packed-mode caches (see pack.go): the leaf payload / child MBRs
+	// in the slab layout, and the flag the mutation paths set so the
+	// refresh walk re-packs exactly the touched spine.
+	slab      *slab.Slab
+	crects    *slab.RectSlab
+	packDirty bool
 }
 
 // IsLeaf reports whether the node stores data entries.
@@ -201,26 +216,34 @@ func (t *Tree) Insert(p vec.Point, id int) {
 	}
 	e := Entry{Point: vec.Clone(p), ID: id}
 	if t.root == nil {
-		t.root = &Node{leaf: true, rect: vec.PointRect(e.Point), entries: []Entry{e}, super: 1}
+		t.root = &Node{leaf: true, rect: vec.PointRect(e.Point), entries: []Entry{e}, super: 1, packDirty: true}
 		t.size = 1
+		if t.cfg.Packed {
+			t.refreshPacked(t.root)
+		}
 		return
 	}
 	if sibling := t.insert(t.root, e); sibling != nil {
 		// Root split: grow the tree by one level.
 		old := t.root
 		t.root = &Node{
-			leaf:     false,
-			rect:     old.rect.Union(sibling.rect),
-			children: []*Node{old, sibling},
-			super:    1,
+			leaf:      false,
+			rect:      old.rect.Union(sibling.rect),
+			children:  []*Node{old, sibling},
+			super:     1,
+			packDirty: true,
 		}
 	}
 	t.size++
+	if t.cfg.Packed {
+		t.refreshPacked(t.root)
+	}
 }
 
 // insert descends to a leaf, adds the entry, and propagates splits upward.
 // It returns the new sibling if n was split.
 func (t *Tree) insert(n *Node, e Entry) *Node {
+	n.packDirty = true
 	n.rect.Extend(e.Point)
 	if n.leaf {
 		n.entries = append(n.entries, e)

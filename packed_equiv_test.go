@@ -1,0 +1,367 @@
+package parsearch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"parsearch/internal/data"
+)
+
+// The packed-storage equivalence battery: a packed index (contiguous
+// float32 slabs, batched kernels) must return byte-identical results to
+// the float64 reference path on the same data, across every query kind,
+// metric, replication setting, and failure state — and its cost
+// accounting must agree exactly. The input coordinates are pre-rounded
+// to float32, so the reference index holds the same float64 values
+// packed mode's ingest rounding produces and any difference is a kernel
+// bug, not a representation gap.
+
+// roundF32 rounds every coordinate through float32, the packed ingest
+// contract, so reference and packed indexes see identical values.
+func roundF32(pts [][]float64) [][]float64 {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		q := make([]float64, len(p))
+		for j, x := range p {
+			q[j] = float64(float32(x))
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// sameNeighbor compares two neighbors bit for bit. Plain == would
+// reject the NaN distances partial-match results carry (the box center
+// of a wildcard query is NaN), so floats compare by their IEEE bits.
+func sameNeighbor(a, b Neighbor) bool {
+	if a.ID != b.ID || len(a.Point) != len(b.Point) {
+		return false
+	}
+	if math.Float64bits(a.Dist) != math.Float64bits(b.Dist) {
+		return false
+	}
+	for j := range a.Point {
+		if math.Float64bits(a.Point[j]) != math.Float64bits(b.Point[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameNeighbors(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sameNeighbor(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func rawPoints(n, dim int, seed int64) [][]float64 {
+	pts := data.Uniform(n, dim, seed)
+	raw := make([][]float64, len(pts))
+	for i := range pts {
+		raw[i] = pts[i]
+	}
+	return roundF32(raw)
+}
+
+// checkStatsParity compares the deterministic cost fields of one query
+// run on the reference and packed indexes. The visited/saved split of
+// the cooperative fan-out is timing-dependent, but the sum is exact, so
+// shared-bound mode compares the sum; independent mode compares
+// SearchPages directly (no pruning, fully deterministic).
+func checkStatsParity(t *testing.T, label string, ref, packed QueryStats, shared bool) {
+	t.Helper()
+	if ref.TotalPages != packed.TotalPages || ref.MaxPages != packed.MaxPages {
+		t.Fatalf("%s: page accounting differs: ref total=%d max=%d, packed total=%d max=%d",
+			label, ref.TotalPages, ref.MaxPages, packed.TotalPages, packed.MaxPages)
+	}
+	if ref.Unreachable != packed.Unreachable || ref.Rerouted != packed.Rerouted || ref.Degraded != packed.Degraded {
+		t.Fatalf("%s: fault accounting differs: ref %+v packed %+v", label, ref, packed)
+	}
+	if shared {
+		refSum := ref.SearchPages + ref.PagesSavedByBound
+		packedSum := packed.SearchPages + packed.PagesSavedByBound
+		if refSum != packedSum {
+			t.Fatalf("%s: visited+saved differs: ref %d+%d=%d, packed %d+%d=%d",
+				label, ref.SearchPages, ref.PagesSavedByBound, refSum,
+				packed.SearchPages, packed.PagesSavedByBound, packedSum)
+		}
+	} else {
+		if ref.SearchPages != packed.SearchPages {
+			t.Fatalf("%s: SearchPages differs: ref %d, packed %d", label, ref.SearchPages, packed.SearchPages)
+		}
+		if ref.PagesSavedByBound != 0 || packed.PagesSavedByBound != 0 {
+			t.Fatalf("%s: saved pages nonzero with shared bound disabled: ref %d packed %d",
+				label, ref.PagesSavedByBound, packed.PagesSavedByBound)
+		}
+	}
+	if ref.DistCompsSaved != 0 || packed.DistCompsSaved != 0 {
+		t.Fatalf("%s: DistCompsSaved nonzero without quantization: ref %d packed %d",
+			label, ref.DistCompsSaved, packed.DistCompsSaved)
+	}
+}
+
+func TestPackedEquivalenceBattery(t *testing.T) {
+	const (
+		dim   = 6
+		disks = 4
+		n     = 300
+	)
+	raw := rawPoints(n, dim, 1234)
+	queries := rawPoints(6, dim, 99)
+
+	scenarios := []struct {
+		name string
+		repl int
+		fail int // disk to fail, -1 for none
+	}{
+		{"repl0", 0, -1},
+		{"repl1", 1, -1},
+		{"repl1-fail2", 1, 2},
+	}
+	for _, metric := range []Metric{Euclidean, Manhattan, Maximum} {
+		for _, shared := range []bool{true, false} {
+			for _, sc := range scenarios {
+				name := fmt.Sprintf("%s/%s/shared=%v", metric, sc.name, shared)
+				t.Run(name, func(t *testing.T) {
+					base := Options{
+						Dim: dim, Disks: disks, Metric: metric,
+						Replication: sc.repl, DisableSharedBound: !shared,
+					}
+					ref, err := Open(base)
+					if err != nil {
+						t.Fatal(err)
+					}
+					packedOpts := base
+					packedOpts.Packed = true
+					packed, err := Open(packedOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := ref.Build(raw); err != nil {
+						t.Fatal(err)
+					}
+					if err := packed.Build(raw); err != nil {
+						t.Fatal(err)
+					}
+					if sc.fail >= 0 {
+						if err := ref.FailDisk(sc.fail); err != nil {
+							t.Fatal(err)
+						}
+						if err := packed.FailDisk(sc.fail); err != nil {
+							t.Fatal(err)
+						}
+					}
+
+					// KNN and NN across the k range of the battery.
+					for _, k := range []int{1, 5, n} {
+						for qi, q := range queries {
+							label := fmt.Sprintf("knn k=%d q=%d", k, qi)
+							wantRes, wantStats, wantErr := ref.KNN(q, k)
+							gotRes, gotStats, gotErr := packed.KNN(q, k)
+							if (wantErr == nil) != (gotErr == nil) {
+								t.Fatalf("%s: error mismatch: ref %v, packed %v", label, wantErr, gotErr)
+							}
+							if !sameNeighbors(gotRes, wantRes) {
+								t.Fatalf("%s: results differ:\n ref    %v\n packed %v", label, wantRes, gotRes)
+							}
+							checkStatsParity(t, label, wantStats, gotStats, shared)
+						}
+					}
+					for qi, q := range queries {
+						label := fmt.Sprintf("nn q=%d", qi)
+						want, _, wantErr := ref.NN(q)
+						got, _, gotErr := packed.NN(q)
+						if (wantErr == nil) != (gotErr == nil) {
+							t.Fatalf("%s: error mismatch: ref %v, packed %v", label, wantErr, gotErr)
+						}
+						if !sameNeighbor(got, want) {
+							t.Fatalf("%s: result differs: ref %+v, packed %+v", label, want, got)
+						}
+					}
+
+					// Range queries: boxes around each query point. Range
+					// traversal is fully deterministic, so SearchPages must
+					// match exactly in both modes.
+					for qi, q := range queries {
+						lo, hi := make([]float64, dim), make([]float64, dim)
+						for j := range q {
+							lo[j], hi[j] = q[j]-0.15, q[j]+0.15
+						}
+						label := fmt.Sprintf("range q=%d", qi)
+						wantRes, wantStats, wantErr := ref.RangeQuery(lo, hi)
+						gotRes, gotStats, gotErr := packed.RangeQuery(lo, hi)
+						if (wantErr == nil) != (gotErr == nil) {
+							t.Fatalf("%s: error mismatch: ref %v, packed %v", label, wantErr, gotErr)
+						}
+						if !sameNeighbors(gotRes, wantRes) {
+							t.Fatalf("%s: results differ:\n ref    %v\n packed %v", label, wantRes, gotRes)
+						}
+						checkStatsParity(t, label, wantStats, gotStats, false)
+					}
+
+					// Partial-match queries: two specified dimensions, the
+					// rest wildcards.
+					for qi, q := range queries {
+						spec := make([]float64, dim)
+						for j := range spec {
+							spec[j] = Wildcard
+						}
+						spec[0], spec[dim-1] = q[0], q[dim-1]
+						label := fmt.Sprintf("partial q=%d", qi)
+						wantRes, wantStats, wantErr := ref.PartialMatch(spec, 0.2)
+						gotRes, gotStats, gotErr := packed.PartialMatch(spec, 0.2)
+						if (wantErr == nil) != (gotErr == nil) {
+							t.Fatalf("%s: error mismatch: ref %v, packed %v", label, wantErr, gotErr)
+						}
+						if !sameNeighbors(gotRes, wantRes) {
+							t.Fatalf("%s: results differ:\n ref    %v\n packed %v", label, wantRes, gotRes)
+						}
+						checkStatsParity(t, label, wantStats, gotStats, false)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPackedEquivalenceAfterMutation exercises the dirty-flag slab
+// maintenance: after interleaved inserts and deletes the packed index
+// must still answer identically to the reference.
+func TestPackedEquivalenceAfterMutation(t *testing.T) {
+	const (
+		dim   = 5
+		disks = 4
+		n     = 200
+	)
+	raw := rawPoints(n, dim, 77)
+	extra := rawPoints(80, dim, 78)
+	queries := rawPoints(5, dim, 79)
+
+	ref, err := Open(Options{Dim: dim, Disks: disks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := Open(Options{Dim: dim, Disks: disks, Packed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := packed.Build(raw); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range extra {
+		refID, err := ref.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packedID, err := packed.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refID != packedID {
+			t.Fatalf("insert %d: IDs diverge (%d vs %d)", i, refID, packedID)
+		}
+		if i%3 == 0 {
+			id := i * 2 % n
+			if err := ref.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			if err := packed.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for qi, q := range queries {
+		for _, k := range []int{1, 7} {
+			wantRes, _, wantErr := ref.KNN(q, k)
+			gotRes, _, gotErr := packed.KNN(q, k)
+			if wantErr != nil || gotErr != nil {
+				t.Fatalf("q=%d k=%d: errors ref=%v packed=%v", qi, k, wantErr, gotErr)
+			}
+			if !sameNeighbors(gotRes, wantRes) {
+				t.Fatalf("q=%d k=%d: results differ after mutations:\n ref    %v\n packed %v",
+					qi, k, wantRes, gotRes)
+			}
+		}
+	}
+}
+
+// TestQuantizedEngineEquivalence checks Options.Quantize end to end:
+// the SQ8 pre-filter plus exact re-ranking returns results identical to
+// the unquantized packed path, actually skips work (DistCompsSaved),
+// and surfaces the skips in the metrics registry.
+func TestQuantizedEngineEquivalence(t *testing.T) {
+	const (
+		dim   = 6
+		disks = 4
+		n     = 400
+	)
+	raw := rawPoints(n, dim, 4321)
+	queries := rawPoints(12, dim, 55)
+
+	for _, metric := range []Metric{Euclidean, Manhattan, Maximum} {
+		t.Run(string(metric), func(t *testing.T) {
+			packed, err := Open(Options{Dim: dim, Disks: disks, Metric: metric, Packed: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			quant, err := Open(Options{Dim: dim, Disks: disks, Metric: metric, Packed: true, Quantize: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := packed.Build(raw); err != nil {
+				t.Fatal(err)
+			}
+			if err := quant.Build(raw); err != nil {
+				t.Fatal(err)
+			}
+			saved := 0
+			for qi, q := range queries {
+				for _, k := range []int{1, 5, 20} {
+					wantRes, wantStats, err := packed.KNN(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotRes, gotStats, err := quant.KNN(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameNeighbors(gotRes, wantRes) {
+						t.Fatalf("q=%d k=%d: quantized results differ:\n packed    %v\n quantized %v",
+							qi, k, wantRes, gotRes)
+					}
+					if wantStats.TotalPages != gotStats.TotalPages {
+						t.Fatalf("q=%d k=%d: TotalPages %d vs %d", qi, k, wantStats.TotalPages, gotStats.TotalPages)
+					}
+					if wantStats.DistCompsSaved != 0 {
+						t.Fatalf("unquantized index reported %d saved distance comps", wantStats.DistCompsSaved)
+					}
+					saved += gotStats.DistCompsSaved
+				}
+			}
+			if saved == 0 {
+				t.Fatal("SQ8 pre-filter never skipped an exact distance computation")
+			}
+			if got := quant.Metrics().DistCompsSaved; got == 0 {
+				t.Fatal("metrics registry DistCompsSaved stayed zero")
+			}
+		})
+	}
+}
+
+// TestQuantizeRequiresPacked pins the option validation: SQ8 codes live
+// in the slabs, so Quantize without Packed must be rejected.
+func TestQuantizeRequiresPacked(t *testing.T) {
+	if _, err := Open(Options{Dim: 3, Disks: 2, Quantize: true}); err == nil {
+		t.Fatal("Open accepted Quantize without Packed")
+	}
+}

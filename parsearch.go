@@ -188,6 +188,20 @@ type Options struct {
 	// tracer can instead be carried in a context via WithTracer and the
 	// *Context query methods. See README "Observability".
 	Tracer Tracer
+	// Packed stores vectors in contiguous per-page float32 slabs and
+	// serves queries with batched distance kernels (see DESIGN.md
+	// "Packed storage"). Coordinates are rounded to float32 at
+	// Build/Insert; on data already representable in float32, results
+	// are byte-identical to the unpacked engine. This is the layout
+	// that makes million-point indexes practical (the `scale` bench
+	// profile).
+	Packed bool
+	// Quantize additionally keeps an 8-bit scalar quantization (SQ8)
+	// of every leaf page and uses its distance lower bounds to skip
+	// exact distance computations the k-NN result provably cannot need
+	// (counted in QueryStats.DistCompsSaved). Results are identical to
+	// the unquantized packed path. Requires Packed.
+	Quantize bool
 }
 
 // vecMetric maps the option value to the internal metric type.
@@ -295,6 +309,11 @@ type QueryStats struct {
 	// BoundTightenings counts how often the cooperative fan-out lowered
 	// the shared bound (0 when disabled).
 	BoundTightenings int
+	// DistCompsSaved is the number of exact distance computations the
+	// SQ8 pre-filter of Options.Quantize skipped: leaf points whose
+	// quantized lower bound already exceeded the running k-th-best
+	// distance. 0 without Quantize.
+	DistCompsSaved int
 }
 
 // cellInfo is one storage cell: a quadrant (or recursive sub-quadrant)
@@ -410,6 +429,9 @@ func Open(opts Options) (*Index, error) {
 	if opts.Replication == 1 && opts.Disks < 2 {
 		return nil, fmt.Errorf("parsearch: replication needs at least 2 disks, have %d", opts.Disks)
 	}
+	if opts.Quantize && !opts.Packed {
+		return nil, fmt.Errorf("parsearch: Quantize requires Packed")
+	}
 	params := disk.DefaultParams()
 	if opts.DiskParams != nil {
 		if err := opts.DiskParams.validate(); err != nil {
@@ -504,7 +526,23 @@ func (ix *Index) treeConfig() xtree.Config {
 	cfg := xtree.DefaultConfig(ix.opts.Dim)
 	cfg.LeafCapacity = xtree.LeafCapacityForPage(ix.opts.Dim, ix.opts.PageSize)
 	cfg.DirCapacity = xtree.DirCapacityForPage(ix.opts.Dim, ix.opts.PageSize)
+	cfg.Packed = ix.opts.Packed
+	cfg.Quantize = ix.opts.Quantize
 	return cfg
+}
+
+// canonPacked applies packed mode's rounding-at-ingest contract to a
+// freshly cloned point: every coordinate is rounded to the nearest
+// float32, so the tree's float64 values and the slabs' float32 copies
+// are the same numbers and the batched kernels match the scalar ones
+// bit for bit. A no-op on unpacked indexes.
+func (ix *Index) canonPacked(p vec.Point) {
+	if !ix.opts.Packed {
+		return
+	}
+	for j := range p {
+		p[j] = float64(float32(p[j]))
+	}
 }
 
 // makeAssigner builds the Assigner for the configured strategy over the
@@ -730,6 +768,7 @@ func (ix *Index) buildState(points [][]float64) (st *state, pts []vec.Point, liv
 			continue
 		}
 		pts[i] = vec.Clone(p)
+		ix.canonPacked(pts[i])
 		livePoints = append(livePoints, pts[i])
 		live++
 	}
@@ -866,6 +905,7 @@ func (ix *Index) Insert(p []float64) (int, error) {
 
 	id := len(ix.points)
 	point := vec.Clone(p)
+	ix.canonPacked(point)
 	ix.points = append(ix.points, point)
 	ix.live++
 	ix.version++
@@ -978,6 +1018,7 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 // disk search already underway completes (the simulated disks execute
 // a planned read batch atomically).
 func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) (_ []Neighbor, stats QueryStats, err error) {
+	start := time.Now()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	st := ix.st
@@ -1108,7 +1149,7 @@ func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) (_ []Neighb
 	stats.SequentialTime = batch.SequentialTime.Seconds()
 	stats.Speedup = batch.Speedup()
 	sp.ioEvents(batch)
-	ix.recordQuery(&ix.reg.QueriesKNN, &stats, batch)
+	ix.recordQuery(&ix.reg.QueriesKNN, &stats, batch, start)
 
 	if st.baseline != nil {
 		st.baseline.mu.RLock()
@@ -1274,6 +1315,7 @@ func (sr *shardSearch) record(qs *QueryStats) (nodeVisits int64) {
 	for d := range sr.accs {
 		nodeVisits += int64(sr.accs[d].DirAccesses + sr.accs[d].LeafAccesses)
 		qs.SearchPages += sr.accs[d].PageAccesses
+		qs.DistCompsSaved += sr.accs[d].DistCompsSkipped
 	}
 	for d := range sr.saved {
 		qs.PagesSavedByBound += sr.saved[d].PageAccesses

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"parsearch/internal/disk"
 	"parsearch/internal/vec"
@@ -31,6 +32,7 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 // the simulated I/O phase, so a disconnected client stops burning disk
 // time.
 func (ix *Index) RangeQueryContext(ctx context.Context, min, max []float64) (_ []Neighbor, stats QueryStats, err error) {
+	start := time.Now()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	st := ix.st
@@ -174,7 +176,7 @@ func (ix *Index) RangeQueryContext(ctx context.Context, min, max []float64) (_ [
 	stats.SequentialTime = batch.SequentialTime.Seconds()
 	stats.Speedup = batch.Speedup()
 	sp.ioEvents(batch)
-	ix.recordQuery(&ix.reg.QueriesRange, &stats, batch)
+	ix.recordQuery(&ix.reg.QueriesRange, &stats, batch, start)
 
 	if st.baseline != nil {
 		pages, leaves := 0, 0

@@ -35,6 +35,14 @@ const (
 	flagBaseline    = 4
 	flagReplication = 8
 	flagMetrics     = 16
+	// flagPacked marks a snapshot of a packed index (Options.Packed):
+	// its coordinates were rounded to float32 at ingest, so the point
+	// table stores 4-byte float32 coordinates — losslessly, and half the
+	// size. flagQuantize additionally records Options.Quantize (the SQ8
+	// pre-filter); it does not change the payload, since the codes are
+	// derived state rebuilt by Build.
+	flagPacked   = 32
+	flagQuantize = 64
 )
 
 // Save writes a snapshot of the index (options and vectors) to w. The
@@ -71,6 +79,12 @@ func (ix *Index) Save(w io.Writer) error {
 	if ix.opts.Replication > 0 {
 		flags |= flagReplication
 	}
+	if ix.opts.Packed {
+		flags |= flagPacked
+	}
+	if ix.opts.Quantize {
+		flags |= flagQuantize
+	}
 	header := []interface{}{
 		uint32(snapshotVersion),
 		uint32(ix.opts.Dim),
@@ -98,8 +112,14 @@ func (ix *Index) Save(w io.Writer) error {
 	}
 	// Each slot is a presence byte followed by the coordinates; deleted
 	// IDs (tombstones) are a single zero byte, so IDs stay stable across
-	// save/load.
-	buf := make([]byte, 8*ix.opts.Dim)
+	// save/load. Packed indexes hold float32-representable coordinates
+	// only (rounded at ingest), so the snapshot stores them as 4-byte
+	// float32s without loss.
+	coordSize := 8
+	if ix.opts.Packed {
+		coordSize = 4
+	}
+	buf := make([]byte, coordSize*ix.opts.Dim)
 	for _, p := range points {
 		if p == nil {
 			if err := bw.WriteByte(0); err != nil {
@@ -110,8 +130,14 @@ func (ix *Index) Save(w io.Writer) error {
 		if err := bw.WriteByte(1); err != nil {
 			return fmt.Errorf("parsearch: writing snapshot: %w", err)
 		}
-		for j, x := range p {
-			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(x))
+		if ix.opts.Packed {
+			for j, x := range p {
+				binary.LittleEndian.PutUint32(buf[4*j:], math.Float32bits(float32(x)))
+			}
+		} else {
+			for j, x := range p {
+				binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(x))
+			}
 		}
 		if _, err := bw.Write(buf); err != nil {
 			return fmt.Errorf("parsearch: writing snapshot: %w", err)
@@ -199,8 +225,13 @@ func Load(r io.Reader) (*Index, error) {
 	if count > uint64(br.Len()) {
 		return nil, fmt.Errorf("parsearch: snapshot claims %d points in %d bytes", count, br.Len())
 	}
+	packed := flags&flagPacked != 0
+	coordSize := 8
+	if packed {
+		coordSize = 4
+	}
 	points := make([][]float64, count)
-	buf := make([]byte, 8*dim)
+	buf := make([]byte, coordSize*int(dim))
 	for i := range points {
 		presence, err := br.ReadByte()
 		if err != nil {
@@ -213,8 +244,17 @@ func Load(r io.Reader) (*Index, error) {
 				return nil, fmt.Errorf("parsearch: reading snapshot point %d: %w", i, err)
 			}
 			p := make([]float64, dim)
-			for j := range p {
-				p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+			if packed {
+				// Widening float32 → float64 is exact, so the round trip
+				// restores the ingested (pre-rounded) coordinates bit for
+				// bit.
+				for j := range p {
+					p[j] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:])))
+				}
+			} else {
+				for j := range p {
+					p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+				}
 			}
 			points[i] = p
 		default:
@@ -257,6 +297,8 @@ func Load(r io.Reader) (*Index, error) {
 		Recursive:      flags&flagRecursive != 0,
 		Baseline:       flags&flagBaseline != 0,
 		Replication:    int(flags & flagReplication >> 3),
+		Packed:         packed,
+		Quantize:       flags&flagQuantize != 0,
 		DiskParams:     &params,
 		CostModel:      CostModel(costModel),
 	})

@@ -247,8 +247,10 @@ func (ix *Index) PublishExpvar(name string) error {
 
 // recordQuery folds one finished query's statistics into the registry.
 // kind selects the query counter; batch carries the executed I/O (its
-// per-disk service times feed the per-disk time accumulators).
-func (ix *Index) recordQuery(kind *metrics.Counter, qs *QueryStats, batch disk.BatchResult) {
+// per-disk service times feed the per-disk time accumulators); start is
+// the query's wall-clock entry time (QueryWallNs feeds the bench
+// harness's latency percentiles).
+func (ix *Index) recordQuery(kind *metrics.Counter, qs *QueryStats, batch disk.BatchResult, start time.Time) {
 	kind.Inc()
 	ix.reg.PagesRead.Add(int64(qs.TotalPages))
 	ix.reg.CellsVisited.Add(int64(qs.Cells))
@@ -267,6 +269,8 @@ func (ix *Index) recordQuery(kind *metrics.Counter, qs *QueryStats, batch disk.B
 	for d, t := range batch.Times {
 		ix.reg.ServiceTimePerDisk.Add(d, t.Nanoseconds())
 	}
+	ix.reg.DistCompsSaved.Add(int64(qs.DistCompsSaved))
 	ix.reg.QueryPages.Observe(int64(qs.TotalPages))
 	ix.reg.QueryTimeNs.Observe(int64(qs.ParallelTime * 1e9))
+	ix.reg.QueryWallNs.Observe(time.Since(start).Nanoseconds())
 }
