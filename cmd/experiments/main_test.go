@@ -99,13 +99,19 @@ func TestBenchSubcommand(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if report.Disks != exp.BenchDisks || len(report.Workloads) != 5 {
+	if report.Disks != exp.BenchDisks || len(report.Workloads) != 6 {
 		t.Fatalf("report %+v", report)
 	}
 	if report.Workload("server-knn16") == nil {
 		t.Fatal("report lacks the serving-latency row")
 	}
+	if w := report.Workload("wal-ingest"); w == nil || w.NsPerOp <= 0 {
+		t.Fatalf("report lacks a measured durable-ingest row: %+v", w)
+	}
 	for _, w := range report.Workloads {
+		if w.Name == "wal-ingest" {
+			continue // mutation-only: reads no pages, balance undefined
+		}
 		if w.Balance <= 0 || w.Balance > 1 {
 			t.Errorf("%s balance %v", w.Name, w.Balance)
 		}

@@ -141,6 +141,66 @@ func TestDaemonServesSnapshot(t *testing.T) {
 	}
 }
 
+// TestDaemonDurableRestart boots a daemon on a fresh durable directory,
+// drains it (which closes the index and flushes the WAL), restarts on
+// the same directory, and verifies the recovered instance reports the
+// recovery on /healthz and serves identical answers.
+func TestDaemonDurableRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	c := baseConfig()
+	c.points = 400
+	c.durableDir = dir
+
+	base, cancel, done := startDaemon(t, c)
+	cl := client.New(base)
+	q := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	first, err := cl.KNN(context.Background(), q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Durability == nil {
+		t.Fatal("durable daemon reports no durability block on /healthz")
+	}
+	if h.Durability.SyncPolicy != "always" {
+		t.Fatalf("sync policy = %q", h.Durability.SyncPolicy)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	base, cancel, done = startDaemon(t, c)
+	defer cancel()
+	cl = client.New(base)
+	h, err = cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Durability == nil || !h.Durability.Recovered {
+		t.Fatalf("restarted daemon reports no recovery: %+v", h.Durability)
+	}
+	if h.Durability.TornBytes != 0 {
+		t.Fatalf("clean shutdown left a torn tail of %d bytes", h.Durability.TornBytes)
+	}
+	second, err := cl.KNN(context.Background(), q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i].ID != second[i].ID || first[i].Dist != second[i].Dist {
+			t.Fatalf("answer %d changed across restart: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("second run: %v", err)
+	}
+}
+
 // TestDaemonBadFlags pins flag validation surfacing as errors, not
 // panics.
 func TestDaemonBadFlags(t *testing.T) {
@@ -157,5 +217,17 @@ func TestDaemonBadFlags(t *testing.T) {
 	c.strategy = "not-a-strategy"
 	if err := run(context.Background(), c, nil); err == nil {
 		t.Error("bad strategy accepted")
+	}
+	c = baseConfig()
+	c.snapshot = "x.snap"
+	c.durableDir = "y"
+	if err := run(context.Background(), c, nil); err == nil {
+		t.Error("snapshot + durable-dir accepted")
+	}
+	c = baseConfig()
+	c.durableDir = filepath.Join(t.TempDir(), "d")
+	c.walSync = "sometimes"
+	if err := run(context.Background(), c, nil); err == nil {
+		t.Error("unknown wal-sync policy accepted")
 	}
 }

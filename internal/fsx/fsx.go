@@ -1,0 +1,199 @@
+// Package fsx is the storage abstraction of the durability layer: a
+// minimal flat-namespace filesystem interface with two implementations
+// — OS (a directory on the real filesystem) and Mem (an in-memory
+// filesystem that models durability and injects storage faults).
+//
+// Mem is the failpoint layer the crash-recovery chaos battery runs on.
+// It extends the engine's fault-injection philosophy (internal/disk
+// transient read faults, fault.go) from simulated disk reads to real
+// file I/O: every write distinguishes volatile bytes (written but not
+// fsynced) from durable bytes (covered by a Sync), so a test can kill
+// the "process" at any injected write offset and reopen the index from
+// exactly what a real crash would have left behind — the durable
+// prefix, or any longer flushed prefix the kernel happened to push out.
+//
+// The interface is deliberately flat (no subdirectories): the WAL and
+// snapshot files of one index live in one directory, and keeping the
+// namespace flat keeps the crash model honest — there is no rename
+// across directories to reason about.
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is an open file handle. Writers append (handles returned by
+// Create and Append are positioned at the end and never seek);
+// Truncate discards a corrupt or torn tail before appending resumes.
+type File interface {
+	// Write appends p. Short writes return n < len(p) and an error.
+	Write(p []byte) (int, error)
+	// Sync makes every written byte durable (survives Mem's crash).
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	// Size returns the current file length.
+	Size() (int64, error)
+	// Close releases the handle. Close does NOT imply Sync.
+	Close() error
+}
+
+// FS is the flat filesystem the durability layer runs on.
+type FS interface {
+	// Create opens name for appending, truncating any existing content.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it when missing.
+	Append(name string) (File, error)
+	// ReadFile returns the full content of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname's content.
+	Rename(oldname, newname string) error
+	// Remove deletes name; removing a missing file is an error
+	// satisfying errors.Is(err, fs.ErrNotExist).
+	Remove(name string) error
+	// List returns the sorted names of all files.
+	List() ([]string, error)
+}
+
+// OS is an FS over one real directory. The directory must exist.
+type OS struct {
+	// Dir is the root directory; all names are relative to it.
+	Dir string
+}
+
+// NewOS returns an FS over dir, creating the directory when missing.
+func NewOS(dir string) (*OS, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("fsx: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fsx: creating %s: %w", dir, err)
+	}
+	return &OS{Dir: dir}, nil
+}
+
+// path resolves a flat name, rejecting anything that would escape Dir.
+func (o *OS) path(name string) (string, error) {
+	if name == "" || name != filepath.Base(name) {
+		return "", fmt.Errorf("fsx: invalid file name %q", name)
+	}
+	return filepath.Join(o.Dir, name), nil
+}
+
+type osFile struct{ f *os.File }
+
+func (f *osFile) Write(p []byte) (int, error) { return f.f.Write(p) }
+func (f *osFile) Sync() error                 { return f.f.Sync() }
+func (f *osFile) Truncate(size int64) error {
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	// The handle appends via O_APPEND, so no seek-back is needed.
+	return nil
+}
+func (f *osFile) Size() (int64, error) {
+	st, err := f.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+func (f *osFile) Close() error { return f.f.Close() }
+
+// Create implements FS.
+func (o *OS) Create(name string) (File, error) {
+	p, err := o.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(p, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{f: f}, nil
+}
+
+// Append implements FS.
+func (o *OS) Append(name string) (File, error) {
+	p, err := o.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{f: f}, nil
+}
+
+// ReadFile implements FS.
+func (o *OS) ReadFile(name string) ([]byte, error) {
+	p, err := o.path(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(p)
+}
+
+// Rename implements FS. The destination directory is fsynced after the
+// rename so the new name itself is durable — the rename is the commit
+// point of a snapshot rotation.
+func (o *OS) Rename(oldname, newname string) error {
+	po, err := o.path(oldname)
+	if err != nil {
+		return err
+	}
+	pn, err := o.path(newname)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(po, pn); err != nil {
+		return err
+	}
+	return o.syncDir()
+}
+
+// Remove implements FS.
+func (o *OS) Remove(name string) error {
+	p, err := o.path(name)
+	if err != nil {
+		return err
+	}
+	return os.Remove(p)
+}
+
+// List implements FS.
+func (o *OS) List() ([]string, error) {
+	entries, err := os.ReadDir(o.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// syncDir fsyncs the directory so metadata changes (renames, creates)
+// are durable. Filesystems that refuse to fsync a directory (some CI
+// mounts) degrade to the rename's own guarantees.
+func (o *OS) syncDir() error {
+	d, err := os.Open(o.Dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, fs.ErrInvalid) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package fsx
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"testing"
+)
+
+// implementations under test, OS rooted in a fresh temp dir.
+func fses(t *testing.T) map[string]FS {
+	t.Helper()
+	osFS, err := NewOS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]FS{"os": osFS, "mem": NewMem()}
+}
+
+// TestFSConformance runs the shared contract over both implementations:
+// create/append/read round-trip, rename, remove, list, truncate.
+func TestFSConformance(t *testing.T) {
+	for name, fsys := range fses(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fsys.Create("a.log")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("hello ")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("world")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if sz, err := f.Size(); err != nil || sz != 11 {
+				t.Fatalf("Size = %d, %v", sz, err)
+			}
+			if err := f.Truncate(5); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("!")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			b, err := fsys.ReadFile("a.log")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b, []byte("hello!")) {
+				t.Fatalf("content %q", b)
+			}
+
+			// Append continues at the end.
+			g, err := fsys.Append("a.log")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.Write([]byte("?")); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if b, _ = fsys.ReadFile("a.log"); string(b) != "hello!?" {
+				t.Fatalf("after append: %q", b)
+			}
+
+			if err := fsys.Rename("a.log", "b.log"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fsys.ReadFile("a.log"); !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("old name readable after rename: %v", err)
+			}
+			names, err := fsys.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 1 || names[0] != "b.log" {
+				t.Fatalf("List = %v", names)
+			}
+			if err := fsys.Remove("b.log"); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.Remove("b.log"); !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("double remove: %v", err)
+			}
+		})
+	}
+}
+
+func TestOSRejectsEscapingNames(t *testing.T) {
+	osFS, err := NewOS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "../evil", "a/b", "/abs"} {
+		if _, err := osFS.Create(name); err == nil {
+			t.Errorf("Create(%q) accepted", name)
+		}
+	}
+}
+
+// TestMemCrashKeepsDurablePrefix: after a crash, the durable view
+// keeps only the fsynced bytes; the flushed view keeps everything
+// written before the crash offset, including the torn final write.
+func TestMemCrashKeepsDurablePrefix(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("wal")
+	if _, err := f.Write([]byte("durable|")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash 4 bytes into the next write.
+	m.CrashAfter(m.TotalWritten() + 4)
+	n, err := f.Write([]byte("volatile"))
+	if n != 4 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing write: n=%d err=%v", n, err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if _, err := m.Create("other"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+
+	durable, _ := m.DurableView().ReadFile("wal")
+	if string(durable) != "durable|" {
+		t.Fatalf("durable view: %q", durable)
+	}
+	flushed, _ := m.FlushedView().ReadFile("wal")
+	if string(flushed) != "durable|vola" {
+		t.Fatalf("flushed view: %q", flushed)
+	}
+}
+
+func TestMemFailWriteAtIsOneShot(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("wal")
+	m.FailWriteAt(3)
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected write: n=%d err=%v", n, err)
+	}
+	// The process survives: the next write succeeds.
+	if _, err := f.Write([]byte("ghi")); err != nil {
+		t.Fatalf("write after injected error: %v", err)
+	}
+	b, _ := m.ReadFile("wal")
+	if string(b) != "abcghi" {
+		t.Fatalf("content %q", b)
+	}
+}
+
+func TestMemFailSyncs(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("wal")
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	m.FailSyncs(2)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first sync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third sync: %v", err)
+	}
+	if b, _ := m.DurableView().ReadFile("wal"); string(b) != "abc" {
+		t.Fatalf("durable after successful sync: %q", b)
+	}
+}
+
+func TestMemWriteBoundaries(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("wal")
+	for _, s := range []string{"aa", "bbb", "c"} {
+		if _, err := f.Write([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.WriteBoundaries()
+	want := []int64{0, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("boundaries %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("boundaries %v, want %v", got, want)
+		}
+	}
+	if m.TotalWritten() != 6 {
+		t.Fatalf("TotalWritten = %d", m.TotalWritten())
+	}
+}

@@ -1,0 +1,351 @@
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation on a Mem whose crash
+// budget is exhausted: the simulated process is dead, and nothing it
+// attempts after the crash point reaches storage.
+var ErrCrashed = errors.New("fsx: simulated crash")
+
+// ErrInjected is the injected I/O error of the one-shot write and sync
+// failpoints — a storage error the process survives (unlike ErrCrashed).
+var ErrInjected = errors.New("fsx: injected I/O error")
+
+// memFile is one file's content: data is everything written, synced
+// the prefix guaranteed to survive a crash. Writes beyond synced are
+// volatile until the next Sync.
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// Mem is an in-memory FS with durability modeling and failpoints. The
+// zero value is not usable; construct with NewMem. All methods are
+// safe for concurrent use.
+//
+// Failpoints (all byte offsets are global — cumulative bytes written
+// across all files, the "injected write offset" of the chaos battery):
+//
+//   - CrashAfter(n): the write crossing global offset n writes only
+//     the prefix up to n, then every later operation fails with
+//     ErrCrashed. This is process death at an arbitrary write offset;
+//     reopen from DurableView (pessimistic: only fsynced bytes
+//     survived) or FlushedView (optimistic: the kernel pushed
+//     everything out before dying).
+//   - FailWriteAt(n): one-shot short write + ErrInjected at global
+//     offset n; the process lives and later operations succeed — this
+//     exercises the WAL writer's self-healing truncation.
+//   - FailSyncs(k): the next k Sync calls fail with ErrInjected —
+//     the fsyncgate path (a writer must treat a failed fsync as fatal
+//     for the log, never retry it silently).
+type Mem struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+
+	written    int64   // global bytes successfully written
+	boundaries []int64 // global offset at the start of each Write call
+
+	crashAt   int64 // global offset at which the process dies; -1 = never
+	crashed   bool
+	failAt    int64 // one-shot write-error offset; -1 = disabled
+	syncFails int
+}
+
+// NewMem returns an empty in-memory filesystem with no failpoints.
+func NewMem() *Mem {
+	return &Mem{files: make(map[string]*memFile), crashAt: -1, failAt: -1}
+}
+
+// CrashAfter arms the crash failpoint: the write crossing global byte
+// offset n is cut short at n and everything after fails with
+// ErrCrashed. CrashAfter(0) with nothing written yet kills the next
+// write outright.
+func (m *Mem) CrashAfter(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashAt = n
+}
+
+// FailWriteAt arms the one-shot write-error failpoint at global byte
+// offset n.
+func (m *Mem) FailWriteAt(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failAt = n
+}
+
+// FailSyncs makes the next k Sync calls fail with ErrInjected.
+func (m *Mem) FailSyncs(k int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncFails = k
+}
+
+// TotalWritten returns the global bytes written so far.
+func (m *Mem) TotalWritten() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.written
+}
+
+// WriteBoundaries returns the global offsets at which each Write call
+// started — the natural crash points for the chaos battery to sweep
+// (plus intra-write offsets of its choosing).
+func (m *Mem) WriteBoundaries() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int64, len(m.boundaries))
+	copy(out, m.boundaries)
+	return out
+}
+
+// Crashed reports whether the crash failpoint has fired.
+func (m *Mem) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// DurableView returns the filesystem a reboot after the crash would
+// see under the pessimistic storage model: every file truncated to its
+// last fsynced length. File metadata (existence, names) is modeled as
+// journaled — creates, renames, and removes that happened before the
+// crash survive it.
+func (m *Mem) DurableView() *Mem {
+	return m.view(func(f *memFile) int { return f.synced })
+}
+
+// FlushedView returns the optimistic post-crash filesystem: the kernel
+// happened to flush every written byte before the crash. Recovery must
+// be correct under both extremes (and, by the prefix structure of the
+// log, under anything between them).
+func (m *Mem) FlushedView() *Mem {
+	return m.view(func(f *memFile) int { return len(f.data) })
+}
+
+func (m *Mem) view(keep func(*memFile) int) *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := NewMem()
+	for name, f := range m.files {
+		n := keep(f)
+		data := make([]byte, n)
+		copy(data, f.data[:n])
+		v.files[name] = &memFile{data: data, synced: n}
+	}
+	return v
+}
+
+// checkAlive returns ErrCrashed once the crash failpoint has fired.
+// Caller holds mu.
+func (m *Mem) checkAlive() error {
+	if m.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+type memHandle struct {
+	m    *Mem
+	name string
+}
+
+// file resolves the handle's memFile. Caller holds m.mu. A file
+// removed or renamed away under an open handle is a usage bug in the
+// durability layer, so it fails loudly.
+func (h *memHandle) file() (*memFile, error) {
+	f, ok := h.m.files[h.name]
+	if !ok {
+		return nil, fmt.Errorf("fsx: write through stale handle %q: %w", h.name, fs.ErrNotExist)
+	}
+	return f, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkAlive(); err != nil {
+		return 0, err
+	}
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	m.boundaries = append(m.boundaries, m.written)
+	n := len(p)
+	var failErr error
+
+	// One-shot injected error: keep the prefix up to the armed offset.
+	if m.failAt >= 0 && m.written+int64(n) > m.failAt {
+		if cut := m.failAt - m.written; cut < int64(n) {
+			if cut < 0 {
+				cut = 0
+			}
+			n = int(cut)
+			failErr = ErrInjected
+			m.failAt = -1
+		}
+	}
+	// Crash: keep the prefix up to the crash offset, then die.
+	if m.crashAt >= 0 && m.written+int64(n) > m.crashAt {
+		if cut := m.crashAt - m.written; cut < int64(n) {
+			if cut < 0 {
+				cut = 0
+			}
+			n = int(cut)
+			failErr = ErrCrashed
+			m.crashed = true
+		}
+	}
+	f.data = append(f.data, p[:n]...)
+	m.written += int64(n)
+	if failErr != nil {
+		return n, failErr
+	}
+	return n, nil
+}
+
+func (h *memHandle) Sync() error {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkAlive(); err != nil {
+		return err
+	}
+	if m.syncFails > 0 {
+		m.syncFails--
+		return ErrInjected
+	}
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	f.synced = len(f.data)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkAlive(); err != nil {
+		return err
+	}
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("fsx: truncating %q to %d bytes (have %d)", h.name, size, len(f.data))
+	}
+	f.data = f.data[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+func (h *memHandle) Size() (int64, error) {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(f.data)), nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// Create implements FS.
+func (m *Mem) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkAlive(); err != nil {
+		return nil, err
+	}
+	m.files[name] = &memFile{}
+	return &memHandle{m: m, name: name}, nil
+}
+
+// Append implements FS.
+func (m *Mem) Append(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkAlive(); err != nil {
+		return nil, err
+	}
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = &memFile{}
+	}
+	return &memHandle{m: m, name: name}, nil
+}
+
+// ReadFile implements FS.
+func (m *Mem) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkAlive(); err != nil {
+		return nil, err
+	}
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fsx: %q: %w", name, fs.ErrNotExist)
+	}
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, nil
+}
+
+// Rename implements FS.
+func (m *Mem) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkAlive(); err != nil {
+		return err
+	}
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("fsx: renaming %q: %w", oldname, fs.ErrNotExist)
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkAlive(); err != nil {
+		return err
+	}
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("fsx: removing %q: %w", name, fs.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// List implements FS.
+func (m *Mem) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkAlive(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

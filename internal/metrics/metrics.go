@@ -196,6 +196,18 @@ type Registry struct {
 	// (QueryStats.DistCompsSaved).
 	DistCompsSaved Counter
 
+	// Durability counters (zero on non-durable indexes): WALAppends
+	// counts log records appended, WALSyncs the fsyncs the group-commit
+	// writer issued (≤ WALAppends under load — that gap is the group
+	// commit working), WALBytes the log bytes written, Recoveries how
+	// often Open replayed durable state, and RecoveredRecords the log
+	// records those replays applied.
+	WALAppends       Counter
+	WALSyncs         Counter
+	WALBytes         Counter
+	Recoveries       Counter
+	RecoveredRecords Counter
+
 	// PagesPerDisk accumulates the blocks charged to each disk;
 	// ServiceTimePerDisk the simulated service time (nanoseconds) each
 	// disk spent — the per-disk balance view of the paper's cost model.
@@ -209,6 +221,10 @@ type Registry struct {
 	QueryPages  Histogram
 	QueryTimeNs Histogram
 	QueryWallNs Histogram
+
+	// WALFsyncNs observes the duration of each group-commit fsync in
+	// nanoseconds (empty on non-durable indexes).
+	WALFsyncNs Histogram
 }
 
 // NewRegistry returns an empty registry for an index over disks disks.
@@ -257,9 +273,16 @@ type Snapshot struct {
 	// yet.
 	Balance float64 `json:"balance"`
 
+	WALAppends       int64 `json:"wal_appends"`
+	WALSyncs         int64 `json:"wal_syncs"`
+	WALBytes         int64 `json:"wal_bytes"`
+	Recoveries       int64 `json:"recoveries"`
+	RecoveredRecords int64 `json:"recovered_records"`
+
 	QueryPages  HistogramSnapshot `json:"query_pages"`
 	QueryTimeNs HistogramSnapshot `json:"query_time_ns"`
 	QueryWallNs HistogramSnapshot `json:"query_wall_ns"`
+	WALFsyncNs  HistogramSnapshot `json:"wal_fsync_ns"`
 }
 
 // BalanceCoefficient computes mean/max over per-disk loads: 1.0 is a
@@ -304,9 +327,16 @@ func (r *Registry) Snapshot() Snapshot {
 		PagesPerDisk:         r.PagesPerDisk.Values(),
 		ServiceTimePerDiskNs: r.ServiceTimePerDisk.Values(),
 
+		WALAppends:       r.WALAppends.Value(),
+		WALSyncs:         r.WALSyncs.Value(),
+		WALBytes:         r.WALBytes.Value(),
+		Recoveries:       r.Recoveries.Value(),
+		RecoveredRecords: r.RecoveredRecords.Value(),
+
 		QueryPages:  r.QueryPages.Snapshot(),
 		QueryTimeNs: r.QueryTimeNs.Snapshot(),
 		QueryWallNs: r.QueryWallNs.Snapshot(),
+		WALFsyncNs:  r.WALFsyncNs.Snapshot(),
 	}
 	s.Balance = BalanceCoefficient(s.PagesPerDisk)
 	return s
@@ -319,14 +349,16 @@ func (r *Registry) Snapshot() Snapshot {
 //
 // Version history: v1 had 12 scalar counters and 2 histograms; v2
 // appended the three cooperative-pruning counters; v3 appended the
-// DistCompsSaved counter and the QueryWallNs histogram. Decoding
+// DistCompsSaved counter and the QueryWallNs histogram; v4 appended
+// the five durability counters and the WALFsyncNs histogram. Decoding
 // accepts all of them (older encodings leave the newer fields zero),
 // encoding always writes the current version.
 const (
 	codecMagic     = uint32(0x4d545231) // "MTR1"
-	codecVersion   = uint32(3)
+	codecVersion   = uint32(4)
 	codecV1Scalars = 12
 	codecV2Scalars = 15
+	codecV3Scalars = 16
 )
 
 // scalars lists the scalar counters in encoding order. Append-only:
@@ -339,13 +371,15 @@ func (r *Registry) scalars() []*Counter {
 		&r.Retries, &r.Rerouted, &r.Unreachable,
 		&r.SearchPages, &r.PagesSavedByBound, &r.BoundTightenings,
 		&r.DistCompsSaved,
+		&r.WALAppends, &r.WALSyncs, &r.WALBytes,
+		&r.Recoveries, &r.RecoveredRecords,
 	}
 }
 
 // histograms lists the histograms in encoding order, append-only like
-// scalars (v1/v2 encoded only the first two).
+// scalars (v1/v2 encoded only the first two, v3 the first three).
 func (r *Registry) histograms() []*Histogram {
-	return []*Histogram{&r.QueryPages, &r.QueryTimeNs, &r.QueryWallNs}
+	return []*Histogram{&r.QueryPages, &r.QueryTimeNs, &r.QueryWallNs, &r.WALFsyncNs}
 }
 
 // MarshalBinary encodes the registry's current values.
@@ -444,6 +478,8 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 		encoded = codecV1Scalars
 	case 2:
 		encoded = codecV2Scalars
+	case 3:
+		encoded = codecV3Scalars
 	}
 	vals := make([]int64, len(scalars))
 	for i := 0; i < encoded; i++ {
@@ -475,8 +511,11 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 		buckets    []int64
 	}
 	encodedHists := len(r.histograms())
-	if version < 3 {
+	switch {
+	case version < 3:
 		encodedHists = 2
+	case version < 4:
+		encodedHists = 3
 	}
 	hists := make([]histVals, encodedHists)
 	for h := range hists {

@@ -183,12 +183,12 @@ func TestUnmarshalVersion1(t *testing.T) {
 	}
 	// Hand-build the v1 encoding: same header with version 1, the first
 	// codecV1Scalars counters, then everything after the scalar block
-	// minus the third histogram (v1 carried only two).
+	// minus the third and fourth histograms (v1 carried only two).
 	const header = 12
 	const histBlock = 8 + 8 + 4 + HistBuckets*8
 	v1 := append([]byte{}, v3[:header+codecV1Scalars*8]...)
 	binary.LittleEndian.PutUint32(v1[4:], 1)
-	tail := v3[header+len(r.scalars())*8 : len(v3)-histBlock]
+	tail := v3[header+len(r.scalars())*8 : len(v3)-2*histBlock]
 	v1 = append(v1, tail...)
 
 	fresh := NewRegistry(2)
@@ -244,7 +244,7 @@ func TestUnmarshalVersion2(t *testing.T) {
 	const histBlock = 8 + 8 + 4 + HistBuckets*8
 	v2 := append([]byte{}, v3[:header+codecV2Scalars*8]...)
 	binary.LittleEndian.PutUint32(v2[4:], 2)
-	v2 = append(v2, v3[header+len(r.scalars())*8:len(v3)-histBlock]...)
+	v2 = append(v2, v3[header+len(r.scalars())*8:len(v3)-2*histBlock]...)
 
 	fresh := NewRegistry(2)
 	if err := fresh.UnmarshalBinary(v2); err != nil {
@@ -259,6 +259,44 @@ func TestUnmarshalVersion2(t *testing.T) {
 	}
 	if s.DistCompsSaved != 0 || s.QueryWallNs.Count != 0 {
 		t.Fatalf("v2 decode left v3 fields non-zero: %+v", s)
+	}
+}
+
+// TestUnmarshalVersion3 decodes a version-3 encoding (16 scalars,
+// three histograms, before the durability counters and WALFsyncNs):
+// the prefix decodes one-to-one and the v4 additions stay zero.
+func TestUnmarshalVersion3(t *testing.T) {
+	r := NewRegistry(2)
+	r.QueriesKNN.Add(3)
+	r.DistCompsSaved.Add(123)
+	r.QueryWallNs.Observe(5e6)
+	// v4-only fields, deliberately non-zero so the splice proves they
+	// are dropped from a v3 blob.
+	r.WALAppends.Add(44)
+	r.WALBytes.Add(4096)
+	r.Recoveries.Add(2)
+	r.WALFsyncNs.Observe(7e5)
+
+	v4, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const header = 12
+	const histBlock = 8 + 8 + 4 + HistBuckets*8
+	v3 := append([]byte{}, v4[:header+codecV3Scalars*8]...)
+	binary.LittleEndian.PutUint32(v3[4:], 3)
+	v3 = append(v3, v4[header+len(r.scalars())*8:len(v4)-histBlock]...)
+
+	fresh := NewRegistry(2)
+	if err := fresh.UnmarshalBinary(v3); err != nil {
+		t.Fatalf("v3 decode: %v", err)
+	}
+	s := fresh.Snapshot()
+	if s.QueriesKNN != 3 || s.DistCompsSaved != 123 || s.QueryWallNs.Count != 1 {
+		t.Fatalf("v3 prefix mismatch: %+v", s)
+	}
+	if s.WALAppends != 0 || s.WALBytes != 0 || s.Recoveries != 0 || s.WALFsyncNs.Count != 0 {
+		t.Fatalf("v3 decode left v4 fields non-zero: %+v", s)
 	}
 }
 

@@ -1,0 +1,459 @@
+// Package wal is the durable mutation log of the index: every
+// Insert/Delete is appended as a length-prefixed, CRC-32-framed record
+// before it is acknowledged, so a crash loses at most the unsynced
+// tail and never an acknowledged mutation (with the always-sync
+// policy) or a mid-sequence one (with any policy — recovery is always
+// a prefix of the mutation order).
+//
+// # Frame format
+//
+// Every record is one frame, little-endian:
+//
+//	u32  length   — of everything after the CRC (type byte + payload)
+//	u32  crc      — CRC-32 (IEEE) over the type byte + payload
+//	u8   type     — RecInsert, RecDelete, RecCheckpoint
+//	...  payload  — per-type, see below
+//
+// Payloads:
+//
+//	RecInsert:     u64 id, u32 dim, dim × f64 coordinates
+//	RecDelete:     u64 id
+//	RecCheckpoint: u64 generation, u8 rebase flag
+//
+// The length prefix lets the reader skip to the next frame without
+// understanding the payload; the CRC catches torn writes and bit rot.
+// A crash tears the log only at the end (writers append a frame with
+// one Write call and never overwrite), so the reader classifies
+// damage: an incomplete final frame is a torn tail (expected after a
+// crash — truncated silently), while a damaged frame with intact data
+// after it, an impossible length, or a CRC mismatch on a complete
+// frame is ErrCorrupt (bit rot or a forged log — never silently
+// dropped).
+//
+// # Group commit
+//
+// With SyncAlways, concurrent appenders share fsyncs: each append
+// publishes its frame under the writer lock, then waits until a sync
+// covers its offset. One waiter becomes the leader and fsyncs for
+// everyone who appended meanwhile (the classic group commit), so a
+// burst of N concurrent inserts costs far fewer than N fsyncs. A
+// failed fsync is sticky: the file's durability is unknowable after
+// one (the kernel may have dropped the dirty pages), so the writer
+// refuses all further appends instead of silently retrying.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+	"time"
+
+	"parsearch/internal/fsx"
+)
+
+// Record types.
+const (
+	// RecInsert logs one Insert: the assigned ID and the stored vector.
+	RecInsert byte = 1
+	// RecDelete logs one Delete by ID.
+	RecDelete byte = 2
+	// RecCheckpoint is the first record of every log generation: the
+	// generation number this log extends, plus the rebase flag (set
+	// when the log's base is a full Build snapshot rather than the
+	// previous generation's chain — recovery must not replay it onto
+	// an older base).
+	RecCheckpoint byte = 3
+)
+
+// frameHeader is the length + CRC prefix of every frame.
+const frameHeader = 8
+
+// MaxRecordSize bounds one frame's body (type + payload). The largest
+// honest record is an insert of a MaxDim-dimensional vector (a few
+// KiB); anything bigger is a forged length, classified ErrCorrupt.
+const MaxRecordSize = 1 << 20
+
+// ErrCorrupt reports mid-log corruption: a record that is provably not
+// a torn tail (bit rot, a forged length, or a framing violation with
+// valid data after it). Recovery surfaces it instead of guessing;
+// salvage mode recovers the valid prefix. Classify with errors.Is.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// ErrClosed is returned by appends to a closed writer.
+var ErrClosed = errors.New("wal: writer closed")
+
+// Record is one decoded log record.
+type Record struct {
+	// Type is RecInsert, RecDelete, or RecCheckpoint.
+	Type byte
+	// ID is the mutation's vector ID (insert/delete).
+	ID uint64
+	// Point is the inserted vector (insert only).
+	Point []float64
+	// Gen is the generation number (checkpoint only).
+	Gen uint64
+	// Rebase marks a checkpoint whose base is a fresh Build snapshot
+	// (checkpoint only).
+	Rebase bool
+}
+
+// AppendInsert / AppendDelete / AppendCheckpoint encode one record
+// into a frame.
+
+// EncodeInsert returns the frame of an insert record.
+func EncodeInsert(id uint64, p []float64) []byte {
+	body := make([]byte, 1+8+4+8*len(p))
+	body[0] = RecInsert
+	binary.LittleEndian.PutUint64(body[1:], id)
+	binary.LittleEndian.PutUint32(body[9:], uint32(len(p)))
+	for i, x := range p {
+		binary.LittleEndian.PutUint64(body[13+8*i:], math.Float64bits(x))
+	}
+	return frame(body)
+}
+
+// EncodeDelete returns the frame of a delete record.
+func EncodeDelete(id uint64) []byte {
+	body := make([]byte, 1+8)
+	body[0] = RecDelete
+	binary.LittleEndian.PutUint64(body[1:], id)
+	return frame(body)
+}
+
+// EncodeCheckpoint returns the frame of a checkpoint record.
+func EncodeCheckpoint(gen uint64, rebase bool) []byte {
+	body := make([]byte, 1+8+1)
+	body[0] = RecCheckpoint
+	binary.LittleEndian.PutUint64(body[1:], gen)
+	if rebase {
+		body[9] = 1
+	}
+	return frame(body)
+}
+
+// frame wraps a record body in the length+CRC header.
+func frame(body []byte) []byte {
+	out := make([]byte, frameHeader+len(body))
+	binary.LittleEndian.PutUint32(out, uint32(len(body)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(body))
+	copy(out[frameHeader:], body)
+	return out
+}
+
+// decodeBody parses a CRC-verified frame body into a Record.
+func decodeBody(body []byte) (Record, error) {
+	if len(body) == 0 {
+		return Record{}, fmt.Errorf("%w: empty frame body", ErrCorrupt)
+	}
+	rec := Record{Type: body[0]}
+	payload := body[1:]
+	switch rec.Type {
+	case RecInsert:
+		if len(payload) < 12 {
+			return Record{}, fmt.Errorf("%w: insert record %d bytes", ErrCorrupt, len(payload))
+		}
+		rec.ID = binary.LittleEndian.Uint64(payload)
+		dim := binary.LittleEndian.Uint32(payload[8:])
+		if int(dim)*8 != len(payload)-12 {
+			return Record{}, fmt.Errorf("%w: insert record claims dim %d in %d payload bytes",
+				ErrCorrupt, dim, len(payload))
+		}
+		rec.Point = make([]float64, dim)
+		for i := range rec.Point {
+			rec.Point[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[12+8*i:]))
+		}
+	case RecDelete:
+		if len(payload) != 8 {
+			return Record{}, fmt.Errorf("%w: delete record %d bytes", ErrCorrupt, len(payload))
+		}
+		rec.ID = binary.LittleEndian.Uint64(payload)
+	case RecCheckpoint:
+		if len(payload) != 9 {
+			return Record{}, fmt.Errorf("%w: checkpoint record %d bytes", ErrCorrupt, len(payload))
+		}
+		rec.Gen = binary.LittleEndian.Uint64(payload)
+		switch payload[8] {
+		case 0:
+		case 1:
+			rec.Rebase = true
+		default:
+			return Record{}, fmt.Errorf("%w: checkpoint rebase byte %d", ErrCorrupt, payload[8])
+		}
+	default:
+		return Record{}, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, rec.Type)
+	}
+	return rec, nil
+}
+
+// ReplayStats reports what a Replay consumed.
+type ReplayStats struct {
+	// Records is the number of valid records delivered.
+	Records int
+	// ValidLen is the byte length of the valid frame prefix. Bytes
+	// beyond it are a torn tail (err == nil) or corruption
+	// (errors.Is(err, ErrCorrupt)).
+	ValidLen int64
+	// TornBytes is the length of the truncated torn tail (0 when the
+	// log ends exactly on a frame boundary).
+	TornBytes int64
+}
+
+// Replay scans the log bytes, calling fn for each valid record in
+// order. It stops at the first damage and classifies it:
+//
+//   - a clean end or a torn tail (incomplete final frame — the
+//     expected residue of a crash) returns err == nil with
+//     stats.TornBytes set;
+//   - anything else — a forged length, an unknown type, a CRC mismatch
+//     on a complete frame, or a malformed payload — returns an error
+//     wrapping ErrCorrupt. stats.ValidLen is the salvageable prefix.
+//
+// An error from fn aborts the replay and is returned verbatim.
+//
+// The torn-tail rule is sound because writers append each frame with a
+// single Write and never overwrite: a crash can only leave a *prefix*
+// of a frame, so a frame whose header says it extends past the end of
+// the log is torn, while a complete frame that fails its CRC (its
+// bytes all made it to storage) can only be bit rot.
+func Replay(data []byte, fn func(Record) error) (ReplayStats, error) {
+	var stats ReplayStats
+	off := int64(0)
+	n := int64(len(data))
+	for off < n {
+		remaining := n - off
+		if remaining < frameHeader {
+			// Header cut short: torn tail.
+			stats.TornBytes = remaining
+			return stats, nil
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off:]))
+		if length < 1 || length > MaxRecordSize {
+			return stats, fmt.Errorf("%w: frame at offset %d declares %d-byte body", ErrCorrupt, off, length)
+		}
+		if remaining < frameHeader+length {
+			// Body cut short: torn tail.
+			stats.TornBytes = remaining
+			return stats, nil
+		}
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		body := data[off+frameHeader : off+frameHeader+length]
+		if crc32.ChecksumIEEE(body) != crc {
+			return stats, fmt.Errorf("%w: CRC mismatch at offset %d", ErrCorrupt, off)
+		}
+		rec, err := decodeBody(body)
+		if err != nil {
+			return stats, fmt.Errorf("record at offset %d: %w", off, err)
+		}
+		if err := fn(rec); err != nil {
+			return stats, err
+		}
+		off += frameHeader + length
+		stats.Records++
+		stats.ValidLen = off
+	}
+	return stats, nil
+}
+
+// SyncPolicy selects when appends are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs (via group commit) before every append
+	// returns: an acknowledged mutation survives any crash.
+	SyncAlways SyncPolicy = iota
+	// SyncNone leaves syncing to the OS (and to explicit Sync calls:
+	// rotation and Close still sync). A crash may lose the unsynced
+	// tail — but only the tail: recovery is still a prefix of the
+	// acknowledged mutation order.
+	SyncNone
+)
+
+// Writer appends frames to one log file. Safe for concurrent use.
+type Writer struct {
+	policy SyncPolicy
+
+	// OnAppend/OnSync, when non-nil, receive instrumentation events:
+	// OnAppend the frame size of every append, OnSync the duration of
+	// every leader fsync. Set before the first append; both must be
+	// safe for concurrent use.
+	OnAppend func(bytes int)
+	OnSync   func(d time.Duration)
+
+	mu      sync.Mutex
+	f       fsx.File
+	written int64 // valid frame bytes in the file
+	err     error // sticky append failure (failed self-heal or fsync)
+	closed  bool
+
+	// group-commit state
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+	synced  int64
+	syncing bool
+}
+
+// NewWriter wraps an open log file whose first validLen bytes are
+// valid frames. The file must be positioned at its end with exactly
+// validLen bytes (callers truncate torn tails first).
+func NewWriter(f fsx.File, validLen int64, policy SyncPolicy) *Writer {
+	w := &Writer{f: f, written: validLen, synced: validLen, policy: policy}
+	w.gcond = sync.NewCond(&w.gmu)
+	return w
+}
+
+// Append writes one encoded frame and, under SyncAlways, returns only
+// once a sync covers it. On a write error the writer heals itself by
+// truncating back to the last good frame boundary; if even that fails
+// the writer goes sticky-failed (the file's tail is untrustworthy).
+func (w *Writer) Append(frame []byte) error {
+	target, err := w.AppendAsync(frame)
+	if err != nil {
+		return err
+	}
+	if w.policy == SyncAlways {
+		return w.SyncTo(target)
+	}
+	return nil
+}
+
+// AppendAsync writes one encoded frame without waiting for a sync and
+// returns the offset a SyncTo must cover to make it durable. The
+// split lets a caller publish the frame under its own mutation lock
+// and wait for the group commit outside it, so concurrent mutations
+// share fsyncs instead of serializing behind them.
+func (w *Writer) AppendAsync(frame []byte) (int64, error) {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return 0, err
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		// Self-heal: drop the partial frame so the log stays
+		// (valid frames)* + nothing. If the truncate fails too, the
+		// tail is unknowable — refuse all further appends.
+		if terr := w.f.Truncate(w.written); terr != nil {
+			w.err = fmt.Errorf("wal: append failed (%v) and truncate failed: %w", err, terr)
+		}
+		w.mu.Unlock()
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	w.written += int64(len(frame))
+	target := w.written
+	w.mu.Unlock()
+	if w.OnAppend != nil {
+		w.OnAppend(len(frame))
+	}
+	return target, nil
+}
+
+// Policy returns the writer's sync policy.
+func (w *Writer) Policy() SyncPolicy { return w.policy }
+
+// Sync forces everything appended so far to storage (group commit),
+// regardless of policy.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	target := w.written
+	w.mu.Unlock()
+	return w.SyncTo(target)
+}
+
+// syncTo blocks until a sync covers offset target. One waiter at a
+// time becomes the leader and fsyncs for every frame appended so far;
+// the rest wait on the condition. A failed fsync is sticky.
+func (w *Writer) SyncTo(target int64) error {
+	w.gmu.Lock()
+	defer w.gmu.Unlock()
+	for w.synced < target {
+		if err := w.stickyErr(); err != nil {
+			return err
+		}
+		if w.syncing {
+			w.gcond.Wait()
+			continue
+		}
+		w.syncing = true
+		w.gmu.Unlock()
+
+		w.mu.Lock()
+		upto := w.written
+		w.mu.Unlock()
+		start := time.Now()
+		serr := w.f.Sync()
+		elapsed := time.Since(start)
+
+		w.gmu.Lock()
+		w.syncing = false
+		if serr != nil {
+			w.mu.Lock()
+			if w.err == nil {
+				w.err = fmt.Errorf("wal: fsync failed, log unusable: %w", serr)
+			}
+			w.mu.Unlock()
+		} else {
+			if upto > w.synced {
+				w.synced = upto
+			}
+			if w.OnSync != nil {
+				w.OnSync(elapsed)
+			}
+		}
+		w.gcond.Broadcast()
+	}
+	return nil
+}
+
+// stickyErr reads the sticky failure. Caller holds gmu (or mu is
+// free): it briefly takes mu.
+func (w *Writer) stickyErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Written returns the log's valid frame length (appended bytes).
+func (w *Writer) Written() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.written
+}
+
+// Synced returns the durable prefix length (covered by a sync).
+func (w *Writer) Synced() int64 {
+	w.gmu.Lock()
+	defer w.gmu.Unlock()
+	return w.synced
+}
+
+// Err returns the sticky failure, if any.
+func (w *Writer) Err() error { return w.stickyErr() }
+
+// Close syncs outstanding appends and closes the file. Further
+// appends return ErrClosed. Close after a sticky failure skips the
+// sync and reports that failure.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	target := w.written
+	err := w.err
+	w.mu.Unlock()
+	if err == nil {
+		err = w.SyncTo(target)
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,308 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"parsearch/internal/fsx"
+)
+
+// collect replays data and returns the records, failing on error.
+func collect(t *testing.T, data []byte) ([]Record, ReplayStats) {
+	t.Helper()
+	var recs []Record
+	stats, err := Replay(data, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs, stats
+}
+
+func TestRoundTrip(t *testing.T) {
+	var log []byte
+	log = append(log, EncodeCheckpoint(7, true)...)
+	log = append(log, EncodeInsert(0, []float64{1.5, -2.25, 0})...)
+	log = append(log, EncodeDelete(0)...)
+	log = append(log, EncodeInsert(1, nil)...)
+
+	recs, stats := collect(t, log)
+	if stats.Records != 4 || stats.ValidLen != int64(len(log)) || stats.TornBytes != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	want := []Record{
+		{Type: RecCheckpoint, Gen: 7, Rebase: true},
+		{Type: RecInsert, ID: 0, Point: []float64{1.5, -2.25, 0}},
+		{Type: RecDelete, ID: 0},
+		{Type: RecInsert, ID: 1, Point: []float64{}},
+	}
+	for i, w := range want {
+		g := recs[i]
+		if g.Type != w.Type || g.ID != w.ID || g.Gen != w.Gen || g.Rebase != w.Rebase ||
+			len(g.Point) != len(w.Point) {
+			t.Fatalf("record %d = %+v, want %+v", i, g, w)
+		}
+		for j := range w.Point {
+			if g.Point[j] != w.Point[j] {
+				t.Fatalf("record %d coord %d = %v, want %v", i, j, g.Point[j], w.Point[j])
+			}
+		}
+	}
+}
+
+// TestTornTail: cutting a log anywhere inside its final frame replays
+// the full-frame prefix with err == nil and reports the torn bytes.
+func TestTornTail(t *testing.T) {
+	var log []byte
+	log = append(log, EncodeInsert(0, []float64{1, 2})...)
+	prefix := int64(len(log))
+	log = append(log, EncodeInsert(1, []float64{3, 4})...)
+
+	for cut := prefix + 1; cut < int64(len(log)); cut++ {
+		recs, stats := collect(t, log[:cut])
+		if len(recs) != 1 || stats.ValidLen != prefix {
+			t.Fatalf("cut %d: %d records, validLen %d", cut, len(recs), stats.ValidLen)
+		}
+		if stats.TornBytes != cut-prefix {
+			t.Fatalf("cut %d: TornBytes %d", cut, stats.TornBytes)
+		}
+	}
+}
+
+// TestMidLogCorruption: damage that is provably not a torn tail is
+// ErrCorrupt, with ValidLen marking the salvageable prefix.
+func TestMidLogCorruption(t *testing.T) {
+	rec0 := EncodeInsert(0, []float64{1})
+	rec1 := EncodeDelete(0)
+
+	t.Run("flipped CRC byte", func(t *testing.T) {
+		log := append(append([]byte{}, rec0...), rec1...)
+		log[len(rec0)+4] ^= 0xFF // CRC field of the second frame
+		stats, err := Replay(log, func(Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+		if stats.ValidLen != int64(len(rec0)) {
+			t.Fatalf("ValidLen = %d, want %d", stats.ValidLen, len(rec0))
+		}
+	})
+
+	t.Run("flipped body byte mid-log", func(t *testing.T) {
+		log := append(append([]byte{}, rec0...), rec1...)
+		log[10] ^= 0x01 // inside the first frame's body
+		stats, err := Replay(log, func(Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+		if stats.ValidLen != 0 {
+			t.Fatalf("ValidLen = %d", stats.ValidLen)
+		}
+	})
+
+	t.Run("forged length", func(t *testing.T) {
+		log := append([]byte{}, rec0...)
+		binary.LittleEndian.PutUint32(log, MaxRecordSize+1)
+		if _, err := Replay(log, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("zero length", func(t *testing.T) {
+		log := make([]byte, frameHeader)
+		if _, err := Replay(log, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("unknown type", func(t *testing.T) {
+		log := frame([]byte{99, 0, 0})
+		if _, err := Replay(log, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("dim mismatch", func(t *testing.T) {
+		body := make([]byte, 1+8+4+8)
+		body[0] = RecInsert
+		binary.LittleEndian.PutUint32(body[9:], 7) // claims 7 dims, has 1
+		if _, err := Replay(frame(body), func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestReplayPropagatesFnError(t *testing.T) {
+	log := append(EncodeDelete(1), EncodeDelete(2)...)
+	sentinel := errors.New("stop")
+	stats, err := Replay(log, func(r Record) error {
+		if r.ID == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || stats.Records != 1 {
+		t.Fatalf("err %v, stats %+v", err, stats)
+	}
+}
+
+func newTestWriter(t *testing.T, fs fsx.FS, policy SyncPolicy) *Writer {
+	t.Helper()
+	f, err := fs.Create("wal-0.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWriter(f, 0, policy)
+}
+
+// TestGroupCommit hammers one writer from many goroutines under
+// SyncAlways and checks the log replays to exactly the appended set.
+func TestGroupCommit(t *testing.T) {
+	mem := fsx.NewMem()
+	w := newTestWriter(t, mem, SyncAlways)
+	var appends int
+	var hookMu sync.Mutex
+	w.OnAppend = func(int) { hookMu.Lock(); appends++; hookMu.Unlock() }
+	w.OnSync = func(time.Duration) {}
+
+	const G, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := w.Append(EncodeDelete(uint64(g*per + i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := mem.DurableView().ReadFile("wal-0.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	if _, err := Replay(data, func(r Record) error {
+		if r.Type != RecDelete || seen[r.ID] {
+			return fmt.Errorf("bad record %+v", r)
+		}
+		seen[r.ID] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != G*per {
+		t.Fatalf("recovered %d records, want %d", len(seen), G*per)
+	}
+	hookMu.Lock()
+	if appends != G*per {
+		t.Fatalf("OnAppend fired %d times", appends)
+	}
+	hookMu.Unlock()
+}
+
+// TestWriterSelfHeals: an injected short write is truncated away and
+// the next append lands on a clean frame boundary.
+func TestWriterSelfHeals(t *testing.T) {
+	mem := fsx.NewMem()
+	w := newTestWriter(t, mem, SyncNone)
+	if err := w.Append(EncodeDelete(1)); err != nil {
+		t.Fatal(err)
+	}
+	mem.FailWriteAt(mem.TotalWritten() + 3) // tear the next frame after 3 bytes
+	if err := w.Append(EncodeDelete(2)); !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("injected append: %v", err)
+	}
+	if err := w.Append(EncodeDelete(3)); err != nil {
+		t.Fatalf("append after self-heal: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := mem.FlushedView().ReadFile("wal-0.log")
+	var ids []uint64
+	if _, err := Replay(data, func(r Record) error { ids = append(ids, r.ID); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("recovered ids %v", ids)
+	}
+}
+
+// TestStickySyncError: after a failed fsync the writer refuses all
+// further appends (fsyncgate semantics).
+func TestStickySyncError(t *testing.T) {
+	mem := fsx.NewMem()
+	w := newTestWriter(t, mem, SyncAlways)
+	if err := w.Append(EncodeDelete(1)); err != nil {
+		t.Fatal(err)
+	}
+	mem.FailSyncs(1)
+	if err := w.Append(EncodeDelete(2)); !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("append over failed sync: %v", err)
+	}
+	// Sticky: even though Mem's sync works again, the writer is dead.
+	if err := w.Append(EncodeDelete(3)); !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("append after sticky failure: %v", err)
+	}
+	if err := w.Err(); !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("Err: %v", err)
+	}
+}
+
+func TestClosedWriterRejectsAppends(t *testing.T) {
+	mem := fsx.NewMem()
+	w := newTestWriter(t, mem, SyncNone)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(EncodeDelete(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestNewWriterResumesAtValidLen: a writer opened over an existing log
+// continues the frame sequence.
+func TestNewWriterResumesAtValidLen(t *testing.T) {
+	mem := fsx.NewMem()
+	f, _ := mem.Create("wal-0.log")
+	first := EncodeDelete(1)
+	if _, err := f.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, _ := mem.Append("wal-0.log")
+	w := NewWriter(g, int64(len(first)), SyncAlways)
+	if err := w.Append(EncodeDelete(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := mem.DurableView().ReadFile("wal-0.log")
+	var ids []uint64
+	if _, err := Replay(data, func(r Record) error { ids = append(ids, r.ID); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("ids %v", ids)
+	}
+}

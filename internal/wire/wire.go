@@ -141,6 +141,23 @@ type Health struct {
 	FailedDisks []int `json:"failed_disks,omitempty"`
 	Unreachable []int `json:"unreachable,omitempty"`
 	Draining    bool  `json:"draining"`
+	// Durability is present when the served index runs with a durable
+	// mutation log; absent for a purely in-memory index.
+	Durability *Durability `json:"durability,omitempty"`
+}
+
+// Durability is the durable-log block of Health: the live WAL state
+// (generation, fsync policy, un-synced byte lag) plus what the crash
+// recovery at startup found. WALLagBytes is the data a crash right now
+// would lose — always 0 between mutations under the "always" policy.
+type Durability struct {
+	Generation       uint64 `json:"generation"`
+	SyncPolicy       string `json:"sync_policy"`
+	WALLagBytes      int64  `json:"wal_lag_bytes"`
+	Recovered        bool   `json:"recovered"`
+	RecoveredRecords int    `json:"recovered_records"`
+	TornBytes        int64  `json:"torn_bytes,omitempty"`
+	Salvaged         bool   `json:"salvaged,omitempty"`
 }
 
 // checkVector validates one request vector: exact dimensionality and

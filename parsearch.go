@@ -44,9 +44,11 @@ import (
 
 	"parsearch/internal/core"
 	"parsearch/internal/disk"
+	"parsearch/internal/fsx"
 	"parsearch/internal/knn"
 	"parsearch/internal/metrics"
 	"parsearch/internal/vec"
+	"parsearch/internal/wal"
 	"parsearch/internal/xtree"
 )
 
@@ -202,6 +204,25 @@ type Options struct {
 	// (counted in QueryStats.DistCompsSaved). Results are identical to
 	// the unquantized packed path. Requires Packed.
 	Quantize bool
+
+	// Durable arms the durability subsystem: every Insert and Delete
+	// is appended to a write-ahead log in Dir before it returns, and
+	// Open recovers the acknowledged state from the newest snapshot
+	// plus the log chain after a crash (see durable.go). Checkpoint
+	// rotates the log into a fresh snapshot; Close flushes and stops
+	// mutations.
+	Durable bool
+	// Dir is the durable directory (required with Durable, rejected
+	// without). It is created when missing.
+	Dir string
+	// WALSync selects the log fsync policy: WALSyncAlways (the
+	// default) makes every acknowledged mutation crash-proof;
+	// WALSyncOS trades the unsynced tail for mutation throughput.
+	WALSync WALSyncPolicy
+	// Salvage turns recovery's refusal of corrupt durable state
+	// (ErrCorrupt) into best-effort recovery of the longest valid
+	// prefix. Only meaningful with Durable.
+	Salvage bool
 }
 
 // vecMetric maps the option value to the internal metric type.
@@ -357,7 +378,9 @@ type state struct {
 //
 // Lock hierarchy (always acquired in this order, never the reverse):
 //
-//	mu (R by queries and point mutations, W by Build/Reorganize cutover)
+//	ckptMu (serializes Checkpoint / durable Build / Close)
+//	→ rotMu (R by durable mutations, W by durable Build and Close)
+//	→ mu (R by queries and point mutations, W by Build/Reorganize cutover)
 //	→ meta (point table, live count, cell loads, quantile estimators)
 //	→ shard.mu per disk (R by tree traversals, W by tree mutation)
 type Index struct {
@@ -386,10 +409,50 @@ type Index struct {
 	live     int         // number of non-tombstone points
 	adaptive *core.AdaptiveSplitter
 	version  uint64 // bumped by every mutation; Reorganize's conflict check
+
+	// Durability state (durable.go); fs and recov are set once at
+	// Open, wal/gen/closed are guarded by meta. ckptMu serializes
+	// generation rotations; rotMu excludes mutations from the durable
+	// Build cutover (mutations hold it in read mode for their whole
+	// log-append + apply + sync span).
+	fs     fsx.FS
+	ckptMu sync.Mutex
+	rotMu  sync.RWMutex
+	wal    *wal.Writer
+	gen    uint64
+	closed bool
+	recov  RecoveryInfo
 }
 
-// Open validates the options and returns an empty index.
+// Open validates the options and returns an index: empty, or — with
+// Options.Durable — recovered from the durable directory's snapshot
+// and write-ahead log (see durable.go).
 func Open(opts Options) (*Index, error) {
+	if !opts.Durable {
+		if opts.Dir != "" {
+			return nil, fmt.Errorf("parsearch: Dir requires Durable")
+		}
+		if opts.WALSync != "" {
+			return nil, fmt.Errorf("parsearch: WALSync requires Durable")
+		}
+		if opts.Salvage {
+			return nil, fmt.Errorf("parsearch: Salvage requires Durable")
+		}
+		return open(opts)
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("parsearch: Durable requires Dir")
+	}
+	fs, err := fsx.NewOS(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("parsearch: %w", err)
+	}
+	return openDurable(opts, fs)
+}
+
+// open builds the in-memory index: the non-durable Open, and the
+// substrate openDurable recovers onto.
+func open(opts Options) (*Index, error) {
 	if opts.Dim < 1 || opts.Dim > core.MaxDim {
 		return nil, fmt.Errorf("parsearch: dimension %d outside [1, %d]", opts.Dim, core.MaxDim)
 	}
@@ -880,10 +943,18 @@ func (ix *Index) Build(points [][]float64) error {
 	if err != nil {
 		return err
 	}
+	if ix.opts.Durable {
+		// A durable Build is a generation rebase: the new state must be
+		// committed as a snapshot before the cutover (see durable.go).
+		return ix.rebaseDurable(st, pts, live)
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	ix.meta.Lock()
 	defer ix.meta.Unlock()
+	if ix.closed {
+		return ErrClosed
+	}
 	ix.st = st
 	ix.points = pts
 	ix.live = live
@@ -892,20 +963,46 @@ func (ix *Index) Build(points [][]float64) error {
 }
 
 // Insert adds one vector dynamically and returns its ID. Point mutations
-// are serialized with each other but run concurrently with queries.
+// are serialized with each other but run concurrently with queries. On a
+// durable index the insert is logged (and, with WALSyncAlways, fsynced
+// via group commit) before it returns.
 func (ix *Index) Insert(p []float64) (int, error) {
 	if len(p) != ix.opts.Dim {
 		return 0, fmt.Errorf("parsearch: inserting dimension %d, want %d", len(p), ix.opts.Dim)
+	}
+	if ix.opts.Durable {
+		ix.rotMu.RLock()
+		defer ix.rotMu.RUnlock()
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	st := ix.st
 	ix.meta.Lock()
-	defer ix.meta.Unlock()
+	if ix.closed {
+		ix.meta.Unlock()
+		return 0, ErrClosed
+	}
 
 	id := len(ix.points)
 	point := vec.Clone(p)
 	ix.canonPacked(point)
+	// Log before apply: a failed append leaves both the log and the
+	// index untouched. The sync wait happens after meta is released, so
+	// concurrent mutations share fsyncs (group commit) instead of
+	// serializing behind them. rotMu (held in read mode) pins the
+	// writer: a checkpoint may rotate it concurrently — its cut syncs
+	// this append first — but a Build cannot replace the generation
+	// under us.
+	w := ix.wal
+	var target int64
+	if w != nil {
+		var werr error
+		target, werr = w.AppendAsync(wal.EncodeInsert(uint64(id), point))
+		if werr != nil {
+			ix.meta.Unlock()
+			return 0, fmt.Errorf("parsearch: logging insert: %w", werr)
+		}
+	}
 	ix.points = append(ix.points, point)
 	ix.live++
 	ix.version++
@@ -929,29 +1026,73 @@ func (ix *Index) Insert(p []float64) (int, error) {
 		st.baseline.tree.Insert(point, id)
 		st.baseline.mu.Unlock()
 	}
+	ix.meta.Unlock()
+	if w != nil && w.Policy() == wal.SyncAlways {
+		if err := w.SyncTo(target); err != nil {
+			// The mutation is applied in memory but its durability is
+			// unknown; the writer is sticky-failed, so every further
+			// mutation will be refused rather than silently undurable.
+			return 0, fmt.Errorf("parsearch: syncing insert: %w", err)
+		}
+	}
 	return id, nil
 }
 
 // Delete removes the vector with the given ID. The ID is not reused;
-// subsequent inserts continue from the highest ID ever assigned.
+// subsequent inserts continue from the highest ID ever assigned. On a
+// durable index the delete is logged like an insert (see Insert).
 func (ix *Index) Delete(id int) error {
+	if ix.opts.Durable {
+		ix.rotMu.RLock()
+		defer ix.rotMu.RUnlock()
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	w, target, err := ix.deleteLocked(id)
+	if err != nil {
+		return err
+	}
+	if w != nil && w.Policy() == wal.SyncAlways {
+		if err := w.SyncTo(target); err != nil {
+			// Applied in memory, durability unknown; the writer is
+			// sticky-failed (see Insert).
+			return fmt.Errorf("parsearch: syncing delete: %w", err)
+		}
+	}
+	return nil
+}
+
+// deleteLocked validates, logs, and applies one delete under the
+// metadata lock; the caller waits for the group commit off the lock.
+func (ix *Index) deleteLocked(id int) (*wal.Writer, int64, error) {
 	st := ix.st
 	ix.meta.Lock()
 	defer ix.meta.Unlock()
+	if ix.closed {
+		return nil, 0, ErrClosed
+	}
 
 	if id < 0 || id >= len(ix.points) || ix.points[id] == nil {
-		return fmt.Errorf("parsearch: no vector with id %d", id)
+		return nil, 0, fmt.Errorf("parsearch: no vector with id %d", id)
 	}
 	p := ix.points[id]
+	// Validated; log before apply (see Insert for the locking story).
+	w := ix.wal
+	var target int64
+	if w != nil {
+		var werr error
+		target, werr = w.AppendAsync(wal.EncodeDelete(uint64(id)))
+		if werr != nil {
+			return nil, 0, fmt.Errorf("parsearch: logging delete: %w", werr)
+		}
+	}
 	d, key, _ := ix.assignCell(st, id, p)
 	sh := st.shards[d]
 	sh.mu.Lock()
 	ok := sh.tree.Delete(p, id)
 	sh.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("parsearch: internal inconsistency: id %d not found on disk %d", id, d)
+		return nil, 0, fmt.Errorf("parsearch: internal inconsistency: id %d not found on disk %d", id, d)
 	}
 	if st.replicas != nil {
 		r := replicaOf(d, ix.opts.Disks)
@@ -960,7 +1101,7 @@ func (ix *Index) Delete(id int) error {
 		ok := rsh.tree.Delete(p, id)
 		rsh.mu.Unlock()
 		if !ok {
-			return fmt.Errorf("parsearch: internal inconsistency: id %d not found in disk %d's replica on disk %d", id, d, r)
+			return nil, 0, fmt.Errorf("parsearch: internal inconsistency: id %d not found in disk %d's replica on disk %d", id, d, r)
 		}
 	}
 	if st.baseline != nil {
@@ -974,7 +1115,7 @@ func (ix *Index) Delete(id int) error {
 	ix.points[id] = nil
 	ix.live--
 	ix.version++
-	return nil
+	return w, target, nil
 }
 
 // ErrEmpty is returned by queries on an empty index.

@@ -507,6 +507,17 @@ func (s *Server) health() wire.Health {
 	case len(h.FailedDisks) > 0:
 		h.Status = "rerouted"
 	}
+	if d := s.ix.Durability(); d.Durable {
+		h.Durability = &wire.Durability{
+			Generation:       d.Generation,
+			SyncPolicy:       d.SyncPolicy,
+			WALLagBytes:      d.WALLagBytes,
+			Recovered:        d.Recovery.Recovered,
+			RecoveredRecords: d.Recovery.Records,
+			TornBytes:        d.Recovery.TornBytes,
+			Salvaged:         d.Recovery.Salvaged,
+		}
+	}
 	return h
 }
 
@@ -523,7 +534,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type statuszPayload struct {
 	Index   statuszIndex `json:"index"`
 	Serving statuszServe `json:"serving"`
-	Metrics any          `json:"metrics"`
+	// Durability is the full parsearch.DurabilityInfo (WAL lengths,
+	// lag, recovery detail) when the index is durable; omitted
+	// otherwise.
+	Durability any `json:"durability,omitempty"`
+	Metrics    any `json:"metrics"`
 }
 
 type statuszIndex struct {
@@ -547,7 +562,12 @@ type statuszServe struct {
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	h := s.health()
+	var durability any
+	if d := s.ix.Durability(); d.Durable {
+		durability = d
+	}
 	writeJSON(w, statuszPayload{
+		Durability: durability,
 		Index: statuszIndex{
 			Dim:         s.ix.Dim(),
 			Disks:       s.ix.Disks(),

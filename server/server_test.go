@@ -508,6 +508,93 @@ func TestStatusz(t *testing.T) {
 	}
 }
 
+// TestHealthzDurability pins the durability block of /healthz and
+// /statusz: absent for an in-memory index, present with WAL state and
+// the recovery summary for a durable one.
+func TestHealthzDurability(t *testing.T) {
+	plain := testIndex(t, 4, 100, 4, 0)
+	srv, err := New(plain, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var h struct {
+		Durability *json.RawMessage `json:"durability"`
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Durability != nil {
+		t.Fatal("in-memory index reports a durability block")
+	}
+
+	dir := t.TempDir()
+	dix, err := parsearch.Open(parsearch.Options{Dim: 4, Disks: 4, Durable: true, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dix.Insert([]float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	dsrv, err := New(dix, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dts := httptest.NewServer(dsrv.Handler())
+	defer dts.Close()
+	var dh struct {
+		Durability *struct {
+			Generation  uint64 `json:"generation"`
+			SyncPolicy  string `json:"sync_policy"`
+			WALLagBytes int64  `json:"wal_lag_bytes"`
+		} `json:"durability"`
+	}
+	resp, err = http.Get(dts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dh); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dh.Durability == nil {
+		t.Fatal("durable index reports no durability block on /healthz")
+	}
+	if dh.Durability.SyncPolicy != "always" {
+		t.Errorf("sync policy = %q, want always", dh.Durability.SyncPolicy)
+	}
+	if dh.Durability.WALLagBytes != 0 {
+		t.Errorf("WAL lag = %d under the always policy at rest", dh.Durability.WALLagBytes)
+	}
+
+	var doc struct {
+		Durability *struct {
+			Durable         bool  `json:"durable"`
+			WALWrittenBytes int64 `json:"wal_written_bytes"`
+		} `json:"durability"`
+	}
+	resp, err = http.Get(dts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if doc.Durability == nil || !doc.Durability.Durable {
+		t.Fatal("durable index reports no durability on /statusz")
+	}
+	if doc.Durability.WALWrittenBytes == 0 {
+		t.Error("statusz WAL written bytes = 0 after an insert")
+	}
+}
+
 // TestDeadlinePropagation pins the 504 mapping: a client deadline that
 // expires while the request is queued surfaces as a gateway timeout,
 // not a hang or a 500.

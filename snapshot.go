@@ -50,12 +50,23 @@ const (
 // snapshot is a consistent point-in-time view even while concurrent
 // inserts and deletes are running — and writing to w happens off the
 // lock, so a slow writer never stalls the index.
+//
+// On a durable index (Options.Durable) Save only exports: it does not
+// rotate generations or truncate the mutation log. Checkpoint is the
+// durable counterpart.
 func (ix *Index) Save(w io.Writer) error {
 	ix.meta.Lock()
 	points := make([]vec.Point, len(ix.points))
 	copy(points, ix.points)
 	ix.meta.Unlock()
+	return ix.writeSnapshot(w, points)
+}
 
+// writeSnapshot encodes the given point-table cut (see Save) to w.
+// It reads only immutable options and the lock-free metrics registry,
+// so it runs without any index lock — Save and Checkpoint hand it a
+// consistent cut and stream off-lock.
+func (ix *Index) writeSnapshot(w io.Writer, points []vec.Point) error {
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
 
@@ -159,6 +170,32 @@ func (ix *Index) Save(w io.Writer) error {
 	return nil
 }
 
+// snapshotData is a fully decoded and validated snapshot: the options
+// to open the index with, the point table (nil entries are
+// tombstones), and the metrics blob when present.
+type snapshotData struct {
+	opts    Options
+	points  [][]float64
+	metrics []byte
+}
+
+// newIndex opens an index from the decoded snapshot.
+func (sd *snapshotData) newIndex() (*Index, error) {
+	ix, err := Open(sd.opts)
+	if err != nil {
+		return nil, fmt.Errorf("parsearch: snapshot options invalid: %w", err)
+	}
+	if err := ix.Build(sd.points); err != nil {
+		return nil, fmt.Errorf("parsearch: rebuilding from snapshot: %w", err)
+	}
+	if sd.metrics != nil {
+		if err := ix.reg.UnmarshalBinary(sd.metrics); err != nil {
+			return nil, fmt.Errorf("parsearch: snapshot metrics invalid: %w", err)
+		}
+	}
+	return ix, nil
+}
+
 // Load reads a snapshot written by Save and returns a fully rebuilt
 // index. The whole snapshot is buffered so the checksum can be verified
 // before any of it is trusted.
@@ -167,21 +204,64 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("parsearch: reading snapshot: %w", err)
 	}
-	if len(raw) < len(snapshotMagic)+4 {
-		return nil, fmt.Errorf("parsearch: snapshot truncated (%d bytes)", len(raw))
+	sd, err := decodeSnapshot(raw)
+	if err != nil {
+		return nil, err
 	}
-	payload, sumBytes := raw[:len(raw)-4], raw[len(raw)-4:]
-	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(sumBytes) {
+	return sd.newIndex()
+}
+
+// decodeSnapshot validates and parses a complete snapshot: the
+// structural parse determines exactly where the payload ends, so the
+// footer position is known — not inferred from the file length — and
+// any bytes after the 4-byte CRC footer are rejected deterministically
+// as trailing garbage (before this refactor, appended bytes were only
+// caught probabilistically, by the CRC of the shifted footer failing).
+// The payload checksum is verified against the footer before the data
+// is returned.
+func decodeSnapshot(raw []byte) (*snapshotData, error) {
+	sd, consumed, perr := parseSnapshotPayload(raw)
+	if perr != nil {
+		// The structural parse failed. When the checksum fails too, the
+		// snapshot is damaged and the CRC verdict is the honest report
+		// (the structural error is a symptom); a passing checksum means
+		// the payload itself is malformed.
+		if len(raw) >= len(snapshotMagic)+4 {
+			body, foot := raw[:len(raw)-4], raw[len(raw)-4:]
+			if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(foot) {
+				return nil, fmt.Errorf("parsearch: snapshot checksum mismatch (corrupted or truncated)")
+			}
+		}
+		return nil, perr
+	}
+	rest := len(raw) - consumed
+	if rest < 4 {
+		return nil, fmt.Errorf("parsearch: snapshot truncated (footer missing)")
+	}
+	if rest > 4 {
+		return nil, fmt.Errorf("parsearch: %d bytes of trailing garbage after snapshot footer", rest-4)
+	}
+	if crc32.ChecksumIEEE(raw[:consumed]) != binary.LittleEndian.Uint32(raw[consumed:]) {
 		return nil, fmt.Errorf("parsearch: snapshot checksum mismatch (corrupted or truncated)")
 	}
-	br := bytes.NewReader(payload)
+	return sd, nil
+}
+
+// parseSnapshotPayload structurally parses the snapshot payload from
+// the start of raw and returns the decoded data plus the number of
+// bytes the payload occupies (everything before the CRC footer). Every
+// length and count field is bounds-checked against the remaining input
+// before it sizes an allocation, so the parse is safe on untrusted
+// bytes even before the checksum is verified.
+func parseSnapshotPayload(raw []byte) (*snapshotData, int, error) {
+	br := bytes.NewReader(raw)
 
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("parsearch: reading snapshot: %w", err)
+		return nil, 0, fmt.Errorf("parsearch: reading snapshot: %w", err)
 	}
 	if string(magic) != snapshotMagic {
-		return nil, fmt.Errorf("parsearch: not a parsearch snapshot (magic %q)", magic)
+		return nil, 0, fmt.Errorf("parsearch: not a parsearch snapshot (magic %q)", magic)
 	}
 	var (
 		version, dim, disks, pageSize uint32
@@ -191,39 +271,39 @@ func Load(r io.Reader) (*Index, error) {
 	)
 	for _, v := range []interface{}{&version, &dim, &disks, &pageSize, &flags, &seek, &transfer, &throttleBits} {
 		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
-			return nil, fmt.Errorf("parsearch: reading snapshot header: %w", err)
+			return nil, 0, fmt.Errorf("parsearch: reading snapshot header: %w", err)
 		}
 	}
 	if version != snapshotVersion {
-		return nil, fmt.Errorf("parsearch: unsupported snapshot version %d", version)
+		return nil, 0, fmt.Errorf("parsearch: unsupported snapshot version %d", version)
 	}
 	kind, err := readString(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	costModel, err := readString(br)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	var count uint64
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("parsearch: reading snapshot: %w", err)
+		return nil, 0, fmt.Errorf("parsearch: reading snapshot: %w", err)
 	}
 	// Bound every header field that sizes an allocation BEFORE
 	// allocating: a forged dim or disk count must fail here, not OOM in
 	// make() below (or in Open's registry/array construction).
 	if dim == 0 || dim > core.MaxDim || count > (1<<34) {
-		return nil, fmt.Errorf("parsearch: implausible snapshot (dim %d, %d points)", dim, count)
+		return nil, 0, fmt.Errorf("parsearch: implausible snapshot (dim %d, %d points)", dim, count)
 	}
 	if disks == 0 || disks > (1<<16) {
-		return nil, fmt.Errorf("parsearch: implausible snapshot (%d disks)", disks)
+		return nil, 0, fmt.Errorf("parsearch: implausible snapshot (%d disks)", disks)
 	}
 	// Every slot needs at least its presence byte, so a forged count
 	// larger than the remaining payload cannot be honest — reject it
 	// before allocating for it.
 	if count > uint64(br.Len()) {
-		return nil, fmt.Errorf("parsearch: snapshot claims %d points in %d bytes", count, br.Len())
+		return nil, 0, fmt.Errorf("parsearch: snapshot claims %d points in %d bytes", count, br.Len())
 	}
 	packed := flags&flagPacked != 0
 	coordSize := 8
@@ -235,13 +315,13 @@ func Load(r io.Reader) (*Index, error) {
 	for i := range points {
 		presence, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("parsearch: reading snapshot point %d: %w", i, err)
+			return nil, 0, fmt.Errorf("parsearch: reading snapshot point %d: %w", i, err)
 		}
 		switch presence {
 		case 0: // tombstone
 		case 1:
 			if _, err := io.ReadFull(br, buf); err != nil {
-				return nil, fmt.Errorf("parsearch: reading snapshot point %d: %w", i, err)
+				return nil, 0, fmt.Errorf("parsearch: reading snapshot point %d: %w", i, err)
 			}
 			p := make([]float64, dim)
 			if packed {
@@ -258,7 +338,7 @@ func Load(r io.Reader) (*Index, error) {
 			}
 			points[i] = p
 		default:
-			return nil, fmt.Errorf("parsearch: invalid presence byte %d at point %d", presence, i)
+			return nil, 0, fmt.Errorf("parsearch: invalid presence byte %d at point %d", presence, i)
 		}
 	}
 	// The metrics section (flag bit 16) restores the cumulative
@@ -269,18 +349,15 @@ func Load(r io.Reader) (*Index, error) {
 	if flags&flagMetrics != 0 {
 		var blobLen uint32
 		if err := binary.Read(br, binary.LittleEndian, &blobLen); err != nil {
-			return nil, fmt.Errorf("parsearch: reading snapshot metrics length: %w", err)
+			return nil, 0, fmt.Errorf("parsearch: reading snapshot metrics length: %w", err)
 		}
 		if uint64(blobLen) > uint64(br.Len()) {
-			return nil, fmt.Errorf("parsearch: snapshot metrics section claims %d bytes in %d", blobLen, br.Len())
+			return nil, 0, fmt.Errorf("parsearch: snapshot metrics section claims %d bytes in %d", blobLen, br.Len())
 		}
 		metricsBlob = make([]byte, blobLen)
 		if _, err := io.ReadFull(br, metricsBlob); err != nil {
-			return nil, fmt.Errorf("parsearch: reading snapshot metrics: %w", err)
+			return nil, 0, fmt.Errorf("parsearch: reading snapshot metrics: %w", err)
 		}
-	}
-	if br.Len() != 0 {
-		return nil, fmt.Errorf("parsearch: %d trailing bytes in snapshot", br.Len())
 	}
 
 	params := DiskParams{
@@ -288,32 +365,25 @@ func Load(r io.Reader) (*Index, error) {
 		Transfer: time.Duration(transfer),
 		Throttle: math.Float64frombits(throttleBits),
 	}
-	ix, err := Open(Options{
-		Dim:            int(dim),
-		Disks:          int(disks),
-		Kind:           Kind(kind),
-		PageSize:       int(pageSize),
-		QuantileSplits: flags&flagQuantile != 0,
-		Recursive:      flags&flagRecursive != 0,
-		Baseline:       flags&flagBaseline != 0,
-		Replication:    int(flags & flagReplication >> 3),
-		Packed:         packed,
-		Quantize:       flags&flagQuantize != 0,
-		DiskParams:     &params,
-		CostModel:      CostModel(costModel),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("parsearch: snapshot options invalid: %w", err)
+	sd := &snapshotData{
+		opts: Options{
+			Dim:            int(dim),
+			Disks:          int(disks),
+			Kind:           Kind(kind),
+			PageSize:       int(pageSize),
+			QuantileSplits: flags&flagQuantile != 0,
+			Recursive:      flags&flagRecursive != 0,
+			Baseline:       flags&flagBaseline != 0,
+			Replication:    int(flags & flagReplication >> 3),
+			Packed:         packed,
+			Quantize:       flags&flagQuantize != 0,
+			DiskParams:     &params,
+			CostModel:      CostModel(costModel),
+		},
+		points:  points,
+		metrics: metricsBlob,
 	}
-	if err := ix.Build(points); err != nil {
-		return nil, fmt.Errorf("parsearch: rebuilding from snapshot: %w", err)
-	}
-	if metricsBlob != nil {
-		if err := ix.reg.UnmarshalBinary(metricsBlob); err != nil {
-			return nil, fmt.Errorf("parsearch: snapshot metrics invalid: %w", err)
-		}
-	}
-	return ix, nil
+	return sd, len(raw) - br.Len(), nil
 }
 
 func writeString(w io.Writer, s string) error {

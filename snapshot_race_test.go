@@ -1,0 +1,161 @@
+package parsearch
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"parsearch/internal/fsx"
+)
+
+// Satellite of the durability PR: Save racing Insert/Delete must always
+// serialize a consistent cut. Every point in a loaded snapshot must be
+// exactly the vector that was inserted for its ID (coords are a pure
+// function of the ID) — a torn vector, a half-applied delete, or a
+// snapshot taken mid-mutation would break that. Run under -race this
+// also proves the snapshot path takes the locks it claims to.
+
+// racePoint derives a 4-dim vector from an ID.
+func racePoint(id int) []float64 {
+	return []float64{float64(id), float64(id * 3), float64(id*7 + 1), float64(id % 13)}
+}
+
+func TestSaveRacesMutations(t *testing.T) {
+	ix, err := Open(Options{Dim: 4, Disks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 64
+	for i := 0; i < seed; i++ {
+		if _, err := ix.Insert(racePoint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		wg   sync.WaitGroup
+		stop atomic.Bool
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		next := seed
+		del := 0
+		for !stop.Load() {
+			id, err := ix.Insert(racePoint(next))
+			if err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			if id != next {
+				t.Errorf("insert got ID %d, want %d", id, next)
+				return
+			}
+			next++
+			// Delete only even seed IDs, so an ID is either live with
+			// its full vector or tombstoned — never mutated in place.
+			if del < seed {
+				if err := ix.Delete(del); err != nil {
+					t.Errorf("delete %d: %v", del, err)
+					return
+				}
+				del += 2
+			}
+		}
+	}()
+
+	for round := 0; round < 30; round++ {
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatalf("save round %d: %v", round, err)
+		}
+		re, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("load round %d: %v", round, err)
+		}
+		if err := re.CheckIntegrity(); err != nil {
+			t.Fatalf("round %d: loaded cut fails integrity: %v", round, err)
+		}
+		table := tableOf(re)
+		live := 0
+		for id, p := range table {
+			if p == nil {
+				continue // tombstoned by the racing deleter
+			}
+			live++
+			want := racePoint(id)
+			if len(p) != len(want) {
+				t.Fatalf("round %d: ID %d has %d dims, want %d", round, id, len(p), len(want))
+			}
+			for j := range want {
+				if p[j] != want[j] {
+					t.Fatalf("round %d: ID %d coord %d = %v, want %v — snapshot cut is not consistent", round, id, j, p[j], want[j])
+				}
+			}
+		}
+		if re.Len() != live {
+			t.Fatalf("round %d: Len()=%d but %d live points in table", round, re.Len(), live)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestSaveRacesDurableMutations is the same cut-consistency check on a
+// durable index, where Save additionally races the WAL append path and
+// Checkpoint's generation rotation.
+func TestSaveRacesDurableMutations(t *testing.T) {
+	ix, err := openDurable(durableOpts(), fsx.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg   sync.WaitGroup
+		stop atomic.Bool
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		next := 0
+		for !stop.Load() {
+			if _, err := ix.Insert(durPoint(next, 3)); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			next++
+			if next%16 == 0 {
+				if err := ix.Checkpoint(); err != nil {
+					t.Errorf("checkpoint: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for round := 0; round < 15; round++ {
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatalf("save round %d: %v", round, err)
+		}
+		re, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("load round %d: %v", round, err)
+		}
+		if err := re.CheckIntegrity(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for id, p := range tableOf(re) {
+			if p == nil {
+				continue
+			}
+			want := durPoint(id, 3)
+			for j := range want {
+				if p[j] != want[j] {
+					t.Fatalf("round %d: ID %d coord %d torn", round, id, j)
+				}
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -31,6 +31,14 @@ const (
 	StageRetry       = "retry"       // transient faults forced re-read attempts
 	StageDone        = "done"        // query finished successfully
 	StageError       = "error"       // query returned an error
+	// StageRecovery is emitted once by a durable Open that found prior
+	// state: Results carries the WAL records replayed, Pages the log
+	// generations. StageCheckpoint is emitted by every generation
+	// rotation (Checkpoint and durable Build): Results carries the
+	// point-table length committed to the snapshot. Both arrive on the
+	// index-wide Options.Tracer (ops "recovery" / "checkpoint").
+	StageRecovery   = "recovery"
+	StageCheckpoint = "checkpoint"
 	// StageBoundTightened is emitted by the cooperative k-NN fan-out
 	// each time a disk's search lowers the shared global bound; Radius
 	// carries the new bound as a metric distance. Events of one disk are

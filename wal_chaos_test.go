@@ -1,0 +1,313 @@
+package parsearch
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"parsearch/internal/fsx"
+)
+
+// The crash-recovery chaos battery: run a fixed mixed workload
+// (inserts, deletes, checkpoints, a rebuild) against the in-memory
+// failpoint filesystem, kill the "process" at every injected write
+// offset, reopen from what a real crash would have left behind, and
+// assert the recovered index is byte-identical to an in-memory oracle
+// state that contains every acknowledged mutation.
+//
+// Two storage models are checked at every crash point:
+//
+//   - DurableView (pessimistic): only fsynced bytes survived. With
+//     WALSyncAlways this is the binding guarantee — every acknowledged
+//     mutation must be recovered.
+//   - FlushedView (optimistic): the kernel flushed everything written.
+//     Recovery must also be correct when MORE than the synced prefix
+//     survives (the unacked tail is applied or torn, never mangled).
+//
+// In both models the recovered point table must equal the oracle state
+// after some prefix of the workload that includes all acknowledged
+// operations — recovery may surface a crash-truncated suffix, but it
+// must never lose an acked mutation, reorder, or invent one.
+
+// chaosOp is one workload step.
+type chaosOp struct {
+	kind  string // "insert", "delete", "checkpoint", "build"
+	point []float64
+	id    int
+	build [][]float64
+}
+
+// chaosWorkload is the fixed mixed-mutation sequence of the battery:
+// enough inserts to span several WAL frames, deletes, two generation
+// rotations, and a full rebuild (the rebase path), all deterministic.
+func chaosWorkload() []chaosOp {
+	var ops []chaosOp
+	n := 0
+	insert := func(k int) {
+		for i := 0; i < k; i++ {
+			ops = append(ops, chaosOp{kind: "insert", point: durPoint(n, 3)})
+			n++
+		}
+	}
+	insert(10)
+	ops = append(ops, chaosOp{kind: "delete", id: 2})
+	ops = append(ops, chaosOp{kind: "delete", id: 5})
+	ops = append(ops, chaosOp{kind: "checkpoint"})
+	insert(5)
+	ops = append(ops, chaosOp{kind: "delete", id: 12})
+	ops = append(ops, chaosOp{kind: "build", build: [][]float64{
+		durPoint(200, 3), durPoint(201, 3), nil, durPoint(203, 3), durPoint(204, 3),
+	}})
+	insert(4) // IDs 5..8 of the rebased table
+	ops = append(ops, chaosOp{kind: "delete", id: 0})
+	ops = append(ops, chaosOp{kind: "checkpoint"})
+	insert(3)
+	return ops
+}
+
+// chaosStates returns the oracle point table after every prefix of the
+// workload: states[k] is the table once the first k operations have
+// been applied.
+func chaosStates(ops []chaosOp) [][][]float64 {
+	states := make([][][]float64, len(ops)+1)
+	var table [][]float64
+	states[0] = nil
+	for k, op := range ops {
+		switch op.kind {
+		case "insert":
+			table = append(table, append([]float64(nil), op.point...))
+		case "delete":
+			table[op.id] = nil
+		case "build":
+			table = nil
+			for _, p := range op.build {
+				if p == nil {
+					table = append(table, nil)
+				} else {
+					table = append(table, append([]float64(nil), p...))
+				}
+			}
+		case "checkpoint":
+			// no effect on the table
+		}
+		cp := make([][]float64, len(table))
+		for i, p := range table {
+			if p != nil {
+				cp[i] = append([]float64(nil), p...)
+			}
+		}
+		states[k+1] = cp
+	}
+	return states
+}
+
+// tablesEqual compares two point tables slot by slot, treating nil and
+// empty tables as equal (a freshly recovered empty index has no slots).
+func tablesEqual(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if (a[i] == nil) != (b[i] == nil) {
+			return false
+		}
+		if a[i] != nil && !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// runChaos executes the workload until the first failure (the crash)
+// and returns how many operations were acknowledged.
+func runChaos(ix *Index, ops []chaosOp) int {
+	for k, op := range ops {
+		var err error
+		switch op.kind {
+		case "insert":
+			_, err = ix.Insert(op.point)
+		case "delete":
+			err = ix.Delete(op.id)
+		case "build":
+			err = ix.Build(op.build)
+		case "checkpoint":
+			err = ix.Checkpoint()
+		}
+		if err != nil {
+			return k
+		}
+	}
+	return len(ops)
+}
+
+// verifyRecovery reopens the index from one post-crash view and checks
+// the recovery contract: no crash artifact is ever classified as
+// corruption, and the recovered table equals an oracle prefix state
+// containing every acknowledged operation. With checkAnswers set it
+// additionally compares KNN answers against a freshly built oracle
+// index — exact search is structure-independent, so the answers must
+// be byte-identical.
+func verifyRecovery(t *testing.T, view *fsx.Mem, states [][][]float64, acked int, checkAnswers bool) {
+	t.Helper()
+	re, err := openDurable(durableOpts(), view)
+	if err != nil {
+		t.Fatalf("acked=%d: crash artifact refused as %v", acked, err)
+	}
+	got := tableOf(re)
+	match := -1
+	for k := acked; k < len(states); k++ {
+		if tablesEqual(got, states[k]) {
+			match = k
+			break
+		}
+	}
+	if match < 0 {
+		t.Fatalf("acked=%d: recovered table (%d slots) matches no oracle prefix ≥ acked — an acknowledged mutation was lost or mangled", acked, len(got))
+	}
+	if err := re.CheckIntegrity(); err != nil {
+		t.Fatalf("acked=%d: recovered index integrity: %v", acked, err)
+	}
+	if !checkAnswers || re.Len() == 0 {
+		return
+	}
+	oracle, err := Open(Options{Dim: 3, Disks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.Build(got); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 4; q++ {
+		query := durPoint(q*13+1, 3)
+		k := 5
+		if k > re.Len() {
+			k = re.Len()
+		}
+		gotN, _, err := re.KNN(query, k)
+		if err != nil {
+			t.Fatalf("acked=%d: recovered KNN: %v", acked, err)
+		}
+		wantN, _, err := oracle.KNN(query, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotN, wantN) {
+			t.Fatalf("acked=%d query %d: recovered answers differ from oracle", acked, q)
+		}
+	}
+}
+
+func TestChaosCrashRecoveryBattery(t *testing.T) {
+	ops := chaosWorkload()
+	states := chaosStates(ops)
+
+	// Golden run, no failpoints: the workload completes, the end state
+	// matches the oracle, and the write boundaries become the crash
+	// points to sweep.
+	golden := fsx.NewMem()
+	gix, err := openDurable(durableOpts(), golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked := runChaos(gix, ops); acked != len(ops) {
+		t.Fatalf("golden run acked %d/%d ops", acked, len(ops))
+	}
+	if !tablesEqual(tableOf(gix), states[len(ops)]) {
+		t.Fatal("golden run end state differs from oracle")
+	}
+	total := golden.TotalWritten()
+	bounds := golden.WriteBoundaries()
+
+	// Crash points: every write boundary plus intra-write offsets, so
+	// both whole-frame loss and torn frames are exercised.
+	seen := map[int64]bool{}
+	var offsets []int64
+	add := func(off int64) {
+		if off >= 0 && off < total && !seen[off] {
+			seen[off] = true
+			offsets = append(offsets, off)
+		}
+	}
+	for _, b := range bounds {
+		add(b)
+		add(b + 1)
+		add(b + 7)
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	if len(offsets) < 50 {
+		t.Fatalf("only %d crash points — workload too small for a meaningful sweep", len(offsets))
+	}
+
+	for i, off := range offsets {
+		checkAnswers := i%9 == 0
+		fs := fsx.NewMem()
+		fs.CrashAfter(off)
+		acked := 0
+		if ix, err := openDurable(durableOpts(), fs); err == nil {
+			acked = runChaos(ix, ops)
+		}
+		// else: the process died while the index was being opened —
+		// nothing was acknowledged, and recovery must still work.
+		if !fs.Crashed() {
+			t.Fatalf("offset %d: workload finished without hitting the crash point", off)
+		}
+		verifyRecovery(t, fs.DurableView(), states, acked, checkAnswers)
+		// The optimistic model keeps unacked flushed bytes; the acked
+		// floor still binds.
+		verifyRecovery(t, fs.FlushedView(), states, acked, checkAnswers)
+	}
+}
+
+// TestChaosRepeatedCrashes recovers, mutates, and crashes again across
+// several lives of the same directory: recovery must compose with
+// itself (truncated tails, reseeded logs, partial rotations from
+// earlier lives must never confuse a later recovery).
+func TestChaosRepeatedCrashes(t *testing.T) {
+	fs := fsx.NewMem()
+	lives := []int64{120, 300, 650, 900, 1400}
+	for round, extra := range lives {
+		base := fs.TotalWritten()
+		fs.CrashAfter(base + extra)
+		ix, err := openDurable(durableOpts(), fs)
+		if err != nil {
+			// Died during open; next life recovers from the residue.
+			fs = fs.FlushedView()
+			continue
+		}
+		for i := 0; ; i++ {
+			if _, err := ix.Insert(durPoint(round*100+i, 3)); err != nil {
+				break
+			}
+			if i%5 == 4 {
+				if err := ix.Checkpoint(); err != nil {
+					break
+				}
+			}
+		}
+		if !fs.Crashed() {
+			t.Fatalf("round %d: crash point never hit", round)
+		}
+		if round%2 == 0 {
+			fs = fs.DurableView()
+		} else {
+			fs = fs.FlushedView()
+		}
+	}
+	// Final recovery must be clean and internally consistent.
+	re, err := openDurable(durableOpts(), fs)
+	if err != nil {
+		t.Fatalf("final recovery: %v", err)
+	}
+	if err := re.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// And stable: a second reopen of the untouched directory sees the
+	// same state.
+	re2, err := openDurable(durableOpts(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tableOf(re), tableOf(re2)) {
+		t.Fatal("recovery of an untouched directory is not deterministic")
+	}
+}
