@@ -356,10 +356,12 @@ func (ix *Index) initDurable(fs fsx.FS) error {
 		haveSnap: info.HaveSnapshot,
 	}
 	chainEnd := replayFrom // one past the last replayed generation
+	stoppedAt := replayFrom
 	torn := false
 	for g := replayFrom; ; g++ {
 		data, err := fs.ReadFile(walName(g))
 		if errors.Is(err, iofs.ErrNotExist) {
+			stoppedAt = g
 			break
 		}
 		if err != nil {
@@ -413,6 +415,25 @@ func (ix *Index) initDurable(fs fsx.FS) error {
 		chainEnd = g + 1
 	}
 
+	// Logs above the first missing generation are unreachable: the
+	// chain's base link is gone, so their records cannot be ordered
+	// against the recovered state. Starting a fresh log at the gap and
+	// later truncating them via Create would silently discard old
+	// records — refuse instead (or drop them explicitly under Salvage).
+	for _, g := range walGens {
+		if g <= stoppedAt {
+			continue
+		}
+		if !ix.opts.Salvage {
+			return fmt.Errorf("%w: %s is unreachable (%s is missing)", ErrCorrupt, walName(g), walName(stoppedAt))
+		}
+		info.Salvaged = true
+		if raw, err := fs.ReadFile(walName(g)); err == nil {
+			info.DroppedBytes += int64(len(raw))
+		}
+		_ = fs.Remove(walName(g))
+	}
+
 	// Rebuild the in-memory index from the recovered point table.
 	if len(rs.points) > 0 {
 		st, pts, live, err := ix.buildState(rs.points)
@@ -457,9 +478,11 @@ func (ix *Index) initDurable(fs fsx.FS) error {
 			// every log opens with its checkpoint — holds for the
 			// records about to be appended.
 			if err := w.Append(wal.EncodeCheckpoint(gen, false)); err != nil {
+				_ = w.Close()
 				return fmt.Errorf("parsearch: reseeding %s: %w", walName(gen), err)
 			}
 			if err := w.Sync(); err != nil {
+				_ = w.Close()
 				return fmt.Errorf("parsearch: syncing %s: %w", walName(gen), err)
 			}
 		}
@@ -471,10 +494,19 @@ func (ix *Index) initDurable(fs fsx.FS) error {
 		}
 		w := ix.newWALWriter(f, 0)
 		if err := w.Append(wal.EncodeCheckpoint(gen, false)); err != nil {
+			_ = w.Close()
 			return fmt.Errorf("parsearch: seeding %s: %w", walName(gen), err)
 		}
 		if err := w.Sync(); err != nil {
+			_ = w.Close()
 			return fmt.Errorf("parsearch: syncing %s: %w", walName(gen), err)
+		}
+		// The log's directory entry must be durable before any mutation
+		// is acknowledged on it — fsyncing the file alone does not
+		// commit the name, and losing the file loses the whole log.
+		if err := fs.SyncDir(); err != nil {
+			_ = w.Close()
+			return fmt.Errorf("parsearch: syncing durable dir for %s: %w", walName(gen), err)
 		}
 		ix.wal = w
 	}
@@ -599,13 +631,25 @@ func (ix *Index) Checkpoint() error {
 	nw := ix.newWALWriter(f, 0)
 	if err := nw.Append(wal.EncodeCheckpoint(newGen, false)); err != nil {
 		ix.meta.Unlock()
+		_ = nw.Close()
 		_ = ix.fs.Remove(walName(newGen))
 		return fmt.Errorf("parsearch: seeding %s: %w", walName(newGen), err)
 	}
 	if err := nw.Sync(); err != nil {
 		ix.meta.Unlock()
+		_ = nw.Close()
 		_ = ix.fs.Remove(walName(newGen))
 		return fmt.Errorf("parsearch: syncing %s: %w", walName(newGen), err)
+	}
+	// Make the new log's directory entry durable before any mutation is
+	// acknowledged on it: after the swap below, acked mutations live
+	// only in wal-(g+1), and a crash must not be able to erase the file
+	// itself.
+	if err := ix.fs.SyncDir(); err != nil {
+		ix.meta.Unlock()
+		_ = nw.Close()
+		_ = ix.fs.Remove(walName(newGen))
+		return fmt.Errorf("parsearch: syncing durable dir for %s: %w", walName(newGen), err)
 	}
 	points := make([]vec.Point, len(ix.points))
 	copy(points, ix.points)
@@ -711,14 +755,25 @@ func (ix *Index) rebaseDurable(st *state, pts []vec.Point, live int) error {
 	}
 	nw := ix.newWALWriter(f, 0)
 	if err := nw.Append(wal.EncodeCheckpoint(newGen, true)); err != nil {
+		_ = nw.Close()
 		_ = ix.fs.Remove(walName(newGen))
 		return fmt.Errorf("parsearch: seeding %s: %w", walName(newGen), err)
 	}
 	if err := nw.Sync(); err != nil {
+		_ = nw.Close()
 		_ = ix.fs.Remove(walName(newGen))
 		return fmt.Errorf("parsearch: syncing %s: %w", walName(newGen), err)
 	}
+	// The rebase log's name must be durable before the snapshot rename
+	// commits the generation: recovery pairs the two, and acked
+	// mutations land in this log right after the cutover.
+	if err := ix.fs.SyncDir(); err != nil {
+		_ = nw.Close()
+		_ = ix.fs.Remove(walName(newGen))
+		return fmt.Errorf("parsearch: syncing durable dir for %s: %w", walName(newGen), err)
+	}
 	if err := ix.writeSnapFile(newGen, pts); err != nil {
+		_ = nw.Close()
 		_ = ix.fs.Remove(walName(newGen))
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"parsearch/internal/fsx"
@@ -659,5 +660,180 @@ func TestLoadRejectsTrailingGarbage(t *testing.T) {
 	// Sanity: the unmodified snapshot still loads.
 	if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// hookFS wraps a Mem and fires a callback before every Create — the
+// window tests use it to run mutations at an exact point inside a
+// rotation.
+type hookFS struct {
+	*fsx.Mem
+	onCreate func(name string)
+}
+
+func (h *hookFS) Create(name string) (fsx.File, error) {
+	if h.onCreate != nil {
+		h.onCreate(name)
+	}
+	return h.Mem.Create(name)
+}
+
+// TestCheckpointWindowMutationSurvivesCrashBeforeRename: a mutation
+// acknowledged while Checkpoint is writing the snapshot off-lock lives
+// only in the freshly created wal-(g+1). If the process dies before the
+// snapshot rename (the first operation that fsyncs the directory as a
+// side effect), that log file's name must already be durable —
+// otherwise the acknowledged mutation vanishes with the file.
+func TestCheckpointWindowMutationSurvivesCrashBeforeRename(t *testing.T) {
+	mem := fsx.NewMem()
+	fs := &hookFS{Mem: mem}
+	ix, err := openDurable(durableOpts(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := ix.Insert(durPoint(i, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The snapshot tmp file is created after the log swap and before
+	// the rename: exactly the window where a concurrent mutation acks
+	// into the new log. Simulate one, then capture the crash state.
+	var view *fsx.Mem
+	fs.onCreate = func(name string) {
+		if !strings.HasSuffix(name, ".tmp") || view != nil {
+			return
+		}
+		if _, err := ix.Insert(durPoint(99, 3)); err != nil {
+			t.Errorf("insert during checkpoint window: %v", err)
+			return
+		}
+		view = mem.DurableView()
+	}
+	if err := ix.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if view == nil {
+		t.Fatal("checkpoint never created a snapshot tmp file")
+	}
+	re, err := openDurable(durableOpts(), view)
+	if err != nil {
+		t.Fatalf("recovery from mid-checkpoint crash: %v", err)
+	}
+	got := tableOf(re)
+	if len(got) != 6 || !reflect.DeepEqual(got[5], durPoint(99, 3)) {
+		t.Fatalf("recovered %d slots: the mutation acked during the checkpoint window was lost", len(got))
+	}
+}
+
+// TestRecoveryRefusesGapInLogChain: when the chain's base log is
+// missing but a newer log survives, the newer records cannot be
+// ordered against the recovered state. Recovery must refuse with
+// ErrCorrupt instead of silently starting a fresh log at the gap (and
+// later truncating the orphan via Create); Salvage drops the orphan
+// explicitly.
+func TestRecoveryRefusesGapInLogChain(t *testing.T) {
+	fs := fsx.NewMem()
+	ix, err := openDurable(durableOpts(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := ix.Insert(durPoint(i, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Checkpoint(); err != nil { // gen 1: snap-1 + wal-1
+		t.Fatal(err)
+	}
+	snapState := tableOf(ix)
+	for i := 5; i < 8; i++ {
+		if _, err := ix.Insert(durPoint(i, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Checkpoint(); err != nil { // gen 2: snap-2 + wal-2
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Damage: the newest snapshot and the base link wal-1 are gone, so
+	// recovery starts from snap-1 — and wal-2 is unreachable across the
+	// missing wal-1.
+	if err := fs.Remove(snapName(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(walName(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := openDurable(durableOpts(), fs); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("gapped log chain: %v, want ErrCorrupt", err)
+	}
+
+	salvageOpts := durableOpts()
+	salvageOpts.Salvage = true
+	re, err := openDurable(salvageOpts, fs)
+	if err != nil {
+		t.Fatalf("salvage open: %v", err)
+	}
+	if !reflect.DeepEqual(tableOf(re), snapState) {
+		t.Fatal("salvage did not recover exactly the snapshot state")
+	}
+	info := re.Recovery()
+	if !info.Salvaged || info.DroppedBytes == 0 {
+		t.Fatalf("recovery info %+v, want Salvaged with dropped bytes", info)
+	}
+	// The orphan is gone: a second open (without salvage) is clean.
+	if _, err := openDurable(durableOpts(), fs); err != nil {
+		t.Fatalf("reopen after salvage: %v", err)
+	}
+}
+
+// TestDeleteWALAppendFailureLeavesNoRecord: a delete whose log append
+// fails must be refused without a trace — neither applied in memory
+// nor present in the log — so the live index, the error, and any
+// future recovery agree.
+func TestDeleteWALAppendFailureLeavesNoRecord(t *testing.T) {
+	fs := fsx.NewMem()
+	ix, err := openDurable(durableOpts(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := ix.Insert(durPoint(i, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.FailWriteAt(fs.TotalWritten()) // the delete record's write fails whole
+	if err := ix.Delete(2); err == nil {
+		t.Fatal("Delete across injected write error returned nil error")
+	}
+	if ix.Len() != 4 {
+		t.Fatalf("live count %d after refused delete, want 4", ix.Len())
+	}
+	// The refused delete is queryable and durable state has no record
+	// of it.
+	if got, _, err := ix.NN(durPoint(2, 3)); err != nil || got.ID != 2 {
+		t.Fatalf("NN after refused delete: %v %v", got, err)
+	}
+	re, err := openDurable(durableOpts(), fs.FlushedView())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tableOf(re), tableOf(ix)) {
+		t.Fatal("recovered state diverges from live state after a refused delete")
+	}
+	// The writer healed: the same delete succeeds and recovers cleanly.
+	if err := ix.Delete(2); err != nil {
+		t.Fatalf("Delete after self-heal: %v", err)
+	}
+	re2, err := openDurable(durableOpts(), fs.FlushedView())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tableOf(re2), tableOf(ix)) {
+		t.Fatal("recovered state diverges after the healed delete")
 	}
 }

@@ -58,6 +58,13 @@ type FS interface {
 	Remove(name string) error
 	// List returns the sorted names of all files.
 	List() ([]string, error)
+	// SyncDir makes the directory's metadata durable: file creations
+	// are not guaranteed to survive a crash until a SyncDir (or a
+	// Rename, which syncs the directory itself). Fsyncing a file's
+	// content does NOT make its directory entry durable — a writer
+	// must SyncDir after creating a file and before acknowledging
+	// anything written to it.
+	SyncDir() error
 }
 
 // OS is an FS over one real directory. The directory must exist.
@@ -166,6 +173,9 @@ func (o *OS) Remove(name string) error {
 	}
 	return os.Remove(p)
 }
+
+// SyncDir implements FS.
+func (o *OS) SyncDir() error { return o.syncDir() }
 
 // List implements FS.
 func (o *OS) List() ([]string, error) {

@@ -89,7 +89,65 @@ func TestFSConformance(t *testing.T) {
 			if err := fsys.Remove("b.log"); !errors.Is(err, fs.ErrNotExist) {
 				t.Fatalf("double remove: %v", err)
 			}
+			if err := fsys.SyncDir(); err != nil {
+				t.Fatalf("SyncDir: %v", err)
+			}
 		})
+	}
+}
+
+// TestMemVolatileDirectoryEntry: a created file's name is volatile
+// until a directory sync, even when its content was fsynced — the
+// pessimistic crash view erases it, matching a real filesystem where
+// fsync of a file does not commit its directory entry.
+func TestMemVolatileDirectoryEntry(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("wal")
+	if _, err := f.Write([]byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DurableView().ReadFile("wal"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("fsynced file with volatile entry survived the durable view: %v", err)
+	}
+	// The optimistic view keeps it (the kernel flushed the metadata).
+	if b, err := m.FlushedView().ReadFile("wal"); err != nil || string(b) != "acked" {
+		t.Fatalf("flushed view: %q, %v", b, err)
+	}
+	// After SyncDir the entry is durable.
+	if err := m.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := m.DurableView().ReadFile("wal"); err != nil || string(b) != "acked" {
+		t.Fatalf("durable view after SyncDir: %q, %v", b, err)
+	}
+
+	// Rename syncs the directory as part of its contract, making all
+	// pending entries durable.
+	m2 := NewMem()
+	g, _ := m2.Create("a")
+	if _, err := g.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := m2.Create("b")
+	if _, err := h.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Rename("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "c"} {
+		if _, err := m2.DurableView().ReadFile(name); err != nil {
+			t.Fatalf("%q not durable after rename's directory sync: %v", name, err)
+		}
 	}
 }
 
@@ -111,6 +169,9 @@ func TestOSRejectsEscapingNames(t *testing.T) {
 func TestMemCrashKeepsDurablePrefix(t *testing.T) {
 	m := NewMem()
 	f, _ := m.Create("wal")
+	if err := m.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := f.Write([]byte("durable|")); err != nil {
 		t.Fatal(err)
 	}
@@ -164,6 +225,9 @@ func TestMemFailWriteAtIsOneShot(t *testing.T) {
 func TestMemFailSyncs(t *testing.T) {
 	m := NewMem()
 	f, _ := m.Create("wal")
+	if err := m.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := f.Write([]byte("abc")); err != nil {
 		t.Fatal(err)
 	}

@@ -19,10 +19,16 @@ var ErrInjected = errors.New("fsx: injected I/O error")
 
 // memFile is one file's content: data is everything written, synced
 // the prefix guaranteed to survive a crash. Writes beyond synced are
-// volatile until the next Sync.
+// volatile until the next Sync. entrySynced models the directory
+// entry: a freshly created file's name is volatile — erased by a
+// crash together with its content, even if that content was fsynced —
+// until a SyncDir (or Rename, which syncs the directory) makes it
+// durable. This mirrors POSIX, where fsync of a file does not commit
+// its directory entry.
 type memFile struct {
-	data   []byte
-	synced int
+	data        []byte
+	synced      int
+	entrySynced bool
 }
 
 // Mem is an in-memory FS with durability modeling and failpoints. The
@@ -114,30 +120,35 @@ func (m *Mem) Crashed() bool {
 
 // DurableView returns the filesystem a reboot after the crash would
 // see under the pessimistic storage model: every file truncated to its
-// last fsynced length. File metadata (existence, names) is modeled as
-// journaled — creates, renames, and removes that happened before the
-// crash survive it.
+// last fsynced length, and files whose directory entry was never
+// covered by a SyncDir (or Rename) gone entirely — on a real
+// filesystem a created name is not durable until its directory is
+// fsynced, no matter how much of the content was. Removes and renames
+// that happened before the crash are modeled as journaled.
 func (m *Mem) DurableView() *Mem {
-	return m.view(func(f *memFile) int { return f.synced })
+	return m.view(func(f *memFile) int { return f.synced }, true)
 }
 
 // FlushedView returns the optimistic post-crash filesystem: the kernel
-// happened to flush every written byte before the crash. Recovery must
-// be correct under both extremes (and, by the prefix structure of the
-// log, under anything between them).
+// happened to flush every written byte — and every directory entry —
+// before the crash. Recovery must be correct under both extremes (and,
+// by the prefix structure of the log, under anything between them).
 func (m *Mem) FlushedView() *Mem {
-	return m.view(func(f *memFile) int { return len(f.data) })
+	return m.view(func(f *memFile) int { return len(f.data) }, false)
 }
 
-func (m *Mem) view(keep func(*memFile) int) *Mem {
+func (m *Mem) view(keep func(*memFile) int, dropVolatileEntries bool) *Mem {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	v := NewMem()
 	for name, f := range m.files {
+		if dropVolatileEntries && !f.entrySynced {
+			continue
+		}
 		n := keep(f)
 		data := make([]byte, n)
 		copy(data, f.data[:n])
-		v.files[name] = &memFile{data: data, synced: n}
+		v.files[name] = &memFile{data: data, synced: n, entrySynced: true}
 	}
 	return v
 }
@@ -265,18 +276,21 @@ func (h *memHandle) Size() (int64, error) {
 
 func (h *memHandle) Close() error { return nil }
 
-// Create implements FS.
+// Create implements FS. A freshly created name is volatile until
+// SyncDir (an existing name stays as durable as it already was).
 func (m *Mem) Create(name string) (File, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.checkAlive(); err != nil {
 		return nil, err
 	}
-	m.files[name] = &memFile{}
+	prior, existed := m.files[name]
+	m.files[name] = &memFile{entrySynced: existed && prior.entrySynced}
 	return &memHandle{m: m, name: name}, nil
 }
 
-// Append implements FS.
+// Append implements FS. Like Create, a name Append brings into
+// existence is volatile until SyncDir.
 func (m *Mem) Append(name string) (File, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -305,7 +319,9 @@ func (m *Mem) ReadFile(name string) ([]byte, error) {
 	return out, nil
 }
 
-// Rename implements FS.
+// Rename implements FS. Per the FS contract the rename fsyncs the
+// directory, which makes ALL pending directory entries durable, not
+// just the renamed one — exactly what a real directory fsync does.
 func (m *Mem) Rename(oldname, newname string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -318,6 +334,7 @@ func (m *Mem) Rename(oldname, newname string) error {
 	}
 	delete(m.files, oldname)
 	m.files[newname] = f
+	m.syncEntriesLocked()
 	return nil
 }
 
@@ -333,6 +350,26 @@ func (m *Mem) Remove(name string) error {
 	}
 	delete(m.files, name)
 	return nil
+}
+
+// SyncDir implements FS: every current directory entry becomes
+// durable.
+func (m *Mem) SyncDir() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkAlive(); err != nil {
+		return err
+	}
+	m.syncEntriesLocked()
+	return nil
+}
+
+// syncEntriesLocked marks all directory entries durable. Caller holds
+// mu.
+func (m *Mem) syncEntriesLocked() {
+	for _, f := range m.files {
+		f.entrySynced = true
+	}
 }
 
 // List implements FS.

@@ -157,6 +157,12 @@ func newTestWriter(t *testing.T, fs fsx.FS, policy SyncPolicy) *Writer {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Make the new name durable, as the durability layer does before
+	// acknowledging anything — created entries are volatile until a
+	// directory sync.
+	if err := fs.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
 	return NewWriter(f, 0, policy)
 }
 
@@ -281,6 +287,9 @@ func TestClosedWriterRejectsAppends(t *testing.T) {
 func TestNewWriterResumesAtValidLen(t *testing.T) {
 	mem := fsx.NewMem()
 	f, _ := mem.Create("wal-0.log")
+	if err := mem.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
 	first := EncodeDelete(1)
 	if _, err := f.Write(first); err != nil {
 		t.Fatal(err)

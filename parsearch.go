@@ -1076,16 +1076,12 @@ func (ix *Index) deleteLocked(id int) (*wal.Writer, int64, error) {
 		return nil, 0, fmt.Errorf("parsearch: no vector with id %d", id)
 	}
 	p := ix.points[id]
-	// Validated; log before apply (see Insert for the locking story).
-	w := ix.wal
-	var target int64
-	if w != nil {
-		var werr error
-		target, werr = w.AppendAsync(wal.EncodeDelete(uint64(id)))
-		if werr != nil {
-			return nil, 0, fmt.Errorf("parsearch: logging delete: %w", werr)
-		}
-	}
+	// Apply to the trees BEFORE logging: the tree deletes are the only
+	// remaining failure modes, and a delete record must never become
+	// durable unless the delete is actually applied — otherwise a
+	// failed delete would silently reappear as applied after recovery.
+	// (Insert logs first because its apply cannot fail.) Log order
+	// still matches commit order: both happen under meta.
 	d, key, _ := ix.assignCell(st, id, p)
 	sh := st.shards[d]
 	sh.mu.Lock()
@@ -1094,13 +1090,18 @@ func (ix *Index) deleteLocked(id int) (*wal.Writer, int64, error) {
 	if !ok {
 		return nil, 0, fmt.Errorf("parsearch: internal inconsistency: id %d not found on disk %d", id, d)
 	}
+	var rsh *shard
 	if st.replicas != nil {
 		r := replicaOf(d, ix.opts.Disks)
-		rsh := st.replicas[r]
+		rsh = st.replicas[r]
 		rsh.mu.Lock()
 		ok := rsh.tree.Delete(p, id)
 		rsh.mu.Unlock()
 		if !ok {
+			// Undo the primary so the failed delete leaves no trace.
+			sh.mu.Lock()
+			sh.tree.Insert(p, id)
+			sh.mu.Unlock()
 			return nil, 0, fmt.Errorf("parsearch: internal inconsistency: id %d not found in disk %d's replica on disk %d", id, d, r)
 		}
 	}
@@ -1108,6 +1109,30 @@ func (ix *Index) deleteLocked(id int) (*wal.Writer, int64, error) {
 		st.baseline.mu.Lock()
 		st.baseline.tree.Delete(p, id)
 		st.baseline.mu.Unlock()
+	}
+	w := ix.wal
+	var target int64
+	if w != nil {
+		var werr error
+		target, werr = w.AppendAsync(wal.EncodeDelete(uint64(id)))
+		if werr != nil {
+			// The delete was refused, not applied: roll the trees back
+			// so memory, the log, and the error agree.
+			sh.mu.Lock()
+			sh.tree.Insert(p, id)
+			sh.mu.Unlock()
+			if rsh != nil {
+				rsh.mu.Lock()
+				rsh.tree.Insert(p, id)
+				rsh.mu.Unlock()
+			}
+			if st.baseline != nil {
+				st.baseline.mu.Lock()
+				st.baseline.tree.Insert(p, id)
+				st.baseline.mu.Unlock()
+			}
+			return nil, 0, fmt.Errorf("parsearch: logging delete: %w", werr)
+		}
 	}
 	if idx, ok := st.cellIndex[key]; ok && st.cells[idx].count > 0 {
 		st.cells[idx].count--
