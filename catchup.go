@@ -1,0 +1,302 @@
+package parsearch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot+delta shipping: a cold replica (or a restarted parsearchd)
+// catches up from a leader's durable directory contents instead of
+// re-ingesting everything. The leader serves, per request, the byte
+// suffix of the generation chain the follower is missing: if the
+// follower's newest WAL generation is still on the leader, the delta is
+// just the new log bytes (plus any newer generations in full); if the
+// follower is too far behind — its generation was pruned — the leader
+// resets it to the newest snapshot plus the logs above it. Applying the
+// delta to the follower's directory yields a prefix of the leader's
+// durable state that Open's standard recovery replays; repeated rounds
+// converge to the leader's synced cut.
+//
+// The protocol ships only bytes the leader has made durable (the synced
+// WAL prefix), so a follower can never get ahead of what the leader
+// would itself recover to after a crash.
+
+// CatchupFile is one file fragment of a delta: Data belongs at Offset
+// of Name (Offset 0 creates/replaces the file).
+type CatchupFile struct {
+	Name   string `json:"name"`
+	Offset int64  `json:"offset"`
+	Data   []byte `json:"data"`
+}
+
+// CatchupDelta is a leader's answer to one catch-up round.
+type CatchupDelta struct {
+	// Gen is the leader's current generation; NextOffset the synced
+	// length of wal-Gen the delta reaches. A follower polls with
+	// (have=true, Gen, NextOffset) for the next round.
+	Gen        uint64 `json:"gen"`
+	NextOffset int64  `json:"next_offset"`
+	// Reset reports that the follower's chain position was unusable
+	// (never seeded, diverged, or pruned): the delta replaces the
+	// follower's durable files instead of extending them.
+	Reset bool `json:"reset,omitempty"`
+	// Files are applied in order.
+	Files []CatchupFile `json:"files"`
+}
+
+// Catchup serves one catch-up round from this index's durable
+// directory. A follower that has no state passes have=false; otherwise
+// gen/offset name the follower's newest WAL generation and its local
+// length. The call runs under the checkpoint lock, so the served chain
+// cannot rotate or be pruned mid-read; queries and mutations are not
+// blocked (mutations appended after the synced cut simply ride the next
+// round).
+func (ix *Index) Catchup(have bool, gen uint64, offset int64) (CatchupDelta, error) {
+	if !ix.opts.Durable {
+		return CatchupDelta{}, fmt.Errorf("parsearch: Catchup on a non-durable index")
+	}
+	if offset < 0 {
+		return CatchupDelta{}, fmt.Errorf("parsearch: negative catch-up offset %d", offset)
+	}
+	ix.ckptMu.Lock()
+	defer ix.ckptMu.Unlock()
+
+	ix.meta.Lock()
+	w, cur := ix.wal, ix.gen
+	ix.meta.Unlock()
+	// Everything up to the cut is durable on the leader and safe to
+	// ship. (On a closed index the writer is fully synced already and
+	// Sync is a no-op.)
+	if err := w.Sync(); err != nil {
+		return CatchupDelta{}, fmt.Errorf("parsearch: syncing wal for catch-up: %w", err)
+	}
+	cut := w.Synced()
+
+	delta := CatchupDelta{Gen: cur, NextOffset: cut}
+	var total int64
+	if have && gen <= cur {
+		files, ok, err := ix.catchupTail(gen, offset, cur, cut)
+		if err != nil {
+			return CatchupDelta{}, err
+		}
+		if ok {
+			delta.Files = files
+			for _, f := range files {
+				total += int64(len(f.Data))
+			}
+			ix.reg.CatchupBytes.Add(total)
+			sp := ix.newSpan(context.Background(), "catchup")
+			sp.emit(TraceEvent{Stage: StageCatchup, Disk: -1, Item: -1,
+				Results: len(delta.Files), Pages: int(total)})
+			return delta, nil
+		}
+		// Fall through: the follower's position is gone or diverged.
+	}
+
+	// Reset: the newest snapshot at or below the current generation,
+	// plus every log above it. With no snapshot at all the chain starts
+	// at wal-0, which always exists.
+	delta.Reset = true
+	base, haveSnap, err := ix.newestSnapshot(cur)
+	if err != nil {
+		return CatchupDelta{}, err
+	}
+	if haveSnap {
+		data, err := ix.fs.ReadFile(snapName(base))
+		if err != nil {
+			return CatchupDelta{}, fmt.Errorf("parsearch: reading %s for catch-up: %w", snapName(base), err)
+		}
+		delta.Files = append(delta.Files, CatchupFile{Name: snapName(base), Data: data})
+	} else {
+		base = 0
+	}
+	files, ok, err := ix.catchupTail(base, 0, cur, cut)
+	if err != nil {
+		return CatchupDelta{}, err
+	}
+	if !ok {
+		return CatchupDelta{}, fmt.Errorf("parsearch: generation chain %d..%d incomplete during catch-up", base, cur)
+	}
+	delta.Files = append(delta.Files, files...)
+	for _, f := range delta.Files {
+		total += int64(len(f.Data))
+	}
+	ix.reg.CatchupBytes.Add(total)
+	sp := ix.newSpan(context.Background(), "catchup")
+	sp.emit(TraceEvent{Stage: StageCatchup, Disk: -1, Item: -1,
+		Results: len(delta.Files), Pages: int(total)})
+	return delta, nil
+}
+
+// catchupTail collects wal-from[offset:] through wal-cur[:cut]. ok is
+// false when the follower's position cannot be extended: wal-from was
+// pruned, or the follower's file is longer than the leader's (the
+// leader truncated a torn tail the follower had already copied).
+// Caller holds ckptMu.
+func (ix *Index) catchupTail(from uint64, offset int64, cur uint64, cut int64) ([]CatchupFile, bool, error) {
+	var files []CatchupFile
+	for g := from; g <= cur; g++ {
+		data, err := ix.fs.ReadFile(walName(g))
+		if err != nil {
+			if g == from && errors.Is(err, fs.ErrNotExist) {
+				return nil, false, nil // pruned below the follower
+			}
+			return nil, false, fmt.Errorf("parsearch: reading %s for catch-up: %w", walName(g), err)
+		}
+		end := int64(len(data))
+		if g == cur && cut < end {
+			// Never ship bytes beyond the synced cut: the leader itself
+			// would not recover them after a crash.
+			end = cut
+		}
+		start := int64(0)
+		if g == from {
+			start = offset
+			if start > end {
+				return nil, false, nil // diverged (leader shorter than follower)
+			}
+		}
+		if start < end || g > from {
+			files = append(files, CatchupFile{Name: walName(g), Offset: start, Data: data[start:end]})
+		}
+	}
+	return files, true, nil
+}
+
+// newestSnapshot returns the highest snapshot generation at or below
+// max. Caller holds ckptMu.
+func (ix *Index) newestSnapshot(max uint64) (gen uint64, ok bool, err error) {
+	names, err := ix.fs.List()
+	if err != nil {
+		return 0, false, fmt.Errorf("parsearch: listing durable dir for catch-up: %w", err)
+	}
+	for _, name := range names {
+		g, isSnap := parseGen(name, snapPrefix, snapSuffix)
+		if isSnap && g <= max && (!ok || g > gen) {
+			gen, ok = g, true
+		}
+	}
+	return gen, ok, nil
+}
+
+// CatchupScan inspects a follower's durable directory and returns the
+// position to request: the newest local WAL generation and its length.
+// A missing or empty directory yields have=false (full reset requested).
+func CatchupScan(dir string) (have bool, gen uint64, offset int64, err error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, 0, 0, nil
+	}
+	if err != nil {
+		return false, 0, 0, fmt.Errorf("parsearch: scanning %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		g, ok := parseGen(e.Name(), walPrefix, walSuffix)
+		if !ok {
+			continue
+		}
+		if !have || g > gen {
+			info, err := e.Info()
+			if err != nil {
+				return false, 0, 0, fmt.Errorf("parsearch: scanning %s: %w", dir, err)
+			}
+			have, gen, offset = true, g, info.Size()
+		}
+	}
+	return have, gen, offset, nil
+}
+
+// CatchupApply installs one delta into a follower's durable directory
+// (creating it if needed). On Reset it first removes the follower's
+// snapshot and WAL files. Every fragment is verified to extend the
+// local file exactly at its offset — a mismatch aborts with an error
+// before anything is corrupted — and the files are fsynced, so a
+// subsequent Open recovers the shipped state even after a crash.
+func CatchupApply(dir string, delta CatchupDelta) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("parsearch: %w", err)
+	}
+	if delta.Reset {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("parsearch: %w", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			_, isSnap := parseGen(name, snapPrefix, snapSuffix)
+			_, isWAL := parseGen(name, walPrefix, walSuffix)
+			if isSnap || isWAL {
+				if err := os.Remove(filepath.Join(dir, name)); err != nil {
+					return fmt.Errorf("parsearch: resetting follower: %w", err)
+				}
+			}
+		}
+	}
+	for _, f := range delta.Files {
+		// Only chain files with well-formed names may be written — the
+		// delta came off the wire.
+		_, isSnap := parseGen(f.Name, snapPrefix, snapSuffix)
+		_, isWAL := parseGen(f.Name, walPrefix, walSuffix)
+		if !isSnap && !isWAL || f.Name != filepath.Base(f.Name) {
+			return fmt.Errorf("parsearch: refusing catch-up file %q", f.Name)
+		}
+		if f.Offset < 0 {
+			return fmt.Errorf("parsearch: negative offset for catch-up file %q", f.Name)
+		}
+		path := filepath.Join(dir, f.Name)
+		if err := applyFragment(path, f); err != nil {
+			return err
+		}
+	}
+	// Make the new directory entries themselves durable.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("parsearch: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("parsearch: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// applyFragment writes one delta fragment at its verified offset and
+// fsyncs the file.
+func applyFragment(path string, f CatchupFile) error {
+	flags := os.O_WRONLY | os.O_CREATE
+	if f.Offset == 0 {
+		flags |= os.O_TRUNC
+	} else {
+		info, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("parsearch: catch-up fragment for %s: %w", path, err)
+		}
+		if info.Size() != f.Offset {
+			return fmt.Errorf("parsearch: catch-up fragment for %s at offset %d, file has %d bytes",
+				path, f.Offset, info.Size())
+		}
+	}
+	fl, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return fmt.Errorf("parsearch: %w", err)
+	}
+	if f.Offset > 0 {
+		if _, err := fl.Seek(f.Offset, 0); err != nil {
+			fl.Close()
+			return fmt.Errorf("parsearch: %w", err)
+		}
+	}
+	if _, err := fl.Write(f.Data); err != nil {
+		fl.Close()
+		return fmt.Errorf("parsearch: writing %s: %w", path, err)
+	}
+	if err := fl.Sync(); err != nil {
+		fl.Close()
+		return fmt.Errorf("parsearch: syncing %s: %w", path, err)
+	}
+	return fl.Close()
+}

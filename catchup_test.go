@@ -1,0 +1,238 @@
+package parsearch
+
+// Tests of the snapshot+delta catch-up layer: a follower directory is
+// brought up to the leader's synced state by shipping the newest
+// snapshot plus WAL suffixes, then opened with the standard recovery
+// path. Equivalence is checked at the strongest level available —
+// byte-identical point tables and query answers.
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// catchupLeader opens a durable leader index in its own temp dir.
+func catchupLeader(t *testing.T) (*Index, Options) {
+	t.Helper()
+	opts := Options{Dim: 3, Disks: 4, Durable: true, Dir: t.TempDir()}
+	ix, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return ix, opts
+}
+
+// catchupRound runs one scan→Catchup→apply round against the leader
+// and returns the delta.
+func catchupRound(t *testing.T, leader *Index, dir string) CatchupDelta {
+	t.Helper()
+	have, gen, off, err := CatchupScan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := leader.Catchup(have, gen, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CatchupApply(dir, delta); err != nil {
+		t.Fatal(err)
+	}
+	return delta
+}
+
+// verifyFollower opens the follower directory and checks byte-identity
+// with the leader.
+func verifyFollower(t *testing.T, leader *Index, opts Options, dir string) {
+	t.Helper()
+	fopts := opts
+	fopts.Dir = dir
+	follower, err := Open(fopts)
+	if err != nil {
+		t.Fatalf("opening follower: %v", err)
+	}
+	defer follower.Close()
+	if got, want := tableOf(follower), tableOf(leader); !reflect.DeepEqual(got, want) {
+		t.Fatal("follower table differs from leader")
+	}
+	for q := 0; q < 8; q++ {
+		query := durPoint(q*11+3, opts.Dim)
+		got, _, err := follower.KNN(query, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := leader.KNN(query, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: follower KNN differs from leader", q)
+		}
+	}
+	if err := follower.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatchupColdReplica(t *testing.T) {
+	leader, opts := catchupLeader(t)
+	for i := 0; i < 30; i++ {
+		if _, err := leader.Insert(durPoint(i, opts.Dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 30; i < 55; i++ {
+		if _, err := leader.Insert(durPoint(i, opts.Dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := filepath.Join(t.TempDir(), "replica")
+	delta := catchupRound(t, leader, dir)
+	if !delta.Reset {
+		t.Fatal("cold replica's first round was not a reset")
+	}
+	if len(delta.Files) == 0 {
+		t.Fatal("reset delta shipped no files")
+	}
+	if got := leader.Metrics().CatchupBytes; got == 0 {
+		t.Fatal("catchup_bytes metric stayed zero")
+	}
+	verifyFollower(t, leader, opts, dir)
+}
+
+func TestCatchupIncrementalRounds(t *testing.T) {
+	leader, opts := catchupLeader(t)
+	for i := 0; i < 20; i++ {
+		if _, err := leader.Insert(durPoint(i, opts.Dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := filepath.Join(t.TempDir(), "replica")
+	catchupRound(t, leader, dir)
+	verifyFollower(t, leader, opts, dir)
+
+	// New leader traffic, including a generation rotation: the second
+	// round must extend the follower without a reset.
+	for i := 20; i < 35; i++ {
+		if _, err := leader.Insert(durPoint(i, opts.Dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	delta := catchupRound(t, leader, dir)
+	if delta.Reset {
+		t.Fatal("incremental round reset a follower whose chain is intact")
+	}
+	if len(delta.Files) == 0 {
+		t.Fatal("incremental round shipped nothing despite new leader traffic")
+	}
+	verifyFollower(t, leader, opts, dir)
+
+	// Steady state: a third round with no new traffic ships zero bytes.
+	delta = catchupRound(t, leader, dir)
+	var bytes int64
+	for _, f := range delta.Files {
+		bytes += int64(len(f.Data))
+	}
+	if delta.Reset || bytes != 0 {
+		t.Fatalf("steady-state round: reset=%v, %d bytes", delta.Reset, bytes)
+	}
+}
+
+func TestCatchupResetAfterPrune(t *testing.T) {
+	leader, opts := catchupLeader(t)
+	for i := 0; i < 10; i++ {
+		if _, err := leader.Insert(durPoint(i, opts.Dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := filepath.Join(t.TempDir(), "replica")
+	catchupRound(t, leader, dir)
+
+	// Rotate generations past the retention window: the follower's
+	// generation is pruned on the leader, forcing a reset.
+	for g := 0; g < 3; g++ {
+		for i := 0; i < 5; i++ {
+			if _, err := leader.Insert(durPoint(100+g*10+i, opts.Dim)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := leader.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delta := catchupRound(t, leader, dir)
+	if !delta.Reset {
+		t.Fatal("pruned-out follower was not reset")
+	}
+	verifyFollower(t, leader, opts, dir)
+}
+
+func TestCatchupRejectsBadInput(t *testing.T) {
+	leader, _ := catchupLeader(t)
+	if _, err := leader.Catchup(false, 0, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+
+	nonDurable, err := Open(Options{Dim: 3, Disks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nonDurable.Catchup(false, 0, 0); err == nil {
+		t.Fatal("catch-up from a non-durable index accepted")
+	}
+
+	// CatchupApply must refuse wire-supplied names that are not chain
+	// files — especially path escapes.
+	dir := t.TempDir()
+	for _, name := range []string{"../evil", "nested/wal-00000000000000000000.log", "notes.txt", ""} {
+		err := CatchupApply(dir, CatchupDelta{Files: []CatchupFile{{Name: name, Data: []byte("x")}}})
+		if err == nil {
+			t.Fatalf("CatchupApply accepted file name %q", name)
+		}
+	}
+	// A fragment that does not extend the local file exactly is refused.
+	wal := "wal-00000000000000000000.log"
+	if err := CatchupApply(dir, CatchupDelta{Files: []CatchupFile{{Name: wal, Offset: 0, Data: []byte("abcd")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CatchupApply(dir, CatchupDelta{Files: []CatchupFile{{Name: wal, Offset: 9, Data: []byte("x")}}}); err == nil {
+		t.Fatal("gap-leaving fragment accepted")
+	}
+}
+
+func TestCatchupFollowerAheadIsReset(t *testing.T) {
+	leader, opts := catchupLeader(t)
+	for i := 0; i < 8; i++ {
+		if _, err := leader.Insert(durPoint(i, opts.Dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	have, gen, off, err := CatchupScan(opts.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !have {
+		t.Fatal("leader's own dir scans as empty")
+	}
+	// A follower claiming more bytes than the leader has (a divergent
+	// chain, e.g. the leader truncated a torn tail) must be reset, not
+	// served a negative-length delta.
+	delta, err := leader.Catchup(true, gen, off+4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Reset {
+		t.Fatal("follower ahead of the leader was not reset")
+	}
+}

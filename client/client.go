@@ -272,6 +272,59 @@ func (c *Client) BatchKNN(ctx context.Context, queries [][]float64, k int) ([][]
 	return out, nil
 }
 
+// Catchup requests one snapshot+delta round from the server (POST
+// /v1/catchup). have/gen/offset describe the local durable directory's
+// chain position — usually from parsearch.CatchupScan.
+func (c *Client) Catchup(ctx context.Context, have bool, gen uint64, offset int64) (parsearch.CatchupDelta, error) {
+	var resp wire.CatchupResponse
+	err := c.post(ctx, "/v1/catchup", wire.CatchupRequest{Have: have, Gen: gen, Offset: offset}, &resp)
+	if err != nil {
+		return parsearch.CatchupDelta{}, err
+	}
+	delta := parsearch.CatchupDelta{
+		Gen:        resp.Gen,
+		NextOffset: resp.NextOffset,
+		Reset:      resp.Reset,
+	}
+	for _, f := range resp.Files {
+		delta.Files = append(delta.Files, parsearch.CatchupFile{Name: f.Name, Offset: f.Offset, Data: f.Data})
+	}
+	return delta, nil
+}
+
+// CatchupDir brings the durable directory up to the server's current
+// synced state: it scans the local chain position, requests the delta,
+// and applies it, looping until a round ships no bytes (each round may
+// race new leader writes, so convergence can take more than one). The
+// directory is then ready for parsearch.Open. Returns the bytes shipped.
+func (c *Client) CatchupDir(ctx context.Context, dir string) (int64, error) {
+	var total int64
+	for {
+		have, gen, offset, err := parsearch.CatchupScan(dir)
+		if err != nil {
+			return total, err
+		}
+		delta, err := c.Catchup(ctx, have, gen, offset)
+		if err != nil {
+			return total, err
+		}
+		var n int64
+		for _, f := range delta.Files {
+			n += int64(len(f.Data))
+		}
+		if n == 0 && !delta.Reset {
+			return total, nil
+		}
+		if err := parsearch.CatchupApply(dir, delta); err != nil {
+			return total, err
+		}
+		total += n
+		if n == 0 {
+			return total, nil
+		}
+	}
+}
+
 // Health fetches GET /healthz. Unlike the query methods it never
 // retries and treats 503 as a successful fetch of a degraded status.
 func (c *Client) Health(ctx context.Context) (wire.Health, error) {

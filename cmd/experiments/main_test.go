@@ -99,11 +99,16 @@ func TestBenchSubcommand(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if report.Disks != exp.BenchDisks || len(report.Workloads) != 6 {
+	if report.Disks != exp.BenchDisks || len(report.Workloads) != 8 {
 		t.Fatalf("report %+v", report)
 	}
 	if report.Workload("server-knn16") == nil {
 		t.Fatal("report lacks the serving-latency row")
+	}
+	for _, name := range []string{"mixed-serve16", "mixed-reorg16"} {
+		if w := report.Workload(name); w == nil || w.NsPerOp <= 0 {
+			t.Fatalf("report lacks a measured live-mutation row %s: %+v", name, w)
+		}
 	}
 	if w := report.Workload("wal-ingest"); w == nil || w.NsPerOp <= 0 {
 		t.Fatalf("report lacks a measured durable-ingest row: %+v", w)
@@ -118,8 +123,13 @@ func TestBenchSubcommand(t *testing.T) {
 	}
 
 	// Gating against its own report passes; against a forged faster
-	// baseline it fails with a regression message.
-	_, errOut, code = runCLI(t, "bench", "-profile", "short", "-out", "-", "-baseline", outPath)
+	// baseline it fails with a regression message. The self-gate run
+	// uses a wide threshold: this test shares the machine with the rest
+	// of the suite, so wall-clock noise on the syscall-bound rows is
+	// expected — regression *detection* is proven by the forged
+	// baseline below, which no threshold can absorb.
+	_, errOut, code = runCLI(t, "bench", "-profile", "short", "-out", "-",
+		"-baseline", outPath, "-threshold", "3")
 	if code != 0 {
 		t.Fatalf("self-baseline gate failed (%d): %s", code, errOut)
 	}

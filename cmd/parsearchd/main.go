@@ -34,17 +34,19 @@ import (
 	"time"
 
 	"parsearch"
+	"parsearch/client"
 	"parsearch/internal/data"
 	"parsearch/server"
 )
 
 // config collects the flag values.
 type config struct {
-	snapshot   string
-	durableDir string
-	walSync    string
-	salvage    bool
-	listen     string
+	snapshot    string
+	durableDir  string
+	walSync     string
+	salvage     bool
+	catchupFrom string
+	listen      string
 
 	// synthetic-index knobs (used when no snapshot is given)
 	points   int
@@ -74,6 +76,7 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&c.durableDir, "durable-dir", "", "directory for the durable mutation log; recovers existing state at startup")
 	fs.StringVar(&c.walSync, "wal-sync", "always", "durable: WAL fsync policy, always|os")
 	fs.BoolVar(&c.salvage, "salvage", false, "durable: recover the valid prefix of a corrupt log instead of refusing to start")
+	fs.StringVar(&c.catchupFrom, "catchup-from", "", "durable: before opening, catch the durable dir up from this peer's base URL (snapshot+delta shipping)")
 	fs.StringVar(&c.listen, "listen", ":7080", "listen address")
 	fs.IntVar(&c.points, "points", 20000, "synthetic index: number of points")
 	fs.IntVar(&c.dim, "dim", 10, "synthetic index: dimensionality")
@@ -102,9 +105,20 @@ func parseFlags(args []string) (config, error) {
 // durable directory is seeded with the synthetic dataset so the first
 // start and every restart go through the same code path.
 func openIndex(c config) (*parsearch.Index, error) {
+	if c.catchupFrom != "" && c.durableDir == "" {
+		return nil, fmt.Errorf("-catchup-from requires -durable-dir")
+	}
 	if c.durableDir != "" {
 		if c.snapshot != "" {
 			return nil, fmt.Errorf("-snapshot and -durable-dir are mutually exclusive")
+		}
+		if c.catchupFrom != "" {
+			shipped, err := client.New(c.catchupFrom).CatchupDir(context.Background(), c.durableDir)
+			if err != nil {
+				return nil, fmt.Errorf("catching up from %s: %w", c.catchupFrom, err)
+			}
+			fmt.Fprintf(os.Stderr, "parsearchd: caught up %s from %s (%d bytes shipped)\n",
+				c.durableDir, c.catchupFrom, shipped)
 		}
 		ix, err := parsearch.Open(parsearch.Options{
 			Dim:     c.dim,

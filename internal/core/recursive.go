@@ -24,9 +24,18 @@ type Recursive struct {
 	fold      []int
 	bucketer  Bucketer
 	baseSpace vec.Rect
+	// base, when non-nil, colors the level-0 buckets instead of the
+	// default fold[Col] heuristic, so any declustering Strategy can be
+	// deepened recursively without moving its level-0 assignments.
+	base Strategy
 	// expanded[l] holds the disks whose buckets were declustered one
 	// level deeper at level l.
 	expanded []map[int]bool
+	// subSplits overrides the midpoint split values of an expanded
+	// cell, keyed by the cell's path key (CellAssignment.Key). Values
+	// outside the cell's region fall back to the midpoint, so a stale
+	// or adversarial entry can never produce a degenerate quadrant.
+	subSplits map[string][]float64
 }
 
 // RecursiveConfig bounds the reorganization loop of BuildRecursive.
@@ -67,8 +76,28 @@ func NewRecursive(b Bucketer, n int) *Recursive {
 	}
 }
 
+// NewRecursiveOver returns a recursive decluster whose level 0 is colored
+// by the given Strategy — point for point identical to a BucketAssigner
+// over (b, s) until the first Expand. It is the entry point of the
+// incremental reorganization: an unbalanced bucket-strategy index is
+// wrapped without moving a single point, and only the overloaded buckets
+// are then declustered deeper.
+func NewRecursiveOver(b Bucketer, s Strategy) *Recursive {
+	if s == nil {
+		panic("core: NewRecursiveOver with nil strategy")
+	}
+	r := NewRecursive(b, s.Disks())
+	r.base = s
+	return r
+}
+
 // Name implements Assigner.
-func (r *Recursive) Name() string { return "new+recursive" }
+func (r *Recursive) Name() string {
+	if r.base != nil {
+		return r.base.Name() + "+recursive"
+	}
+	return "new+recursive"
+}
 
 // Disks implements Assigner.
 func (r *Recursive) Disks() int { return r.n }
@@ -95,6 +124,57 @@ func (r *Recursive) Expand(level, disk int) {
 		r.expanded = append(r.expanded, make(map[int]bool))
 	}
 	r.expanded[level][disk] = true
+}
+
+// levelZeroDisk colors a level-0 bucket: by the base Strategy when one is
+// present, by the default fold[Col] heuristic otherwise. (NearOptimal's
+// Disk is fold[Col] too, so wrapping it changes nothing at level 0.)
+func (r *Recursive) levelZeroDisk(b Bucket) int {
+	if r.base != nil {
+		return r.base.Disk(b.Cell(r.d))
+	}
+	return r.fold[r.permute(Col(b, r.d), 0)]
+}
+
+// SetSubSplits registers per-dimension split values for one expanded cell,
+// identified by its path key (CellAssignment.Key of the cell being split).
+// They replace the midpoints when the descent subdivides that cell,
+// letting a reorganization split an overloaded bucket at the medians of
+// its actual contents. Dimensions whose value falls outside the open cell
+// region keep the midpoint.
+func (r *Recursive) SetSubSplits(key string, splits []float64) {
+	if len(splits) != r.d {
+		panic(fmt.Sprintf("core: %d sub-split values for %d dimensions", len(splits), r.d))
+	}
+	if r.subSplits == nil {
+		r.subSplits = make(map[string][]float64)
+	}
+	r.subSplits[key] = append([]float64(nil), splits...)
+}
+
+// Clone returns a copy that can be expanded independently: the expansion
+// and sub-split tables are copied, the bucketer, base strategy and color
+// fold (all immutable) are shared. A reorganization step mutates the clone
+// off the query path and cuts it in atomically.
+func (r *Recursive) Clone() *Recursive {
+	c := *r
+	c.expanded = make([]map[int]bool, len(r.expanded))
+	for l, disks := range r.expanded {
+		m := make(map[int]bool, len(disks))
+		for d, v := range disks {
+			m[d] = v
+		}
+		c.expanded[l] = m
+	}
+	if r.subSplits != nil {
+		// Values are immutable once stored (SetSubSplits copies), so
+		// sharing them across clones is safe.
+		c.subSplits = make(map[string][]float64, len(r.subSplits))
+		for k, v := range r.subSplits {
+			c.subSplits[k] = v
+		}
+	}
+	return &c
 }
 
 // permute applies the per-level color permutation heuristic: a rotation of
@@ -204,13 +284,19 @@ type CellAssignment struct {
 
 // Key returns a string uniquely identifying the cell.
 func (c CellAssignment) Key() string {
-	key := make([]byte, 0, 8+8*len(c.Path))
+	key := make([]byte, 0, 9*len(c.Path))
 	for _, b := range c.Path {
-		key = append(key,
-			byte(b), byte(b>>8), byte(b>>16), byte(b>>24),
-			byte(b>>32), byte(b>>40), byte(b>>48), byte(b>>56), '/')
+		key = appendBucketKey(key, b)
 	}
 	return string(key)
+}
+
+// appendBucketKey appends one path element's key bytes (8 little-endian
+// bytes plus a separator).
+func appendBucketKey(key []byte, b Bucket) []byte {
+	return append(key,
+		byte(b), byte(b>>8), byte(b>>16), byte(b>>24),
+		byte(b>>32), byte(b>>40), byte(b>>48), byte(b>>56), '/')
 }
 
 // AssignCell assigns p and reports the full terminal cell.
@@ -227,11 +313,20 @@ func (r *Recursive) AssignCell(p vec.Point) CellAssignment {
 
 	bucket := r.bucketer.Bucket(p)
 	path := []Bucket{bucket}
-	disk := r.fold[r.permute(Col(bucket, r.d), 0)]
+	disk := r.levelZeroDisk(bucket)
 	level := 0
+	var key []byte
+	if len(r.subSplits) > 0 {
+		key = appendBucketKey(make([]byte, 0, 9*4), bucket)
+	}
 	for r.Expanded(level, disk) {
 		// Narrow the region to the chosen quadrant and split it
-		// again at the midpoints.
+		// again at the midpoints, unless the cell carries its own
+		// quantile sub-splits.
+		var sub []float64
+		if key != nil {
+			sub = r.subSplits[string(key)]
+		}
 		for i := 0; i < r.d; i++ {
 			if bucket.Coord(i) == 1 {
 				lo[i] = splits[i]
@@ -239,6 +334,9 @@ func (r *Recursive) AssignCell(p vec.Point) CellAssignment {
 				hi[i] = splits[i]
 			}
 			splits[i] = (lo[i] + hi[i]) / 2
+			if sub != nil && sub[i] > lo[i] && sub[i] < hi[i] {
+				splits[i] = sub[i]
+			}
 		}
 		bucket = 0
 		for i := 0; i < r.d; i++ {
@@ -248,6 +346,9 @@ func (r *Recursive) AssignCell(p vec.Point) CellAssignment {
 		}
 		level++
 		path = append(path, bucket)
+		if key != nil {
+			key = appendBucketKey(key, bucket)
+		}
 		disk = r.fold[r.permute(Col(bucket, r.d), level)]
 	}
 

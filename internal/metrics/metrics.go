@@ -208,6 +208,16 @@ type Registry struct {
 	Recoveries       Counter
 	RecoveredRecords Counter
 
+	// Live-mutation counters: IngestBatches counts the mutation batches
+	// the batched-ingest path applied (InsertBatch calls and AsyncWriter
+	// group commits), ReorgBuckets the overloaded buckets the
+	// incremental reorganization split one level deeper, and
+	// CatchupBytes the snapshot+WAL delta bytes served to catching-up
+	// replicas.
+	IngestBatches Counter
+	ReorgBuckets  Counter
+	CatchupBytes  Counter
+
 	// PagesPerDisk accumulates the blocks charged to each disk;
 	// ServiceTimePerDisk the simulated service time (nanoseconds) each
 	// disk spent — the per-disk balance view of the paper's cost model.
@@ -279,6 +289,10 @@ type Snapshot struct {
 	Recoveries       int64 `json:"recoveries"`
 	RecoveredRecords int64 `json:"recovered_records"`
 
+	IngestBatches int64 `json:"ingest_batches"`
+	ReorgBuckets  int64 `json:"reorg_buckets"`
+	CatchupBytes  int64 `json:"catchup_bytes"`
+
 	QueryPages  HistogramSnapshot `json:"query_pages"`
 	QueryTimeNs HistogramSnapshot `json:"query_time_ns"`
 	QueryWallNs HistogramSnapshot `json:"query_wall_ns"`
@@ -333,6 +347,10 @@ func (r *Registry) Snapshot() Snapshot {
 		Recoveries:       r.Recoveries.Value(),
 		RecoveredRecords: r.RecoveredRecords.Value(),
 
+		IngestBatches: r.IngestBatches.Value(),
+		ReorgBuckets:  r.ReorgBuckets.Value(),
+		CatchupBytes:  r.CatchupBytes.Value(),
+
 		QueryPages:  r.QueryPages.Snapshot(),
 		QueryTimeNs: r.QueryTimeNs.Snapshot(),
 		QueryWallNs: r.QueryWallNs.Snapshot(),
@@ -350,15 +368,17 @@ func (r *Registry) Snapshot() Snapshot {
 // Version history: v1 had 12 scalar counters and 2 histograms; v2
 // appended the three cooperative-pruning counters; v3 appended the
 // DistCompsSaved counter and the QueryWallNs histogram; v4 appended
-// the five durability counters and the WALFsyncNs histogram. Decoding
-// accepts all of them (older encodings leave the newer fields zero),
-// encoding always writes the current version.
+// the five durability counters and the WALFsyncNs histogram; v5
+// appended the three live-mutation counters. Decoding accepts all of
+// them (older encodings leave the newer fields zero), encoding always
+// writes the current version.
 const (
 	codecMagic     = uint32(0x4d545231) // "MTR1"
-	codecVersion   = uint32(4)
+	codecVersion   = uint32(5)
 	codecV1Scalars = 12
 	codecV2Scalars = 15
 	codecV3Scalars = 16
+	codecV4Scalars = 21
 )
 
 // scalars lists the scalar counters in encoding order. Append-only:
@@ -373,6 +393,7 @@ func (r *Registry) scalars() []*Counter {
 		&r.DistCompsSaved,
 		&r.WALAppends, &r.WALSyncs, &r.WALBytes,
 		&r.Recoveries, &r.RecoveredRecords,
+		&r.IngestBatches, &r.ReorgBuckets, &r.CatchupBytes,
 	}
 }
 
@@ -480,6 +501,8 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 		encoded = codecV2Scalars
 	case 3:
 		encoded = codecV3Scalars
+	case 4:
+		encoded = codecV4Scalars
 	}
 	vals := make([]int64, len(scalars))
 	for i := 0; i < encoded; i++ {

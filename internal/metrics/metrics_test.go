@@ -300,6 +300,43 @@ func TestUnmarshalVersion3(t *testing.T) {
 	}
 }
 
+// TestUnmarshalVersion4 decodes a version-4 encoding (21 scalars, four
+// histograms, before the live-mutation counters): the prefix decodes
+// one-to-one and the v5 additions stay zero.
+func TestUnmarshalVersion4(t *testing.T) {
+	r := NewRegistry(2)
+	r.QueriesKNN.Add(3)
+	r.WALAppends.Add(44)
+	r.RecoveredRecords.Add(17)
+	r.WALFsyncNs.Observe(7e5)
+	// v5-only fields, deliberately non-zero so the splice proves they
+	// are dropped from a v4 blob.
+	r.IngestBatches.Add(8)
+	r.ReorgBuckets.Add(9)
+	r.CatchupBytes.Add(1 << 20)
+
+	v5, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const header = 12
+	v4 := append([]byte{}, v5[:header+codecV4Scalars*8]...)
+	binary.LittleEndian.PutUint32(v4[4:], 4)
+	v4 = append(v4, v5[header+len(r.scalars())*8:]...)
+
+	fresh := NewRegistry(2)
+	if err := fresh.UnmarshalBinary(v4); err != nil {
+		t.Fatalf("v4 decode: %v", err)
+	}
+	s := fresh.Snapshot()
+	if s.QueriesKNN != 3 || s.WALAppends != 44 || s.RecoveredRecords != 17 || s.WALFsyncNs.Count != 1 {
+		t.Fatalf("v4 prefix mismatch: %+v", s)
+	}
+	if s.IngestBatches != 0 || s.ReorgBuckets != 0 || s.CatchupBytes != 0 {
+		t.Fatalf("v4 decode left v5 fields non-zero: %+v", s)
+	}
+}
+
 func TestUnmarshalRejectsCorruption(t *testing.T) {
 	r := NewRegistry(2)
 	r.QueriesKNN.Add(5)

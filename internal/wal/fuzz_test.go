@@ -33,6 +33,15 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add(forged)
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
+	// The checkpoint-after-reorganize shape: inserts, a sealing
+	// checkpoint (as ReorganizeStats writes after a successful pass),
+	// then post-reorganize traffic in the same log.
+	sealed := append(EncodeInsert(0, []float64{1, 2}), EncodeInsert(1, []float64{3, 4})...)
+	sealed = append(sealed, EncodeCheckpoint(2, true)...)
+	sealed = append(sealed, EncodeInsert(2, []float64{5, 6})...)
+	sealed = append(sealed, EncodeDelete(1)...)
+	f.Add(sealed)
+	f.Add(sealed[:len(sealed)-3]) // torn tail right after the sealed checkpoint
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var recs [][]byte

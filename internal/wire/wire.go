@@ -108,6 +108,32 @@ type BatchResponse struct {
 	Stats   json.RawMessage `json:"stats,omitempty"`
 }
 
+// CatchupRequest is the body of POST /v1/catchup: the follower's chain
+// position (see parsearch.CatchupScan). Have false requests a full
+// reset delta regardless of Gen/Offset.
+type CatchupRequest struct {
+	Have   bool   `json:"have"`
+	Gen    uint64 `json:"gen"`
+	Offset int64  `json:"offset"`
+}
+
+// CatchupFile mirrors parsearch.CatchupFile on the wire; Data is
+// base64-encoded by encoding/json.
+type CatchupFile struct {
+	Name   string `json:"name"`
+	Offset int64  `json:"offset"`
+	Data   []byte `json:"data"`
+}
+
+// CatchupResponse is the body of a successful /v1/catchup response,
+// mirroring parsearch.CatchupDelta.
+type CatchupResponse struct {
+	Gen        uint64        `json:"gen"`
+	NextOffset int64         `json:"next_offset"`
+	Reset      bool          `json:"reset,omitempty"`
+	Files      []CatchupFile `json:"files"`
+}
+
 // ErrorResponse is the body of every non-2xx response. Code is the
 // machine-readable classification the client maps back to sentinel
 // errors; Error is human-readable.
@@ -269,6 +295,18 @@ func DecodeBatch(data []byte, dim, maxQueries int) (BatchRequest, error) {
 	}
 	if req.K < 1 {
 		return BatchRequest{}, fmt.Errorf("wire: k = %d, want >= 1", req.K)
+	}
+	return req, nil
+}
+
+// DecodeCatchup decodes and validates a /v1/catchup body.
+func DecodeCatchup(data []byte) (CatchupRequest, error) {
+	var req CatchupRequest
+	if err := decode(data, &req); err != nil {
+		return CatchupRequest{}, err
+	}
+	if req.Offset < 0 {
+		return CatchupRequest{}, fmt.Errorf("wire: negative catch-up offset %d", req.Offset)
 	}
 	return req, nil
 }

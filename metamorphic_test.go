@@ -176,6 +176,118 @@ func TestMetamorphicDiskCountInvariance(t *testing.T) {
 	}
 }
 
+// TestMetamorphicIncrementalEqualsRebuild is the live-mutation
+// relation: Build(A) + InsertBatch(B) + incremental Reorganize must be
+// indistinguishable from Build(A ∪ B) — same IDs, same answers (byte
+// for byte), clean integrity, and disk loads within the incremental
+// balance threshold of the from-scratch build. It runs across
+// declustering strategies (including round-robin, whose reorganize is
+// the full-rebuild fallback), replication variants, and the
+// packed/quantized storage engine.
+func TestMetamorphicIncrementalEqualsRebuild(t *testing.T) {
+	const dim, disks = 4, 6
+	nA, nB := 500, 400
+	if testing.Short() {
+		nA, nB = 250, 200
+	}
+	variants := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"base", func(o *Options) {}},
+		{"quantile", func(o *Options) { o.QuantileSplits = true }},
+		{"packed-quantize", func(o *Options) { o.Packed = true; o.Quantize = true }},
+	}
+	for _, kind := range []Kind{NearOptimal, Hilbert, RoundRobin} {
+		for _, rv := range replicationVariants {
+			for _, v := range variants {
+				t.Run(fmt.Sprintf("%s/%s/%s", kind, rv.name, v.name), func(t *testing.T) {
+					// Small pages so the overload check (slack: one
+					// leaf's capacity) bites at this workload size.
+					opts := Options{Dim: dim, Disks: disks, Kind: kind,
+						Replication: rv.value, PageSize: 256}
+					v.mod(&opts)
+
+					a := uniformPoints(nA, dim, 71)
+					b := uniformPoints(nB, dim, 72)
+					for _, p := range b {
+						for j := range p {
+							p[j] *= 0.2 // clustered: forces real splits
+						}
+					}
+
+					incr := buildFrom(t, opts, a)
+					ids, err := incr.InsertBatch(b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, id := range ids {
+						if id != nA+i {
+							t.Fatalf("batch id %d is %d, want %d", i, id, nA+i)
+						}
+					}
+					stats, err := incr.ReorganizeStats()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if kind == RoundRobin {
+						if stats.Steps > 0 && !stats.Rebuilt {
+							t.Fatalf("round-robin reorganize must be the rebuild fallback, got %+v", stats)
+						}
+					} else if stats.Rebuilt {
+						t.Fatalf("bucketed layout fell back to a full rebuild: %+v", stats)
+					}
+
+					ref := buildFrom(t, opts, append(append([][]float64{}, a...), b...))
+
+					for _, ix := range []*Index{incr, ref} {
+						if err := ix.CheckIntegrity(); err != nil {
+							t.Fatal(err)
+						}
+					}
+					rng := rand.New(rand.NewSource(73))
+					for qi := 0; qi < 8; qi++ {
+						q := make([]float64, dim)
+						for j := range q {
+							q[j] = rng.Float64()
+						}
+						k := 1 + rng.Intn(9)
+						got, _, err := incr.KNN(q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, _, err := ref.KNN(q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(got) != len(want) {
+							t.Fatalf("query %d: %d neighbors vs %d from rebuild", qi, len(got), len(want))
+						}
+						for j := range got {
+							if got[j].ID != want[j].ID || got[j].Dist != want[j].Dist {
+								t.Fatalf("query %d neighbor %d: (id %d, %v) vs rebuild (id %d, %v)",
+									qi, j, got[j].ID, got[j].Dist, want[j].ID, want[j].Dist)
+							}
+						}
+					}
+
+					// Balance: the incremental result must be within the
+					// reorganizer's own stop threshold, or no worse than
+					// what a from-scratch build produces on this data.
+					maxIncr := maxOf(incr.DiskLoads())
+					maxRef := maxOf(ref.DiskLoads())
+					ideal := float64(nA+nB) / float64(disks)
+					slack := float64(incr.treeConfig().LeafCapacity)
+					if float64(maxIncr) > 2*ideal+slack && maxIncr > maxRef {
+						t.Fatalf("incremental max load %d exceeds threshold %v and rebuild's %d",
+							maxIncr, 2*ideal+slack, maxRef)
+					}
+				})
+			}
+		}
+	}
+}
+
 func TestMetamorphicBruteForceEquality(t *testing.T) {
 	const dim, disks, n = 6, 4, 400
 	m, err := Euclidean.vecMetric()

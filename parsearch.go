@@ -982,8 +982,30 @@ func (ix *Index) Insert(p []float64) (int, error) {
 		ix.meta.Unlock()
 		return 0, ErrClosed
 	}
+	id, w, target, err := ix.insertOne(st, p)
+	ix.meta.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if w != nil && w.Policy() == wal.SyncAlways {
+		if err := w.SyncTo(target); err != nil {
+			// The mutation is applied in memory but its durability is
+			// unknown; the writer is sticky-failed, so every further
+			// mutation will be refused rather than silently undurable.
+			return 0, fmt.Errorf("parsearch: syncing insert: %w", err)
+		}
+	}
+	return id, nil
+}
 
-	id := len(ix.points)
+// insertOne logs and applies one insert. The caller holds rotMu in read
+// mode (durable indexes), mu in read mode, and meta, has verified the
+// index is open and the dimension matches, and waits for the group
+// commit (SyncTo(target) on the returned writer) after releasing meta.
+// Batched ingest shares this primitive: a whole batch is applied under
+// one meta hold and acknowledged by a single sync to the last target.
+func (ix *Index) insertOne(st *state, p []float64) (id int, w *wal.Writer, target int64, err error) {
+	id = len(ix.points)
 	point := vec.Clone(p)
 	ix.canonPacked(point)
 	// Log before apply: a failed append leaves both the log and the
@@ -993,14 +1015,11 @@ func (ix *Index) Insert(p []float64) (int, error) {
 	// writer: a checkpoint may rotate it concurrently — its cut syncs
 	// this append first — but a Build cannot replace the generation
 	// under us.
-	w := ix.wal
-	var target int64
+	w = ix.wal
 	if w != nil {
-		var werr error
-		target, werr = w.AppendAsync(wal.EncodeInsert(uint64(id), point))
-		if werr != nil {
-			ix.meta.Unlock()
-			return 0, fmt.Errorf("parsearch: logging insert: %w", werr)
+		target, err = w.AppendAsync(wal.EncodeInsert(uint64(id), point))
+		if err != nil {
+			return 0, nil, 0, fmt.Errorf("parsearch: logging insert: %w", err)
 		}
 	}
 	ix.points = append(ix.points, point)
@@ -1026,16 +1045,7 @@ func (ix *Index) Insert(p []float64) (int, error) {
 		st.baseline.tree.Insert(point, id)
 		st.baseline.mu.Unlock()
 	}
-	ix.meta.Unlock()
-	if w != nil && w.Policy() == wal.SyncAlways {
-		if err := w.SyncTo(target); err != nil {
-			// The mutation is applied in memory but its durability is
-			// unknown; the writer is sticky-failed, so every further
-			// mutation will be refused rather than silently undurable.
-			return 0, fmt.Errorf("parsearch: syncing insert: %w", err)
-		}
-	}
-	return id, nil
+	return id, w, target, nil
 }
 
 // Delete removes the vector with the given ID. The ID is not reused;
@@ -1071,7 +1081,11 @@ func (ix *Index) deleteLocked(id int) (*wal.Writer, int64, error) {
 	if ix.closed {
 		return nil, 0, ErrClosed
 	}
+	return ix.deleteOne(st, id)
+}
 
+// deleteOne applies and logs one delete. Locking contract as insertOne.
+func (ix *Index) deleteOne(st *state, id int) (*wal.Writer, int64, error) {
 	if id < 0 || id >= len(ix.points) || ix.points[id] == nil {
 		return nil, 0, fmt.Errorf("parsearch: no vector with id %d", id)
 	}

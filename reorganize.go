@@ -1,7 +1,9 @@
 package parsearch
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"parsearch/internal/core"
 	"parsearch/internal/vec"
@@ -12,13 +14,40 @@ import (
 // distribution statistics as vectors are inserted (an AdaptiveSplitter
 // with streaming P² quantile estimators); when the data drifts so far
 // that some split's below/above ratio exceeds the threshold,
-// NeedsReorganization reports true and Reorganize rebuilds the index
-// with fresh split values — "we reorganize our data distribution using
-// the new 0.5-quantile for each dimension".
+// NeedsReorganization reports true and Reorganize rebalances the disks —
+// "we reorganize our data distribution using the new 0.5-quantile for
+// each dimension".
+//
+// The reorganization is incremental: instead of rebuilding the whole
+// index, it repeatedly finds the most overloaded disk, takes that disk's
+// heaviest terminal bucket cell, and declusters it one level deeper with
+// the recursive scheme — split at the medians of the cell's actual
+// contents (quantile re-estimation, per cell), children re-colored
+// across the disks. Only the points of the split cells move; every other
+// cell, tree page, and the point table itself stay untouched. Each step
+// is cut in atomically under the index write lock, so concurrent queries
+// see either the old or the new structure, never a torn one — and since
+// every structure answers queries exactly, results are identical either
+// way. Bucket strategies that are not recursive yet are first wrapped
+// via core.NewRecursiveOver, which changes no assignment at level 0;
+// only the arrival-order round-robin layout, which has no bucket
+// structure to split, still falls back to a full rebuild.
 
 // imbalanceThreshold is the below/above ratio that triggers
 // reorganization (2 = one side holds twice the other's points).
 const imbalanceThreshold = 2.0
+
+// reorgOverloadFactor is the per-disk load threshold relative to the
+// ideal N/n beyond which a reorganization step splits a bucket — the
+// same factor BuildRecursive uses.
+const reorgOverloadFactor = 2.0
+
+// reorgMaxLevels bounds the recursion depth of incremental expansions,
+// matching DefaultRecursiveConfig.
+const reorgMaxLevels = 8
+
+// reorgMaxSteps bounds the incremental steps of one Reorganize call.
+const reorgMaxSteps = 64
 
 // observer returns the index's adaptive splitter, creating it on first
 // use. Only meaningful with QuantileSplits. Caller holds meta.
@@ -42,20 +71,414 @@ func (ix *Index) NeedsReorganization() bool {
 	return ix.adaptive.NeedsRebalance()
 }
 
-// Reorganize rebuilds the index over its current (live) contents,
-// recomputing quantile splits and recursive expansions from today's
-// data. IDs are preserved. It is the explicit form of the paper's
-// reorganization step; call it when NeedsReorganization reports true (or
-// on a maintenance schedule).
-//
-// The rebuild runs off the lock against a consistent copy of the point
-// table, so queries and point mutations keep running meanwhile; the
-// finished structure is cut in atomically. If vectors were inserted or
-// deleted while the rebuild was in flight, the conflict is detected via
-// the mutation version counter and the index is rebuilt once more under
-// the write lock — no concurrent mutation is ever lost.
+// ReorgStats reports what a Reorganize call did.
+type ReorgStats struct {
+	// Steps counts the incremental cut-ins applied (including a
+	// strategy-wrapping step, which moves no points).
+	Steps int
+	// BucketsSplit counts the terminal bucket cells declustered one
+	// level deeper; PointsMoved the vectors that changed disks.
+	BucketsSplit int
+	PointsMoved  int
+	// Rebuilt reports the full-rebuild fallback ran (round-robin
+	// layouts only).
+	Rebuilt bool
+	// Checkpointed reports that a durable index sealed the new
+	// structure with a checkpoint, so a crash right after Reorganize
+	// replays (almost) no log records.
+	Checkpointed bool
+}
+
+// Reorganize rebalances the index over its current (live) contents by
+// incrementally splitting overloaded bucket cells (see the package
+// comment above). IDs are preserved. It is the explicit form of the
+// paper's reorganization step; call it when NeedsReorganization reports
+// true (or on a maintenance schedule). Queries and point mutations keep
+// running throughout; each step's cut-in is atomic.
 func (ix *Index) Reorganize() error {
+	_, err := ix.ReorganizeStats()
+	return err
+}
+
+// ReorganizeStats is Reorganize reporting what it did.
+func (ix *Index) ReorganizeStats() (ReorgStats, error) {
+	var stats ReorgStats
+	for stats.Steps < reorgMaxSteps {
+		plan, err := ix.reorganizeStep()
+		if err != nil {
+			return stats, err
+		}
+		if plan == nil {
+			break // balanced (or nothing left to split)
+		}
+		stats.Steps++
+		stats.BucketsSplit += plan.buckets
+		stats.PointsMoved += plan.moved
+		if plan.rebuild {
+			stats.Rebuilt = true
+			break
+		}
+	}
+
+	// Seal the drift statistics: adopt the current quantile estimates as
+	// the new reference splits and reset the below/above counters.
+	// Discarding the splitter instead (the old behavior) made the next
+	// observer restart at midpoints, so an index serving skewed data
+	// re-triggered reorganization forever.
 	ix.meta.Lock()
+	if ix.adaptive != nil {
+		ix.adaptive.Rebalance()
+	}
+	closed := ix.closed
+	ix.meta.Unlock()
+
+	sp := ix.newSpan(context.Background(), "reorganize")
+	sp.emit(TraceEvent{Stage: StageReorg, Disk: -1, Item: -1,
+		Results: stats.BucketsSplit, Pages: stats.PointsMoved})
+
+	// A durable index seals the reorganized structure with a checkpoint:
+	// recovery then starts from a snapshot of the new structure instead
+	// of replaying the whole log onto a from-scratch rebuild.
+	if ix.opts.Durable && !closed && stats.Steps > 0 {
+		if err := ix.Checkpoint(); err != nil {
+			return stats, fmt.Errorf("parsearch: sealing reorganization: %w", err)
+		}
+		stats.Checkpointed = true
+	}
+	return stats, nil
+}
+
+// reorgMove relocates one point into its post-split cell (and, when the
+// re-coloring says so, onto another disk).
+type reorgMove struct {
+	id      int
+	p       vec.Point
+	oldDisk int
+	newDisk int
+	newKey  string
+	newRect vec.Rect
+}
+
+// reorgPlan is one step's worth of change, computed off the lock against
+// a pinned state + point-table snapshot and applied under the write
+// lock (after a version re-check).
+type reorgPlan struct {
+	// rebuild: the layout has no bucket structure (round robin); fall
+	// back to a full rebuild.
+	rebuild bool
+	// wrap: replace a bucket-strategy assigner with its recursive
+	// wrapper (no point moves; level-0 assignments are identical).
+	wrap *core.Recursive
+	// next is the expanded assigner clone to cut in, oldKeys the cells
+	// it empties, moves the per-point relocations.
+	next    *core.Recursive
+	oldKeys []string
+	moves   []reorgMove
+	buckets int
+	moved   int
+}
+
+// reorganizeStep performs one incremental step: plan optimistically off
+// the lock, then cut in atomically (re-planning under the locks if a
+// mutation raced the planner). It returns nil when the disks are
+// balanced or nothing splittable remains.
+func (ix *Index) reorganizeStep() (*reorgPlan, error) {
+	ix.mu.RLock()
+	st := ix.st
+	ix.meta.Lock()
+	if ix.closed {
+		ix.meta.Unlock()
+		ix.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	v := ix.version
+	points := append([]vec.Point(nil), ix.points...)
+	ix.meta.Unlock()
+	ix.mu.RUnlock()
+
+	plan := ix.reorgPlanFor(st, points)
+	if plan == nil {
+		return nil, nil
+	}
+	if plan.rebuild {
+		if err := ix.reorganizeRebuild(); err != nil {
+			return nil, err
+		}
+		return plan, nil
+	}
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.meta.Lock()
+	defer ix.meta.Unlock()
+	if ix.closed {
+		return nil, ErrClosed
+	}
+	if ix.st != st || ix.version != v {
+		// The point table (or the whole state) changed while the
+		// optimistic planner ran. Re-plan from the current contents
+		// under the locks: slower (it blocks queries for the duration),
+		// but atomic and lossless.
+		st = ix.st
+		plan = ix.reorgPlanFor(st, ix.points)
+		if plan == nil {
+			return nil, nil
+		}
+		if plan.rebuild {
+			// The assigner kind cannot change between plans (Build
+			// preserves it), so this is unreachable; fail loudly rather
+			// than rebuild while holding the cutover lock.
+			return nil, fmt.Errorf("parsearch: internal inconsistency: assigner became plain during reorganize")
+		}
+	}
+	if err := ix.reorgApply(st, plan); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// reorgPlanFor computes one step's plan against a consistent point-table
+// snapshot: find the most overloaded disk, pick its heaviest terminal
+// bucket level, and split every terminal cell of that (level, disk) at
+// the per-dimension medians of its members. Returns nil when balanced
+// (within one leaf page of the overload threshold) or stuck (overloaded
+// but nothing expandable below the depth bound).
+func (ix *Index) reorgPlanFor(st *state, points []vec.Point) *reorgPlan {
+	n := ix.opts.Disks
+	if n == 1 {
+		return nil // nothing to decluster
+	}
+	live := 0
+	for _, p := range points {
+		if p != nil {
+			live++
+		}
+	}
+	if live == 0 {
+		return nil
+	}
+	ideal := float64(live) / float64(n)
+	// One leaf page of slack: a disk within a page of the threshold
+	// cannot be meaningfully improved by moving points.
+	slack := float64(ix.treeConfig().LeafCapacity)
+	balanced := func(worst int) bool {
+		return float64(worst) <= reorgOverloadFactor*ideal+slack
+	}
+	maxLoad := func(loads []int) int {
+		m := 0
+		for _, l := range loads {
+			if l > m {
+				m = l
+			}
+		}
+		return m
+	}
+
+	rec, isRec := st.assigner.(*core.Recursive)
+	if !isRec {
+		// Plain per-point load scan for the non-recursive layouts.
+		loads := make([]int, n)
+		for i, p := range points {
+			if p != nil {
+				loads[st.assigner.Assign(i, p)]++
+			}
+		}
+		if balanced(maxLoad(loads)) {
+			return nil
+		}
+		if ba, ok := st.assigner.(*core.BucketAssigner); ok {
+			return &reorgPlan{wrap: core.NewRecursiveOver(ba.Bucketer(), ba.Strategy())}
+		}
+		// Round robin (arrival order): no bucket structure to split.
+		return &reorgPlan{rebuild: true}
+	}
+
+	// Pass 1: per-disk loads under the recursive assignment.
+	diskLoads := make([]int, n)
+	for _, p := range points {
+		if p != nil {
+			diskLoads[rec.AssignCell(p).Disk]++
+		}
+	}
+	worst, worstLoad := 0, 0
+	for d, l := range diskLoads {
+		if l > worstLoad {
+			worst, worstLoad = d, l
+		}
+	}
+	if balanced(worstLoad) {
+		return nil
+	}
+
+	// Pass 2: the worst disk's terminal cells, grouped by level.
+	type member struct {
+		id int
+		p  vec.Point
+	}
+	type cellMembers struct {
+		rect    vec.Rect
+		members []member
+	}
+	cells := make(map[string]*cellMembers)
+	levelCount := make(map[int]int)
+	levelOf := make(map[string]int)
+	for i, p := range points {
+		if p == nil {
+			continue
+		}
+		c := rec.AssignCell(p)
+		if c.Disk != worst {
+			continue
+		}
+		key := c.Key()
+		cm := cells[key]
+		if cm == nil {
+			cm = &cellMembers{rect: c.Rect}
+			cells[key] = cm
+			levelOf[key] = c.Level
+		}
+		cm.members = append(cm.members, member{id: i, p: p})
+		levelCount[c.Level]++
+	}
+	// The heaviest expandable terminal level of the worst disk, as in
+	// BuildRecursive.
+	bestLevel, bestCount := -1, 0
+	for l, cnt := range levelCount {
+		if l < reorgMaxLevels && cnt > bestCount {
+			bestLevel, bestCount = l, cnt
+		}
+	}
+	if bestLevel < 0 {
+		return nil // overloaded but at the depth bound: stuck
+	}
+
+	// Expand (bestLevel, worst) on a clone and register each affected
+	// cell's quantile sub-splits: the per-dimension medians of the
+	// cell's actual members, so the split halves the real load instead
+	// of the geometry.
+	clone := rec.Clone()
+	clone.Expand(bestLevel, worst)
+	plan := &reorgPlan{next: clone}
+	keys := make([]string, 0, len(cells))
+	for key := range cells {
+		if levelOf[key] == bestLevel {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys) // deterministic plan order
+	dim := ix.opts.Dim
+	coords := make([]float64, 0, 64)
+	for _, key := range keys {
+		cm := cells[key]
+		splits := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			coords = coords[:0]
+			for _, m := range cm.members {
+				coords = append(coords, m.p[j])
+			}
+			sort.Float64s(coords)
+			med := coords[(len(coords)-1)/2]
+			if med > cm.rect.Min[j] && med < cm.rect.Max[j] {
+				splits[j] = med
+			} else {
+				// Degenerate dimension: keep the midpoint.
+				splits[j] = (cm.rect.Min[j] + cm.rect.Max[j]) / 2
+			}
+		}
+		clone.SetSubSplits(key, splits)
+		plan.oldKeys = append(plan.oldKeys, key)
+		plan.buckets++
+		for _, m := range cm.members {
+			c2 := clone.AssignCell(m.p)
+			plan.moves = append(plan.moves, reorgMove{
+				id: m.id, p: m.p,
+				oldDisk: worst, newDisk: c2.Disk,
+				newKey: c2.Key(), newRect: c2.Rect,
+			})
+			if c2.Disk != worst {
+				plan.moved++
+			}
+		}
+	}
+	return plan
+}
+
+// reorgApply cuts one plan in. Caller holds mu (write) and meta, and has
+// verified the plan was computed against the current state and version.
+func (ix *Index) reorgApply(st *state, plan *reorgPlan) error {
+	n := ix.opts.Disks
+	if plan.wrap != nil {
+		// Wrapping changes no disk assignment (level 0 is colored by the
+		// same strategy), so the trees stay as they are; only the cell
+		// table switches to recursive path keys.
+		st.assigner = plan.wrap
+		st.cells = nil
+		st.cellIndex = make(map[string]int)
+		for i, p := range ix.points {
+			if p == nil {
+				continue
+			}
+			d, key, rect := ix.assignCell(st, i, p)
+			addToCell(st, key, d, rect)
+		}
+		ix.version++
+		return nil
+	}
+
+	// Swap the assigner first so assignCell (and any error path below)
+	// agrees with the new cell table; queries are excluded by mu.
+	st.assigner = plan.next
+	for _, key := range plan.oldKeys {
+		if idx, ok := st.cellIndex[key]; ok {
+			st.cells[idx].count = 0
+		}
+	}
+	for _, mv := range plan.moves {
+		addToCell(st, mv.newKey, mv.newDisk, mv.newRect)
+		if mv.newDisk == mv.oldDisk {
+			continue
+		}
+		sh := st.shards[mv.oldDisk]
+		sh.mu.Lock()
+		ok := sh.tree.Delete(mv.p, mv.id)
+		sh.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("parsearch: internal inconsistency: id %d not on disk %d during reorganize", mv.id, mv.oldDisk)
+		}
+		nsh := st.shards[mv.newDisk]
+		nsh.mu.Lock()
+		nsh.tree.Insert(mv.p, mv.id)
+		nsh.mu.Unlock()
+		if st.replicas != nil {
+			rsh := st.replicas[replicaOf(mv.oldDisk, n)]
+			rsh.mu.Lock()
+			ok := rsh.tree.Delete(mv.p, mv.id)
+			rsh.mu.Unlock()
+			if !ok {
+				return fmt.Errorf("parsearch: internal inconsistency: id %d not in disk %d's replica during reorganize", mv.id, mv.oldDisk)
+			}
+			nrsh := st.replicas[replicaOf(mv.newDisk, n)]
+			nrsh.mu.Lock()
+			nrsh.tree.Insert(mv.p, mv.id)
+			nrsh.mu.Unlock()
+		}
+		// The baseline tree is disk-agnostic: nothing to move.
+	}
+	ix.version++
+	ix.reg.ReorgBuckets.Add(int64(plan.buckets))
+	return nil
+}
+
+// reorganizeRebuild is the full-rebuild fallback for layouts without
+// bucket structure: rebuild off the lock against a consistent copy of
+// the point table and cut the result in atomically (re-building under
+// the locks if a mutation raced it — slower, but lossless).
+func (ix *Index) reorganizeRebuild() error {
+	ix.meta.Lock()
+	if ix.closed {
+		ix.meta.Unlock()
+		return ErrClosed
+	}
 	points := snapshotPoints(ix.points)
 	v := ix.version
 	ix.meta.Unlock()
@@ -69,10 +492,10 @@ func (ix *Index) Reorganize() error {
 	defer ix.mu.Unlock()
 	ix.meta.Lock()
 	defer ix.meta.Unlock()
+	if ix.closed {
+		return ErrClosed
+	}
 	if ix.version != v {
-		// The point table changed while the optimistic rebuild ran.
-		// Rebuild from the current table under the locks: slower (it
-		// blocks queries for the duration), but atomic and lossless.
 		st, pts, live, err = ix.buildState(snapshotPoints(ix.points))
 		if err != nil {
 			return fmt.Errorf("parsearch: reorganizing: %w", err)
@@ -81,7 +504,6 @@ func (ix *Index) Reorganize() error {
 	ix.st = st
 	ix.points = pts
 	ix.live = live
-	ix.adaptive = nil
 	ix.version++
 	return nil
 }

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"parsearch"
+	"parsearch/client"
+	"parsearch/internal/wire"
+)
+
+// TestCatchupEndToEnd is the acceptance test for snapshot+delta
+// shipping: a cold replica directory is caught up from a live leader
+// over HTTP, opened with the standard recovery path, and serves
+// byte-identical answers.
+func TestCatchupEndToEnd(t *testing.T) {
+	const dim, disks = 4, 6
+	leader, err := parsearch.Open(parsearch.Options{
+		Dim: dim, Disks: disks, Durable: true, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	for i := 0; i < 40; i++ {
+		if _, err := leader.Insert(randQuery(dim, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 70; i++ {
+		if _, err := leader.Insert(randQuery(dim, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, err := New(leader, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+
+	replica := filepath.Join(t.TempDir(), "replica")
+	shipped, err := cl.CatchupDir(context.Background(), replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped == 0 {
+		t.Fatal("cold catch-up shipped zero bytes")
+	}
+
+	follower, err := parsearch.Open(parsearch.Options{
+		Dim: dim, Disks: disks, Durable: true, Dir: replica,
+	})
+	if err != nil {
+		t.Fatalf("opening caught-up replica: %v", err)
+	}
+	defer follower.Close()
+	if follower.Len() != leader.Len() {
+		t.Fatalf("replica has %d points, leader %d", follower.Len(), leader.Len())
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := randQuery(dim, 500+qi)
+		got, _, err := follower.KNN(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := leader.KNN(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if asJSON(t, got) != asJSON(t, want) {
+			t.Fatalf("query %d: replica answer differs from leader", qi)
+		}
+	}
+	if err := follower.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A follow-up round against the unchanged leader ships nothing.
+	shipped, err = cl.CatchupDir(context.Background(), replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped != 0 {
+		t.Fatalf("steady-state catch-up shipped %d bytes", shipped)
+	}
+}
+
+// TestCatchupNonDurableIsBadRequest pins the error mapping: asking a
+// memory-only server for its log chain is a client error, not a 500.
+func TestCatchupNonDurableIsBadRequest(t *testing.T) {
+	ix := testIndex(t, 3, 50, 4, 0)
+	srv, err := New(ix, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, err = client.New(ts.URL).Catchup(context.Background(), false, 0, 0)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Code != wire.CodeBadRequest {
+		t.Fatalf("catch-up from non-durable server: %v, want code %q", err, wire.CodeBadRequest)
+	}
+}

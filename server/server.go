@@ -196,6 +196,7 @@ func New(ix *parsearch.Index, cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/range", s.handleRange)
 	mux.HandleFunc("POST /v1/partialmatch", s.handlePartialMatch)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/catchup", s.handleCatchup)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /varz", expvar.Handler())
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
@@ -482,6 +483,45 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		out[i] = wireNeighbors(ns)
 	}
 	writeJSON(w, wire.BatchResponse{Results: out, Stats: rawStats(stats)})
+}
+
+// handleCatchup serves one snapshot+delta round to a catching-up
+// follower (see parsearch.Index.Catchup). Catch-up bypasses query
+// admission: it does not touch the query engine, and a replica must be
+// able to converge even while the serving path is saturated — its cost
+// is bounded by the checkpoint lock it shares with generation rotation.
+func (s *Server) handleCatchup(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodeCatchup(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
+	delta, err := s.ix.Catchup(req.Have, req.Gen, req.Offset)
+	if err != nil {
+		switch {
+		case errors.Is(err, parsearch.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, wire.CodeUnavailable, err)
+		case !s.ix.Durability().Durable:
+			writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		default:
+			writeError(w, http.StatusInternalServerError, wire.CodeInternal, err)
+		}
+		return
+	}
+	files := make([]wire.CatchupFile, len(delta.Files))
+	for i, f := range delta.Files {
+		files[i] = wire.CatchupFile{Name: f.Name, Offset: f.Offset, Data: f.Data}
+	}
+	writeJSON(w, wire.CatchupResponse{
+		Gen:        delta.Gen,
+		NextOffset: delta.NextOffset,
+		Reset:      delta.Reset,
+		Files:      files,
+	})
 }
 
 // health computes the health view from the fault-routing state: a

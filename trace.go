@@ -46,6 +46,16 @@ const (
 	// run under engine locks), so per-disk event groups may interleave
 	// with other disks' tightenings.
 	StageBoundTightened = "bound_tightened"
+	// StageIngest is emitted once per applied mutation batch (InsertBatch
+	// and each AsyncWriter group commit): Results carries the mutations
+	// applied. StageReorg is emitted once per Reorganize call: Results
+	// carries the buckets split, Pages the points moved between disks.
+	// StageCatchup is emitted per served catch-up delta: Results carries
+	// the files shipped, Pages the delta bytes. All three arrive on the
+	// index-wide Options.Tracer (ops "ingest" / "reorganize" / "catchup").
+	StageIngest  = "ingest"
+	StageReorg   = "reorganize"
+	StageCatchup = "catchup"
 )
 
 // TraceEvent is one span event of a query's execution. Numeric fields
