@@ -63,6 +63,11 @@ type BatchStats struct {
 	// DistCompsSaved is the total number of exact distance computations
 	// the SQ8 pre-filter skipped across the batch (see QueryStats).
 	DistCompsSaved int
+	// PagesSkippedApprox and ProbePages total the approximate tier's
+	// per-query counters across the batch (see QueryStats). 0 on exact
+	// batches.
+	PagesSkippedApprox int
+	ProbePages         int
 	// PerQuery holds each query's own cost statistics: PerQuery[i]
 	// describes queries[i]. Page counts are exact regardless of how the
 	// scheduler interleaved the workers; times are derived from the
@@ -176,6 +181,21 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 	return ix.BatchKNNContext(context.Background(), queries, k)
 }
 
+// BatchKNNApprox is BatchKNN with per-query approximate-search knobs,
+// applied to every query of the batch (see KNNApprox).
+func (ix *Index) BatchKNNApprox(queries [][]float64, k int, a Approx) ([][]Neighbor, BatchStats, error) {
+	return ix.BatchKNNApproxContext(context.Background(), queries, k, a)
+}
+
+// BatchKNNApproxContext is BatchKNNApprox with a context (see
+// BatchKNNContext).
+func (ix *Index) BatchKNNApproxContext(ctx context.Context, queries [][]float64, k int, a Approx) ([][]Neighbor, BatchStats, error) {
+	if err := a.validate(); err != nil {
+		return nil, BatchStats{}, err
+	}
+	return ix.batchKNNContext(ctx, queries, k, a)
+}
+
 // BatchKNNContext is BatchKNN with a context, which may carry a
 // per-request tracer (see WithTracer) and a deadline. Batch traces
 // share one query sequence number; per-item events carry the batch
@@ -183,7 +203,13 @@ func (ix *Index) BatchKNN(queries [][]float64, k int) ([][]Neighbor, BatchStats,
 // between batch items: a cancelled context makes the batch return
 // ctx.Err() without starting further shard searches or the simulated
 // I/O phase.
-func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int) (_ [][]Neighbor, stats BatchStats, err error) {
+func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int) ([][]Neighbor, BatchStats, error) {
+	return ix.batchKNNContext(ctx, queries, k, ix.ApproxDefaults())
+}
+
+// batchKNNContext runs one batch with the resolved approximate-search
+// knobs (already validated).
+func (ix *Index) batchKNNContext(ctx context.Context, queries [][]float64, k int, a Approx) (_ [][]Neighbor, stats BatchStats, err error) {
 	start := time.Now()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -254,6 +280,7 @@ func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int
 				// bound's trajectory — and with it the pages saved — is
 				// deterministic, unlike the parallel fan-out of KNN.
 				sr := newShardSearch(ctx, ix, &sp, st, q, k, m)
+				sr.setApprox(a, ix.opts.LSH)
 				sr.item, sr.emit = i, false
 				seed := -1
 				if sr.bound != nil {
@@ -295,6 +322,10 @@ func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int
 
 				qs := QueryStats{PagesPerDisk: make([]int, len(st.shards))}
 				nodeVisits.Add(sr.record(&qs))
+				if sr.approx {
+					sp.emit(TraceEvent{Stage: StageApprox, Disk: -1, Item: i, K: k,
+						Epsilon: sr.eps, Pages: qs.PagesSkippedApprox})
+				}
 				refs := ix.sphereRefs(st, routes, q, rk, &qs)
 				// Per-query degraded refinement as in KNN: only when the
 				// dead data could have changed this query's answer.
@@ -339,6 +370,8 @@ func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int
 		stats.PagesSavedByBound += perQuery[i].PagesSavedByBound
 		stats.BoundTightenings += perQuery[i].BoundTightenings
 		stats.DistCompsSaved += perQuery[i].DistCompsSaved
+		stats.PagesSkippedApprox += perQuery[i].PagesSkippedApprox
+		stats.ProbePages += perQuery[i].ProbePages
 		stats.Degraded = stats.Degraded || perQuery[i].Degraded
 	}
 	batch, err := ix.array.ReadBatch(refs)
@@ -391,6 +424,7 @@ func (ix *Index) recordBatch(bs *BatchStats, batch disk.BatchResult, nodeVisits 
 		if qs.Degraded {
 			ix.reg.DegradedQueries.Inc()
 		}
+		ix.recordApprox(qs)
 		ix.reg.QueryPages.Observe(int64(qs.TotalPages))
 		ix.reg.QueryTimeNs.Observe(int64(qs.ParallelTime * 1e9))
 	}

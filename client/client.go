@@ -229,6 +229,23 @@ func (c *Client) KNN(ctx context.Context, q []float64, k int) ([]parsearch.Neigh
 	return neighbors(resp.Neighbors), nil
 }
 
+// KNNApprox is KNN with explicit approximate-tier knobs: the server
+// runs the query with the given ε and recall target instead of its own
+// defaults (see parsearch.Approx). A zero Approx forces an exact
+// search regardless of the server's configuration.
+func (c *Client) KNNApprox(ctx context.Context, q []float64, k int, a parsearch.Approx) ([]parsearch.Neighbor, error) {
+	var resp wire.QueryResponse
+	err := c.post(ctx, "/v1/knn", wire.KNNRequest{
+		Query: q, K: k,
+		Epsilon:      &a.Epsilon,
+		RecallTarget: &a.RecallTarget,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return neighbors(resp.Neighbors), nil
+}
+
 // Range finds all points inside the axis-aligned box [min, max].
 func (c *Client) Range(ctx context.Context, min, max []float64) ([]parsearch.Neighbor, error) {
 	var resp wire.QueryResponse
@@ -262,6 +279,25 @@ func (c *Client) PartialMatch(ctx context.Context, spec []float64, eps float64) 
 func (c *Client) BatchKNN(ctx context.Context, queries [][]float64, k int) ([][]parsearch.Neighbor, error) {
 	var resp wire.BatchResponse
 	err := c.post(ctx, "/v1/batch", wire.BatchRequest{Queries: queries, K: k}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]parsearch.Neighbor, len(resp.Results))
+	for i, ws := range resp.Results {
+		out[i] = neighbors(ws)
+	}
+	return out, nil
+}
+
+// BatchKNNApprox is BatchKNN with explicit approximate-tier knobs,
+// applied to every query of the batch (see KNNApprox).
+func (c *Client) BatchKNNApprox(ctx context.Context, queries [][]float64, k int, a parsearch.Approx) ([][]parsearch.Neighbor, error) {
+	var resp wire.BatchResponse
+	err := c.post(ctx, "/v1/batch", wire.BatchRequest{
+		Queries: queries, K: k,
+		Epsilon:      &a.Epsilon,
+		RecallTarget: &a.RecallTarget,
+	}, &resp)
 	if err != nil {
 		return nil, err
 	}

@@ -99,11 +99,20 @@ func TestBenchSubcommand(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if report.Disks != exp.BenchDisks || len(report.Workloads) != 8 {
+	if report.Disks != exp.BenchDisks || len(report.Workloads) != 10 {
 		t.Fatalf("report %+v", report)
 	}
 	if report.Workload("server-knn16") == nil {
 		t.Fatal("report lacks the serving-latency row")
+	}
+	for _, name := range []string{"knn16-eps01", "knn16-lsh"} {
+		w := report.Workload(name)
+		if w == nil {
+			t.Fatalf("report lacks the approximate row %s", name)
+		}
+		if w.Recall < exp.RecallFloor || w.Recall > 1 {
+			t.Fatalf("%s recall %v outside [%v, 1]", name, w.Recall, exp.RecallFloor)
+		}
 	}
 	for _, name := range []string{"mixed-serve16", "mixed-reorg16"} {
 		if w := report.Workload(name); w == nil || w.NsPerOp <= 0 {

@@ -1,0 +1,176 @@
+// Package lsh implements the multi-probe LSH pre-filter of the
+// approximate search tier: random-hyperplane signatures over the leaf
+// pages of one declustered shard, used to order leaves by probe
+// priority and cap how many a query admits under a recall target.
+//
+// The design follows the multi-probe idea of "Scalable
+// Locality-Sensitive Hashing for Similarity Search in High-Dimensional,
+// Large-Scale Multimedia Datasets": instead of one bucket per query,
+// the probe set is the signatures closest to the query's — here, the
+// leaf pages whose signature is Hamming-closest. Because the filter is
+// built per shard over the same declustered bucket layout, the paper's
+// load-balance guarantees apply to the probe set unchanged: capping
+// every shard's probes at the same fraction caps every disk's work at
+// the same fraction.
+//
+// The filter is immutable after Build. Leaves created later (inserts,
+// splits, incremental reorganization) are simply absent from it and are
+// always admitted — mutation can only make the filter more permissive,
+// never cost recall — until the next Build/Reorganize rebuilds it.
+package lsh
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"parsearch/internal/xtree"
+)
+
+// SignatureBits is the number of random hyperplanes (signature bits).
+// 32 bits keeps the signature in one word while giving the Hamming
+// ranking enough resolution for thousands of leaves per shard.
+const SignatureBits = 32
+
+// Family is a deterministic set of random hyperplanes through a given
+// center point. The same (dim, seed) always yields the same family, so
+// rebuilt shards and replicas rank identically.
+type Family struct {
+	dim    int
+	center []float64   // hyperplanes pass through the data center
+	planes [][]float64 // SignatureBits unit-length normals
+}
+
+// NewFamily draws SignatureBits hyperplane normals from the seeded
+// source, centered on center (copied; may be nil for the origin).
+func NewFamily(dim int, center []float64, seed int64) *Family {
+	f := &Family{dim: dim, center: make([]float64, dim)}
+	copy(f.center, center)
+	rng := rand.New(rand.NewSource(seed))
+	f.planes = make([][]float64, SignatureBits)
+	for i := range f.planes {
+		p := make([]float64, dim)
+		var norm float64
+		for j := range p {
+			p[j] = rng.NormFloat64()
+			norm += p[j] * p[j]
+		}
+		if norm == 0 {
+			p[0] = 1
+			norm = 1
+		}
+		f.planes[i] = p
+	}
+	return f
+}
+
+// Sig returns the signature of p: bit i is set when p lies on the
+// positive side of hyperplane i.
+func (f *Family) Sig(p []float64) uint64 {
+	var sig uint64
+	for i, plane := range f.planes {
+		var dot float64
+		for j := range plane {
+			dot += plane[j] * (p[j] - f.center[j])
+		}
+		if dot > 0 {
+			sig |= 1 << uint(i)
+		}
+	}
+	return sig
+}
+
+// Filter is the per-shard probe filter: the signatures of the shard's
+// leaf pages at build time, in deterministic build order.
+type Filter struct {
+	fam    *Family
+	leaves []*xtree.Node
+	sigs   []uint64
+	index  map[*xtree.Node]int
+}
+
+// Build signs every leaf of the tree by its MBR center. The family is
+// derived from (dim, seed) and the mean of the leaf centers, so two
+// trees holding the same pages produce the same ranking.
+func Build(t *xtree.Tree, seed int64) *Filter {
+	dim := t.Config().Dim
+	leaves := t.Leaves()
+	centers := make([][]float64, len(leaves))
+	mean := make([]float64, dim)
+	for i, l := range leaves {
+		r := l.Rect()
+		c := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			c[j] = (r.Min[j] + r.Max[j]) / 2
+			mean[j] += c[j]
+		}
+		centers[i] = c
+	}
+	if len(leaves) > 0 {
+		for j := range mean {
+			mean[j] /= float64(len(leaves))
+		}
+	}
+	f := &Filter{
+		fam:    NewFamily(dim, mean, seed),
+		leaves: leaves,
+		sigs:   make([]uint64, len(leaves)),
+		index:  make(map[*xtree.Node]int, len(leaves)),
+	}
+	for i, c := range centers {
+		f.sigs[i] = f.fam.Sig(c)
+		f.index[leaves[i]] = i
+	}
+	return f
+}
+
+// Len returns the number of signed leaves.
+func (f *Filter) Len() int { return len(f.leaves) }
+
+// Admit returns the probe predicate for query q at the given recall
+// target: the ceil(target·L) signed leaves Hamming-closest to the
+// query's signature are admitted (ties broken by build order, so the
+// probe set is deterministic), and any leaf the filter has never
+// signed — created by mutation since the build — is always admitted.
+// A target ≥ 1 admits everything.
+func (f *Filter) Admit(q []float64, target float64) func(n *xtree.Node) bool {
+	if target >= 1 || len(f.leaves) == 0 {
+		return func(*xtree.Node) bool { return true }
+	}
+	if target < 0 {
+		target = 0
+	}
+	qsig := f.fam.Sig(q)
+	order := make([]int, len(f.sigs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ha := bits.OnesCount64(f.sigs[order[a]] ^ qsig)
+		hb := bits.OnesCount64(f.sigs[order[b]] ^ qsig)
+		if ha != hb {
+			return ha < hb
+		}
+		return order[a] < order[b]
+	})
+	// ceil(target·L), at least one probe so a full shard always has a
+	// candidate source.
+	probes := int(float64(len(order)) * target)
+	if float64(probes) < float64(len(order))*target {
+		probes++
+	}
+	if probes < 1 {
+		probes = 1
+	}
+	admitted := make(map[*xtree.Node]struct{}, probes)
+	for _, i := range order[:probes] {
+		admitted[f.leaves[i]] = struct{}{}
+	}
+	return func(n *xtree.Node) bool {
+		if _, signed := f.index[n]; !signed {
+			return true
+		}
+		_, ok := admitted[n]
+		return ok
+	}
+}

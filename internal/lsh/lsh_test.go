@@ -1,0 +1,152 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"parsearch/internal/vec"
+	"parsearch/internal/xtree"
+)
+
+// testTree builds a tree over n seeded uniform points with small pages,
+// so it has enough leaves for the probe cap to be meaningful.
+func testTree(n, dim int, seed int64) *xtree.Tree {
+	cfg := xtree.DefaultConfig(dim)
+	cfg.LeafCapacity = 8
+	t := xtree.New(cfg)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		p := make(vec.Point, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		t.Insert(p, i)
+	}
+	return t
+}
+
+// TestFamilyDeterminism: the same (dim, center, seed) must always yield
+// the same signatures — that is what makes a replica tree rank
+// identically to its primary.
+func TestFamilyDeterminism(t *testing.T) {
+	const dim = 5
+	center := []float64{0.5, 0.4, 0.3, 0.2, 0.1}
+	a := NewFamily(dim, center, 42)
+	b := NewFamily(dim, center, 42)
+	other := NewFamily(dim, center, 43)
+	rng := rand.New(rand.NewSource(1))
+	differs := false
+	for i := 0; i < 50; i++ {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64() * 2
+		}
+		if a.Sig(p) != b.Sig(p) {
+			t.Fatalf("same seed, different signature for %v", p)
+		}
+		if a.Sig(p) != other.Sig(p) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 42 and 43 produced identical signatures on 50 points — family ignores the seed")
+	}
+}
+
+// TestBuildMatchesTree: every leaf is signed, twin trees over the same
+// data produce the same filter ranking.
+func TestBuildMatchesTree(t *testing.T) {
+	tr := testTree(600, 4, 7)
+	f := Build(tr, 99)
+	leaves := tr.Leaves()
+	if f.Len() != len(leaves) {
+		t.Fatalf("filter signed %d leaves, tree has %d", f.Len(), len(leaves))
+	}
+	if f.Len() < 20 {
+		t.Fatalf("only %d leaves — the probe cap has nothing to rank", f.Len())
+	}
+
+	twin := Build(testTree(600, 4, 7), 99)
+	q := []float64{0.3, 0.7, 0.1, 0.9}
+	const target = 0.5
+	admit, admitTwin := f.Admit(q, target), twin.Admit(q, target)
+	for i, l := range leaves {
+		// Build order is deterministic, so leaf i of the twin holds the
+		// same pages as leaf i here; admission must agree by position.
+		if admit(l) != admitTwin(twin.leaves[i]) {
+			t.Fatalf("leaf %d: primary admit %v, twin admit %v", i, admit(l), admitTwin(twin.leaves[i]))
+		}
+	}
+}
+
+// TestAdmitCap: the probe set size is exactly ceil(target·L) of the
+// signed leaves; target ≥ 1 admits everything; unsigned leaves (later
+// mutations) are always admitted.
+func TestAdmitCap(t *testing.T) {
+	tr := testTree(600, 4, 11)
+	f := Build(tr, 99)
+	leaves := tr.Leaves()
+	L := len(leaves)
+
+	for _, target := range []float64{0.25, 0.5, 0.9} {
+		admit := f.Admit([]float64{0.5, 0.5, 0.5, 0.5}, target)
+		admitted := 0
+		for _, l := range leaves {
+			if admit(l) {
+				admitted++
+			}
+		}
+		want := int(float64(L) * target)
+		if float64(want) < float64(L)*target {
+			want++
+		}
+		if admitted != want {
+			t.Errorf("target %v: admitted %d of %d leaves, want ceil = %d", target, admitted, L, want)
+		}
+	}
+
+	all := f.Admit([]float64{0.5, 0.5, 0.5, 0.5}, 1)
+	for i, l := range leaves {
+		if !all(l) {
+			t.Fatalf("target 1 rejected leaf %d", i)
+		}
+	}
+
+	// A leaf the filter never signed must pass any target.
+	fresh := testTree(16, 4, 12).Leaves()[0]
+	tight := f.Admit([]float64{0.5, 0.5, 0.5, 0.5}, 0.1)
+	if !tight(fresh) {
+		t.Error("unsigned leaf rejected — mutation made the filter less permissive")
+	}
+}
+
+// TestAdmitPrefersHammingClose: a query placed at a leaf's own center
+// has Hamming distance zero to that leaf's signature, so even the
+// tightest cap must admit it.
+func TestAdmitPrefersHammingClose(t *testing.T) {
+	tr := testTree(600, 3, 13)
+	f := Build(tr, 99)
+	for i, l := range tr.Leaves() {
+		r := l.Rect()
+		c := make([]float64, 3)
+		for j := range c {
+			c[j] = (r.Min[j] + r.Max[j]) / 2
+		}
+		// Tightest possible cap that still admits the zero-distance
+		// leaf deterministically: Hamming 0 sorts first unless another
+		// leaf shares the exact signature and an earlier build index.
+		admit := f.Admit(c, 0.3)
+		if !admit(l) {
+			sig := f.sigs[f.index[l]]
+			shared := 0
+			for _, s := range f.sigs {
+				if s == sig {
+					shared++
+				}
+			}
+			if shared <= 1 {
+				t.Fatalf("leaf %d rejected for a query at its own center", i)
+			}
+		}
+	}
+}

@@ -57,6 +57,8 @@ func (r *Registry) Install(s Snapshot) error {
 		{"pages_saved_by_bound", s.PagesSavedByBound, &r.PagesSavedByBound},
 		{"bound_tightenings", s.BoundTightenings, &r.BoundTightenings},
 		{"dist_comps_saved", s.DistCompsSaved, &r.DistCompsSaved},
+		{"approx_queries", s.ApproxQueries, &r.ApproxQueries},
+		{"pages_skipped_approx", s.PagesSkippedApprox, &r.PagesSkippedApprox},
 	}
 	for _, c := range scalars {
 		if err := nonNegative(c.name, c.v); err != nil {
@@ -90,6 +92,7 @@ func (r *Registry) Install(s Snapshot) error {
 		{"query_pages", s.QueryPages, &r.QueryPages},
 		{"query_time_ns", s.QueryTimeNs, &r.QueryTimeNs},
 		{"query_wall_ns", s.QueryWallNs, &r.QueryWallNs},
+		{"lsh_probe_pages", s.LSHProbePages, &r.LSHProbePages},
 	}
 	for _, h := range hists {
 		if h.s.Buckets == nil && h.s.Count == 0 && h.s.Sum == 0 {

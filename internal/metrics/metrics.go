@@ -218,6 +218,13 @@ type Registry struct {
 	ReorgBuckets  Counter
 	CatchupBytes  Counter
 
+	// Approximate-tier counters: ApproxQueries counts queries that ran
+	// with the approximate tier armed (ε > 0 or an effective LSH recall
+	// cap), PagesSkippedApprox the search pages the tier skipped
+	// (QueryStats.PagesSkippedApprox). Both stay zero on exact paths.
+	ApproxQueries      Counter
+	PagesSkippedApprox Counter
+
 	// PagesPerDisk accumulates the blocks charged to each disk;
 	// ServiceTimePerDisk the simulated service time (nanoseconds) each
 	// disk spent — the per-disk balance view of the paper's cost model.
@@ -235,6 +242,11 @@ type Registry struct {
 	// WALFsyncNs observes the duration of each group-commit fsync in
 	// nanoseconds (empty on non-durable indexes).
 	WALFsyncNs Histogram
+
+	// LSHProbePages observes, per approximate query that consulted the
+	// LSH pre-filter, how many leaf pages the filter admitted — the
+	// recall-probe profile of the approximate tier.
+	LSHProbePages Histogram
 }
 
 // NewRegistry returns an empty registry for an index over disks disks.
@@ -293,10 +305,14 @@ type Snapshot struct {
 	ReorgBuckets  int64 `json:"reorg_buckets"`
 	CatchupBytes  int64 `json:"catchup_bytes"`
 
-	QueryPages  HistogramSnapshot `json:"query_pages"`
-	QueryTimeNs HistogramSnapshot `json:"query_time_ns"`
-	QueryWallNs HistogramSnapshot `json:"query_wall_ns"`
-	WALFsyncNs  HistogramSnapshot `json:"wal_fsync_ns"`
+	ApproxQueries      int64 `json:"approx_queries"`
+	PagesSkippedApprox int64 `json:"pages_skipped_approx"`
+
+	QueryPages    HistogramSnapshot `json:"query_pages"`
+	QueryTimeNs   HistogramSnapshot `json:"query_time_ns"`
+	QueryWallNs   HistogramSnapshot `json:"query_wall_ns"`
+	WALFsyncNs    HistogramSnapshot `json:"wal_fsync_ns"`
+	LSHProbePages HistogramSnapshot `json:"lsh_probe_pages"`
 }
 
 // BalanceCoefficient computes mean/max over per-disk loads: 1.0 is a
@@ -351,10 +367,14 @@ func (r *Registry) Snapshot() Snapshot {
 		ReorgBuckets:  r.ReorgBuckets.Value(),
 		CatchupBytes:  r.CatchupBytes.Value(),
 
-		QueryPages:  r.QueryPages.Snapshot(),
-		QueryTimeNs: r.QueryTimeNs.Snapshot(),
-		QueryWallNs: r.QueryWallNs.Snapshot(),
-		WALFsyncNs:  r.WALFsyncNs.Snapshot(),
+		ApproxQueries:      r.ApproxQueries.Value(),
+		PagesSkippedApprox: r.PagesSkippedApprox.Value(),
+
+		QueryPages:    r.QueryPages.Snapshot(),
+		QueryTimeNs:   r.QueryTimeNs.Snapshot(),
+		QueryWallNs:   r.QueryWallNs.Snapshot(),
+		WALFsyncNs:    r.WALFsyncNs.Snapshot(),
+		LSHProbePages: r.LSHProbePages.Snapshot(),
 	}
 	s.Balance = BalanceCoefficient(s.PagesPerDisk)
 	return s
@@ -369,16 +389,18 @@ func (r *Registry) Snapshot() Snapshot {
 // appended the three cooperative-pruning counters; v3 appended the
 // DistCompsSaved counter and the QueryWallNs histogram; v4 appended
 // the five durability counters and the WALFsyncNs histogram; v5
-// appended the three live-mutation counters. Decoding accepts all of
-// them (older encodings leave the newer fields zero), encoding always
-// writes the current version.
+// appended the three live-mutation counters; v6 appended the two
+// approximate-tier counters and the LSHProbePages histogram. Decoding
+// accepts all of them (older encodings leave the newer fields zero),
+// encoding always writes the current version.
 const (
 	codecMagic     = uint32(0x4d545231) // "MTR1"
-	codecVersion   = uint32(5)
+	codecVersion   = uint32(6)
 	codecV1Scalars = 12
 	codecV2Scalars = 15
 	codecV3Scalars = 16
 	codecV4Scalars = 21
+	codecV5Scalars = 24
 )
 
 // scalars lists the scalar counters in encoding order. Append-only:
@@ -394,13 +416,15 @@ func (r *Registry) scalars() []*Counter {
 		&r.WALAppends, &r.WALSyncs, &r.WALBytes,
 		&r.Recoveries, &r.RecoveredRecords,
 		&r.IngestBatches, &r.ReorgBuckets, &r.CatchupBytes,
+		&r.ApproxQueries, &r.PagesSkippedApprox,
 	}
 }
 
 // histograms lists the histograms in encoding order, append-only like
-// scalars (v1/v2 encoded only the first two, v3 the first three).
+// scalars (v1/v2 encoded only the first two, v3 the first three, v4/v5
+// the first four).
 func (r *Registry) histograms() []*Histogram {
-	return []*Histogram{&r.QueryPages, &r.QueryTimeNs, &r.QueryWallNs, &r.WALFsyncNs}
+	return []*Histogram{&r.QueryPages, &r.QueryTimeNs, &r.QueryWallNs, &r.WALFsyncNs, &r.LSHProbePages}
 }
 
 // MarshalBinary encodes the registry's current values.
@@ -503,6 +527,8 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 		encoded = codecV3Scalars
 	case 4:
 		encoded = codecV4Scalars
+	case 5:
+		encoded = codecV5Scalars
 	}
 	vals := make([]int64, len(scalars))
 	for i := 0; i < encoded; i++ {
@@ -539,6 +565,8 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 		encodedHists = 2
 	case version < 4:
 		encodedHists = 3
+	case version < 6:
+		encodedHists = 4
 	}
 	hists := make([]histVals, encodedHists)
 	for h := range hists {

@@ -183,12 +183,12 @@ func TestUnmarshalVersion1(t *testing.T) {
 	}
 	// Hand-build the v1 encoding: same header with version 1, the first
 	// codecV1Scalars counters, then everything after the scalar block
-	// minus the third and fourth histograms (v1 carried only two).
+	// minus the third through fifth histograms (v1 carried only two).
 	const header = 12
 	const histBlock = 8 + 8 + 4 + HistBuckets*8
 	v1 := append([]byte{}, v3[:header+codecV1Scalars*8]...)
 	binary.LittleEndian.PutUint32(v1[4:], 1)
-	tail := v3[header+len(r.scalars())*8 : len(v3)-2*histBlock]
+	tail := v3[header+len(r.scalars())*8 : len(v3)-3*histBlock]
 	v1 = append(v1, tail...)
 
 	fresh := NewRegistry(2)
@@ -244,7 +244,7 @@ func TestUnmarshalVersion2(t *testing.T) {
 	const histBlock = 8 + 8 + 4 + HistBuckets*8
 	v2 := append([]byte{}, v3[:header+codecV2Scalars*8]...)
 	binary.LittleEndian.PutUint32(v2[4:], 2)
-	v2 = append(v2, v3[header+len(r.scalars())*8:len(v3)-2*histBlock]...)
+	v2 = append(v2, v3[header+len(r.scalars())*8:len(v3)-3*histBlock]...)
 
 	fresh := NewRegistry(2)
 	if err := fresh.UnmarshalBinary(v2); err != nil {
@@ -285,7 +285,7 @@ func TestUnmarshalVersion3(t *testing.T) {
 	const histBlock = 8 + 8 + 4 + HistBuckets*8
 	v3 := append([]byte{}, v4[:header+codecV3Scalars*8]...)
 	binary.LittleEndian.PutUint32(v3[4:], 3)
-	v3 = append(v3, v4[header+len(r.scalars())*8:len(v4)-histBlock]...)
+	v3 = append(v3, v4[header+len(r.scalars())*8:len(v4)-2*histBlock]...)
 
 	fresh := NewRegistry(2)
 	if err := fresh.UnmarshalBinary(v3); err != nil {
@@ -320,9 +320,10 @@ func TestUnmarshalVersion4(t *testing.T) {
 		t.Fatal(err)
 	}
 	const header = 12
+	const histBlock = 8 + 8 + 4 + HistBuckets*8
 	v4 := append([]byte{}, v5[:header+codecV4Scalars*8]...)
 	binary.LittleEndian.PutUint32(v4[4:], 4)
-	v4 = append(v4, v5[header+len(r.scalars())*8:]...)
+	v4 = append(v4, v5[header+len(r.scalars())*8:len(v5)-histBlock]...)
 
 	fresh := NewRegistry(2)
 	if err := fresh.UnmarshalBinary(v4); err != nil {
@@ -334,6 +335,53 @@ func TestUnmarshalVersion4(t *testing.T) {
 	}
 	if s.IngestBatches != 0 || s.ReorgBuckets != 0 || s.CatchupBytes != 0 {
 		t.Fatalf("v4 decode left v5 fields non-zero: %+v", s)
+	}
+}
+
+// TestUnmarshalVersion5 decodes a version-5 encoding (24 scalars, four
+// histograms, before the approximate-tier counters and LSHProbePages):
+// the prefix decodes one-to-one and the v6 additions stay zero.
+func TestUnmarshalVersion5(t *testing.T) {
+	r := NewRegistry(2)
+	r.QueriesKNN.Add(3)
+	r.IngestBatches.Add(8)
+	r.CatchupBytes.Add(1 << 20)
+	r.WALFsyncNs.Observe(7e5)
+	// v6-only fields, deliberately non-zero so the splice proves they
+	// are dropped from a v5 blob.
+	r.ApproxQueries.Add(5)
+	r.PagesSkippedApprox.Add(77)
+	r.LSHProbePages.Observe(12)
+
+	v6, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const header = 12
+	const histBlock = 8 + 8 + 4 + HistBuckets*8
+	v5 := append([]byte{}, v6[:header+codecV5Scalars*8]...)
+	binary.LittleEndian.PutUint32(v5[4:], 5)
+	v5 = append(v5, v6[header+len(r.scalars())*8:len(v6)-histBlock]...)
+
+	fresh := NewRegistry(2)
+	if err := fresh.UnmarshalBinary(v5); err != nil {
+		t.Fatalf("v5 decode: %v", err)
+	}
+	s := fresh.Snapshot()
+	if s.QueriesKNN != 3 || s.IngestBatches != 8 || s.CatchupBytes != 1<<20 || s.WALFsyncNs.Count != 1 {
+		t.Fatalf("v5 prefix mismatch: %+v", s)
+	}
+	if s.ApproxQueries != 0 || s.PagesSkippedApprox != 0 || s.LSHProbePages.Count != 0 {
+		t.Fatalf("v5 decode left v6 fields non-zero: %+v", s)
+	}
+	// A v6 round-trip carries the new fields.
+	again := NewRegistry(2)
+	if err := again.UnmarshalBinary(v6); err != nil {
+		t.Fatalf("v6 decode: %v", err)
+	}
+	s = again.Snapshot()
+	if s.ApproxQueries != 5 || s.PagesSkippedApprox != 77 || s.LSHProbePages.Count != 1 {
+		t.Fatalf("v6 round-trip lost approx fields: %+v", s)
 	}
 }
 

@@ -22,6 +22,12 @@ func FuzzDecodeQueryRequest(f *testing.F) {
 		{OpKNN, `{"query":[0.1,0.2],"k":5}`},
 		{OpKNN, `{"query":[1e999,0,0],"k":1}`},
 		{OpKNN, `{"query":["NaN",0,0],"k":1}`},
+		{OpKNN, `{"query":[0.1,0.2,0.3],"k":5,"epsilon":0.5,"recall_target":0.9}`},
+		{OpKNN, `{"query":[0.1,0.2,0.3],"k":5,"epsilon":-1}`},
+		{OpKNN, `{"query":[0.1,0.2,0.3],"k":5,"epsilon":1e999}`},
+		{OpKNN, `{"query":[0.1,0.2,0.3],"k":5,"recall_target":2}`},
+		{OpBatch, `{"queries":[[0,1,0]],"k":1,"epsilon":0.1,"recall_target":0.5}`},
+		{OpBatch, `{"queries":[[0,1,0]],"k":1,"recall_target":-0.5}`},
 		{OpRange, `{"min":[0,0,0],"max":[1,1,1]}`},
 		{OpRange, `{"min":[1,0,0],"max":[0,1,1]}`},
 		{OpPartialMatch, `{"spec":[0.5,null,0.25],"eps":0.1}`},
@@ -52,12 +58,28 @@ func FuzzDecodeQueryRequest(f *testing.F) {
 				}
 			}
 		}
+		checkApproxKnobs := func(epsilon, recallTarget *float64) {
+			// Accepted knobs must be usable verbatim by the engine: a
+			// NaN or out-of-range value smuggled past validation would
+			// corrupt the termination shrink factor or the probe cap.
+			if epsilon != nil {
+				if e := *epsilon; math.IsNaN(e) || e < 0 || e > 1e6 {
+					t.Fatalf("accepted epsilon %v (body %q)", e, body)
+				}
+			}
+			if recallTarget != nil {
+				if rt := *recallTarget; math.IsNaN(rt) || rt < 0 || rt > 1 {
+					t.Fatalf("accepted recall_target %v (body %q)", rt, body)
+				}
+			}
+		}
 		switch req := v.(type) {
 		case KNNRequest:
 			checkFinite("knn query", req.Query)
 			if req.K < 1 {
 				t.Fatalf("accepted k = %d (body %q)", req.K, body)
 			}
+			checkApproxKnobs(req.Epsilon, req.RecallTarget)
 		case RangeRequest:
 			checkFinite("range min", req.Min)
 			checkFinite("range max", req.Max)
@@ -93,6 +115,7 @@ func FuzzDecodeQueryRequest(f *testing.F) {
 			for _, q := range req.Queries {
 				checkFinite("batch query", q)
 			}
+			checkApproxKnobs(req.Epsilon, req.RecallTarget)
 		default:
 			t.Fatalf("decoder returned unknown type %T", v)
 		}

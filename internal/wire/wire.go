@@ -27,10 +27,16 @@ const (
 	OpBatch        = "batch"
 )
 
-// KNNRequest is the body of POST /v1/knn.
+// KNNRequest is the body of POST /v1/knn. Epsilon and RecallTarget are
+// the approximate-tier knobs: absent (null) fields fall back to the
+// served index's defaults; present fields override them per request
+// (0 forces an exact search, and a recall_target of 1 disables the LSH
+// probe cap).
 type KNNRequest struct {
-	Query []float64 `json:"query"`
-	K     int       `json:"k"`
+	Query        []float64 `json:"query"`
+	K            int       `json:"k"`
+	Epsilon      *float64  `json:"epsilon,omitempty"`
+	RecallTarget *float64  `json:"recall_target,omitempty"`
 }
 
 // RangeRequest is the body of POST /v1/range.
@@ -47,10 +53,13 @@ type PartialMatchRequest struct {
 	Eps  float64    `json:"eps"`
 }
 
-// BatchRequest is the body of POST /v1/batch.
+// BatchRequest is the body of POST /v1/batch. Epsilon and RecallTarget
+// behave as in KNNRequest and apply to every query of the batch.
 type BatchRequest struct {
-	Queries [][]float64 `json:"queries"`
-	K       int         `json:"k"`
+	Queries      [][]float64 `json:"queries"`
+	K            int         `json:"k"`
+	Epsilon      *float64    `json:"epsilon,omitempty"`
+	RecallTarget *float64    `json:"recall_target,omitempty"`
 }
 
 // Neighbor mirrors parsearch.Neighbor on the wire. Dist is NaN for
@@ -200,6 +209,30 @@ func checkVector(name string, v []float64, dim int) error {
 	return nil
 }
 
+// maxEpsilon mirrors the engine's cap on the ε knob; anything larger
+// is a client bug (or garbage), not a meaningful recall trade.
+const maxEpsilon = 1e6
+
+// checkApprox validates the optional approximate-tier knobs of a
+// request: a present epsilon must be finite, ≥ 0, and ≤ 1e6; a present
+// recall_target must be in [0, 1]. Absent (nil) knobs are valid — the
+// server fills them from the index defaults.
+func checkApprox(epsilon, recallTarget *float64) error {
+	if epsilon != nil {
+		e := *epsilon
+		if math.IsNaN(e) || e < 0 || e > maxEpsilon {
+			return fmt.Errorf("wire: epsilon %v outside [0, %g]", e, float64(maxEpsilon))
+		}
+	}
+	if recallTarget != nil {
+		rt := *recallTarget
+		if math.IsNaN(rt) || rt < 0 || rt > 1 {
+			return fmt.Errorf("wire: recall_target %v outside [0, 1]", rt)
+		}
+	}
+	return nil
+}
+
 // decode unmarshals into dst, classifying syntax errors uniformly.
 func decode(data []byte, dst any) error {
 	if err := json.Unmarshal(data, dst); err != nil {
@@ -220,6 +253,9 @@ func DecodeKNN(data []byte, dim int) (KNNRequest, error) {
 	}
 	if req.K < 1 {
 		return KNNRequest{}, fmt.Errorf("wire: k = %d, want >= 1", req.K)
+	}
+	if err := checkApprox(req.Epsilon, req.RecallTarget); err != nil {
+		return KNNRequest{}, err
 	}
 	return req, nil
 }
@@ -295,6 +331,9 @@ func DecodeBatch(data []byte, dim, maxQueries int) (BatchRequest, error) {
 	}
 	if req.K < 1 {
 		return BatchRequest{}, fmt.Errorf("wire: k = %d, want >= 1", req.K)
+	}
+	if err := checkApprox(req.Epsilon, req.RecallTarget); err != nil {
+		return BatchRequest{}, err
 	}
 	return req, nil
 }

@@ -29,6 +29,56 @@ func TestDecodeKNN(t *testing.T) {
 	}
 }
 
+func TestDecodeApproxKnobs(t *testing.T) {
+	// Knobs present and in range decode to set pointers; absent knobs
+	// stay nil so the server can distinguish "omitted" (index default)
+	// from an explicit zero.
+	req, err := DecodeKNN([]byte(`{"query":[0.1,0.2,0.3],"k":5,"epsilon":0.5,"recall_target":0.9}`), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Epsilon == nil || *req.Epsilon != 0.5 {
+		t.Fatalf("epsilon decoded as %v", req.Epsilon)
+	}
+	if req.RecallTarget == nil || *req.RecallTarget != 0.9 {
+		t.Fatalf("recall_target decoded as %v", req.RecallTarget)
+	}
+	plain, err := DecodeKNN([]byte(`{"query":[0.1,0.2,0.3],"k":5}`), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Epsilon != nil || plain.RecallTarget != nil {
+		t.Fatalf("absent knobs decoded non-nil: %+v", plain)
+	}
+	// Explicit zeros are valid (exact search) and distinct from nil.
+	zero, err := DecodeKNN([]byte(`{"query":[0.1,0.2,0.3],"k":5,"epsilon":0,"recall_target":1}`), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Epsilon == nil || *zero.Epsilon != 0 || zero.RecallTarget == nil || *zero.RecallTarget != 1 {
+		t.Fatalf("explicit exact knobs decoded as %+v", zero)
+	}
+
+	bad := []string{
+		`{"query":[0.1,0.2,0.3],"k":5,"epsilon":-0.1}`,        // negative ε
+		`{"query":[0.1,0.2,0.3],"k":5,"epsilon":1e7}`,         // past the 1e6 cap
+		`{"query":[0.1,0.2,0.3],"k":5,"epsilon":1e999}`,       // overflows to +Inf
+		`{"query":[0.1,0.2,0.3],"k":5,"epsilon":"NaN"}`,       // non-numeric
+		`{"query":[0.1,0.2,0.3],"k":5,"recall_target":-0.5}`,  // negative target
+		`{"query":[0.1,0.2,0.3],"k":5,"recall_target":1.5}`,   // > 1
+		`{"query":[0.1,0.2,0.3],"k":5,"recall_target":1e999}`, // overflow
+	}
+	for _, body := range bad {
+		if _, err := DecodeKNN([]byte(body), 3); err == nil {
+			t.Errorf("DecodeKNN(%q) accepted", body)
+		}
+		batch := strings.Replace(body, `"query":[0.1,0.2,0.3]`, `"queries":[[0.1,0.2,0.3]]`, 1)
+		if _, err := DecodeBatch([]byte(batch), 3, 0); err == nil {
+			t.Errorf("DecodeBatch(%q) accepted", batch)
+		}
+	}
+}
+
 func TestDecodeRange(t *testing.T) {
 	if _, err := DecodeRange([]byte(`{"min":[0,0],"max":[1,1]}`), 2); err != nil {
 		t.Fatal(err)

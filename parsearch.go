@@ -37,6 +37,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -46,6 +47,7 @@ import (
 	"parsearch/internal/disk"
 	"parsearch/internal/fsx"
 	"parsearch/internal/knn"
+	"parsearch/internal/lsh"
 	"parsearch/internal/metrics"
 	"parsearch/internal/vec"
 	"parsearch/internal/wal"
@@ -204,6 +206,25 @@ type Options struct {
 	// (counted in QueryStats.DistCompsSaved). Results are identical to
 	// the unquantized packed path. Requires Packed.
 	Quantize bool
+	// Epsilon is the default ε of the approximate search tier: k-NN
+	// traversals stop once the next node's MINDIST exceeds
+	// kth/(1+ε), so every returned distance is within a factor (1+ε)
+	// of exact (see DESIGN.md "Approximate search"). 0 (the default)
+	// keeps every query exact — byte-identical to an index without the
+	// knob. Per-query overrides: KNNApprox / BatchKNNApprox and the
+	// wire "epsilon" field. Must be finite, ≥ 0, and ≤ 1e6.
+	Epsilon float64
+	// RecallTarget is the default probe budget of the LSH pre-filter,
+	// in (0, 1]: each shard admits ceil(RecallTarget·L) of its L leaf
+	// pages, Hamming-ranked by the query's LSH signature. 0 (the
+	// default) and 1 disable the cap. Only effective with LSH.
+	RecallTarget float64
+	// LSH builds a multi-probe LSH pre-filter over every shard's leaf
+	// pages at Build/Reorganize time (random-hyperplane signatures;
+	// see internal/lsh). The filter orders and caps leaf visits under
+	// RecallTarget; with RecallTarget 0/1 it is built but never
+	// filters, so results stay exact.
+	LSH bool
 
 	// Durable arms the durability subsystem: every Insert and Delete
 	// is appended to a write-ahead log in Dir before it returns, and
@@ -335,6 +356,57 @@ type QueryStats struct {
 	// quantized lower bound already exceeded the running k-th-best
 	// distance. 0 without Quantize.
 	DistCompsSaved int
+	// PagesSkippedApprox is the number of search pages the approximate
+	// tier skipped: the still-reachable priority queue at ε-termination
+	// (a lower bound on the avoided work — pages under unexpanded
+	// directory nodes are not counted) plus every leaf page the LSH
+	// pre-filter rejected. Always 0 on exact queries.
+	PagesSkippedApprox int
+	// ProbePages is the number of leaf pages the LSH pre-filter
+	// admitted once the candidate set was full. 0 without an effective
+	// recall target.
+	ProbePages int
+	// EffectiveEpsilon is the ε that governed this query's termination
+	// (the per-query override, or Options.Epsilon). 0 on exact queries.
+	EffectiveEpsilon float64
+}
+
+// Approx carries the per-query knobs of the approximate search tier
+// (see DESIGN.md "Approximate search"). The zero value requests an
+// exact search; KNNApprox with a zero Approx is byte-identical to KNN
+// on an index with no approximate defaults.
+type Approx struct {
+	// Epsilon relaxes the k-NN termination: every returned distance is
+	// within a factor (1+Epsilon) of the exact answer. Must be finite,
+	// ≥ 0, and ≤ 1e6; 0 keeps the traversal exact.
+	Epsilon float64
+	// RecallTarget caps the LSH probe fraction, in (0, 1]; 0 and 1
+	// disable the cap. Ignored unless the index was opened with
+	// Options.LSH (without the filter there is nothing to cap, and the
+	// search stays exact).
+	RecallTarget float64
+}
+
+// maxEpsilon bounds Options.Epsilon and per-query epsilons: beyond it
+// the knob is indistinguishable from "first k candidates win" and is
+// almost certainly a caller bug (or an attack on the wire).
+const maxEpsilon = 1e6
+
+func (a Approx) validate() error {
+	if math.IsNaN(a.Epsilon) || a.Epsilon < 0 || a.Epsilon > maxEpsilon {
+		return fmt.Errorf("parsearch: epsilon %v outside [0, %g]", a.Epsilon, maxEpsilon)
+	}
+	if math.IsNaN(a.RecallTarget) || a.RecallTarget < 0 || a.RecallTarget > 1 {
+		return fmt.Errorf("parsearch: recall target %v outside [0, 1]", a.RecallTarget)
+	}
+	return nil
+}
+
+// ApproxDefaults returns the index-level approximate-search defaults
+// (Options.Epsilon / Options.RecallTarget): what KNN and BatchKNN run
+// with, and what the server fills into requests that omit the knobs.
+func (ix *Index) ApproxDefaults() Approx {
+	return Approx{Epsilon: ix.opts.Epsilon, RecallTarget: ix.opts.RecallTarget}
 }
 
 // cellInfo is one storage cell: a quadrant (or recursive sub-quadrant)
@@ -348,10 +420,21 @@ type cellInfo struct {
 // shard is one disk's partition of the index: the disk's X-tree plus the
 // read-write mutex that serializes structural tree mutation against
 // concurrent query traversals. Queries on different disks never contend.
+// probe is the shard's multi-probe LSH pre-filter (nil without
+// Options.LSH): immutable, rebuilt with the tree at Build/Reorganize;
+// leaves created by later mutations are absent from it and always
+// admitted, so a stale filter only grows more permissive.
 type shard struct {
-	mu   sync.RWMutex
-	tree *xtree.Tree
+	mu    sync.RWMutex
+	tree  *xtree.Tree
+	probe *lsh.Filter
 }
+
+// lshSeed derives every shard's LSH hyperplane family. One fixed seed
+// keeps the ranking deterministic across rebuilds, and makes a replica
+// tree (same pages as its primary) rank identically to the primary, so
+// rerouted queries probe the same data.
+const lshSeed int64 = 0x1547
 
 // state is the derived index structure — everything Build computes from
 // the stored vectors: the bucketing, the declustering assignment, the
@@ -494,6 +577,9 @@ func open(opts Options) (*Index, error) {
 	}
 	if opts.Quantize && !opts.Packed {
 		return nil, fmt.Errorf("parsearch: Quantize requires Packed")
+	}
+	if err := (Approx{Epsilon: opts.Epsilon, RecallTarget: opts.RecallTarget}).validate(); err != nil {
+		return nil, err
 	}
 	params := disk.DefaultParams()
 	if opts.DiskParams != nil {
@@ -888,6 +974,14 @@ func (ix *Index) buildState(points [][]float64) (st *state, pts []vec.Point, liv
 			st.replicas[replicaOf(d, ix.opts.Disks)] = loadShard(cfg, groups[d], plain)
 		}
 	}
+	if ix.opts.LSH {
+		for _, sh := range st.shards {
+			sh.probe = lsh.Build(sh.tree, lshSeed)
+		}
+		for _, sh := range st.replicas {
+			sh.probe = lsh.Build(sh.tree, lshSeed)
+		}
+	}
 	if ix.opts.Baseline {
 		entries := make([]xtree.Entry, 0, live)
 		for i, p := range pts {
@@ -1197,7 +1291,30 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 // returns ctx.Err() promptly without charging further disk reads. A
 // disk search already underway completes (the simulated disks execute
 // a planned read batch atomically).
-func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) (_ []Neighbor, stats QueryStats, err error) {
+func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) ([]Neighbor, QueryStats, error) {
+	return ix.knnContext(ctx, q, k, ix.ApproxDefaults())
+}
+
+// KNNApprox is KNN with per-query approximate-search knobs, overriding
+// the index defaults: the returned k-th distance is at most
+// (1+a.Epsilon) times the exact one, and with Options.LSH the probe
+// fraction is capped at a.RecallTarget. A zero Approx is an exact
+// query regardless of the index defaults.
+func (ix *Index) KNNApprox(q []float64, k int, a Approx) ([]Neighbor, QueryStats, error) {
+	return ix.KNNApproxContext(context.Background(), q, k, a)
+}
+
+// KNNApproxContext is KNNApprox with a context (see KNNContext).
+func (ix *Index) KNNApproxContext(ctx context.Context, q []float64, k int, a Approx) ([]Neighbor, QueryStats, error) {
+	if err := a.validate(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return ix.knnContext(ctx, q, k, a)
+}
+
+// knnContext runs one k-NN query with the resolved approximate-search
+// knobs (already validated).
+func (ix *Index) knnContext(ctx context.Context, q []float64, k int, a Approx) (_ []Neighbor, stats QueryStats, err error) {
 	start := time.Now()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -1250,6 +1367,7 @@ func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) (_ []Neighb
 	// the independent search (see DESIGN.md "Cooperative pruning").
 	m := ix.metric()
 	sr := newShardSearch(ctx, ix, &sp, st, q, k, m)
+	sr.setApprox(a, ix.opts.LSH)
 	seed := -1
 	if sr.bound != nil {
 		if d := ix.homeDisk(st, q); routes[d].sh != nil {
@@ -1278,6 +1396,10 @@ func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) (_ []Neighb
 	}
 	locals := sr.locals
 	ix.reg.NodeVisits.Add(sr.record(&stats))
+	if sr.approx {
+		sp.emit(TraceEvent{Stage: StageApprox, Disk: -1, Item: -1, K: k,
+			Epsilon: sr.eps, Pages: stats.PagesSkippedApprox})
+	}
 
 	// Merge to the global k nearest.
 	var merged []knn.Result
@@ -1432,10 +1554,22 @@ type shardSearch struct {
 	emit  bool // emit a per-disk search event (batch items emit their own)
 	bound *knn.Bound
 
-	locals [][]knn.Result
-	accs   []knn.Accounting
-	saved  []knn.Accounting
-	tight  []int
+	// Approximate tier (setApprox): shrink is the rank-space
+	// ε-termination factor (1 disables), eps the ε behind it, recall
+	// the LSH probe fraction (1 disables). approx routes the per-disk
+	// searches through knn.HSApprox; when false they run the exact code
+	// path untouched, so exact queries stay byte-identical.
+	shrink float64
+	eps    float64
+	recall float64
+	approx bool
+
+	locals  [][]knn.Result
+	accs    []knn.Accounting
+	saved   []knn.Accounting
+	tight   []int
+	skipped []int
+	probed  []int
 }
 
 func newShardSearch(ctx context.Context, ix *Index, sp *span, st *state, q vec.Point, k int, m vec.Metric) *shardSearch {
@@ -1448,7 +1582,24 @@ func newShardSearch(ctx context.Context, ix *Index, sp *span, st *state, q vec.P
 		sr.saved = make([]knn.Accounting, len(st.shards))
 		sr.tight = make([]int, len(st.shards))
 	}
+	sr.shrink, sr.recall = 1, 1
 	return sr
+}
+
+// setApprox arms the approximate tier for this query. The recall cap
+// only takes effect on an index built with Options.LSH (without the
+// filter there is nothing to order the probes by).
+func (sr *shardSearch) setApprox(a Approx, lshOn bool) {
+	sr.shrink = knn.ShrinkFor(a.Epsilon, sr.m)
+	sr.eps = a.Epsilon
+	if lshOn && a.RecallTarget > 0 && a.RecallTarget < 1 {
+		sr.recall = a.RecallTarget
+	}
+	sr.approx = sr.shrink < 1 || sr.recall < 1
+	if sr.approx {
+		sr.skipped = make([]int, len(sr.locals))
+		sr.probed = make([]int, len(sr.locals))
+	}
 }
 
 // search runs disk d's local search via the given route, under the
@@ -1465,7 +1616,25 @@ func (sr *shardSearch) search(rt route, d int) {
 	sh := rt.sh
 	var tighs []float64
 	sh.mu.RLock()
-	if sr.bound != nil {
+	switch {
+	case sr.approx:
+		var onTighten func(float64)
+		if sr.bound != nil && sr.sp.on() {
+			onTighten = func(sq float64) { tighs = append(tighs, sq) }
+		}
+		spec := knn.ApproxSpec{Shrink: sr.shrink}
+		if sr.recall < 1 && sh.probe != nil {
+			spec.Probe = sh.probe.Admit(sr.q, sr.recall)
+		}
+		var as knn.ApproxStats
+		sr.locals[d], sr.accs[d], as = knn.HSApprox(sh.tree, sr.q, sr.k, sr.m, spec, sr.bound, onTighten)
+		if sr.bound != nil {
+			sr.saved[d] = as.Saved
+			sr.tight[d] = as.Tightened
+		}
+		sr.skipped[d] = as.SkippedPages
+		sr.probed[d] = as.ProbedPages
+	case sr.bound != nil:
 		var onTighten func(float64)
 		if sr.sp.on() {
 			onTighten = func(sq float64) { tighs = append(tighs, sq) }
@@ -1474,7 +1643,7 @@ func (sr *shardSearch) search(rt route, d int) {
 		sr.locals[d], sr.accs[d], ss = knn.HSShared(sh.tree, sr.q, sr.k, sr.m, sr.bound, onTighten)
 		sr.saved[d] = ss.Saved
 		sr.tight[d] = ss.Tightened
-	} else {
+	default:
 		sr.locals[d], sr.accs[d] = knn.HSMetric(sh.tree, sr.q, sr.k, sr.m)
 	}
 	sh.mu.RUnlock()
@@ -1500,6 +1669,13 @@ func (sr *shardSearch) record(qs *QueryStats) (nodeVisits int64) {
 	for d := range sr.saved {
 		qs.PagesSavedByBound += sr.saved[d].PageAccesses
 		qs.BoundTightenings += sr.tight[d]
+	}
+	for d := range sr.skipped {
+		qs.PagesSkippedApprox += sr.skipped[d]
+		qs.ProbePages += sr.probed[d]
+	}
+	if sr.approx {
+		qs.EffectiveEpsilon = sr.eps
 	}
 	return nodeVisits
 }

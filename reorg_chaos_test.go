@@ -59,7 +59,7 @@ func driftedIndex(t *testing.T, opts Options, nUniform, nSkew int) (*Index, map[
 // boxScan is the range/partial-match oracle: ids of the live points
 // inside [lo, hi], ascending — RangeQuery's exact output order.
 func boxScan(expected map[int][]float64, lo, hi []float64) []int {
-	var ids []int
+	ids := []int{} // non-nil: DeepEqual-comparable with resultIDs on empty results
 	for id, p := range expected {
 		if inBox(p, lo, hi) {
 			ids = append(ids, id)
@@ -395,6 +395,144 @@ func TestReorgChaosDiskFailure(t *testing.T) {
 	}
 	for d := 0; d < opts.Disks; d++ {
 		ix.HealDisk(d)
+	}
+	verifyFinalState(t, ix, expected, opts)
+}
+
+// TestReorgChaosApproxRecall runs the approximate tier through the
+// live-mutation gauntlet: approximate queries (ε + LSH recall target)
+// while Reorganize cuts buckets in and an ingest stream drifts the
+// distribution. The oracle is recomputed per phase — quiesced before,
+// concurrent during (against the points acknowledged before the phase
+// started: late inserts may displace a hit but acknowledged points set
+// the bar), quiesced after — and the measured recall must hold its
+// floor in every phase. Approximation must never shorten a result set,
+// whatever the churn.
+func TestReorgChaosApproxRecall(t *testing.T) {
+	opts := Options{Dim: 4, Disks: 6, QuantileSplits: true, LSH: true, PageSize: 256}
+	ix, expected := driftedIndex(t, opts, 900, stressIters(900, 400))
+	m, err := Euclidean.vecMetric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.NeedsReorganization() {
+		t.Fatal("drifted index reports no reorganization need — workload too tame")
+	}
+
+	const k = 8
+	knobs := Approx{Epsilon: 0.1, RecallTarget: 0.9}
+	approxActivity := 0
+
+	// measureRecall runs nq seeded approximate queries against the given
+	// oracle and returns the mean recall; every answer must be exactly k
+	// long and honor the ε contract relative to the oracle's kth distance
+	// (a valid upper bound even while inserts add closer points).
+	measureRecall := func(oracle map[int][]float64, seed int64, nq int) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		var sum float64
+		for qi := 0; qi < nq; qi++ {
+			q := randPoint(rng, opts.Dim)
+			got, stats, err := ix.KNNApprox(q, k, knobs)
+			if err != nil {
+				t.Fatalf("approx KNN: %v", err)
+			}
+			if len(got) != k {
+				t.Fatalf("query %d: approx returned %d neighbors, want %d — silently short under churn",
+					qi, len(got), k)
+			}
+			approxActivity += stats.PagesSkippedApprox + stats.ProbePages
+			want := linearScanKNN(oracle, q, k, m)
+			kth := want[len(want)-1].dist
+			hits := make(map[int]bool, len(want))
+			for _, h := range want {
+				hits[h.id] = true
+			}
+			n := 0
+			for _, nb := range got {
+				if hits[nb.ID] {
+					n++
+				}
+				if nb.Dist > (1+knobs.Epsilon)*kth+1e-9 {
+					t.Fatalf("query %d: dist %v exceeds (1+ε)·kth = %v", qi, nb.Dist, (1+knobs.Epsilon)*kth)
+				}
+			}
+			sum += float64(n) / float64(len(want))
+		}
+		return sum / float64(nq)
+	}
+	snapshot := func() map[int][]float64 {
+		out := make(map[int][]float64, len(expected))
+		for id, p := range expected {
+			out[id] = p
+		}
+		return out
+	}
+
+	// Phase 1: quiesced, pre-reorganize.
+	if r := measureRecall(snapshot(), 2001, 25); r < 0.9 {
+		t.Errorf("pre-reorganize recall %.3f below 0.9", r)
+	}
+
+	// Phase 2: queries race an incremental reorganize and an ingest
+	// stream. The oracle is the phase-start snapshot; inserts landing
+	// mid-phase may displace hits, so the floor is looser.
+	oracle := snapshot()
+	done := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(2)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := ix.Reorganize(); err != nil {
+				t.Errorf("Reorganize: %v", err)
+				return
+			}
+		}
+	}()
+	ingested := make(map[int][]float64)
+	go func() {
+		defer churn.Done()
+		rng := rand.New(rand.NewSource(2002))
+		for i := 0; i < stressIters(400, 150); i++ {
+			p := randPoint(rng, opts.Dim)
+			for j := range p {
+				p[j] *= 0.2
+			}
+			id, err := ix.Insert(p)
+			if err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+			ingested[id] = p
+		}
+	}()
+	if r := measureRecall(oracle, 2003, 40); r < 0.8 {
+		t.Errorf("mid-churn recall %.3f below 0.8", r)
+	}
+	close(done)
+	churn.Wait()
+	for id, p := range ingested {
+		expected[id] = p
+	}
+
+	// Phase 3: quiesced again over the full surviving set; one more
+	// reorganize settles the drift the phase-2 stream caused.
+	if err := ix.Reorganize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if r := measureRecall(snapshot(), 2004, 25); r < 0.9 {
+		t.Errorf("post-reorganize recall %.3f below 0.9", r)
+	}
+	if approxActivity == 0 {
+		t.Error("no pages skipped or probed across the whole chaos run — approximate tier was inert")
 	}
 	verifyFinalState(t, ix, expected, opts)
 }

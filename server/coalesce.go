@@ -39,54 +39,65 @@ type coalesceResult struct {
 	err       error
 }
 
-// group is one open coalescing window for a single k.
+// groupKey identifies one coalescing group: only requests with the
+// same k AND the same resolved approximate-tier knobs may share a
+// batch (the knobs apply batch-wide, and mixing them would silently
+// change a request's recall contract).
+type groupKey struct {
+	k            int
+	epsilon      float64
+	recallTarget float64
+}
+
+// group is one open coalescing window for a single groupKey.
 type group struct {
 	queries [][]float64
 	waiters []chan coalesceResult
 	timer   *time.Timer
 }
 
-// coalescer groups single-query KNN requests by k.
+// coalescer groups single-query KNN requests by k and approx knobs.
 type coalescer struct {
 	srv *Server
 	// mu guards groups and every group's slices; flush detaches a
 	// group under mu and runs the batch outside it.
 	mu     sync.Mutex
-	groups map[int]*group
+	groups map[groupKey]*group
 }
 
 func newCoalescer(s *Server) *coalescer {
-	return &coalescer{srv: s, groups: make(map[int]*group)}
+	return &coalescer{srv: s, groups: make(map[groupKey]*group)}
 }
 
 // submit enqueues one single-query KNN request and blocks until its
 // group's batch finishes or ctx expires. The returned stats are the
 // request's own per-query share of the batch (BatchStats.PerQuery).
-func (c *coalescer) submit(ctx context.Context, q []float64, k int) coalesceResult {
+func (c *coalescer) submit(ctx context.Context, q []float64, k int, a parsearch.Approx) coalesceResult {
 	ch := make(chan coalesceResult, 1)
+	key := groupKey{k: k, epsilon: a.Epsilon, recallTarget: a.RecallTarget}
 
 	c.mu.Lock()
-	g := c.groups[k]
+	g := c.groups[key]
 	if g == nil {
 		g = &group{}
-		c.groups[k] = g
+		c.groups[key] = g
 		// The window timer flushes the group even if no further
 		// request joins; AfterFunc runs on its own goroutine, so a
 		// full group flushed early just finds itself already detached.
-		g.timer = time.AfterFunc(c.srv.cfg.CoalesceWindow, func() { c.flushTimed(k, g) })
+		g.timer = time.AfterFunc(c.srv.cfg.CoalesceWindow, func() { c.flushTimed(key, g) })
 	}
 	g.queries = append(g.queries, q)
 	g.waiters = append(g.waiters, ch)
 	full := len(g.queries) >= c.srv.cfg.MaxBatch
 	if full {
 		// Detach: the filling request runs the batch itself.
-		delete(c.groups, k)
+		delete(c.groups, key)
 		g.timer.Stop()
 	}
 	c.mu.Unlock()
 
 	if full {
-		c.run(g, k)
+		c.run(g, key)
 	}
 	select {
 	case r := <-ch:
@@ -100,16 +111,16 @@ func (c *coalescer) submit(ctx context.Context, q []float64, k int) coalesceResu
 
 // flushTimed is the window-expiry path: detach the group if it is
 // still open, then run it.
-func (c *coalescer) flushTimed(k int, g *group) {
+func (c *coalescer) flushTimed(key groupKey, g *group) {
 	c.mu.Lock()
-	if c.groups[k] != g {
+	if c.groups[key] != g {
 		// Already detached by a filling request; that request runs it.
 		c.mu.Unlock()
 		return
 	}
-	delete(c.groups, k)
+	delete(c.groups, key)
 	c.mu.Unlock()
-	c.run(g, k)
+	c.run(g, key)
 }
 
 // run executes one detached group as a single BatchKNN call and fans
@@ -117,13 +128,14 @@ func (c *coalescer) flushTimed(k int, g *group) {
 // the server's batch context (carrying the configured tracer), not any
 // single requester's: the group outlives each individual deadline, and
 // in-flight groups must complete during drain.
-func (c *coalescer) run(g *group, k int) {
+func (c *coalescer) run(g *group, key groupKey) {
 	s := c.srv
 	s.stats.coalescedBatches.Add(1)
 	s.stats.coalescedQueries.Add(int64(len(g.queries)))
 	s.stats.maxCoalesced.max(int64(len(g.queries)))
 
-	results, bs, err := s.ix.BatchKNNContext(s.batchCtx(), g.queries, k)
+	a := parsearch.Approx{Epsilon: key.epsilon, RecallTarget: key.recallTarget}
+	results, bs, err := s.ix.BatchKNNApproxContext(s.batchCtx(), g.queries, key.k, a)
 	for i, ch := range g.waiters {
 		if err != nil {
 			ch <- coalesceResult{err: err}

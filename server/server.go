@@ -340,6 +340,20 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	return body, true
 }
 
+// approxOf resolves a request's approximate-tier knobs: absent wire
+// fields fall back to the served index's defaults, present ones
+// override them (already range-validated by the wire decoder).
+func (s *Server) approxOf(epsilon, recallTarget *float64) parsearch.Approx {
+	a := s.ix.ApproxDefaults()
+	if epsilon != nil {
+		a.Epsilon = *epsilon
+	}
+	if recallTarget != nil {
+		a.RecallTarget = *recallTarget
+	}
+	return a
+}
+
 // wireNeighbors converts engine results to the wire form. An empty
 // result stays nil so it round-trips to the library's nil slice —
 // byte-identity with direct calls includes the no-match case.
@@ -381,14 +395,15 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.exit()
 
+	a := s.approxOf(req.Epsilon, req.RecallTarget)
 	var (
 		neighbors []parsearch.Neighbor
 		stats     parsearch.QueryStats
 	)
 	if s.cfg.DisableCoalescing {
-		neighbors, stats, err = s.ix.KNNContext(ctx, req.Query, req.K)
+		neighbors, stats, err = s.ix.KNNApproxContext(ctx, req.Query, req.K, a)
 	} else {
-		res := s.coal.submit(ctx, req.Query, req.K)
+		res := s.coal.submit(ctx, req.Query, req.K, a)
 		neighbors, stats, err = res.neighbors, res.stats, res.err
 	}
 	if err != nil {
@@ -473,7 +488,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.exit()
 
-	results, stats, err := s.ix.BatchKNNContext(ctx, req.Queries, req.K)
+	results, stats, err := s.ix.BatchKNNApproxContext(ctx, req.Queries, req.K, s.approxOf(req.Epsilon, req.RecallTarget))
 	if err != nil {
 		s.writeQueryError(w, err)
 		return

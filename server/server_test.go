@@ -394,6 +394,12 @@ func TestBadRequests(t *testing.T) {
 		{"/v1/range", `{"min":[1,0,0,0],"max":[0,1,1,1]}`}, // inverted
 		{"/v1/partialmatch", `{"spec":[null,null,null,null],"eps":0.1}`},
 		{"/v1/batch", `{"queries":[],"k":2}`},
+		// Approximate-tier knobs out of range.
+		{"/v1/knn", `{"query":[0.1,0.2,0.3,0.4],"k":1,"epsilon":-0.5}`},
+		{"/v1/knn", `{"query":[0.1,0.2,0.3,0.4],"k":1,"epsilon":1e7}`},
+		{"/v1/knn", `{"query":[0.1,0.2,0.3,0.4],"k":1,"epsilon":1e999}`},
+		{"/v1/knn", `{"query":[0.1,0.2,0.3,0.4],"k":1,"recall_target":1.5}`},
+		{"/v1/batch", `{"queries":[[0.1,0.2,0.3,0.4]],"k":1,"recall_target":-1}`},
 	}
 	for _, c := range cases {
 		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
@@ -411,6 +417,52 @@ func TestBadRequests(t *testing.T) {
 			t.Errorf("POST %s %q: status %d code %s, want 400 bad_request",
 				c.path, c.body, resp.StatusCode, er.Code)
 		}
+	}
+}
+
+// TestServedApproxKnobs drives the approximate-tier knobs through the
+// full serving path: explicit exact knobs (ε=0, recall_target=1) must
+// round-trip byte-identically to a direct library call even through
+// the coalescer, and engaged knobs must serve full-length result sets.
+func TestServedApproxKnobs(t *testing.T) {
+	ix := testIndex(t, 4, 800, 4, 0)
+	srv, err := New(ix, Config{CoalesceWindow: 5 * time.Millisecond, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	q := randQuery(4, 55)
+	direct, _, err := ix.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := cl.KNNApprox(ctx, q, 5, parsearch.Approx{Epsilon: 0, RecallTarget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asJSON(t, served) != asJSON(t, direct) {
+		t.Error("served exact-knob result differs from direct call")
+	}
+
+	loose, err := cl.KNNApprox(ctx, q, 5, parsearch.Approx{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose) != 5 {
+		t.Errorf("served ε=0.5 returned %d neighbors, want 5", len(loose))
+	}
+
+	batch, err := cl.BatchKNNApprox(ctx, [][]float64{q, randQuery(4, 56)}, 3,
+		parsearch.Approx{Epsilon: 0.2, RecallTarget: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 || len(batch[0]) != 3 || len(batch[1]) != 3 {
+		t.Errorf("served approx batch shape %d items, want 2×3", len(batch))
 	}
 }
 

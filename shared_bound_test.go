@@ -205,6 +205,93 @@ func TestSharedBoundMonotonicity(t *testing.T) {
 	}
 }
 
+// TestApproxExactParityBattery extends the equivalence battery to the
+// approximate tier: with the knobs at their exact settings (ε=0,
+// recall_target=1) an LSH-equipped index must answer byte-identically
+// to plain KNN across every strategy × replication × failed-disk
+// configuration — results and deterministic stats both (the
+// visited/saved split is timing-dependent between invocations, so the
+// parity check compares the sum, like checkBoundInvariants). And with
+// the knobs engaged, approximation composes with failure: the result
+// set is exactly as long as the exact path's over the same reachable
+// data, never silently shorter.
+func TestApproxExactParityBattery(t *testing.T) {
+	const d, n, disks = 6, 400, 5
+	pts := data.Uniform(n, d, 31)
+	raw := make([][]float64, n)
+	for i, p := range pts {
+		raw[i] = p
+	}
+	queries := data.Uniform(5, d, 32)
+
+	for _, kind := range []Kind{NearOptimal, Hilbert, DiskModulo, FX, RoundRobin, DirectOnly} {
+		for _, repl := range []int{0, 1} {
+			for _, fail := range []bool{false, true} {
+				label := fmt.Sprintf("%s/repl=%d/fail=%v", kind, repl, fail)
+				ix, err := Open(Options{Dim: d, Disks: disks, Kind: kind,
+					Replication: repl, LSH: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ix.Build(raw); err != nil {
+					t.Fatal(err)
+				}
+				if fail {
+					if err := ix.FailDisk(1); err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+				}
+				for _, k := range []int{1, 5, n} {
+					for qi, q := range queries {
+						ql := fmt.Sprintf("%s/k=%d/q=%d", label, k, qi)
+						resE, stE, errE := ix.KNN(q, k)
+						resA, stA, errA := ix.KNNApprox(q, k, Approx{Epsilon: 0, RecallTarget: 1})
+						if !errors.Is(errA, errE) && !errors.Is(errE, errA) {
+							t.Fatalf("%s: errors differ: exact %v, approx-zero %v", ql, errE, errA)
+						}
+						if errE != nil {
+							continue
+						}
+						if !reflect.DeepEqual(resA, resE) {
+							t.Fatalf("%s: ε=0/recall_target=1 results differ from exact", ql)
+						}
+						if stA.TotalPages != stE.TotalPages || stA.MaxPages != stE.MaxPages ||
+							!reflect.DeepEqual(stA.PagesPerDisk, stE.PagesPerDisk) ||
+							stA.Degraded != stE.Degraded {
+							t.Fatalf("%s: deterministic stats differ:\nexact %+v\napprox %+v", ql, stE, stA)
+						}
+						if stA.SearchPages+stA.PagesSavedByBound != stE.SearchPages+stE.PagesSavedByBound {
+							t.Fatalf("%s: independent-cost sum %d vs %d", ql,
+								stA.SearchPages+stA.PagesSavedByBound, stE.SearchPages+stE.PagesSavedByBound)
+						}
+						for who, st := range map[string]QueryStats{"exact": stE, "approx-zero": stA} {
+							if st.PagesSkippedApprox != 0 || st.ProbePages != 0 || st.EffectiveEpsilon != 0 {
+								t.Fatalf("%s: %s path reported approx activity: %+v", ql, who, st)
+							}
+						}
+
+						// Knobs engaged under the same (possibly failed)
+						// configuration: exactly as many neighbors as the
+						// exact path found reachable — approximation may
+						// return different points, never fewer.
+						resX, stX, errX := ix.KNNApprox(q, k, Approx{Epsilon: 0.4, RecallTarget: 0.6})
+						if errX != nil {
+							t.Fatalf("%s: approx query failed where exact succeeded: %v", ql, errX)
+						}
+						if len(resX) != len(resE) {
+							t.Fatalf("%s: approx returned %d neighbors, exact found %d reachable — silently short",
+								ql, len(resX), len(resE))
+						}
+						if stX.EffectiveEpsilon != 0.4 {
+							t.Fatalf("%s: EffectiveEpsilon %v, want 0.4", ql, stX.EffectiveEpsilon)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestNNDegradedToEmpty pins the NN empty-result edge: when every live
 // copy of the data is on a failed disk, NN must surface ErrUnavailable
 // (not index into an empty result slice), and an empty index still

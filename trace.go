@@ -56,6 +56,12 @@ const (
 	StageIngest  = "ingest"
 	StageReorg   = "reorganize"
 	StageCatchup = "catchup"
+	// StageApprox is emitted once per query that ran with the
+	// approximate tier armed (ε > 0 or an effective LSH recall cap),
+	// after the fan-out: Epsilon carries the governing ε, Pages the
+	// pages the approximation skipped (QueryStats.PagesSkippedApprox).
+	// Exact queries never emit it.
+	StageApprox = "approx"
 )
 
 // TraceEvent is one span event of a query's execution. Numeric fields
@@ -91,6 +97,8 @@ type TraceEvent struct {
 	Degraded bool
 	// Radius is the NN-sphere radius at merge (0 elsewhere).
 	Radius float64
+	// Epsilon is the governing ε at the approx stage (0 elsewhere).
+	Epsilon float64
 	// Elapsed is the wall-clock time since the query started.
 	Elapsed time.Duration
 	// Err is the error text at the error stage, "" otherwise.
@@ -288,7 +296,23 @@ func (ix *Index) recordQuery(kind *metrics.Counter, qs *QueryStats, batch disk.B
 		ix.reg.ServiceTimePerDisk.Add(d, t.Nanoseconds())
 	}
 	ix.reg.DistCompsSaved.Add(int64(qs.DistCompsSaved))
+	ix.recordApprox(qs)
 	ix.reg.QueryPages.Observe(int64(qs.TotalPages))
 	ix.reg.QueryTimeNs.Observe(int64(qs.ParallelTime * 1e9))
 	ix.reg.QueryWallNs.Observe(time.Since(start).Nanoseconds())
+}
+
+// recordApprox folds one query's approximate-tier statistics into the
+// registry. Exact queries (EffectiveEpsilon 0, nothing probed or
+// skipped) leave every approx metric untouched, so the exact path's
+// metrics stay identical to an engine without the tier.
+func (ix *Index) recordApprox(qs *QueryStats) {
+	if qs.EffectiveEpsilon == 0 && qs.ProbePages == 0 && qs.PagesSkippedApprox == 0 {
+		return
+	}
+	ix.reg.ApproxQueries.Inc()
+	ix.reg.PagesSkippedApprox.Add(int64(qs.PagesSkippedApprox))
+	if qs.ProbePages > 0 {
+		ix.reg.LSHProbePages.Observe(int64(qs.ProbePages))
+	}
 }
