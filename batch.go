@@ -57,6 +57,10 @@ type BatchStats struct {
 	// deterministic for a given index state.
 	SearchPages       int
 	PagesSavedByBound int
+	// PagesSavedByRemoteBound totals the per-query savings attributable
+	// to an externally seeded bound (see QueryStats). 0 without
+	// Approx.Bound.
+	PagesSavedByRemoteBound int
 	// BoundTightenings counts how often the batch's searches lowered
 	// their per-query shared bounds.
 	BoundTightenings int
@@ -193,7 +197,20 @@ func (ix *Index) BatchKNNApproxContext(ctx context.Context, queries [][]float64,
 	if err := a.validate(); err != nil {
 		return nil, BatchStats{}, err
 	}
-	return ix.batchKNNContext(ctx, queries, k, a)
+	return ix.batchKNNContext(ctx, queries, k, a, ShardSpec{})
+}
+
+// BatchKNNShardContext is BatchKNNApproxContext restricted to a subset
+// of the declustered disks (see ShardSpec and KNNShardContext), applied
+// to every query of the batch.
+func (ix *Index) BatchKNNShardContext(ctx context.Context, queries [][]float64, k int, a Approx, shards ShardSpec) ([][]Neighbor, BatchStats, error) {
+	if err := a.validate(); err != nil {
+		return nil, BatchStats{}, err
+	}
+	if err := shards.validate(ix.opts.Disks); err != nil {
+		return nil, BatchStats{}, err
+	}
+	return ix.batchKNNContext(ctx, queries, k, a, shards)
 }
 
 // BatchKNNContext is BatchKNN with a context, which may carry a
@@ -204,12 +221,12 @@ func (ix *Index) BatchKNNApproxContext(ctx context.Context, queries [][]float64,
 // ctx.Err() without starting further shard searches or the simulated
 // I/O phase.
 func (ix *Index) BatchKNNContext(ctx context.Context, queries [][]float64, k int) ([][]Neighbor, BatchStats, error) {
-	return ix.batchKNNContext(ctx, queries, k, ix.ApproxDefaults())
+	return ix.batchKNNContext(ctx, queries, k, ix.ApproxDefaults(), ShardSpec{})
 }
 
 // batchKNNContext runs one batch with the resolved approximate-search
-// knobs (already validated).
-func (ix *Index) batchKNNContext(ctx context.Context, queries [][]float64, k int, a Approx) (_ [][]Neighbor, stats BatchStats, err error) {
+// knobs and shard restriction (both already validated).
+func (ix *Index) batchKNNContext(ctx context.Context, queries [][]float64, k int, a Approx, shards ShardSpec) (_ [][]Neighbor, stats BatchStats, err error) {
 	start := time.Now()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -245,7 +262,7 @@ func (ix *Index) batchKNNContext(ctx context.Context, queries [][]float64, k int
 
 	// Plan the failure routing once for the whole batch: every query of
 	// the batch sees the same consistent failure snapshot (see KNN).
-	routes, degraded := ix.plan(st)
+	routes, degraded := ix.plan(st, shards.mask(ix.opts.Disks))
 	sp.planEvents(routes, degraded)
 
 	// Result phase: the worker pool answers the queries and computes
@@ -281,6 +298,7 @@ func (ix *Index) batchKNNContext(ctx context.Context, queries [][]float64, k int
 				// deterministic, unlike the parallel fan-out of KNN.
 				sr := newShardSearch(ctx, ix, &sp, st, q, k, m)
 				sr.setApprox(a, ix.opts.LSH)
+				sr.seedBound(a)
 				sr.item, sr.emit = i, false
 				seed := -1
 				if sr.bound != nil {
@@ -368,6 +386,7 @@ func (ix *Index) batchKNNContext(ctx context.Context, queries [][]float64, k int
 		stats.Rerouted += perQuery[i].Rerouted
 		stats.SearchPages += perQuery[i].SearchPages
 		stats.PagesSavedByBound += perQuery[i].PagesSavedByBound
+		stats.PagesSavedByRemoteBound += perQuery[i].PagesSavedByRemoteBound
 		stats.BoundTightenings += perQuery[i].BoundTightenings
 		stats.DistCompsSaved += perQuery[i].DistCompsSaved
 		stats.PagesSkippedApprox += perQuery[i].PagesSkippedApprox
@@ -407,6 +426,7 @@ func (ix *Index) recordBatch(bs *BatchStats, batch disk.BatchResult, nodeVisits 
 	ix.reg.Unreachable.Add(int64(bs.Unreachable))
 	ix.reg.SearchPages.Add(int64(bs.SearchPages))
 	ix.reg.PagesSavedByBound.Add(int64(bs.PagesSavedByBound))
+	ix.reg.PagesSavedByRemoteBound.Add(int64(bs.PagesSavedByRemoteBound))
 	ix.reg.BoundTightenings.Add(int64(bs.BoundTightenings))
 	ix.reg.DistCompsSaved.Add(int64(bs.DistCompsSaved))
 	// One wall-clock observation for the whole call: the histogram

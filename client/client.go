@@ -308,6 +308,68 @@ func (c *Client) BatchKNNApprox(ctx context.Context, queries [][]float64, k int,
 	return out, nil
 }
 
+// decodeStats decodes the advisory stats blob of a response; a missing
+// or malformed blob degrades to zero stats, mirroring the server's
+// omit-on-failure behavior.
+func decodeStats(raw json.RawMessage, out any) {
+	if len(raw) > 0 {
+		_ = json.Unmarshal(raw, out)
+	}
+}
+
+// KNNRaw posts a fully-specified wire request and returns the decoded
+// per-query statistics with the neighbors. This is the coordinator's
+// entry point: unlike KNN/KNNApprox it transports the shard
+// restriction and the cross-network bound verbatim, and surfaces the
+// shard's cost accounting (PagesSavedByRemoteBound et al.) that the
+// convenience methods discard.
+func (c *Client) KNNRaw(ctx context.Context, req wire.KNNRequest) ([]parsearch.Neighbor, parsearch.QueryStats, error) {
+	var resp wire.QueryResponse
+	if err := c.post(ctx, "/v1/knn", req, &resp); err != nil {
+		return nil, parsearch.QueryStats{}, err
+	}
+	var stats parsearch.QueryStats
+	decodeStats(resp.Stats, &stats)
+	return neighbors(resp.Neighbors), stats, nil
+}
+
+// RangeRaw is KNNRaw for range queries.
+func (c *Client) RangeRaw(ctx context.Context, req wire.RangeRequest) ([]parsearch.Neighbor, parsearch.QueryStats, error) {
+	var resp wire.QueryResponse
+	if err := c.post(ctx, "/v1/range", req, &resp); err != nil {
+		return nil, parsearch.QueryStats{}, err
+	}
+	var stats parsearch.QueryStats
+	decodeStats(resp.Stats, &stats)
+	return neighbors(resp.Neighbors), stats, nil
+}
+
+// PartialMatchRaw is KNNRaw for partial-match queries.
+func (c *Client) PartialMatchRaw(ctx context.Context, req wire.PartialMatchRequest) ([]parsearch.Neighbor, parsearch.QueryStats, error) {
+	var resp wire.QueryResponse
+	if err := c.post(ctx, "/v1/partialmatch", req, &resp); err != nil {
+		return nil, parsearch.QueryStats{}, err
+	}
+	var stats parsearch.QueryStats
+	decodeStats(resp.Stats, &stats)
+	return neighbors(resp.Neighbors), stats, nil
+}
+
+// BatchKNNRaw is KNNRaw for batches.
+func (c *Client) BatchKNNRaw(ctx context.Context, req wire.BatchRequest) ([][]parsearch.Neighbor, parsearch.BatchStats, error) {
+	var resp wire.BatchResponse
+	if err := c.post(ctx, "/v1/batch", req, &resp); err != nil {
+		return nil, parsearch.BatchStats{}, err
+	}
+	var stats parsearch.BatchStats
+	decodeStats(resp.Stats, &stats)
+	out := make([][]parsearch.Neighbor, len(resp.Results))
+	for i, ws := range resp.Results {
+		out[i] = neighbors(ws)
+	}
+	return out, stats, nil
+}
+
 // Catchup requests one snapshot+delta round from the server (POST
 // /v1/catchup). have/gen/offset describe the local durable directory's
 // chain position — usually from parsearch.CatchupScan.

@@ -68,6 +68,41 @@ func TestRetriesExhausted(t *testing.T) {
 	}
 }
 
+// countingBody counts MarshalJSON invocations so the test can pin how
+// many times the retry loop encodes the request.
+type countingBody struct {
+	encodes *atomic.Int64
+}
+
+func (b countingBody) MarshalJSON() ([]byte, error) {
+	b.encodes.Add(1)
+	return []byte(`{"query":[0.5],"k":1}`), nil
+}
+
+// TestRetryEncodesRequestOnce is the regression guard for the retry
+// loop's encode discipline: the payload is marshaled exactly once per
+// logical request and the same bytes are re-sent on every attempt. A
+// per-attempt re-marshal would triple encode cost under a retry storm
+// — exactly when the coordinator is hammering a recovering shard.
+func TestRetryEncodesRequestOnce(t *testing.T) {
+	ts, calls := fakeServer(t, []int{503, 503})
+	cl := New(ts.URL, fastBackoff())
+	var encodes atomic.Int64
+	var resp wire.QueryResponse
+	if err := cl.post(context.Background(), "/v1/knn", countingBody{&encodes}, &resp); err != nil {
+		t.Fatalf("after retries: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if got := encodes.Load(); got != 1 {
+		t.Errorf("request marshaled %d times over 3 attempts, want exactly 1", got)
+	}
+	if len(resp.Neighbors) != 1 {
+		t.Errorf("response %+v", resp)
+	}
+}
+
 func TestNoRetryOn429ByDefault(t *testing.T) {
 	ts, calls := fakeServer(t, []int{429})
 	cl := New(ts.URL, fastBackoff())

@@ -99,11 +99,14 @@ func TestBenchSubcommand(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if report.Disks != exp.BenchDisks || len(report.Workloads) != 10 {
+	if report.Disks != exp.BenchDisks || len(report.Workloads) != 11 {
 		t.Fatalf("report %+v", report)
 	}
 	if report.Workload("server-knn16") == nil {
 		t.Fatal("report lacks the serving-latency row")
+	}
+	if w := report.Workload("coord-knn16"); w == nil || w.SavedPagesPerQuery <= 0 {
+		t.Fatalf("report lacks a cluster row with remote-bound savings: %+v", w)
 	}
 	for _, name := range []string{"knn16-eps01", "knn16-lsh"} {
 		w := report.Workload(name)

@@ -89,11 +89,15 @@ func (ix *Index) ReplicaDisk(d int) int {
 // route describes how one logical shard is served during a query: the
 // tree to search and the physical disk charged for its page reads. sh
 // is nil (and disk -1) when neither the primary nor the replica disk is
-// live — the shard's data is unreachable.
+// live — the shard's data is unreachable. masked marks a disk a
+// ShardSpec excluded from the query: it is neither searched nor
+// accounted (another process shard serves it), unlike an unreachable
+// disk, whose absence is charged as Unreachable/Degraded.
 type route struct {
 	sh       *shard
 	disk     int
 	rerouted bool
+	masked   bool
 }
 
 // plan snapshots the failure flags once and routes every logical shard
@@ -106,10 +110,18 @@ type route struct {
 // is unreachable (its points are invisible to the query); the query
 // refines this into QueryStats.Degraded, which stays false when the
 // unreachable pages provably could not have changed the answer.
-func (ix *Index) plan(st *state) (routes []route, degraded bool) {
+//
+// mask, when non-nil, is a ShardSpec's disk selection: excluded disks
+// get a masked route — skipped entirely, with no degraded accounting
+// (they are another process shard's responsibility, not lost data).
+func (ix *Index) plan(st *state, mask []bool) (routes []route, degraded bool) {
 	n := len(st.shards)
 	routes = make([]route, n)
 	for d := 0; d < n; d++ {
+		if mask != nil && !mask[d] {
+			routes[d] = route{disk: -1, masked: true}
+			continue
+		}
 		if !ix.array.Failed(d) {
 			routes[d] = route{sh: st.shards[d], disk: d}
 			continue

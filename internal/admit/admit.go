@@ -1,0 +1,156 @@
+// Package admit implements the admission-control machinery shared by
+// the shard daemon (server) and the cluster coordinator (coord): a
+// bounded in-flight slot semaphore with a bounded wait queue, and the
+// drain gate that serializes graceful shutdown against request
+// registration.
+//
+// Every query request must win an in-flight slot before it touches the
+// engine (or the shard fan-out). MaxInFlight slots bound the concurrent
+// work; up to MaxQueue requests may wait for a slot, each until its own
+// context deadline. A request arriving with the queue at capacity is
+// rejected immediately (HTTP 429) — the process sheds load instead of
+// accumulating an unbounded backlog; a request arriving while the
+// process drains is rejected with ErrDraining (HTTP 503).
+//
+// The drain handshake is the usual flag-then-wait two-step: requests
+// register in the in-flight WaitGroup under the same mutex Shutdown
+// uses to flip the draining flag, so Shutdown's Wait observes every
+// admitted request and no request slips in after the flag is up.
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+var (
+	// ErrQueueFull rejects a request when the wait queue is at
+	// capacity (mapped to HTTP 429).
+	ErrQueueFull = errors.New("admit: admission queue is full")
+	// ErrDraining rejects a request during graceful shutdown (mapped
+	// to HTTP 503).
+	ErrDraining = errors.New("admit: draining")
+)
+
+// Admission is the slot semaphore plus the bounded wait queue.
+type Admission struct {
+	slots chan struct{} // buffered maxInFlight: a token in the channel is a held slot
+	queue chan struct{} // buffered maxQueue: a token is a waiting request
+	drain chan struct{} // closed when the process starts draining
+}
+
+// New returns an Admission granting maxInFlight concurrent slots with
+// up to maxQueue requests waiting.
+func New(maxInFlight, maxQueue int) *Admission {
+	return &Admission{
+		slots: make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, maxQueue),
+		drain: make(chan struct{}),
+	}
+}
+
+// Acquire wins an in-flight slot, waiting in the bounded queue if
+// necessary. It fails fast with ErrQueueFull when the queue is at
+// capacity, ErrDraining when the process drains before a slot frees,
+// and ctx.Err() when the request's own deadline expires first.
+func (a *Admission) Acquire(ctx context.Context) error {
+	select {
+	case <-a.drain:
+		return ErrDraining
+	default:
+	}
+	// Fast path: a slot is free.
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// Slow path: join the bounded queue (or bounce).
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return ErrQueueFull
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-a.drain:
+		return ErrDraining
+	}
+}
+
+// Release frees the slot of a finished request.
+func (a *Admission) Release() { <-a.slots }
+
+// InFlight returns the number of held slots and waiting requests
+// (advisory; the values race with concurrent requests).
+func (a *Admission) InFlight() (slots, queued int) {
+	return len(a.slots), len(a.queue)
+}
+
+// CloseDrain wakes every queued waiter with ErrDraining. Call exactly
+// once, guarded by Gate.Close reporting true.
+func (a *Admission) CloseDrain() { close(a.drain) }
+
+// Gate serializes the draining flag against in-flight registration;
+// see the package comment on the handshake.
+type Gate struct {
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// Enter registers one admitted request; it fails when the process is
+// already draining (the caller releases its admission slot and answers
+// 503).
+func (g *Gate) Enter() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return ErrDraining
+	}
+	g.inflight.Add(1)
+	return nil
+}
+
+// Exit deregisters a finished request.
+func (g *Gate) Exit() { g.inflight.Done() }
+
+// Close flips the draining flag; it reports whether this call was the
+// one that flipped it.
+func (g *Gate) Close() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.draining = true
+	return true
+}
+
+// IsDraining reports the flag.
+func (g *Gate) IsDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// Wait blocks until every registered request has exited or ctx
+// expires.
+func (g *Gate) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		g.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"parsearch"
 	"parsearch/client"
+	"parsearch/coord"
 	"parsearch/internal/data"
 	"parsearch/server"
 )
@@ -192,6 +193,30 @@ func RunBench(p BenchProfile, seed int64) (BenchReport, error) {
 	go func() { _ = hs.Serve(ln) }()
 	defer hs.Close()
 	cl := client.New("http://" + ln.Addr().String())
+
+	// The coord row runs the k-NN workload through the multi-node path:
+	// three shard daemons (all full replicas — here three HTTP servers
+	// over the same engine, which models replicas exactly because builds
+	// are deterministic) under a scatter-gather coordinator, so the
+	// report tracks fan-out, merge, and the cross-network kth-distance
+	// bound next to the single-server row.
+	shardURLs := []string{"http://" + ln.Addr().String()}
+	for i := 0; i < 2; i++ {
+		sln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return BenchReport{}, err
+		}
+		shs := &http.Server{Handler: hsrv.Handler()}
+		go func() { _ = shs.Serve(sln) }()
+		defer shs.Close()
+		shardURLs = append(shardURLs, "http://"+sln.Addr().String())
+	}
+	co, err := coord.New(coord.Config{
+		Shards: shardURLs, Dim: benchDim, Disks: BenchDisks,
+	})
+	if err != nil {
+		return BenchReport{}, err
+	}
 
 	// The wal-ingest row measures the durable mutation path — WAL
 	// framing, CRC, group commit — per insert. The "os" sync policy
@@ -401,6 +426,24 @@ func RunBench(p BenchProfile, seed int64) (BenchReport, error) {
 				search: int(after.SearchPages - before.SearchPages),
 				saved:  int(after.PagesSavedByBound - before.PagesSavedByBound),
 			}, nil
+		}},
+		{"coord-knn16", ix, p.Queries, func() (benchCost, error) {
+			// The coordinator's stats aggregate the per-shard executed
+			// pages (deterministic, phantom accounting); saved counts the
+			// phase-2 pages attributed to the shipped remote bound — its
+			// split against the shards' own local tightening is
+			// timing-dependent, so only the executed total is gated
+			// exactly.
+			var c benchCost
+			for _, q := range queries {
+				_, st, err := co.KNN(context.Background(), q, p.K)
+				if err != nil {
+					return benchCost{}, err
+				}
+				c.pages += st.TotalPages
+				c.saved += st.PagesSavedByRemoteBound
+			}
+			return c, nil
 		}},
 		{"wal-ingest", dix, 16 * p.Queries, func() (benchCost, error) {
 			// Inserts accumulate across reps (each insert is a fresh ID);

@@ -20,7 +20,7 @@ func TestRunBenchReport(t *testing.T) {
 		t.Fatalf("report header %+v", report)
 	}
 	for _, name := range []string{"knn16", "knn16-indep", "range16", "batch16",
-		"wal-ingest", "mixed-serve16", "mixed-reorg16"} {
+		"coord-knn16", "wal-ingest", "mixed-serve16", "mixed-reorg16"} {
 		w := report.Workload(name)
 		if w == nil {
 			t.Fatalf("workload %s missing from report", name)
@@ -36,6 +36,18 @@ func TestRunBenchReport(t *testing.T) {
 	}
 	if report.Workload("knn16").PagesPerQuery <= 0 {
 		t.Error("knn16 measured no pages")
+	}
+	// The multi-node row answers through a 3-shard cluster: it executes
+	// pages and the phase-2 shards prune against the shipped remote
+	// bound even at the tiny scale (16 disks split 6/5/5 across groups,
+	// so two thirds of the cluster receives a bound).
+	coordRow := report.Workload("coord-knn16")
+	if coordRow.PagesPerQuery <= 0 {
+		t.Error("coord-knn16 measured no pages")
+	}
+	if coordRow.SavedPagesPerQuery <= 0 {
+		t.Errorf("coord-knn16 remote bound saved %v pages/query, want > 0",
+			coordRow.SavedPagesPerQuery)
 	}
 
 	// The shared-vs-independent pair: same trees and queries, so the
@@ -80,6 +92,13 @@ func TestRunBenchReport(t *testing.T) {
 		if a.PagesPerQuery != w.PagesPerQuery || a.Balance != w.Balance {
 			t.Errorf("%s: pages %v/%v balance %v/%v across identical runs",
 				w.Name, w.PagesPerQuery, a.PagesPerQuery, w.Balance, a.Balance)
+		}
+		if w.Name == "coord-knn16" {
+			// The cluster row's saved column is the remote-bound share of
+			// the savings; the split between it and the shards' own local
+			// tightening is timing-dependent (only the executed total,
+			// checked above, is deterministic).
+			continue
 		}
 		// The underlying page counts are integers, but the per-op split
 		// is timing-dependent, so the float sum can drift by an ulp —

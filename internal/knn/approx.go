@@ -129,6 +129,9 @@ func HSApprox(t *xtree.Tree, q vec.Point, k int, m vec.Metric, spec ApproxSpec, 
 		}
 		if phantom {
 			as.Saved.visit(n)
+			if b.seededAt(b.Load()) {
+				as.RemotePages += n.Super()
+			}
 		} else {
 			acc.visit(n)
 		}

@@ -41,14 +41,41 @@ import (
 // every published value is a distance k real candidates have achieved.
 type Bound struct {
 	bits atomic.Uint64
+	// seed is the externally provided squared bound installed by Seed
+	// (NaN when the bound was never seeded). It is written once before
+	// the search fan-out starts and only read afterwards, so it needs no
+	// atomicity; NaN compares unequal to everything, which makes the
+	// attribution check below vacuously false on unseeded bounds.
+	seed float64
 }
 
 // NewBound returns a bound initialized to +inf (nothing known yet).
 func NewBound() *Bound {
 	b := &Bound{}
 	b.bits.Store(math.Float64bits(math.Inf(1)))
+	b.seed = math.NaN()
 	return b
 }
+
+// Seed installs an externally known squared bound — in the distributed
+// search, the k-th-best distance another shard group has already
+// achieved, shipped over the wire. Seeding is exactness-preserving for
+// the same reason local tightening is: the searches consulting the
+// bound traverse pruned nodes in accounting-only phantom mode, so the
+// candidate stream (and the results) never depend on the bound's value,
+// only the attribution of visits to Saved does. A stale or even wrong
+// seed therefore costs accounting precision, never correctness.
+//
+// Seed must be called before the search fan-out starts (it writes a
+// plain field the attribution check reads).
+func (b *Bound) Seed(sq float64) {
+	b.seed = sq
+	b.Tighten(sq)
+}
+
+// seededAt reports whether v is the seeded value: the bound in effect
+// is still the external seed, no local tightening has improved on it.
+func (b *Bound) seededAt(v float64) bool { return v == b.seed }
 
 // Load returns the current bound.
 func (b *Bound) Load() float64 {
@@ -80,6 +107,14 @@ type SharedStats struct {
 	// Tightened counts how many times this search lowered the shared
 	// bound.
 	Tightened int
+	// RemotePages counts the page accesses among Saved performed while
+	// the bound still held its externally seeded value (Bound.Seed):
+	// pruning attributable to the remote bound rather than to local
+	// tightening. Always 0 on unseeded bounds. The attribution is by the
+	// bound in effect at visit time — once a local tightening improves
+	// on the seed, further savings are charged to the local bound even
+	// though the seed alone might still have pruned them.
+	RemotePages int
 }
 
 // HSShared is HSMetric consulting a shared bound before expanding each
@@ -122,6 +157,9 @@ func HSShared(t *xtree.Tree, q vec.Point, k int, m vec.Metric, b *Bound, onTight
 		n := item.node
 		if phantom {
 			ss.Saved.visit(n)
+			if b.seededAt(b.Load()) {
+				ss.RemotePages += n.Super()
+			}
 		} else {
 			acc.visit(n)
 		}

@@ -225,6 +225,21 @@ type Registry struct {
 	ApproxQueries      Counter
 	PagesSkippedApprox Counter
 
+	// Cluster counters (codec v7). On a shard daemon,
+	// PagesSavedByRemoteBound counts the search pages pruned while the
+	// shared bound still held a remotely seeded value
+	// (QueryStats.PagesSavedByRemoteBound). On a coordinator — whose
+	// registry treats the process shards as its "disks" — ShardRPCs
+	// counts the shard requests fanned out, ShardRetries the failover
+	// re-issues after a shard RPC failed, and RemoteBoundTightenings the
+	// queries whose first phase produced a finite k-th-distance bound
+	// that was shipped to the remaining shards. All four stay zero on a
+	// single-process index.
+	PagesSavedByRemoteBound Counter
+	ShardRPCs               Counter
+	ShardRetries            Counter
+	RemoteBoundTightenings  Counter
+
 	// PagesPerDisk accumulates the blocks charged to each disk;
 	// ServiceTimePerDisk the simulated service time (nanoseconds) each
 	// disk spent — the per-disk balance view of the paper's cost model.
@@ -247,6 +262,11 @@ type Registry struct {
 	// LSH pre-filter, how many leaf pages the filter admitted — the
 	// recall-probe profile of the approximate tier.
 	LSHProbePages Histogram
+
+	// ShardLatencyNs observes the wall-clock latency of each shard RPC a
+	// coordinator issued, in nanoseconds (empty on shard daemons and
+	// single-process indexes).
+	ShardLatencyNs Histogram
 }
 
 // NewRegistry returns an empty registry for an index over disks disks.
@@ -308,11 +328,17 @@ type Snapshot struct {
 	ApproxQueries      int64 `json:"approx_queries"`
 	PagesSkippedApprox int64 `json:"pages_skipped_approx"`
 
-	QueryPages    HistogramSnapshot `json:"query_pages"`
-	QueryTimeNs   HistogramSnapshot `json:"query_time_ns"`
-	QueryWallNs   HistogramSnapshot `json:"query_wall_ns"`
-	WALFsyncNs    HistogramSnapshot `json:"wal_fsync_ns"`
-	LSHProbePages HistogramSnapshot `json:"lsh_probe_pages"`
+	PagesSavedByRemoteBound int64 `json:"pages_saved_by_remote_bound"`
+	ShardRPCs               int64 `json:"shard_rpcs"`
+	ShardRetries            int64 `json:"shard_retries"`
+	RemoteBoundTightenings  int64 `json:"remote_bound_tightenings"`
+
+	QueryPages     HistogramSnapshot `json:"query_pages"`
+	QueryTimeNs    HistogramSnapshot `json:"query_time_ns"`
+	QueryWallNs    HistogramSnapshot `json:"query_wall_ns"`
+	WALFsyncNs     HistogramSnapshot `json:"wal_fsync_ns"`
+	LSHProbePages  HistogramSnapshot `json:"lsh_probe_pages"`
+	ShardLatencyNs HistogramSnapshot `json:"shard_latency_ns"`
 }
 
 // BalanceCoefficient computes mean/max over per-disk loads: 1.0 is a
@@ -370,11 +396,17 @@ func (r *Registry) Snapshot() Snapshot {
 		ApproxQueries:      r.ApproxQueries.Value(),
 		PagesSkippedApprox: r.PagesSkippedApprox.Value(),
 
-		QueryPages:    r.QueryPages.Snapshot(),
-		QueryTimeNs:   r.QueryTimeNs.Snapshot(),
-		QueryWallNs:   r.QueryWallNs.Snapshot(),
-		WALFsyncNs:    r.WALFsyncNs.Snapshot(),
-		LSHProbePages: r.LSHProbePages.Snapshot(),
+		PagesSavedByRemoteBound: r.PagesSavedByRemoteBound.Value(),
+		ShardRPCs:               r.ShardRPCs.Value(),
+		ShardRetries:            r.ShardRetries.Value(),
+		RemoteBoundTightenings:  r.RemoteBoundTightenings.Value(),
+
+		QueryPages:     r.QueryPages.Snapshot(),
+		QueryTimeNs:    r.QueryTimeNs.Snapshot(),
+		QueryWallNs:    r.QueryWallNs.Snapshot(),
+		WALFsyncNs:     r.WALFsyncNs.Snapshot(),
+		LSHProbePages:  r.LSHProbePages.Snapshot(),
+		ShardLatencyNs: r.ShardLatencyNs.Snapshot(),
 	}
 	s.Balance = BalanceCoefficient(s.PagesPerDisk)
 	return s
@@ -390,17 +422,19 @@ func (r *Registry) Snapshot() Snapshot {
 // DistCompsSaved counter and the QueryWallNs histogram; v4 appended
 // the five durability counters and the WALFsyncNs histogram; v5
 // appended the three live-mutation counters; v6 appended the two
-// approximate-tier counters and the LSHProbePages histogram. Decoding
-// accepts all of them (older encodings leave the newer fields zero),
-// encoding always writes the current version.
+// approximate-tier counters and the LSHProbePages histogram; v7
+// appended the four cluster counters and the ShardLatencyNs histogram.
+// Decoding accepts all of them (older encodings leave the newer fields
+// zero), encoding always writes the current version.
 const (
 	codecMagic     = uint32(0x4d545231) // "MTR1"
-	codecVersion   = uint32(6)
+	codecVersion   = uint32(7)
 	codecV1Scalars = 12
 	codecV2Scalars = 15
 	codecV3Scalars = 16
 	codecV4Scalars = 21
 	codecV5Scalars = 24
+	codecV6Scalars = 26
 )
 
 // scalars lists the scalar counters in encoding order. Append-only:
@@ -417,14 +451,16 @@ func (r *Registry) scalars() []*Counter {
 		&r.Recoveries, &r.RecoveredRecords,
 		&r.IngestBatches, &r.ReorgBuckets, &r.CatchupBytes,
 		&r.ApproxQueries, &r.PagesSkippedApprox,
+		&r.PagesSavedByRemoteBound, &r.ShardRPCs, &r.ShardRetries,
+		&r.RemoteBoundTightenings,
 	}
 }
 
 // histograms lists the histograms in encoding order, append-only like
 // scalars (v1/v2 encoded only the first two, v3 the first three, v4/v5
-// the first four).
+// the first four, v6 the first five).
 func (r *Registry) histograms() []*Histogram {
-	return []*Histogram{&r.QueryPages, &r.QueryTimeNs, &r.QueryWallNs, &r.WALFsyncNs, &r.LSHProbePages}
+	return []*Histogram{&r.QueryPages, &r.QueryTimeNs, &r.QueryWallNs, &r.WALFsyncNs, &r.LSHProbePages, &r.ShardLatencyNs}
 }
 
 // MarshalBinary encodes the registry's current values.
@@ -529,6 +565,8 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 		encoded = codecV4Scalars
 	case 5:
 		encoded = codecV5Scalars
+	case 6:
+		encoded = codecV6Scalars
 	}
 	vals := make([]int64, len(scalars))
 	for i := 0; i < encoded; i++ {
@@ -567,6 +605,8 @@ func (r *Registry) UnmarshalBinary(data []byte) error {
 		encodedHists = 3
 	case version < 6:
 		encodedHists = 4
+	case version < 7:
+		encodedHists = 5
 	}
 	hists := make([]histVals, encodedHists)
 	for h := range hists {

@@ -134,9 +134,14 @@ func TestBinaryRoundTrip(t *testing.T) {
 	r.PagesPerDisk.Add(0, 10)
 	r.PagesPerDisk.Add(2, 30)
 	r.ServiceTimePerDisk.Add(1, 5e8)
+	r.PagesSavedByRemoteBound.Add(256)
+	r.ShardRPCs.Add(60)
+	r.ShardRetries.Add(3)
+	r.RemoteBoundTightenings.Add(19)
 	for i := int64(1); i < 100; i *= 3 {
 		r.QueryPages.Observe(i)
 		r.QueryTimeNs.Observe(i * 1000)
+		r.ShardLatencyNs.Observe(i * 10000)
 	}
 
 	b, err := r.MarshalBinary()
@@ -188,7 +193,7 @@ func TestUnmarshalVersion1(t *testing.T) {
 	const histBlock = 8 + 8 + 4 + HistBuckets*8
 	v1 := append([]byte{}, v3[:header+codecV1Scalars*8]...)
 	binary.LittleEndian.PutUint32(v1[4:], 1)
-	tail := v3[header+len(r.scalars())*8 : len(v3)-3*histBlock]
+	tail := v3[header+len(r.scalars())*8 : len(v3)-4*histBlock]
 	v1 = append(v1, tail...)
 
 	fresh := NewRegistry(2)
@@ -244,7 +249,7 @@ func TestUnmarshalVersion2(t *testing.T) {
 	const histBlock = 8 + 8 + 4 + HistBuckets*8
 	v2 := append([]byte{}, v3[:header+codecV2Scalars*8]...)
 	binary.LittleEndian.PutUint32(v2[4:], 2)
-	v2 = append(v2, v3[header+len(r.scalars())*8:len(v3)-3*histBlock]...)
+	v2 = append(v2, v3[header+len(r.scalars())*8:len(v3)-4*histBlock]...)
 
 	fresh := NewRegistry(2)
 	if err := fresh.UnmarshalBinary(v2); err != nil {
@@ -285,7 +290,7 @@ func TestUnmarshalVersion3(t *testing.T) {
 	const histBlock = 8 + 8 + 4 + HistBuckets*8
 	v3 := append([]byte{}, v4[:header+codecV3Scalars*8]...)
 	binary.LittleEndian.PutUint32(v3[4:], 3)
-	v3 = append(v3, v4[header+len(r.scalars())*8:len(v4)-2*histBlock]...)
+	v3 = append(v3, v4[header+len(r.scalars())*8:len(v4)-3*histBlock]...)
 
 	fresh := NewRegistry(2)
 	if err := fresh.UnmarshalBinary(v3); err != nil {
@@ -323,7 +328,7 @@ func TestUnmarshalVersion4(t *testing.T) {
 	const histBlock = 8 + 8 + 4 + HistBuckets*8
 	v4 := append([]byte{}, v5[:header+codecV4Scalars*8]...)
 	binary.LittleEndian.PutUint32(v4[4:], 4)
-	v4 = append(v4, v5[header+len(r.scalars())*8:len(v5)-histBlock]...)
+	v4 = append(v4, v5[header+len(r.scalars())*8:len(v5)-2*histBlock]...)
 
 	fresh := NewRegistry(2)
 	if err := fresh.UnmarshalBinary(v4); err != nil {
@@ -353,15 +358,17 @@ func TestUnmarshalVersion5(t *testing.T) {
 	r.PagesSkippedApprox.Add(77)
 	r.LSHProbePages.Observe(12)
 
-	v6, err := r.MarshalBinary()
+	cur, err := r.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The v5 splice drops the trailing v6 and v7 histograms (LSHProbePages
+	// and ShardLatencyNs) along with the post-v5 scalar block.
 	const header = 12
 	const histBlock = 8 + 8 + 4 + HistBuckets*8
-	v5 := append([]byte{}, v6[:header+codecV5Scalars*8]...)
+	v5 := append([]byte{}, cur[:header+codecV5Scalars*8]...)
 	binary.LittleEndian.PutUint32(v5[4:], 5)
-	v5 = append(v5, v6[header+len(r.scalars())*8:len(v6)-histBlock]...)
+	v5 = append(v5, cur[header+len(r.scalars())*8:len(cur)-2*histBlock]...)
 
 	fresh := NewRegistry(2)
 	if err := fresh.UnmarshalBinary(v5); err != nil {
@@ -374,14 +381,83 @@ func TestUnmarshalVersion5(t *testing.T) {
 	if s.ApproxQueries != 0 || s.PagesSkippedApprox != 0 || s.LSHProbePages.Count != 0 {
 		t.Fatalf("v5 decode left v6 fields non-zero: %+v", s)
 	}
-	// A v6 round-trip carries the new fields.
+	// A current-version round-trip carries the new fields.
 	again := NewRegistry(2)
-	if err := again.UnmarshalBinary(v6); err != nil {
-		t.Fatalf("v6 decode: %v", err)
+	if err := again.UnmarshalBinary(cur); err != nil {
+		t.Fatalf("current decode: %v", err)
 	}
 	s = again.Snapshot()
 	if s.ApproxQueries != 5 || s.PagesSkippedApprox != 77 || s.LSHProbePages.Count != 1 {
-		t.Fatalf("v6 round-trip lost approx fields: %+v", s)
+		t.Fatalf("round-trip lost approx fields: %+v", s)
+	}
+}
+
+// TestUnmarshalVersion6 decodes a version-6 encoding (26 scalars, five
+// histograms, before the cluster counters): the prefix decodes
+// one-to-one and the v7 cluster fields stay zero. Snapshot blobs
+// written by pre-cluster builds must keep loading.
+func TestUnmarshalVersion6(t *testing.T) {
+	r := NewRegistry(2)
+	r.QueriesKNN.Add(9)
+	r.ApproxQueries.Add(4)
+	r.PagesSkippedApprox.Add(31)
+	r.LSHProbePages.Observe(6)
+	// v7-only fields, deliberately non-zero so the splice proves they
+	// are dropped from a v6 blob.
+	r.PagesSavedByRemoteBound.Add(123)
+	r.ShardRPCs.Add(45)
+	r.ShardRetries.Add(2)
+	r.RemoteBoundTightenings.Add(17)
+	r.ShardLatencyNs.Observe(3e6)
+
+	v7, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const header = 12
+	const histBlock = 8 + 8 + 4 + HistBuckets*8
+	v6 := append([]byte{}, v7[:header+codecV6Scalars*8]...)
+	binary.LittleEndian.PutUint32(v6[4:], 6)
+	v6 = append(v6, v7[header+len(r.scalars())*8:len(v7)-histBlock]...)
+
+	fresh := NewRegistry(2)
+	if err := fresh.UnmarshalBinary(v6); err != nil {
+		t.Fatalf("v6 decode: %v", err)
+	}
+	s := fresh.Snapshot()
+	if s.QueriesKNN != 9 || s.ApproxQueries != 4 || s.PagesSkippedApprox != 31 || s.LSHProbePages.Count != 1 {
+		t.Fatalf("v6 prefix mismatch: %+v", s)
+	}
+	if s.PagesSavedByRemoteBound != 0 || s.ShardRPCs != 0 || s.ShardRetries != 0 ||
+		s.RemoteBoundTightenings != 0 || s.ShardLatencyNs.Count != 0 {
+		t.Fatalf("v6 decode left cluster fields non-zero: %+v", s)
+	}
+	// Re-encoding always writes the current version.
+	b2, err := fresh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(b2[4:]); got != codecVersion {
+		t.Fatalf("re-marshal version = %d, want %d", got, codecVersion)
+	}
+
+	// The full v7 round-trip carries the cluster counters and the
+	// shard-latency histogram, and re-marshals byte-identically.
+	again := NewRegistry(2)
+	if err := again.UnmarshalBinary(v7); err != nil {
+		t.Fatalf("v7 decode: %v", err)
+	}
+	s = again.Snapshot()
+	if s.PagesSavedByRemoteBound != 123 || s.ShardRPCs != 45 || s.ShardRetries != 2 ||
+		s.RemoteBoundTightenings != 17 || s.ShardLatencyNs.Count != 1 {
+		t.Fatalf("v7 round-trip lost cluster fields: %+v", s)
+	}
+	b3, err := again.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v7, b3) {
+		t.Fatal("v7 re-marshal differs")
 	}
 }
 

@@ -34,6 +34,16 @@ func FuzzDecodeQueryRequest(f *testing.F) {
 		{OpPartialMatch, `{"spec":[null,null,null],"eps":0.1}`},
 		{OpBatch, `{"queries":[[0,1,0],[1,0,1]],"k":2}`},
 		{OpBatch, `{"queries":[[0,1,0],[1,0]],"k":2}`},
+		{OpKNN, `{"query":[0.1,0.2,0.3],"k":5,"bound":1.5,"shard":{"of":3,"groups":[0,2]}}`},
+		{OpKNN, `{"query":[0.1,0.2,0.3],"k":5,"bound":-1}`},
+		{OpKNN, `{"query":[0.1,0.2,0.3],"k":5,"bound":1e999}`},
+		{OpKNN, `{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":0,"groups":[0]}}`},
+		{OpKNN, `{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":3,"groups":[]}}`},
+		{OpKNN, `{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":3,"groups":[3]}}`},
+		{OpKNN, `{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":3,"groups":[1,1]}}`},
+		{OpRange, `{"min":[0,0,0],"max":[1,1,1],"shard":{"of":2,"groups":[1]}}`},
+		{OpPartialMatch, `{"spec":[0.5,null,0.25],"eps":0.1,"shard":{"of":4,"groups":[0,1,2,3]}}`},
+		{OpBatch, `{"queries":[[0,1,0]],"k":1,"bound":0,"shard":{"of":2,"groups":[0]}}`},
 		{"nope", `{}`},
 		{OpKNN, `{`},
 		{OpKNN, `[]`},
@@ -73,6 +83,29 @@ func FuzzDecodeQueryRequest(f *testing.F) {
 				}
 			}
 		}
+		checkCluster := func(bound *float64, shard *ShardSpec) {
+			// Accepted cluster knobs must satisfy what the engine's
+			// ShardSpec.validate and Approx bound check require, so a
+			// shard daemon never rejects a request the wire layer let
+			// through for structural reasons.
+			if bound != nil {
+				if b := *bound; math.IsNaN(b) || math.IsInf(b, 0) || b < 0 {
+					t.Fatalf("accepted bound %v (body %q)", b, body)
+				}
+			}
+			if shard != nil {
+				if shard.Of < 1 || len(shard.Groups) == 0 {
+					t.Fatalf("accepted shard spec %+v (body %q)", *shard, body)
+				}
+				seen := make(map[int]bool)
+				for _, g := range shard.Groups {
+					if g < 0 || g >= shard.Of || seen[g] {
+						t.Fatalf("accepted shard group %d of %+v (body %q)", g, *shard, body)
+					}
+					seen[g] = true
+				}
+			}
+		}
 		switch req := v.(type) {
 		case KNNRequest:
 			checkFinite("knn query", req.Query)
@@ -80,6 +113,7 @@ func FuzzDecodeQueryRequest(f *testing.F) {
 				t.Fatalf("accepted k = %d (body %q)", req.K, body)
 			}
 			checkApproxKnobs(req.Epsilon, req.RecallTarget)
+			checkCluster(req.Bound, req.Shard)
 		case RangeRequest:
 			checkFinite("range min", req.Min)
 			checkFinite("range max", req.Max)
@@ -88,6 +122,7 @@ func FuzzDecodeQueryRequest(f *testing.F) {
 					t.Fatalf("accepted inverted bounds (body %q)", body)
 				}
 			}
+			checkCluster(nil, req.Shard)
 		case PartialMatchRequest:
 			if len(req.Spec) != dim {
 				t.Fatalf("accepted spec dimension %d (body %q)", len(req.Spec), body)
@@ -108,6 +143,7 @@ func FuzzDecodeQueryRequest(f *testing.F) {
 			if math.IsNaN(req.Eps) || req.Eps < 0 {
 				t.Fatalf("accepted eps %v (body %q)", req.Eps, body)
 			}
+			checkCluster(nil, req.Shard)
 		case BatchRequest:
 			if len(req.Queries) == 0 || req.K < 1 {
 				t.Fatalf("accepted empty batch or k = %d (body %q)", req.K, body)
@@ -116,6 +152,7 @@ func FuzzDecodeQueryRequest(f *testing.F) {
 				checkFinite("batch query", q)
 			}
 			checkApproxKnobs(req.Epsilon, req.RecallTarget)
+			checkCluster(req.Bound, req.Shard)
 		default:
 			t.Fatalf("decoder returned unknown type %T", v)
 		}

@@ -31,35 +31,62 @@ const (
 // the approximate-tier knobs: absent (null) fields fall back to the
 // served index's defaults; present fields override them per request
 // (0 forces an exact search, and a recall_target of 1 disables the LSH
-// probe cap).
+// probe cap). Bound and Shard are the cluster fields a scatter-gather
+// coordinator sets; both are optional, and servers predating them
+// ignore the unknown keys (encoding/json discards unknown fields), so
+// a new coordinator degrades gracefully against old shard daemons —
+// the bound and the restriction only ever change accounting and
+// routing, never result correctness at the coordinator, which merges
+// whatever each shard returns.
 type KNNRequest struct {
 	Query        []float64 `json:"query"`
 	K            int       `json:"k"`
 	Epsilon      *float64  `json:"epsilon,omitempty"`
 	RecallTarget *float64  `json:"recall_target,omitempty"`
+	// Bound, when present, seeds the served index's cooperative k-NN
+	// bound with an externally known k-th-distance upper bound (see
+	// parsearch.Approx.Bound). Exactness-preserving by construction.
+	Bound *float64 `json:"bound,omitempty"`
+	// Shard, when present, restricts the query to a subset of the
+	// declustered disks (see parsearch.ShardSpec).
+	Shard *ShardSpec `json:"shard,omitempty"`
 }
 
-// RangeRequest is the body of POST /v1/range.
+// ShardSpec mirrors parsearch.ShardSpec on the wire: the query serves
+// the disks d with d mod Of in Groups.
+type ShardSpec struct {
+	Of     int   `json:"of"`
+	Groups []int `json:"groups"`
+}
+
+// RangeRequest is the body of POST /v1/range. Shard behaves as in
+// KNNRequest (a box query has no distance bound to ship).
 type RangeRequest struct {
-	Min []float64 `json:"min"`
-	Max []float64 `json:"max"`
+	Min   []float64  `json:"min"`
+	Max   []float64  `json:"max"`
+	Shard *ShardSpec `json:"shard,omitempty"`
 }
 
 // PartialMatchRequest is the body of POST /v1/partialmatch. Wildcard
 // dimensions are JSON nulls (NaN is not representable in JSON); the
-// server maps them to parsearch.Wildcard.
+// server maps them to parsearch.Wildcard. Shard behaves as in
+// KNNRequest.
 type PartialMatchRequest struct {
-	Spec []*float64 `json:"spec"`
-	Eps  float64    `json:"eps"`
+	Spec  []*float64 `json:"spec"`
+	Eps   float64    `json:"eps"`
+	Shard *ShardSpec `json:"shard,omitempty"`
 }
 
-// BatchRequest is the body of POST /v1/batch. Epsilon and RecallTarget
-// behave as in KNNRequest and apply to every query of the batch.
+// BatchRequest is the body of POST /v1/batch. Epsilon, RecallTarget,
+// Bound, and Shard behave as in KNNRequest and apply to every query of
+// the batch.
 type BatchRequest struct {
 	Queries      [][]float64 `json:"queries"`
 	K            int         `json:"k"`
 	Epsilon      *float64    `json:"epsilon,omitempty"`
 	RecallTarget *float64    `json:"recall_target,omitempty"`
+	Bound        *float64    `json:"bound,omitempty"`
+	Shard        *ShardSpec  `json:"shard,omitempty"`
 }
 
 // Neighbor mirrors parsearch.Neighbor on the wire. Dist is NaN for
@@ -233,6 +260,54 @@ func checkApprox(epsilon, recallTarget *float64) error {
 	return nil
 }
 
+// maxShardOf bounds the shard-group count of a wire ShardSpec: no real
+// deployment partitions one declustered disk set into more process
+// shards than this, so anything larger is garbage (or an attack) and a
+// cheap way to make the server allocate. The engine additionally
+// requires Of <= Disks.
+const maxShardOf = 4096
+
+// checkShard validates an optional shard restriction: a present spec
+// must name a positive group count and at least one distinct group in
+// [0, of). A nil spec is valid (the query serves every disk).
+func checkShard(s *ShardSpec) error {
+	if s == nil {
+		return nil
+	}
+	if s.Of < 1 || s.Of > maxShardOf {
+		return fmt.Errorf("wire: shard group count %d outside [1, %d]", s.Of, maxShardOf)
+	}
+	if len(s.Groups) == 0 {
+		return fmt.Errorf("wire: shard spec selects no groups")
+	}
+	if len(s.Groups) > s.Of {
+		return fmt.Errorf("wire: %d shard groups listed, only %d exist", len(s.Groups), s.Of)
+	}
+	seen := make(map[int]bool, len(s.Groups))
+	for _, g := range s.Groups {
+		if g < 0 || g >= s.Of {
+			return fmt.Errorf("wire: shard group %d outside [0, %d)", g, s.Of)
+		}
+		if seen[g] {
+			return fmt.Errorf("wire: duplicate shard group %d", g)
+		}
+		seen[g] = true
+	}
+	return nil
+}
+
+// checkBound validates an optional cross-network k-th-distance bound:
+// a present bound must be a finite distance >= 0.
+func checkBound(bound *float64) error {
+	if bound == nil {
+		return nil
+	}
+	if b := *bound; math.IsNaN(b) || math.IsInf(b, 0) || b < 0 {
+		return fmt.Errorf("wire: bound %v, want a finite distance >= 0", *bound)
+	}
+	return nil
+}
+
 // decode unmarshals into dst, classifying syntax errors uniformly.
 func decode(data []byte, dst any) error {
 	if err := json.Unmarshal(data, dst); err != nil {
@@ -257,6 +332,12 @@ func DecodeKNN(data []byte, dim int) (KNNRequest, error) {
 	if err := checkApprox(req.Epsilon, req.RecallTarget); err != nil {
 		return KNNRequest{}, err
 	}
+	if err := checkBound(req.Bound); err != nil {
+		return KNNRequest{}, err
+	}
+	if err := checkShard(req.Shard); err != nil {
+		return KNNRequest{}, err
+	}
 	return req, nil
 }
 
@@ -276,6 +357,9 @@ func DecodeRange(data []byte, dim int) (RangeRequest, error) {
 		if req.Min[i] > req.Max[i] {
 			return RangeRequest{}, fmt.Errorf("wire: min > max in dimension %d", i)
 		}
+	}
+	if err := checkShard(req.Shard); err != nil {
+		return RangeRequest{}, err
 	}
 	return req, nil
 }
@@ -307,6 +391,9 @@ func DecodePartialMatch(data []byte, dim int) (PartialMatchRequest, error) {
 	if math.IsNaN(req.Eps) || math.IsInf(req.Eps, 0) || req.Eps < 0 {
 		return PartialMatchRequest{}, fmt.Errorf("wire: invalid tolerance %v", req.Eps)
 	}
+	if err := checkShard(req.Shard); err != nil {
+		return PartialMatchRequest{}, err
+	}
 	return req, nil
 }
 
@@ -333,6 +420,12 @@ func DecodeBatch(data []byte, dim, maxQueries int) (BatchRequest, error) {
 		return BatchRequest{}, fmt.Errorf("wire: k = %d, want >= 1", req.K)
 	}
 	if err := checkApprox(req.Epsilon, req.RecallTarget); err != nil {
+		return BatchRequest{}, err
+	}
+	if err := checkBound(req.Bound); err != nil {
+		return BatchRequest{}, err
+	}
+	if err := checkShard(req.Shard); err != nil {
 		return BatchRequest{}, err
 	}
 	return req, nil

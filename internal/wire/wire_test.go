@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -75,6 +76,126 @@ func TestDecodeApproxKnobs(t *testing.T) {
 		batch := strings.Replace(body, `"query":[0.1,0.2,0.3]`, `"queries":[[0.1,0.2,0.3]]`, 1)
 		if _, err := DecodeBatch([]byte(batch), 3, 0); err == nil {
 			t.Errorf("DecodeBatch(%q) accepted", batch)
+		}
+	}
+}
+
+func TestDecodeClusterFields(t *testing.T) {
+	// Coordinator-issued requests carry the cross-network bound and the
+	// shard restriction; both decode to set pointers, and absent fields
+	// stay nil so a shard daemon can distinguish "plain client" from
+	// "coordinator fan-out".
+	req, err := DecodeKNN([]byte(`{"query":[0.1,0.2,0.3],"k":5,"bound":1.5,"shard":{"of":3,"groups":[0,2]}}`), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Bound == nil || *req.Bound != 1.5 {
+		t.Fatalf("bound decoded as %v", req.Bound)
+	}
+	if req.Shard == nil || req.Shard.Of != 3 || len(req.Shard.Groups) != 2 {
+		t.Fatalf("shard decoded as %+v", req.Shard)
+	}
+	plain, err := DecodeKNN([]byte(`{"query":[0.1,0.2,0.3],"k":5}`), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Bound != nil || plain.Shard != nil {
+		t.Fatalf("absent cluster fields decoded non-nil: %+v", plain)
+	}
+	// A bound of zero is legitimate (k duplicates of the query point
+	// already in hand) and distinct from nil.
+	zero, err := DecodeKNN([]byte(`{"query":[0.1,0.2,0.3],"k":5,"bound":0}`), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Bound == nil || *zero.Bound != 0 {
+		t.Fatalf("explicit zero bound decoded as %v", zero.Bound)
+	}
+
+	bad := []string{
+		`{"query":[0.1,0.2,0.3],"k":5,"bound":-1}`,                        // negative distance
+		`{"query":[0.1,0.2,0.3],"k":5,"bound":1e999}`,                     // overflows to +Inf
+		`{"query":[0.1,0.2,0.3],"k":5,"bound":"NaN"}`,                     // non-numeric
+		`{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":0,"groups":[0]}}`,     // no groups exist
+		`{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":-2,"groups":[0]}}`,    // negative group count
+		`{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":5000,"groups":[0]}}`,  // past the of cap
+		`{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":3,"groups":[]}}`,      // selects nothing
+		`{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":3}}`,                  // groups missing
+		`{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":3,"groups":[3]}}`,     // group out of range
+		`{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":3,"groups":[-1]}}`,    // negative group
+		`{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":3,"groups":[1,1]}}`,   // duplicate group
+		`{"query":[0.1,0.2,0.3],"k":5,"shard":{"of":2,"groups":[0,1,0]}}`, // more groups than of
+	}
+	for _, body := range bad {
+		if _, err := DecodeKNN([]byte(body), 3); err == nil {
+			t.Errorf("DecodeKNN(%q) accepted", body)
+		}
+		batch := strings.Replace(body, `"query":[0.1,0.2,0.3]`, `"queries":[[0.1,0.2,0.3]]`, 1)
+		if _, err := DecodeBatch([]byte(batch), 3, 0); err == nil {
+			t.Errorf("DecodeBatch(%q) accepted", batch)
+		}
+	}
+
+	// Range and partial-match carry the shard restriction too.
+	rr, err := DecodeRange([]byte(`{"min":[0,0,0],"max":[1,1,1],"shard":{"of":2,"groups":[1]}}`), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Shard == nil || rr.Shard.Of != 2 {
+		t.Fatalf("range shard decoded as %+v", rr.Shard)
+	}
+	if _, err := DecodeRange([]byte(`{"min":[0,0,0],"max":[1,1,1],"shard":{"of":2,"groups":[2]}}`), 3); err == nil {
+		t.Error("range with out-of-range shard group accepted")
+	}
+	pm, err := DecodePartialMatch([]byte(`{"spec":[0.5,null,0.25],"eps":0.1,"shard":{"of":4,"groups":[0,3]}}`), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Shard == nil || len(pm.Shard.Groups) != 2 {
+		t.Fatalf("partial-match shard decoded as %+v", pm.Shard)
+	}
+	if _, err := DecodePartialMatch([]byte(`{"spec":[0.5,null,0.25],"eps":0.1,"shard":{"of":4,"groups":[]}}`), 3); err == nil {
+		t.Error("partial-match with empty shard groups accepted")
+	}
+}
+
+func TestDecodeForwardCompat(t *testing.T) {
+	// The cluster fields ride on the forward-compatibility contract of
+	// the codec: encoding/json discards unknown object keys, so a server
+	// predating "bound"/"shard" serves a coordinator-issued request as a
+	// plain unrestricted query instead of rejecting it. Simulate that
+	// old decoder with a pre-cluster request shape.
+	type legacyKNN struct {
+		Query []float64 `json:"query"`
+		K     int       `json:"k"`
+	}
+	body := []byte(`{"query":[0.1,0.2,0.3],"k":5,"bound":1.5,"shard":{"of":3,"groups":[0,2]}}`)
+	var old legacyKNN
+	if err := json.Unmarshal(body, &old); err != nil {
+		t.Fatalf("old-shape decode rejected new fields: %v", err)
+	}
+	if old.K != 5 || len(old.Query) != 3 {
+		t.Fatalf("old-shape decode corrupted known fields: %+v", old)
+	}
+
+	// And the reverse direction: today's decoder must tolerate keys it
+	// has never heard of, so the next protocol extension can ship
+	// without a lockstep upgrade.
+	future := []byte(`{"query":[0.1,0.2,0.3],"k":5,"future_knob":{"depth":7},"hints":["a","b"]}`)
+	req, err := DecodeKNN(future, 3)
+	if err != nil {
+		t.Fatalf("decoder rejected unknown fields: %v", err)
+	}
+	if req.K != 5 || req.Bound != nil || req.Shard != nil {
+		t.Fatalf("unknown fields bled into request: %+v", req)
+	}
+	for op, body := range map[string]string{
+		OpRange:        `{"min":[0,0,0],"max":[1,1,1],"future_knob":1}`,
+		OpPartialMatch: `{"spec":[0.5,null,null],"eps":0.1,"future_knob":1}`,
+		OpBatch:        `{"queries":[[0,1,0]],"k":1,"future_knob":1}`,
+	} {
+		if _, err := DecodeQueryRequest(op, []byte(body), 3); err != nil {
+			t.Errorf("%s: decoder rejected unknown field: %v", op, err)
 		}
 	}
 }

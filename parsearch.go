@@ -356,6 +356,13 @@ type QueryStats struct {
 	// quantized lower bound already exceeded the running k-th-best
 	// distance. 0 without Quantize.
 	DistCompsSaved int
+	// PagesSavedByRemoteBound is the subset of PagesSavedByBound pruned
+	// while the shared bound still held an externally seeded value
+	// (Approx.Bound — the kth-distance bound a distributed coordinator
+	// ships with follow-up shard requests): pruning attributable to the
+	// remote bound rather than to this query's own local tightenings.
+	// Always 0 without a seeded bound.
+	PagesSavedByRemoteBound int
 	// PagesSkippedApprox is the number of search pages the approximate
 	// tier skipped: the still-reachable priority queue at ε-termination
 	// (a lower bound on the avoided work — pages under unexpanded
@@ -385,6 +392,18 @@ type Approx struct {
 	// Options.LSH (without the filter there is nothing to cap, and the
 	// search stays exact).
 	RecallTarget float64
+	// Bound seeds the cooperative k-NN bound with an externally known
+	// upper bound on the k-th-best distance, in metric space — the
+	// cross-network half of the shared-bound protocol: a coordinator
+	// ships the k-th distance one shard group has already achieved so
+	// the other groups can prune against it. Seeding is
+	// exactness-preserving (pruned pages are still traversed in
+	// accounting-only phantom mode, so results never depend on the
+	// bound's value); the savings surface as
+	// QueryStats.PagesSavedByRemoteBound. 0 (the default) disables
+	// seeding; must be finite and ≥ 0. Ignored with
+	// Options.DisableSharedBound (there is no bound to seed).
+	Bound float64
 }
 
 // maxEpsilon bounds Options.Epsilon and per-query epsilons: beyond it
@@ -399,7 +418,74 @@ func (a Approx) validate() error {
 	if math.IsNaN(a.RecallTarget) || a.RecallTarget < 0 || a.RecallTarget > 1 {
 		return fmt.Errorf("parsearch: recall target %v outside [0, 1]", a.RecallTarget)
 	}
+	if math.IsNaN(a.Bound) || math.IsInf(a.Bound, 0) || a.Bound < 0 {
+		return fmt.Errorf("parsearch: bound %v, want a finite distance >= 0", a.Bound)
+	}
 	return nil
+}
+
+// ShardSpec restricts a query to a subset of the declustered disks: the
+// disks d with d mod Of in Groups. The zero value selects every disk —
+// the ordinary single-process query. The spec is how a multi-node
+// deployment partitions one declustered index over Of process shards
+// (disk d belongs to shard group d mod Of): every shard daemon serves
+// the full snapshot, and the coordinator restricts each daemon to its
+// groups per query, so global IDs — and with them the merge — are
+// identical to the single-process search. A dead shard's groups can be
+// handed to any other daemon the same way (see the coord package).
+type ShardSpec struct {
+	// Of is the number of shard groups the disk set is partitioned
+	// into; 0 disables the restriction.
+	Of int
+	// Groups lists the group indices (in [0, Of)) this query serves.
+	Groups []int
+}
+
+// Enabled reports whether the spec restricts the query at all.
+func (s ShardSpec) Enabled() bool { return s.Of > 0 }
+
+func (s ShardSpec) validate(disks int) error {
+	if s.Of == 0 {
+		if len(s.Groups) != 0 {
+			return fmt.Errorf("parsearch: shard groups %v without a group count", s.Groups)
+		}
+		return nil
+	}
+	if s.Of < 0 || s.Of > disks {
+		return fmt.Errorf("parsearch: %d shard groups over %d disks", s.Of, disks)
+	}
+	if len(s.Groups) == 0 {
+		return fmt.Errorf("parsearch: shard spec of %d selects no groups", s.Of)
+	}
+	seen := make(map[int]bool, len(s.Groups))
+	for _, g := range s.Groups {
+		if g < 0 || g >= s.Of {
+			return fmt.Errorf("parsearch: shard group %d outside [0, %d)", g, s.Of)
+		}
+		if seen[g] {
+			return fmt.Errorf("parsearch: duplicate shard group %d", g)
+		}
+		seen[g] = true
+	}
+	return nil
+}
+
+// mask returns the per-disk selection of the (validated) spec, or nil
+// when the spec is disabled.
+func (s ShardSpec) mask(disks int) []bool {
+	if !s.Enabled() {
+		return nil
+	}
+	sel := make([]bool, disks)
+	for d := 0; d < disks; d++ {
+		for _, g := range s.Groups {
+			if d%s.Of == g {
+				sel[d] = true
+				break
+			}
+		}
+	}
+	return sel
 }
 
 // ApproxDefaults returns the index-level approximate-search defaults
@@ -1292,7 +1378,7 @@ func (ix *Index) KNN(q []float64, k int) ([]Neighbor, QueryStats, error) {
 // disk search already underway completes (the simulated disks execute
 // a planned read batch atomically).
 func (ix *Index) KNNContext(ctx context.Context, q []float64, k int) ([]Neighbor, QueryStats, error) {
-	return ix.knnContext(ctx, q, k, ix.ApproxDefaults())
+	return ix.knnContext(ctx, q, k, ix.ApproxDefaults(), ShardSpec{})
 }
 
 // KNNApprox is KNN with per-query approximate-search knobs, overriding
@@ -1309,12 +1395,30 @@ func (ix *Index) KNNApproxContext(ctx context.Context, q []float64, k int, a App
 	if err := a.validate(); err != nil {
 		return nil, QueryStats{}, err
 	}
-	return ix.knnContext(ctx, q, k, a)
+	return ix.knnContext(ctx, q, k, a, ShardSpec{})
+}
+
+// KNNShardContext is KNNApproxContext restricted to a subset of the
+// declustered disks (see ShardSpec) — the per-shard-group query of a
+// multi-node deployment. Results are exact over the selected disks:
+// excluded disks are neither searched nor accounted, and never flag the
+// query Degraded (another process shard serves them). A coordinator
+// merging every group's results obtains exactly the unrestricted
+// query's answer; with a.Bound it can additionally ship one group's
+// k-th distance to the others (see Approx.Bound).
+func (ix *Index) KNNShardContext(ctx context.Context, q []float64, k int, a Approx, shards ShardSpec) ([]Neighbor, QueryStats, error) {
+	if err := a.validate(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if err := shards.validate(ix.opts.Disks); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return ix.knnContext(ctx, q, k, a, shards)
 }
 
 // knnContext runs one k-NN query with the resolved approximate-search
-// knobs (already validated).
-func (ix *Index) knnContext(ctx context.Context, q []float64, k int, a Approx) (_ []Neighbor, stats QueryStats, err error) {
+// knobs and shard restriction (both already validated).
+func (ix *Index) knnContext(ctx context.Context, q []float64, k int, a Approx, shards ShardSpec) (_ []Neighbor, stats QueryStats, err error) {
 	start := time.Now()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -1344,7 +1448,7 @@ func (ix *Index) knnContext(ctx context.Context, q []float64, k int, a Approx) (
 	// Plan the failure routing once: the same snapshot of the failure
 	// flags drives the search and the I/O accounting, so the query sees
 	// one consistent failure state.
-	routes, degraded := ix.plan(st)
+	routes, degraded := ix.plan(st, shards.mask(ix.opts.Disks))
 	sp.planEvents(routes, degraded)
 
 	// Phase 1: every live shard finds its local k nearest neighbors,
@@ -1368,6 +1472,7 @@ func (ix *Index) knnContext(ctx context.Context, q []float64, k int, a Approx) (
 	m := ix.metric()
 	sr := newShardSearch(ctx, ix, &sp, st, q, k, m)
 	sr.setApprox(a, ix.opts.LSH)
+	sr.seedBound(a)
 	seed := -1
 	if sr.bound != nil {
 		if d := ix.homeDisk(st, q); routes[d].sh != nil {
@@ -1494,9 +1599,12 @@ func (ix *Index) sphereRefs(st *state, routes []route, q vec.Point, rk float64, 
 			if c.count == 0 || m.RankMinDist(c.rect, q) > rank {
 				continue
 			}
+			rt := routes[c.disk]
+			if rt.masked {
+				continue
+			}
 			pages := (c.count + leafCap - 1) / leafCap
 			qs.Cells++
-			rt := routes[c.disk]
 			if rt.sh == nil {
 				qs.Unreachable += pages
 				continue
@@ -1511,6 +1619,9 @@ func (ix *Index) sphereRefs(st *state, routes []route, q vec.Point, rk float64, 
 	default: // TreePages
 		for d := range routes {
 			rt := routes[d]
+			if rt.masked {
+				continue
+			}
 			sh, charge := rt.sh, rt.disk
 			if sh == nil {
 				// No live copy: enumerate the primary tree's pages
@@ -1568,6 +1679,7 @@ type shardSearch struct {
 	accs    []knn.Accounting
 	saved   []knn.Accounting
 	tight   []int
+	remote  []int
 	skipped []int
 	probed  []int
 }
@@ -1581,9 +1693,20 @@ func newShardSearch(ctx context.Context, ix *Index, sp *span, st *state, q vec.P
 		sr.bound = knn.NewBound()
 		sr.saved = make([]knn.Accounting, len(st.shards))
 		sr.tight = make([]int, len(st.shards))
+		sr.remote = make([]int, len(st.shards))
 	}
 	sr.shrink, sr.recall = 1, 1
 	return sr
+}
+
+// seedBound installs the externally shipped k-th-distance bound of
+// a.Bound (converted to rank space) into this query's shared bound —
+// the receiving half of the cross-network bound protocol. A no-op
+// without a bound to seed, or with the shared bound disabled.
+func (sr *shardSearch) seedBound(a Approx) {
+	if a.Bound > 0 && sr.bound != nil {
+		sr.bound.Seed(sr.m.ToRank(a.Bound))
+	}
 }
 
 // setApprox arms the approximate tier for this query. The recall cap
@@ -1631,6 +1754,7 @@ func (sr *shardSearch) search(rt route, d int) {
 		if sr.bound != nil {
 			sr.saved[d] = as.Saved
 			sr.tight[d] = as.Tightened
+			sr.remote[d] = as.RemotePages
 		}
 		sr.skipped[d] = as.SkippedPages
 		sr.probed[d] = as.ProbedPages
@@ -1643,6 +1767,7 @@ func (sr *shardSearch) search(rt route, d int) {
 		sr.locals[d], sr.accs[d], ss = knn.HSShared(sh.tree, sr.q, sr.k, sr.m, sr.bound, onTighten)
 		sr.saved[d] = ss.Saved
 		sr.tight[d] = ss.Tightened
+		sr.remote[d] = ss.RemotePages
 	default:
 		sr.locals[d], sr.accs[d] = knn.HSMetric(sh.tree, sr.q, sr.k, sr.m)
 	}
@@ -1669,6 +1794,7 @@ func (sr *shardSearch) record(qs *QueryStats) (nodeVisits int64) {
 	for d := range sr.saved {
 		qs.PagesSavedByBound += sr.saved[d].PageAccesses
 		qs.BoundTightenings += sr.tight[d]
+		qs.PagesSavedByRemoteBound += sr.remote[d]
 	}
 	for d := range sr.skipped {
 		qs.PagesSkippedApprox += sr.skipped[d]
@@ -1687,6 +1813,20 @@ func (sr *shardSearch) record(qs *QueryStats) (nodeVisits int64) {
 // the bound, correctness never depends on the choice.
 func (ix *Index) homeDisk(st *state, q vec.Point) int {
 	return st.assigner.Assign(0, q)
+}
+
+// HomeDisk returns the disk the declustering assigns the query point's
+// cell to — the disk likeliest to hold q's near neighbors. A
+// multi-node coordinator uses it to pick the first shard group of the
+// two-phase bound protocol (group HomeDisk(q) mod number of shards);
+// correctness never depends on the choice, only pruning quality does.
+func (ix *Index) HomeDisk(q []float64) (int, error) {
+	if len(q) != ix.opts.Dim {
+		return 0, fmt.Errorf("parsearch: query dimension %d, want %d", len(q), ix.opts.Dim)
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.homeDisk(ix.st, q), nil
 }
 
 // sortResults orders by distance, breaking ties by ID.

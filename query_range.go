@@ -32,6 +32,23 @@ func (ix *Index) RangeQuery(min, max []float64) ([]Neighbor, QueryStats, error) 
 // the simulated I/O phase, so a disconnected client stops burning disk
 // time.
 func (ix *Index) RangeQueryContext(ctx context.Context, min, max []float64) (_ []Neighbor, stats QueryStats, err error) {
+	return ix.rangeQueryContext(ctx, min, max, ShardSpec{})
+}
+
+// RangeQueryShardContext is RangeQueryContext restricted to a subset of
+// the declustered disks (see ShardSpec): excluded disks are neither
+// searched nor accounted and never flag the query Degraded. Each point
+// lives on exactly one disk, so the per-group result sets are disjoint
+// and a coordinator reproduces the unrestricted answer by concatenating
+// them and sorting by ID.
+func (ix *Index) RangeQueryShardContext(ctx context.Context, min, max []float64, shards ShardSpec) ([]Neighbor, QueryStats, error) {
+	if err := shards.validate(ix.opts.Disks); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return ix.rangeQueryContext(ctx, min, max, shards)
+}
+
+func (ix *Index) rangeQueryContext(ctx context.Context, min, max []float64, shards ShardSpec) (_ []Neighbor, stats QueryStats, err error) {
 	start := time.Now()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -65,7 +82,7 @@ func (ix *Index) RangeQueryContext(ctx context.Context, min, max []float64) (_ [
 
 	// Plan the failure routing once (see KNN): one consistent failure
 	// snapshot drives the search and the I/O accounting.
-	routes, degraded := ix.plan(st)
+	routes, degraded := ix.plan(st, shards.mask(ix.opts.Disks))
 	sp.planEvents(routes, degraded)
 
 	// Phase 1: all live shards search in parallel, each under its own
@@ -116,9 +133,12 @@ func (ix *Index) RangeQueryContext(ctx context.Context, min, max []float64) (_ [
 			if c.count == 0 || !c.rect.Intersects(rect) {
 				continue
 			}
+			rt := routes[c.disk]
+			if rt.masked {
+				continue
+			}
 			pages := (c.count + leafCap - 1) / leafCap
 			stats.Cells++
-			rt := routes[c.disk]
 			if rt.sh == nil {
 				stats.Unreachable += pages
 				continue
@@ -133,6 +153,9 @@ func (ix *Index) RangeQueryContext(ctx context.Context, min, max []float64) (_ [
 	default: // TreePages
 		for d := range routes {
 			rt := routes[d]
+			if rt.masked {
+				continue
+			}
 			sh, charge := rt.sh, rt.disk
 			if sh == nil {
 				// No live copy: enumerate the primary tree's pages
@@ -221,6 +244,15 @@ func (ix *Index) PartialMatch(spec []float64, eps float64) ([]Neighbor, QuerySta
 // PartialMatchContext is PartialMatch with a context, which may carry a
 // per-request tracer (see WithTracer).
 func (ix *Index) PartialMatchContext(ctx context.Context, spec []float64, eps float64) ([]Neighbor, QueryStats, error) {
+	return ix.PartialMatchShardContext(ctx, spec, eps, ShardSpec{})
+}
+
+// PartialMatchShardContext is PartialMatchContext restricted to a
+// subset of the declustered disks (see RangeQueryShardContext).
+func (ix *Index) PartialMatchShardContext(ctx context.Context, spec []float64, eps float64, shards ShardSpec) ([]Neighbor, QueryStats, error) {
+	if err := shards.validate(ix.opts.Disks); err != nil {
+		return nil, QueryStats{}, err
+	}
 	if len(spec) != ix.opts.Dim {
 		return nil, QueryStats{}, fmt.Errorf("parsearch: partial-match spec has dimension %d, want %d",
 			len(spec), ix.opts.Dim)
@@ -242,5 +274,5 @@ func (ix *Index) PartialMatchContext(ctx context.Context, spec []float64, eps fl
 	if specified == 0 {
 		return nil, QueryStats{}, fmt.Errorf("parsearch: partial-match query specifies no dimension")
 	}
-	return ix.RangeQueryContext(ctx, min, max)
+	return ix.rangeQueryContext(ctx, min, max, shards)
 }

@@ -18,7 +18,7 @@
 //     same k are merged into one BatchKNN call (see coalesce.go).
 //   - Admission control: at most MaxInFlight requests touch the engine
 //     concurrently; up to MaxQueue more wait, each bounded by its own
-//     deadline. Beyond that the server answers 429 (see admission.go).
+//     deadline. Beyond that the server answers 429 (see internal/admit).
 //   - Graceful drain: Shutdown stops admitting (503), lets every
 //     in-flight request — including pending coalescing windows —
 //     complete, then returns. Zero requests are dropped mid-flight.
@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"parsearch"
+	"parsearch/internal/admit"
 	"parsearch/internal/wire"
 )
 
@@ -161,8 +162,8 @@ type Stats struct {
 type Server struct {
 	ix    *parsearch.Index
 	cfg   Config
-	adm   *admission
-	gate  *drainGate
+	adm   *admit.Admission
+	gate  *admit.Gate
 	coal  *coalescer
 	mux   *http.ServeMux
 	stats serverStats
@@ -181,8 +182,8 @@ func New(ix *parsearch.Index, cfg Config) (*Server, error) {
 	s := &Server{
 		ix:   ix,
 		cfg:  cfg,
-		adm:  newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-		gate: &drainGate{},
+		adm:  admit.New(cfg.MaxInFlight, cfg.MaxQueue),
+		gate: &admit.Gate{},
 	}
 	s.coal = newCoalescer(s)
 	if cfg.ExpvarName != "" {
@@ -209,7 +210,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Stats snapshots the serving-layer counters.
 func (s *Server) Stats() Stats {
-	inflight, queued := s.adm.inFlight()
+	inflight, queued := s.adm.InFlight()
 	return Stats{
 		Requests:          s.stats.requests.Load(),
 		RejectedQueueFull: s.stats.rejectedQueue.Load(),
@@ -220,7 +221,7 @@ func (s *Server) Stats() Stats {
 		MaxCoalescedBatch: s.stats.maxCoalesced.v.Load(),
 		InFlight:          int64(inflight),
 		Queued:            int64(queued),
-		Draining:          s.gate.isDraining(),
+		Draining:          s.gate.IsDraining(),
 	}
 }
 
@@ -231,10 +232,10 @@ func (s *Server) Stats() Stats {
 // cmd/parsearchd and is idempotent. The HTTP listener itself is the
 // caller's to close afterwards (http.Server.Shutdown).
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.gate.close() {
-		close(s.adm.drain)
+	if s.gate.Close() {
+		s.adm.CloseDrain()
 	}
-	return s.gate.wait(ctx)
+	return s.gate.Wait(ctx)
 }
 
 // batchCtx is the context coalesced batches run under: the server's
@@ -266,12 +267,12 @@ func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
 // rejection has already been written; callers must return. On success
 // the caller must defer exit().
 func (s *Server) enter(ctx context.Context, w http.ResponseWriter) bool {
-	if err := s.adm.acquire(ctx); err != nil {
+	if err := s.adm.Acquire(ctx); err != nil {
 		s.writeAdmissionError(w, err)
 		return false
 	}
-	if err := s.gate.enter(); err != nil {
-		s.adm.release()
+	if err := s.gate.Enter(); err != nil {
+		s.adm.Release()
 		s.writeAdmissionError(w, err)
 		return false
 	}
@@ -281,18 +282,18 @@ func (s *Server) enter(ctx context.Context, w http.ResponseWriter) bool {
 
 // exit releases what enter acquired.
 func (s *Server) exit() {
-	s.gate.exit()
-	s.adm.release()
+	s.gate.Exit()
+	s.adm.Release()
 }
 
 // writeAdmissionError maps an admission failure to its status code.
 func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, errQueueFull):
+	case errors.Is(err, admit.ErrQueueFull):
 		s.stats.rejectedQueue.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, wire.CodeQueueFull, err)
-	case errors.Is(err, errDraining):
+	case errors.Is(err, admit.ErrDraining):
 		s.stats.rejectedDraining.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, err)
@@ -354,6 +355,21 @@ func (s *Server) approxOf(epsilon, recallTarget *float64) parsearch.Approx {
 	return a
 }
 
+// shardSpecOf converts a wire shard restriction to the engine's form,
+// rejecting group counts beyond the served index's disk count — a
+// structural mismatch only the server can see (the wire decoder knows
+// no disk count), and the coordinator's misconfiguration, not an
+// engine fault, so it maps to 400.
+func (s *Server) shardSpecOf(spec *wire.ShardSpec) (parsearch.ShardSpec, error) {
+	if spec == nil {
+		return parsearch.ShardSpec{}, nil
+	}
+	if disks := s.ix.Disks(); spec.Of > disks {
+		return parsearch.ShardSpec{}, fmt.Errorf("server: %d shard groups over %d disks", spec.Of, disks)
+	}
+	return parsearch.ShardSpec{Of: spec.Of, Groups: spec.Groups}, nil
+}
+
 // wireNeighbors converts engine results to the wire form. An empty
 // result stays nil so it round-trips to the library's nil slice —
 // byte-identity with direct calls includes the no-match case.
@@ -388,6 +404,11 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
 		return
 	}
+	shards, err := s.shardSpecOf(req.Shard)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
 	if !s.enter(ctx, w) {
@@ -396,12 +417,18 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	defer s.exit()
 
 	a := s.approxOf(req.Epsilon, req.RecallTarget)
+	if req.Bound != nil {
+		a.Bound = *req.Bound
+	}
 	var (
 		neighbors []parsearch.Neighbor
 		stats     parsearch.QueryStats
 	)
-	if s.cfg.DisableCoalescing {
-		neighbors, stats, err = s.ix.KNNApproxContext(ctx, req.Query, req.K, a)
+	if s.cfg.DisableCoalescing || shards.Enabled() || req.Bound != nil {
+		// Coordinator fan-out requests bypass the coalescer: their
+		// per-request bound and shard restriction are query-private and
+		// must not leak into a coalesced group's shared Approx knobs.
+		neighbors, stats, err = s.ix.KNNShardContext(ctx, req.Query, req.K, a, shards)
 	} else {
 		res := s.coal.submit(ctx, req.Query, req.K, a)
 		neighbors, stats, err = res.neighbors, res.stats, res.err
@@ -423,6 +450,11 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
 		return
 	}
+	shards, err := s.shardSpecOf(req.Shard)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
 	if !s.enter(ctx, w) {
@@ -430,7 +462,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.exit()
 
-	neighbors, stats, err := s.ix.RangeQueryContext(ctx, req.Min, req.Max)
+	neighbors, stats, err := s.ix.RangeQueryShardContext(ctx, req.Min, req.Max, shards)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -456,6 +488,11 @@ func (s *Server) handlePartialMatch(w http.ResponseWriter, r *http.Request) {
 			spec[i] = *v
 		}
 	}
+	shards, err := s.shardSpecOf(req.Shard)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
 	if !s.enter(ctx, w) {
@@ -463,7 +500,7 @@ func (s *Server) handlePartialMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.exit()
 
-	neighbors, stats, err := s.ix.PartialMatchContext(ctx, spec, req.Eps)
+	neighbors, stats, err := s.ix.PartialMatchShardContext(ctx, spec, req.Eps, shards)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -481,6 +518,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
 		return
 	}
+	shards, err := s.shardSpecOf(req.Shard)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
 	if !s.enter(ctx, w) {
@@ -488,7 +530,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.exit()
 
-	results, stats, err := s.ix.BatchKNNApproxContext(ctx, req.Queries, req.K, s.approxOf(req.Epsilon, req.RecallTarget))
+	a := s.approxOf(req.Epsilon, req.RecallTarget)
+	if req.Bound != nil {
+		a.Bound = *req.Bound
+	}
+	results, stats, err := s.ix.BatchKNNShardContext(ctx, req.Queries, req.K, a, shards)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -544,7 +590,7 @@ func (s *Server) handleCatchup(w http.ResponseWriter, r *http.Request) {
 // stay exact); a failed disk with no live replica makes data
 // unreachable and the instance "degraded".
 func (s *Server) health() wire.Health {
-	h := wire.Health{Status: "ok", Disks: s.ix.Disks(), Draining: s.gate.isDraining()}
+	h := wire.Health{Status: "ok", Disks: s.ix.Disks(), Draining: s.gate.IsDraining()}
 	for d := 0; d < s.ix.Disks(); d++ {
 		if !s.ix.DiskFailed(d) {
 			continue

@@ -466,6 +466,81 @@ func TestServedApproxKnobs(t *testing.T) {
 	}
 }
 
+// TestObservabilitySurfacesApproxCounters pins the observability
+// contract of the approximate tier: after a served KNNApprox request,
+// both /varz (the expvar dump of the index registry) and /statusz (the
+// embedded metrics snapshot) must report the approx_queries and
+// pages_skipped_approx counters — a cluster operator tuning the
+// recall/latency trade-off reads these, not the library's QueryStats.
+func TestObservabilitySurfacesApproxCounters(t *testing.T) {
+	ix := testIndex(t, 4, 800, 4, 0)
+	srv, err := New(ix, Config{DisableCoalescing: true, ExpvarName: "parsearch_approx_obs_test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+
+	if _, err := cl.KNNApprox(context.Background(), randQuery(4, 77), 5, parsearch.Approx{Epsilon: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	// /varz: the expvar dump holds the registry under the published
+	// name; the tier counters must be present and the query counted.
+	resp, err := http.Get(ts.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var varz map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&varz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	reg, ok := varz["parsearch_approx_obs_test"]
+	if !ok {
+		t.Fatal("/varz does not publish the index registry")
+	}
+	var counters struct {
+		ApproxQueries      *int64 `json:"approx_queries"`
+		PagesSkippedApprox *int64 `json:"pages_skipped_approx"`
+	}
+	if err := json.Unmarshal(reg, &counters); err != nil {
+		t.Fatal(err)
+	}
+	if counters.ApproxQueries == nil || counters.PagesSkippedApprox == nil {
+		t.Fatalf("/varz registry lacks approx tier counters: %s", reg)
+	}
+	if *counters.ApproxQueries < 1 {
+		t.Errorf("/varz approx_queries = %d after a served KNNApprox, want >= 1", *counters.ApproxQueries)
+	}
+	if *counters.PagesSkippedApprox < 0 {
+		t.Errorf("/varz pages_skipped_approx = %d, want >= 0", *counters.PagesSkippedApprox)
+	}
+
+	// /statusz embeds the same snapshot under "metrics".
+	resp, err = http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Metrics map[string]json.RawMessage `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"approx_queries", "pages_skipped_approx"} {
+		if _, ok := doc.Metrics[key]; !ok {
+			t.Errorf("/statusz metrics lack %q", key)
+		}
+	}
+	var served int64
+	if err := json.Unmarshal(doc.Metrics["approx_queries"], &served); err != nil || served < 1 {
+		t.Errorf("/statusz approx_queries = %d (%v), want >= 1", served, err)
+	}
+}
+
 // TestHealthzReflectsFaults walks healthz through the fault states:
 // all-live, failed-but-replicated (200, rerouted), failed-unreachable
 // (503, degraded).

@@ -285,6 +285,7 @@ func (ix *Index) recordQuery(kind *metrics.Counter, qs *QueryStats, batch disk.B
 	ix.reg.Unreachable.Add(int64(qs.Unreachable))
 	ix.reg.SearchPages.Add(int64(qs.SearchPages))
 	ix.reg.PagesSavedByBound.Add(int64(qs.PagesSavedByBound))
+	ix.reg.PagesSavedByRemoteBound.Add(int64(qs.PagesSavedByRemoteBound))
 	ix.reg.BoundTightenings.Add(int64(qs.BoundTightenings))
 	if qs.Degraded {
 		ix.reg.DegradedQueries.Inc()
